@@ -1,0 +1,525 @@
+package spreadbench
+
+// One benchmark per paper artifact (every table and figure of the
+// evaluation), plus ablation benchmarks for each §6 optimization. These
+// drive the same engine paths as the cmd/bct and cmd/oot sweeps at one
+// representative size, so `go test -bench=.` exercises the full matrix
+// quickly; the commands produce the complete curves.
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/iolib"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+const benchRows = 10_000
+
+// benchEngine installs a benchRows-row dataset into a fresh engine.
+func benchEngine(b *testing.B, system string, formulas bool) (*engine.Engine, *Sheet) {
+	b.Helper()
+	prof, ok := engine.Profiles()[system]
+	if !ok {
+		b.Fatalf("unknown system %q", system)
+	}
+	eng := engine.New(prof)
+	wb := workload.Weather(workload.Spec{
+		Rows: benchRows, Formulas: formulas, Columnar: prof.Opt.ColumnarLayout,
+	})
+	if err := eng.Install(wb); err != nil {
+		b.Fatal(err)
+	}
+	return eng, wb.First()
+}
+
+func perSystem(b *testing.B, f func(b *testing.B, system string)) {
+	for _, sys := range []string{"excel", "calc", "sheets", "optimized"} {
+		b.Run(sys, func(b *testing.B) { f(b, sys) })
+	}
+}
+
+// reportSim attaches the simulated latency of the last operation as a
+// custom benchmark metric, so paper-comparable numbers appear beside wall
+// times in the -bench output.
+func reportSim(b *testing.B, sim time.Duration) {
+	b.ReportMetric(float64(sim.Nanoseconds()), "sim-ns/op")
+}
+
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.WriteTaxonomy(io.Discard)
+	}
+}
+
+func BenchmarkFig2Open(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.svf")
+	wb := workload.Weather(workload.Spec{Rows: benchRows, Formulas: true})
+	if err := iolib.SaveWorkbook(path, wb); err != nil {
+		b.Fatal(err)
+	}
+	perSystem(b, func(b *testing.B, sys string) {
+		eng := engine.New(engine.Profiles()[sys])
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig3Sort(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, true)
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Sort(s, workload.ColID, i%2 == 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig4ConditionalFormat(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, true)
+		rng := cell.ColRange(workload.ColFormula0, 1, benchRows)
+		style := cell.Style{Fill: cell.Green}
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, res, err := eng.ConditionalFormat(s, rng, cell.Num(1), style)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig5Filter(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, true)
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.ClearFilter(s)
+			_, res, err := eng.Filter(s, workload.ColState, cell.Str("SD"), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig6Pivot(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, true)
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, res, err := eng.PivotTable(s, workload.ColState, workload.ColStorm, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Workbook().Remove(out.Name)
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig7Countif(b *testing.B) {
+	text := fmt.Sprintf("=COUNTIF(K2:K%d,1)", benchRows+1)
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, true)
+		at := cell.Addr{Row: 1, Col: workload.NumCols}
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, res, err := eng.InsertFormula(s, at, text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig8Vlookup(b *testing.B) {
+	for _, approx := range []bool{true, false} {
+		text := fmt.Sprintf("=VLOOKUP(%d,A2:Q%d,2,%v)", benchRows*2/5, benchRows+1, approx)
+		b.Run(fmt.Sprintf("sorted=%v", approx), func(b *testing.B) {
+			perSystem(b, func(b *testing.B, sys string) {
+				eng, s := benchEngine(b, sys, false)
+				at := cell.Addr{Row: 1, Col: workload.NumCols}
+				var last engine.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, res, err := eng.InsertFormula(s, at, text)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				reportSim(b, last.Sim)
+			})
+		})
+	}
+}
+
+func BenchmarkTable2Derivation(b *testing.B) {
+	// Synthetic BCT results at realistic scale, derived repeatedly.
+	results := make(map[string]*core.Result)
+	for _, exp := range core.Experiments() {
+		if exp.Kind != "bct" {
+			continue
+		}
+		res := &core.Result{ID: exp.ID, Title: exp.Title}
+		for _, sys := range []string{"excel", "calc", "sheets"} {
+			for _, variant := range []string{"F", "V"} {
+				var pts []report.Point
+				for _, m := range workload.SizesUpTo(500_000) {
+					pts = append(pts, report.Point{Size: m, Sim: time.Duration(m) * time.Microsecond})
+				}
+				res.Series = append(res.Series, report.Series{Label: sys + "/" + variant, Points: pts})
+			}
+		}
+		results[exp.ID] = res
+	}
+	systems := []string{"excel", "calc", "sheets"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := core.Table2(results, systems)
+		if len(rows) != 7 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkFig9FindReplace(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, false)
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			find, repl := "STORM", "TEMPEST"
+			if i%2 == 1 {
+				find, repl = repl, find
+			}
+			_, res, err := eng.FindReplace(s, find, repl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig10Layout(b *testing.B) {
+	for _, mode := range []string{"sequential", "random"} {
+		b.Run(mode, func(b *testing.B) {
+			perSystem(b, func(b *testing.B, sys string) {
+				eng, s := benchEngine(b, sys, false)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "sequential" {
+						eng.ReadColumn(s, workload.ColID, 1, benchRows)
+						continue
+					}
+					rng := uint64(i)*2862933555777941757 + 3037000493
+					for k := 0; k < benchRows; k++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						row := 1 + int(rng%benchRows)
+						eng.CellValue(s, cell.Addr{Row: row, Col: workload.ColID})
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkFig11Shared(b *testing.B) {
+	const m = 1000
+	for _, mode := range []string{"repeated", "reusable"} {
+		b.Run(mode, func(b *testing.B) {
+			perSystem(b, func(b *testing.B, sys string) {
+				prof := engine.Profiles()[sys]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					eng := engine.New(prof)
+					wb := workload.Weather(workload.Spec{Rows: m, Columnar: prof.Opt.ColumnarLayout})
+					if err := eng.Install(wb); err != nil {
+						b.Fatal(err)
+					}
+					s := wb.First()
+					b.StartTimer()
+					for k := 1; k <= m; k++ {
+						var text string
+						var at cell.Addr
+						if mode == "repeated" {
+							text = fmt.Sprintf("=SUM(A2:A%d)", k+1)
+							at = cell.Addr{Row: k, Col: workload.NumCols}
+						} else {
+							at = cell.Addr{Row: k, Col: workload.NumCols + 1}
+							if k == 1 {
+								text = "=A2"
+							} else {
+								text = fmt.Sprintf("=A%d+%s%d", k+1, cell.ColName(workload.NumCols+1), k)
+							}
+						}
+						if _, _, err := eng.InsertFormula(s, at, text); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkFig12Redundant(b *testing.B) {
+	text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, benchRows+1)
+	for _, instances := range []int{1, 5} {
+		b.Run(fmt.Sprintf("instances=%d", instances), func(b *testing.B) {
+			perSystem(b, func(b *testing.B, sys string) {
+				eng, s := benchEngine(b, sys, false)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := 0; k < instances; k++ {
+						at := cell.Addr{Row: 1 + k, Col: workload.NumCols}
+						if _, _, err := eng.InsertFormula(s, at, text); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkFig13Incremental(b *testing.B) {
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, false)
+		text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, benchRows+1)
+		if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, text); err != nil {
+			b.Fatal(err)
+		}
+		j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.SetCell(s, j2, cell.Num(float64(i%2)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+func BenchmarkFig14MultiFormula(b *testing.B) {
+	const instances = 100
+	perSystem(b, func(b *testing.B, sys string) {
+		eng, s := benchEngine(b, sys, false)
+		text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, benchRows+1)
+		for k := 0; k < instances; k++ {
+			if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1 + k, Col: workload.NumCols}, text); err != nil {
+				b.Fatal(err)
+			}
+		}
+		j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+		var last engine.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.SetCell(s, j2, cell.Num(float64(i%2)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reportSim(b, last.Sim)
+	})
+}
+
+// Ablation benchmarks: each §6 optimization toggled off against the full
+// optimized profile, exercising the design choices DESIGN.md calls out.
+
+func ablatedProfile(disable func(*engine.Optimizations)) engine.Profile {
+	p := engine.OptimizedProfile()
+	disable(&p.Opt)
+	return p
+}
+
+func benchAblation(b *testing.B, p engine.Profile, formulas bool, run func(eng *engine.Engine, s *Sheet, i int) error) {
+	eng := engine.New(p)
+	wb := workload.Weather(workload.Spec{Rows: benchRows, Formulas: formulas, Columnar: p.Opt.ColumnarLayout})
+	if err := eng.Install(wb); err != nil {
+		b.Fatal(err)
+	}
+	s := wb.First()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(eng, s, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHashIndexCountif(b *testing.B) {
+	text := fmt.Sprintf(`=COUNTIF(B2:B%d,"SD")`, benchRows+1)
+	run := func(eng *engine.Engine, s *Sheet, i int) error {
+		_, _, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, text)
+		return err
+	}
+	b.Run("on", func(b *testing.B) {
+		benchAblation(b, engine.OptimizedProfile(), false, run)
+	})
+	b.Run("off", func(b *testing.B) {
+		benchAblation(b, ablatedProfile(func(o *engine.Optimizations) {
+			o.HashIndex = false
+			o.RedundantElimination = false // isolate the index effect
+		}), false, run)
+	})
+}
+
+func BenchmarkAblationIncrementalUpdate(b *testing.B) {
+	mk := func(p engine.Profile) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := engine.New(p)
+			wb := workload.Weather(workload.Spec{Rows: benchRows, Columnar: p.Opt.ColumnarLayout})
+			if err := eng.Install(wb); err != nil {
+				b.Fatal(err)
+			}
+			s := wb.First()
+			text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, benchRows+1)
+			if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, text); err != nil {
+				b.Fatal(err)
+			}
+			j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SetCell(s, j2, cell.Num(float64(i%2))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("on", mk(engine.OptimizedProfile()))
+	b.Run("off", mk(ablatedProfile(func(o *engine.Optimizations) { o.IncrementalAggregates = false })))
+}
+
+func BenchmarkAblationInvertedIndexFind(b *testing.B) {
+	run := func(eng *engine.Engine, s *Sheet, i int) error {
+		_, _, err := eng.FindReplace(s, "QQABSENT", "X")
+		return err
+	}
+	b.Run("on", func(b *testing.B) {
+		benchAblation(b, engine.OptimizedProfile(), false, run)
+	})
+	b.Run("off", func(b *testing.B) {
+		benchAblation(b, ablatedProfile(func(o *engine.Optimizations) { o.InvertedIndex = false }), false, run)
+	})
+}
+
+func BenchmarkAblationSharedComputation(b *testing.B) {
+	const m = 500
+	mk := func(p engine.Profile) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := engine.New(p)
+				wb := workload.Weather(workload.Spec{Rows: m, Columnar: p.Opt.ColumnarLayout})
+				if err := eng.Install(wb); err != nil {
+					b.Fatal(err)
+				}
+				s := wb.First()
+				b.StartTimer()
+				for k := 1; k <= m; k++ {
+					text := fmt.Sprintf("=SUM(A2:A%d)", k+1)
+					at := cell.Addr{Row: k, Col: workload.NumCols}
+					if _, _, err := eng.InsertFormula(s, at, text); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("on", mk(engine.OptimizedProfile()))
+	b.Run("off", mk(ablatedProfile(func(o *engine.Optimizations) {
+		o.SharedComputation = false
+		o.RedundantElimination = false
+	})))
+}
+
+func BenchmarkAblationSortRecalcAnalysis(b *testing.B) {
+	mk := func(p engine.Profile) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := engine.New(p)
+			wb := workload.Weather(workload.Spec{Rows: benchRows, Formulas: true, Columnar: p.Opt.ColumnarLayout})
+			if err := eng.Install(wb); err != nil {
+				b.Fatal(err)
+			}
+			s := wb.First()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Sort(s, workload.ColID, i%2 == 0, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("on", mk(engine.OptimizedProfile()))
+	b.Run("off", mk(ablatedProfile(func(o *engine.Optimizations) { o.SortRecalcAnalysis = false })))
+}
+
+// Substrate micro-benchmarks: the engine hot paths.
+
+func BenchmarkFormulaCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := formula.Compile(`=COUNTIF(K2:K10001,1)+SUM(A1:A100)*2`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridScan(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: benchRows})
+	s := wb.First()
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= benchRows; r++ {
+			v := s.Value(cell.Addr{Row: r, Col: workload.ColStorm})
+			sum += v.Num
+		}
+	}
+	_ = sum
+}

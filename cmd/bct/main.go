@@ -1,0 +1,16 @@
+// Command bct runs the Basic Complexity Testing benchmark (§4 of the
+// paper), regenerating Figures 2–8 and Table 2.
+//
+// Usage:
+//
+//	bct [-full] [-trials N] [-maxrows N] [-maxrows-web N]
+//	    [-systems excel,calc,sheets,optimized] [-exp id] [-csv dir]
+//	    [-quiet] [-list]
+//
+// By default a quick-mode sweep (minutes) of all BCT experiments runs and
+// the figures print to stdout; -full selects the paper's exact parameters.
+package main
+
+import "repro/internal/cli"
+
+func main() { cli.Main("bct") }

@@ -1,0 +1,80 @@
+// Command datagen materializes the benchmark datasets of §3.2 to disk as
+// SVF workbooks (and optionally CSV), for use with cmd/bct's open
+// experiment or external tooling.
+//
+// Usage:
+//
+//	datagen [-out dir] [-rows n[,n...]] [-seed n] [-csv]
+//
+// By default the paper's 150 / 6k / 10k / 50k sizes are written in both
+// Formula-value and Value-only variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/iolib"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "datasets", "output directory")
+		rowsArg = flag.String("rows", "150,6000,10000,50000", "comma-separated data-row counts")
+		seed    = flag.Uint64("seed", workload.DefaultSeed, "generator seed")
+		alsoCSV = flag.Bool("csv", false, "additionally export Value-only variants as CSV")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*rowsArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "datagen: bad row count %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, m := range sizes {
+		for _, formulas := range []bool{true, false} {
+			variant := "value"
+			if formulas {
+				variant = "formula"
+			}
+			wb := workload.Weather(workload.Spec{Rows: m, Formulas: formulas, Seed: *seed})
+			path := filepath.Join(*out, fmt.Sprintf("weather-%s-%d.svf", variant, m))
+			if err := iolib.SaveWorkbook(path, wb); err != nil {
+				fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+			if *alsoCSV && !formulas {
+				cpath := filepath.Join(*out, fmt.Sprintf("weather-value-%d.csv", m))
+				f, err := os.Create(cpath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+					os.Exit(1)
+				}
+				if err := iolib.ExportCSV(f, wb.First()); err != nil {
+					fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println("wrote", cpath)
+			}
+		}
+	}
+}

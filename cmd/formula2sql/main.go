@@ -1,0 +1,84 @@
+// Command formula2sql translates spreadsheet formulae into SQL over the
+// weather dataset's schema — the §6 research direction of executing
+// spreadsheet computation on a database backend [21, 25, 30].
+//
+// Usage:
+//
+//	formula2sql [-table name] [-rows n] '=COUNTIF(J2:J50001,1)' ...
+//	formula2sql -join            # the column-of-VLOOKUPs -> JOIN example
+//	echo '=SUM(A2:A100)' | formula2sql
+//
+// Formulae may be passed as arguments or one per line on stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/formula"
+	"repro/internal/sqlgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "weather", "SQL table name for the sheet")
+		rows  = flag.Int("rows", 100, "dataset rows (affects only the schema header sampling)")
+		join  = flag.Bool("join", false, "print the column-of-VLOOKUPs-to-JOIN example and exit")
+		ddl   = flag.Bool("ddl", false, "also print the CREATE TABLE statement")
+	)
+	flag.Parse()
+
+	wb := workload.Weather(workload.Spec{Rows: *rows})
+	schema := sqlgen.SchemaOf(wb.First(), *table)
+
+	if *ddl {
+		fmt.Println(schema.CreateTable())
+	}
+	if *join {
+		scores := sqlgen.Schema{Table: "scores", Columns: []string{"student", "score"}}
+		grades := sqlgen.Schema{Table: "grades", Columns: []string{"floor", "grade"}}
+		sql, err := sqlgen.TranslateVlookupColumn(scores, 1, grades, 0, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "formula2sql:", err)
+			os.Exit(1)
+		}
+		fmt.Println("-- a column of =VLOOKUP(score, grades, 2, TRUE) becomes:")
+		fmt.Println(sql)
+		return
+	}
+
+	translate := func(text string) {
+		c, err := formula.Compile(text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "formula2sql: %v\n", err)
+			os.Exit(1)
+		}
+		sql, err := sqlgen.TranslateFormula(schema, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "formula2sql: %s: %v\n", text, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s\n%s\n", text, sql)
+	}
+
+	if flag.NArg() > 0 {
+		for _, text := range flag.Args() {
+			translate(text)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if line != "" {
+			translate(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "formula2sql:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Command oot runs the Optimization Opportunities Testing benchmark (§5 of
+// the paper), regenerating Figures 9–14. Add "-systems
+// excel,calc,sheets,optimized" to include the §6 optimized engine and watch
+// the benchmark detect each optimization (positive-detection runs).
+//
+// Usage mirrors cmd/bct; see that command's documentation.
+package main
+
+import "repro/internal/cli"
+
+func main() { cli.Main("oot") }

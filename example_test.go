@@ -1,0 +1,84 @@
+package spreadbench_test
+
+import (
+	"fmt"
+
+	spreadbench "repro"
+)
+
+// Example demonstrates the basic flow: build a system, install a dataset,
+// evaluate a formula, and check it against the interactivity bound.
+func Example() {
+	sys, err := spreadbench.NewSystem("excel")
+	if err != nil {
+		panic(err)
+	}
+	wb := spreadbench.WeatherWorkbook(1_000, false)
+	if err := sys.Install(wb); err != nil {
+		panic(err)
+	}
+	v, res, err := sys.InsertFormula(wb.First(),
+		spreadbench.Cell("R2"), "=COUNTIF(J2:J1001,1)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("storms:", v.AsString())
+	fmt.Println("interactive:", res.Sim <= spreadbench.InteractivityBound)
+	// Output:
+	// storms: 307
+	// interactive: true
+}
+
+// ExampleNewSystem shows the four available system profiles.
+func ExampleNewSystem() {
+	for _, name := range spreadbench.SystemNames() {
+		sys, err := spreadbench.NewSystem(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(sys.Profile().Name)
+	}
+	// Output:
+	// calc
+	// excel
+	// optimized
+	// sheets
+}
+
+// ExampleSystem_SetCell shows dependent formulae recomputing after an edit.
+func ExampleSystem_SetCell() {
+	sys, _ := spreadbench.NewSystem("calc")
+	wb := spreadbench.WeatherWorkbook(10, false)
+	sys.Install(wb)
+	s := wb.First()
+
+	sys.InsertFormula(s, spreadbench.Cell("R1"), "=SUM(J2:J11)")
+	before, _ := sys.CellValue(s, spreadbench.Cell("R1"))
+
+	// Force J2 to the opposite value and watch the SUM move.
+	old, _ := sys.CellValue(s, spreadbench.Cell("J2"))
+	sys.SetCell(s, spreadbench.Cell("J2"), spreadbench.Num(1-old.Num))
+	after, _ := sys.CellValue(s, spreadbench.Cell("R1"))
+
+	fmt.Println("sum moved by:", after.Num-before.Num)
+	// Output:
+	// sum moved by: 1
+}
+
+// ExampleViolation derives an interactivity violation point from an
+// experiment run, the way Table 2 is built.
+func ExampleViolation() {
+	cfg := spreadbench.QuickConfig()
+	cfg.Systems = []string{"sheets"}
+	cfg.Trials = 1
+	cfg.MaxRowsWeb = 10_000
+
+	results, err := spreadbench.Run(cfg, []string{"fig7-countif"})
+	if err != nil {
+		panic(err)
+	}
+	size, violated := spreadbench.Violation(results["fig7-countif"], "sheets/V")
+	fmt.Println(violated, size)
+	// Output:
+	// true 10000
+}

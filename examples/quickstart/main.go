@@ -1,0 +1,86 @@
+// Quickstart: build a small sheet, enter values and formulae, edit a cell
+// and watch dependents recompute, then compare the same operations across
+// the four system profiles.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spreadbench "repro"
+)
+
+func main() {
+	sys, err := spreadbench.NewSystem("excel")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from an empty workbook with one sheet.
+	wb := spreadbench.WeatherWorkbook(0, false) // header-only weather sheet
+	if err := sys.Install(wb); err != nil {
+		log.Fatal(err)
+	}
+	s := wb.First()
+
+	// Enter a little expense table.
+	for i, row := range [][2]any{
+		{"rent", 1200.0}, {"food", 450.0}, {"travel", 300.0}, {"books", 80.0},
+	} {
+		a := spreadbench.Cell(fmt.Sprintf("A%d", i+2))
+		b := spreadbench.Cell(fmt.Sprintf("B%d", i+2))
+		if _, err := sys.SetCell(s, a, spreadbench.Str(row[0].(string))); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.SetCell(s, b, spreadbench.Num(row[1].(float64))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A SUM and a dependent share-of-total formula.
+	total, res, err := sys.InsertFormula(s, spreadbench.Cell("B7"), "=SUM(B2:B5)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total = %s   (simulated latency %s)\n",
+		total.AsString(), spreadbench.FormatDuration(res.Sim))
+
+	share, _, err := sys.InsertFormula(s, spreadbench.Cell("C2"), "=B2/B7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rent share = %s\n", share.AsString())
+
+	// Edit one input; the engine recomputes dependents (from scratch, as
+	// §5.5 of the paper shows real systems do).
+	if _, err := sys.SetCell(s, spreadbench.Cell("B2"), spreadbench.Num(1500)); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := sys.CellValue(s, spreadbench.Cell("B7"))
+	w, _ := sys.CellValue(s, spreadbench.Cell("C2"))
+	fmt.Printf("after editing B2: total = %s, rent share = %s\n\n", v.AsString(), w.AsString())
+
+	// The same aggregate across all four profiles, on a 10k-row dataset.
+	fmt.Println("COUNTIF(K2:K10001, 1) on 10k weather rows:")
+	for _, name := range spreadbench.SystemNames() {
+		eng, err := spreadbench.NewSystem(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data := spreadbench.WeatherWorkbook(10_000, false)
+		if err := eng.Install(data); err != nil {
+			log.Fatal(err)
+		}
+		val, r, err := eng.InsertFormula(data.First(), spreadbench.Cell("R2"),
+			"=COUNTIF(K2:K10001,1)")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s -> %s in %8s simulated (%s wall, interactive: %v)\n",
+			name, val.AsString(),
+			spreadbench.FormatDuration(r.Sim), spreadbench.FormatDuration(r.Wall),
+			r.Sim <= spreadbench.InteractivityBound)
+	}
+}

@@ -1,0 +1,83 @@
+// Weatherreport: an analyst workflow over the paper's weather dataset
+// (§3.2) — filter to one state, pivot storms per state, and run the
+// conditional aggregates of §4.3.3 — across the three benchmarked system
+// profiles, printing where each operation lands against the 500 ms
+// interactivity bound.
+//
+// Run: go run ./examples/weatherreport [rows]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	spreadbench "repro"
+	"repro/internal/cell"
+	"repro/internal/workload"
+)
+
+func main() {
+	rows := 20_000
+	if len(os.Args) > 1 {
+		if n, err := strconv.Atoi(os.Args[1]); err == nil && n > 0 {
+			rows = n
+		}
+	}
+	fmt.Printf("weather analysis over %d rows (Formula-value dataset)\n\n", rows)
+	fmt.Printf("%-10s %-22s %12s %10s  %s\n", "system", "operation", "simulated", "wall", "interactive?")
+
+	for _, system := range []string{"excel", "calc", "sheets"} {
+		sys, err := spreadbench.NewSystem(system)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wb := spreadbench.WeatherWorkbook(rows, true)
+		if err := sys.Install(wb); err != nil {
+			log.Fatal(err)
+		}
+		s := wb.First()
+
+		// 1. Filter to South Dakota (§4.3.1's literal).
+		kept, fr, err := sys.Filter(s, workload.ColState, spreadbench.Str("SD"), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(system, fmt.Sprintf("filter state=SD (%d)", kept), fr)
+
+		// 2. Pivot: storms per state (§4.3.2) — over the filtered rows.
+		pivot, pr, err := sys.PivotTable(s, workload.ColState, workload.ColStorm, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(system, fmt.Sprintf("pivot (%d groups)", pivot.Rows()-1), pr)
+		sys.ClearFilter(s)
+
+		// 3. Conditional aggregate: how many storm days (§4.3.3)?
+		text := fmt.Sprintf("=COUNTIF(J2:J%d,1)", rows+1)
+		storms, ar, err := sys.InsertFormula(s, spreadbench.Cell("R2"), text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(system, fmt.Sprintf("COUNTIF storms=%s", storms.AsString()), ar)
+
+		// 4. Conditional formatting: highlight storm rows (§4.2.2).
+		rng := cell.ColRange(workload.ColFormula0, 1, rows)
+		n, cr, err := sys.ConditionalFormat(s, rng, spreadbench.Num(1), cell.Style{Fill: cell.Green})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(system, fmt.Sprintf("condformat (%d cells)", n), cr)
+		fmt.Println()
+	}
+}
+
+func row(system, op string, r spreadbench.Result) {
+	mark := "yes"
+	if r.Sim > spreadbench.InteractivityBound {
+		mark = "NO"
+	}
+	fmt.Printf("%-10s %-22s %12s %10s  %s\n", system, op,
+		spreadbench.FormatDuration(r.Sim), spreadbench.FormatDuration(r.Wall), mark)
+}

@@ -1,0 +1,119 @@
+package cell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Range is a rectangular region of cells, inclusive of both corners.
+// The canonical form has Start.Row <= End.Row and Start.Col <= End.Col.
+type Range struct {
+	Start Addr
+	End   Addr
+}
+
+// RangeOf returns the canonical range covering both addresses.
+func RangeOf(a, b Addr) Range {
+	r := Range{Start: a, End: b}
+	if r.Start.Row > r.End.Row {
+		r.Start.Row, r.End.Row = r.End.Row, r.Start.Row
+	}
+	if r.Start.Col > r.End.Col {
+		r.Start.Col, r.End.Col = r.End.Col, r.Start.Col
+	}
+	return r
+}
+
+// SingleCell returns the 1x1 range holding a.
+func SingleCell(a Addr) Range { return Range{Start: a, End: a} }
+
+// ColRange returns the range covering rows [r0,r1] of a single column.
+func ColRange(col, r0, r1 int) Range {
+	return RangeOf(Addr{Row: r0, Col: col}, Addr{Row: r1, Col: col})
+}
+
+// Rows returns the number of rows in the range.
+func (r Range) Rows() int { return r.End.Row - r.Start.Row + 1 }
+
+// Cols returns the number of columns in the range.
+func (r Range) Cols() int { return r.End.Col - r.Start.Col + 1 }
+
+// Cells returns the total number of cells in the range.
+func (r Range) Cells() int { return r.Rows() * r.Cols() }
+
+// Contains reports whether the address lies inside the range.
+func (r Range) Contains(a Addr) bool {
+	return a.Row >= r.Start.Row && a.Row <= r.End.Row &&
+		a.Col >= r.Start.Col && a.Col <= r.End.Col
+}
+
+// Overlaps reports whether two ranges share at least one cell.
+func (r Range) Overlaps(s Range) bool {
+	return r.Start.Row <= s.End.Row && s.Start.Row <= r.End.Row &&
+		r.Start.Col <= s.End.Col && s.Start.Col <= r.End.Col
+}
+
+// Intersect returns the overlap of two ranges and whether it is non-empty.
+func (r Range) Intersect(s Range) (Range, bool) {
+	if !r.Overlaps(s) {
+		return Range{}, false
+	}
+	out := Range{
+		Start: Addr{Row: maxInt(r.Start.Row, s.Start.Row), Col: maxInt(r.Start.Col, s.Start.Col)},
+		End:   Addr{Row: minInt(r.End.Row, s.End.Row), Col: minInt(r.End.Col, s.End.Col)},
+	}
+	return out, true
+}
+
+// String renders the range in A1 notation ("A1:B10", or "A1" for a single
+// cell).
+func (r Range) String() string {
+	if r.Start == r.End {
+		return r.Start.A1()
+	}
+	return r.Start.A1() + ":" + r.End.A1()
+}
+
+// ParseRange parses "A1:B10" or a single-cell "A1". Absolute markers are
+// accepted and discarded.
+func ParseRange(s string) (Range, error) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		a, err := ParseAddr(s[:i])
+		if err != nil {
+			return Range{}, fmt.Errorf("cell: bad range %q: %w", s, err)
+		}
+		b, err := ParseAddr(s[i+1:])
+		if err != nil {
+			return Range{}, fmt.Errorf("cell: bad range %q: %w", s, err)
+		}
+		return RangeOf(a, b), nil
+	}
+	a, err := ParseAddr(s)
+	if err != nil {
+		return Range{}, err
+	}
+	return SingleCell(a), nil
+}
+
+// MustParseRange is like ParseRange but panics on error; for tests.
+func MustParseRange(s string) Range {
+	r, err := ParseRange(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+package cell
+
+// Color is a 24-bit RGB cell color. The zero value means "no fill".
+type Color uint32
+
+// Colors used by the benchmark's conditional-formatting experiment (§4.2.2:
+// "we color a cell green if it contains the value 1").
+const (
+	NoColor Color = 0
+	Green   Color = 0x00_2E_7D32
+	Red     Color = 0x00_C6_2828
+	Yellow  Color = 0x00_F9_A825
+)
+
+// Style holds the presentational attributes of a cell. The paper's update
+// taxonomy (Table 1) distinguishes operations that "change the content or
+// style (or both) of spreadsheet cells"; conditional formatting changes only
+// the style, which is why a style write is metered separately from a value
+// write in the cost model.
+type Style struct {
+	Fill   Color
+	Bold   bool
+	Italic bool
+}
+
+// IsZero reports whether the style is the default (unstyled) style.
+func (s Style) IsZero() bool { return s == Style{} }

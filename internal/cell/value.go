@@ -1,0 +1,270 @@
+package cell
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the data types a spreadsheet cell value can take (§2.1 of
+// the paper: "Value data types include numbers, dates, percentages, among
+// others"). Dates and percentages are represented as numbers with a display
+// style, matching how real spreadsheet systems store them.
+type Kind uint8
+
+const (
+	// Empty is an unset cell. Aggregates skip empty cells.
+	Empty Kind = iota
+	// Number is a float64 value (also used for dates and percentages).
+	Number
+	// Text is a string value.
+	Text
+	// Bool is a boolean value (TRUE/FALSE).
+	Bool
+	// ErrorVal is a formula evaluation error such as #DIV/0! or #N/A.
+	ErrorVal
+)
+
+// String returns the kind name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Number:
+		return "number"
+	case Text:
+		return "text"
+	case Bool:
+		return "bool"
+	case ErrorVal:
+		return "error"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a spreadsheet cell value. The zero Value is the empty cell.
+// Values are small (one word of header plus a float and a string header) and
+// are passed by value throughout the engine.
+type Value struct {
+	Kind Kind
+	Num  float64 // valid when Kind == Number or Kind == Bool (0/1)
+	Str  string  // valid when Kind == Text or Kind == ErrorVal (error code)
+}
+
+// Common formula error codes, mirroring the codes surfaced by the three
+// systems the paper benchmarks.
+const (
+	ErrDiv0  = "#DIV/0!"
+	ErrNA    = "#N/A"
+	ErrValue = "#VALUE!"
+	ErrRef   = "#REF!"
+	ErrName  = "#NAME?"
+	ErrCycle = "#CYCLE!"
+)
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{Kind: Number, Num: f} }
+
+// Str returns a text value.
+func Str(s string) Value { return Value{Kind: Text, Str: s} }
+
+// Boolean returns a boolean value.
+func Boolean(b bool) Value {
+	v := Value{Kind: Bool}
+	if b {
+		v.Num = 1
+	}
+	return v
+}
+
+// Errorf returns an error value carrying one of the Err* codes.
+func Errorf(code string) Value { return Value{Kind: ErrorVal, Str: code} }
+
+// IsEmpty reports whether the value is the empty cell.
+func (v Value) IsEmpty() bool { return v.Kind == Empty }
+
+// IsError reports whether the value is a formula error.
+func (v Value) IsError() bool { return v.Kind == ErrorVal }
+
+// IsNumber reports whether the value is numeric (numbers only, not bools).
+func (v Value) IsNumber() bool { return v.Kind == Number }
+
+// AsNumber coerces the value to a float64 the way spreadsheet arithmetic
+// does: numbers pass through, bools become 0/1, numeric-looking text parses,
+// empty is 0. The second result reports whether coercion succeeded.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.Kind {
+	case Number, Bool:
+		return v.Num, true
+	case Empty:
+		return 0, true
+	case Text:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsBool coerces the value to a boolean: bools pass through, numbers are
+// true when nonzero, text "TRUE"/"FALSE" parses (case-insensitive).
+func (v Value) AsBool() (bool, bool) {
+	switch v.Kind {
+	case Bool, Number:
+		return v.Num != 0, true
+	case Text:
+		switch v.Str {
+		case "TRUE", "true", "True":
+			return true, true
+		case "FALSE", "false", "False":
+			return false, true
+		}
+		return false, false
+	case Empty:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// AsString renders the value the way it displays in a cell.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case Empty:
+		return ""
+	case Number:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case Text:
+		return v.Str
+	case Bool:
+		if v.Num != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case ErrorVal:
+		return v.Str
+	default:
+		return ""
+	}
+}
+
+// Equal reports spreadsheet equality between two values: numbers compare
+// numerically, text compares case-insensitively (as = does in all three
+// systems), bools compare as bools, and mixed kinds are unequal except for
+// number/bool.
+func (v Value) Equal(w Value) bool {
+	if (v.Kind == Number || v.Kind == Bool) && (w.Kind == Number || w.Kind == Bool) {
+		return v.Num == w.Num
+	}
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case Text:
+		return equalFold(v.Str, w.Str)
+	case ErrorVal:
+		return v.Str == w.Str
+	default: // Empty
+		return true
+	}
+}
+
+// Compare orders two values for sorting, using the ordering all three
+// benchmarked systems share: numbers < text < bools < errors < empty (empty
+// cells always sort last regardless of direction in Excel; we adopt the
+// simpler rule of treating empty as greatest).
+func (v Value) Compare(w Value) int {
+	kr, ks := sortRank(v.Kind), sortRank(w.Kind)
+	if kr != ks {
+		if kr < ks {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case Number, Bool:
+		switch {
+		case v.Num < w.Num:
+			return -1
+		case v.Num > w.Num:
+			return 1
+		}
+		return 0
+	case Text:
+		return compareFold(v.Str, w.Str)
+	case ErrorVal:
+		switch {
+		case v.Str < w.Str:
+			return -1
+		case v.Str > w.Str:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+func sortRank(k Kind) int {
+	switch k {
+	case Number:
+		return 0
+	case Text:
+		return 1
+	case Bool:
+		return 2
+	case ErrorVal:
+		return 3
+	default: // Empty
+		return 4
+	}
+}
+
+// equalFold is an ASCII-only case-insensitive equality check. Spreadsheet
+// data in the benchmark is ASCII; avoiding strings.EqualFold's Unicode path
+// keeps the hot comparison loop cheap.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca == cb {
+			continue
+		}
+		if lower(ca) != lower(cb) {
+			return false
+		}
+	}
+	return true
+}
+
+func compareFold(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := lower(a[i]), lower(b[i])
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+// Package cli implements the shared command-line driver behind cmd/bct and
+// cmd/oot.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Main parses os.Args, runs the benchmark suite of the given kind ("bct",
+// "oot", or "all"), renders the figures to stdout, and exits the process on
+// error.
+func Main(kind string) {
+	if err := Run(kind, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
+		os.Exit(1)
+	}
+}
+
+// Run is the testable driver: it parses args, executes the selected
+// experiments, and writes the report to out and progress to errw.
+func Run(kind string, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet(kind, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		full       = fs.Bool("full", false, "use the paper's full experimental parameters (§3.3); multi-hour run")
+		trials     = fs.Int("trials", 0, "trials per measurement (default: 5 quick, 10 full)")
+		maxRows    = fs.Int("maxrows", 0, "cap desktop sweep sizes (default: 50k quick, 500k full)")
+		maxRowsWeb = fs.Int("maxrows-web", 0, "cap web-system sweep sizes (default: 30k quick, 90k full)")
+		systems    = fs.String("systems", "", "comma-separated profiles (default excel,calc,sheets; add optimized for §6 runs)")
+		expID      = fs.String("exp", "", "run a single experiment by ID (e.g. fig7-countif)")
+		csvDir     = fs.String("csv", "", "also write one CSV per experiment into this directory")
+		quiet      = fs.Bool("quiet", false, "suppress progress lines")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Fprintf(out, "%-18s %-4s %s\n", e.ID, e.Kind, e.Title)
+		}
+		return nil
+	}
+
+	cfg := core.DefaultConfig()
+	if *full {
+		cfg = core.PaperConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *maxRows > 0 {
+		cfg.MaxRows = *maxRows
+	}
+	if *maxRowsWeb > 0 {
+		cfg.MaxRowsWeb = *maxRowsWeb
+	}
+	if *systems != "" {
+		cfg.Systems = strings.Split(*systems, ",")
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(errw, "  "+format+"\n", args...)
+		}
+	}
+
+	results := make(map[string]*core.Result)
+	runOne := func(e core.Experiment) error {
+		if !*quiet {
+			fmt.Fprintf(errw, "running %s (%s)\n", e.ID, e.Title)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		results[e.ID] = res
+		return nil
+	}
+
+	if *expID != "" {
+		e, ok := core.FindExperiment(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; use -list", *expID)
+		}
+		if err := runOne(e); err != nil {
+			return err
+		}
+	} else {
+		for _, e := range core.Experiments() {
+			if kind == "all" || e.Kind == kind {
+				if err := runOne(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if kind != "oot" && *expID == "" {
+		core.WriteTaxonomy(out)
+	}
+	for _, e := range core.Experiments() {
+		res, ok := results[e.ID]
+		if !ok {
+			continue
+		}
+		report.WriteFigure(out, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...)
+	}
+	if _, haveOpen := results["fig2-open"]; haveOpen && *expID == "" {
+		report.WriteTable2(out, core.Table2(results, cfg.Systems), cfg.Systems)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for id, res := range results {
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			report.WriteCSV(f, res.Series)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if !*quiet {
+				fmt.Fprintf(errw, "wrote %s\n", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := Run("bct", []string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2-open", "fig14-multi", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{
+		"-exp", "fig13-incremental", "-trials", "1",
+		"-maxrows", "300", "-maxrows-web", "300",
+		"-systems", "excel", "-quiet",
+	}
+	if err := Run("oot", args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig13-incremental") {
+		t.Errorf("output missing figure header:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Table 1") {
+		t.Error("single-experiment runs should not print the taxonomy")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	args := []string{
+		"-exp", "fig12-redundant", "-trials", "1",
+		"-maxrows", "150", "-maxrows-web", "150",
+		"-systems", "excel", "-quiet", "-csv", dir,
+	}
+	if err := Run("oot", args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12-redundant.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,rows,") {
+		t.Errorf("csv header: %q", string(data[:30]))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := Run("bct", []string{"-exp", "nope"}, &out, &errw); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	if err := Run("bct", []string{"-bogusflag"}, &out, &errw); err == nil {
+		t.Error("bad flag must error")
+	}
+	if err := Run("bct", []string{"-systems", "lotus123", "-exp", "fig13-incremental",
+		"-trials", "1", "-maxrows", "150"}, &out, &errw); err == nil {
+		t.Error("unknown system must error")
+	}
+}
+
+func TestRunProgressLines(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{
+		"-exp", "fig13-incremental", "-trials", "1",
+		"-maxrows", "150", "-maxrows-web", "150", "-systems", "excel",
+	}
+	if err := Run("oot", args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "running fig13-incremental") {
+		t.Errorf("progress missing: %q", errw.String())
+	}
+}

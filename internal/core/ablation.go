@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// Ablation runs each §6 optimization's representative operation on the
+// optimized engine with the optimization on and off, at one dataset size —
+// the per-design-choice index DESIGN.md §3 lists as the "ablation-*"
+// extension. The result has one series per optimization, with two points:
+// Size 1 = enabled, Size 0 = disabled.
+type ablationCase struct {
+	Name    string
+	Disable func(*engine.Optimizations)
+	// Run performs the representative operation and returns its cost.
+	Run func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error)
+	// Formulas selects the dataset variant.
+	Formulas bool
+}
+
+// RunAblation executes the ablation matrix at the configured size.
+func RunAblation(cfg *Config) (*Result, error) {
+	res := newResult("ablation", "§6 optimization ablations (extension)")
+	m := cfg.MaxRows
+	if m <= 0 || m > 20_000 {
+		m = 20_000
+	}
+
+	cases := []ablationCase{
+		{
+			Name:    "hash-index/countif",
+			Disable: func(o *engine.Optimizations) { o.HashIndex = false; o.RedundantElimination = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				text := fmt.Sprintf(`=COUNTIF(B2:B%d,"SD")`, m+1)
+				_, r, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, text)
+				return asTrial(r), err
+			},
+		},
+		{
+			Name:    "incremental/setcell",
+			Disable: func(o *engine.Optimizations) { o.IncrementalAggregates = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, m+1)
+				if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, text); err != nil {
+					return trial{}, err
+				}
+				r, err := eng.SetCell(s, cell.Addr{Row: 1, Col: workload.ColStorm}, cell.Num(0))
+				return asTrial(r), err
+			},
+		},
+		{
+			Name:    "inverted-index/find-absent",
+			Disable: func(o *engine.Optimizations) { o.InvertedIndex = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				// Prime the lazy index so the measurement isolates query
+				// cost, then search a nonexistent value (§5.1.2).
+				if _, _, err := eng.FindReplace(s, "QQPRIME", "QQX"); err != nil {
+					return trial{}, err
+				}
+				_, r, err := eng.FindReplace(s, "QQABSENT", "QQY")
+				return asTrial(r), err
+			},
+		},
+		{
+			Name:    "shared-computation/cumulative",
+			Disable: func(o *engine.Optimizations) { o.SharedComputation = false; o.RedundantElimination = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				n := m
+				if n > 1000 {
+					n = 1000
+				}
+				var t trial
+				for i := 1; i <= n; i++ {
+					text := fmt.Sprintf("=SUM(A2:A%d)", i+1)
+					_, r, err := eng.InsertFormula(s, cell.Addr{Row: i, Col: workload.NumCols}, text)
+					if err != nil {
+						return trial{}, err
+					}
+					t.sim += r.Sim
+					t.wall += r.Wall
+				}
+				return t, nil
+			},
+		},
+		{
+			Name:    "redundant-elimination/5x-countif",
+			Disable: func(o *engine.Optimizations) { o.RedundantElimination = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				text := fmt.Sprintf(`=COUNTIF(J2:J%d,"1")`, m+1)
+				var t trial
+				for k := 0; k < 5; k++ {
+					_, r, err := eng.InsertFormula(s, cell.Addr{Row: 1 + k, Col: workload.NumCols}, text)
+					if err != nil {
+						return trial{}, err
+					}
+					t.sim += r.Sim
+					t.wall += r.Wall
+				}
+				return t, nil
+			},
+		},
+		{
+			Name:     "sort-recalc-analysis/sort-F",
+			Formulas: true,
+			Disable:  func(o *engine.Optimizations) { o.SortRecalcAnalysis = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				r, err := eng.Sort(s, workload.ColID, false, 1)
+				return asTrial(r), err
+			},
+		},
+		{
+			Name:    "columnar-layout/bulk-read",
+			Disable: func(o *engine.Optimizations) { o.ColumnarLayout = false },
+			Run: func(cfg *Config, eng *engine.Engine, s *sheet.Sheet, m int) (trial, error) {
+				_, r := eng.ReadColumn(s, workload.ColID, 1, m)
+				return asTrial(r), nil
+			},
+		},
+	}
+
+	for _, c := range cases {
+		var pts []report.Point
+		for _, enabled := range []bool{true, false} {
+			prof := engine.OptimizedProfile()
+			if !enabled {
+				c.Disable(&prof.Opt)
+			}
+			eng := engine.New(prof)
+			wb := workload.Weather(workload.Spec{
+				Rows: m, Formulas: c.Formulas, Seed: cfg.seed(),
+				Columnar: prof.Opt.ColumnarLayout,
+			})
+			if err := eng.Install(wb); err != nil {
+				return nil, err
+			}
+			s := wb.First()
+			size := 0
+			if enabled {
+				size = 1
+			}
+			pt, err := runTrials(cfg, size, nil, func() (trial, error) {
+				return c.Run(cfg, eng, s, m)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s (enabled=%v): %w", c.Name, enabled, err)
+			}
+			pts = append(pts, pt)
+		}
+		res.addSeries(c.Name, pts)
+		cfg.progress("ablation %s done", c.Name)
+	}
+	res.note("x=1 means the optimization is enabled, x=0 disabled; dataset %d rows", m)
+	return res, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/iolib"
+	"repro/internal/report"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// setup builds a weather dataset and installs it into a fresh engine for
+// the named system. The optimized profile receives a column-major grid
+// (its ColumnarLayout optimization).
+func (cfg *Config) setup(system string, rows int, formulas bool) (*engine.Engine, *sheet.Sheet, error) {
+	eng, err := newEngine(system)
+	if err != nil {
+		return nil, nil, err
+	}
+	wb := workload.Weather(workload.Spec{
+		Rows:     rows,
+		Formulas: formulas,
+		Seed:     cfg.seed(),
+		Columnar: eng.Profile().Opt.ColumnarLayout,
+	})
+	if err := eng.Install(wb); err != nil {
+		return nil, nil, err
+	}
+	return eng, wb.First(), nil
+}
+
+// lastDataRow returns the displayed (1-based) row number of the last data
+// row for a dataset of m data rows: the header is display row 1, so data
+// ends at m+1. Formula texts like "K2:K<last>" use it.
+func lastDataRow(m int) int { return m + 1 }
+
+// RunOpen reproduces Figure 2: open latency versus row count, on
+// Formula-value and Value-only datasets. Workbook files are written in SVF
+// (the native-format stand-in; see DESIGN.md) once per (variant, size) and
+// opened cfg.Trials times per system.
+func RunOpen(cfg *Config) (*Result, error) {
+	res := newResult("fig2-open", "Open latency vs rows (Figure 2)")
+	dir := cfg.TempDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(dir, "spreadbench-open-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// One file per (variant, size), shared by all systems.
+	files := make(map[string]string)
+	fileFor := func(formulas bool, size int) (string, error) {
+		key := fmt.Sprintf("%s-%d", variantLabel(formulas), size)
+		if p, ok := files[key]; ok {
+			return p, nil
+		}
+		wb := workload.Weather(workload.Spec{Rows: size, Formulas: formulas, Seed: cfg.seed()})
+		if !formulas {
+			// Value-only files carry the computed values; the generator
+			// already produced them.
+		}
+		p := filepath.Join(dir, key+".svf")
+		if err := iolib.SaveWorkbook(p, wb); err != nil {
+			return "", err
+		}
+		files[key] = p
+		return p, nil
+	}
+
+	for _, sys := range cfg.systems() {
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				path, err := fileFor(formulas, m)
+				if err != nil {
+					return nil, err
+				}
+				eng, err := newEngine(sys)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					r, err := eng.Open(path)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig2-open %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	res.note("files are SVF (native-format stand-in); the web system opens a pre-converted server copy (§3.3)")
+	return res, nil
+}
+
+// RunSort reproduces Figure 3: sort latency versus row count. Trials
+// alternate descending/ascending so every trial performs a full
+// reorganization. The web system's sweep stops at 50k rows, the paper's
+// quota truncation (§4.2.1).
+func RunSort(cfg *Config) (*Result, error) {
+	res := newResult("fig3-sort", "Sort latency vs rows (Figure 3)")
+	for _, sys := range cfg.systems() {
+		capRows := 0
+		if isWeb(sys) {
+			capRows = 50_000
+		}
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, capRows) {
+				eng, s, err := cfg.setup(sys, m, formulas)
+				if err != nil {
+					return nil, err
+				}
+				descending := true
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					r, err := eng.Sort(s, workload.ColID, !descending, 1)
+					descending = !descending
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig3-sort %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	res.note("web sweep truncated at 50k rows (G Suite per-experiment time budget, §4.2.1)")
+	return res, nil
+}
+
+// RunConditionalFormat reproduces Figure 4: color a cell green when it
+// holds 1, over the first COUNTIF column (K), for both dataset variants.
+func RunConditionalFormat(cfg *Config) (*Result, error) {
+	res := newResult("fig4-condfmt", "Conditional formatting latency vs rows (Figure 4)")
+	for _, sys := range cfg.systems() {
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, formulas)
+				if err != nil {
+					return nil, err
+				}
+				rng := cell.ColRange(workload.ColFormula0, 1, m)
+				style := cell.Style{Fill: cell.Green}
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					_, r, err := eng.ConditionalFormat(s, rng, cell.Num(1), style)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig4-condfmt %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	return res, nil
+}
+
+// RunFilter reproduces Figure 5: filter the sheet to state = "SD". The
+// filter is cleared (unmetered) between trials so every trial hides the
+// same rows.
+func RunFilter(cfg *Config) (*Result, error) {
+	res := newResult("fig5-filter", "Filter latency vs rows (Figure 5)")
+	for _, sys := range cfg.systems() {
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, formulas)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := runTrials(cfg, m, func() { eng.ClearFilter(s) }, func() (trial, error) {
+					_, r, err := eng.Filter(s, workload.ColState, cell.Str("SD"), 1)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig5-filter %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	return res, nil
+}
+
+// RunPivot reproduces Figure 6: a pivot table of the sum of storms per
+// state, written into a new worksheet (removed between trials).
+func RunPivot(cfg *Config) (*Result, error) {
+	res := newResult("fig6-pivot", "Pivot table latency vs rows (Figure 6)")
+	for _, sys := range cfg.systems() {
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, formulas)
+				if err != nil {
+					return nil, err
+				}
+				var lastPivot *sheet.Sheet
+				reset := func() {
+					if lastPivot != nil {
+						eng.Workbook().Remove(lastPivot.Name)
+						lastPivot = nil
+					}
+				}
+				pt, err := runTrials(cfg, m, reset, func() (trial, error) {
+					out, r, err := eng.PivotTable(s, workload.ColState, workload.ColStorm, 1)
+					lastPivot = out
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig6-pivot %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	return res, nil
+}
+
+// RunCountIf reproduces Figure 7: "=COUNTIF(K2:Km, 1)" over the first
+// embedded-formula column, for both dataset variants.
+func RunCountIf(cfg *Config) (*Result, error) {
+	res := newResult("fig7-countif", "COUNTIF latency vs rows (Figure 7)")
+	target := cell.Addr{Row: 1, Col: workload.NumCols} // first free column
+	for _, sys := range cfg.systems() {
+		for _, formulas := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, formulas)
+				if err != nil {
+					return nil, err
+				}
+				text := fmt.Sprintf("=COUNTIF(%s2:%s%d,1)",
+					cell.ColName(workload.ColFormula0), cell.ColName(workload.ColFormula0), lastDataRow(m))
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					_, r, err := eng.InsertFormula(s, target, text)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(sys+"/"+variantLabel(formulas), pts)
+			cfg.progress("fig7-countif %s/%s done", sys, variantLabel(formulas))
+		}
+	}
+	return res, nil
+}
+
+// RunVlookup reproduces Figure 8: "=VLOOKUP(X, A2:Q<m>, 2, sorted)" over
+// the ID-sorted Value-only dataset, with sorted in {TRUE, FALSE}. The paper
+// fixes X = 200000; the quick configuration scales X to 40% of the largest
+// desktop size so the found/not-found split is preserved.
+func RunVlookup(cfg *Config) (*Result, error) {
+	res := newResult("fig8-vlookup", "VLOOKUP latency vs rows (Figure 8)")
+	x := 200_000
+	if !cfg.Full {
+		x = 2 * cfg.MaxRows / 5
+		if x < 150 {
+			x = 150
+		}
+	}
+	target := cell.Addr{Row: 1, Col: workload.NumCols}
+	for _, sys := range cfg.systems() {
+		for _, approx := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, false)
+				if err != nil {
+					return nil, err
+				}
+				text := fmt.Sprintf("=VLOOKUP(%d,A2:Q%d,2,%v)", x, lastDataRow(m), approx)
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					_, r, err := eng.InsertFormula(s, target, text)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			label := fmt.Sprintf("%s/sorted=%v", sys, approx)
+			res.addSeries(label, pts)
+			cfg.progress("fig8-vlookup %s done", label)
+		}
+	}
+	res.note("search key X=%d (paper: 200000; scaled to 40%% of the sweep in quick mode)", x)
+	res.note("Value-only datasets only, as in §4.3.4")
+	return res, nil
+}

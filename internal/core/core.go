@@ -1,0 +1,294 @@
+// Package core implements the benchmark itself: the operation taxonomy of
+// Table 1, the BCT experiments (§4, Figures 2–8, Table 2), the OOT
+// experiments (§5, Figures 9–14), the trial protocol, and the derived
+// interactivity analysis.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// InteractivityBound is the 500 ms threshold for interactive response the
+// paper adopts from Liu & Heer [31].
+const InteractivityBound = 500 * time.Millisecond
+
+// Scalability limits used by Table 2 (§4.4): one million rows for the
+// desktop systems, five million cells for the web system.
+const (
+	DesktopRowLimit = 1_000_000
+	WebCellLimit    = 5_000_000
+)
+
+// Config controls a benchmark run.
+type Config struct {
+	// Systems lists the profiles to benchmark; default excel, calc,
+	// sheets.
+	Systems []string
+	// Trials per measurement; the paper uses 10 (§3.3), the quick default
+	// is 5.
+	Trials int
+	// MaxRows caps the sweep sizes for the desktop systems; the paper's
+	// full sweep reaches 500k.
+	MaxRows int
+	// MaxRowsWeb caps the web system's sweep (paper: 90k, quota-bound).
+	MaxRowsWeb int
+	// Seed drives dataset generation and the network jitter stream.
+	Seed uint64
+	// TempDir receives the workbook files of the open experiment;
+	// defaults to os.TempDir().
+	TempDir string
+	// Full selects the paper's exact sweep parameters where the quick
+	// defaults use scaled-down ones (fig10 access counts, fig11 formula
+	// counts).
+	Full bool
+	// Progress, when non-nil, receives one line per completed series.
+	Progress func(format string, args ...any)
+}
+
+// DefaultConfig returns the quick configuration: paper-shaped sweeps at
+// sizes that complete in minutes on a laptop.
+func DefaultConfig() *Config {
+	return &Config{
+		Systems:    []string{"excel", "calc", "sheets"},
+		Trials:     5,
+		MaxRows:    50_000,
+		MaxRowsWeb: 30_000,
+		Seed:       workload.DefaultSeed,
+	}
+}
+
+// PaperConfig returns the paper's full experimental parameters (§3.3).
+// Expect multi-hour wall times on the desktop-class sizes.
+func PaperConfig() *Config {
+	return &Config{
+		Systems:    []string{"excel", "calc", "sheets"},
+		Trials:     10,
+		MaxRows:    500_000,
+		MaxRowsWeb: 90_000,
+		Seed:       workload.DefaultSeed,
+		Full:       true,
+	}
+}
+
+func (cfg *Config) systems() []string {
+	if len(cfg.Systems) == 0 {
+		return []string{"excel", "calc", "sheets"}
+	}
+	return cfg.Systems
+}
+
+func (cfg *Config) trials() int {
+	if cfg.Trials <= 0 {
+		return 5
+	}
+	return cfg.Trials
+}
+
+func (cfg *Config) seed() uint64 {
+	if cfg.Seed == 0 {
+		return workload.DefaultSeed
+	}
+	return cfg.Seed
+}
+
+func (cfg *Config) progress(format string, args ...any) {
+	if cfg.Progress != nil {
+		cfg.Progress(format, args...)
+	}
+}
+
+// newEngine constructs an engine for a named profile.
+func newEngine(name string) (*engine.Engine, error) {
+	prof, ok := engine.Profiles()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown system profile %q", name)
+	}
+	return engine.New(prof), nil
+}
+
+// isWeb reports whether the named profile is web-based.
+func isWeb(name string) bool { return name == "sheets" }
+
+// sizesFor returns the sweep row counts for one system under an optional
+// experiment-specific cap (0 = none); web systems are additionally bound by
+// MaxRowsWeb (§3.3 quota truncation).
+func (cfg *Config) sizesFor(system string, capRows int) []int {
+	max := cfg.MaxRows
+	if max <= 0 {
+		max = 50_000
+	}
+	if isWeb(system) {
+		max = cfg.MaxRowsWeb
+		if max <= 0 {
+			max = 30_000
+		}
+	}
+	if capRows > 0 && capRows < max {
+		max = capRows
+	}
+	return workload.SizesUpTo(max)
+}
+
+// maxSizeFor returns the largest sweep size for the system.
+func (cfg *Config) maxSizeFor(system string, capRows int) int {
+	sizes := cfg.sizesFor(system, capRows)
+	if len(sizes) == 0 {
+		return 0
+	}
+	return sizes[len(sizes)-1]
+}
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md §3 (e.g.
+	// "fig7-countif").
+	ID string
+	// Title describes the reproduced artifact.
+	Title string
+	// Series holds the labeled latency curves.
+	Series []report.Series
+	// Notes records caveats (truncations, substitutions) for the report.
+	Notes []string
+}
+
+func newResult(id, title string) *Result { return &Result{ID: id, Title: title} }
+
+func (r *Result) addSeries(label string, pts []report.Point) {
+	r.Series = append(r.Series, report.Series{Label: label, Points: pts})
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// findSeries returns the series with the label, or nil.
+func (r *Result) findSeries(label string) *report.Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// trial is one measured execution: the simulated and wall latency of the
+// operation under test.
+type trial struct {
+	sim  time.Duration
+	wall time.Duration
+}
+
+// runTrials executes the operation cfg.trials() times, with an optional
+// unmetered reset between trials, and aggregates per the paper's protocol
+// (trimmed mean).
+func runTrials(cfg *Config, size int, reset func(), run func() (trial, error)) (report.Point, error) {
+	n := cfg.trials()
+	sims := make([]time.Duration, 0, n)
+	walls := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		if reset != nil && i > 0 {
+			reset()
+		}
+		t, err := run()
+		if err != nil {
+			return report.Point{}, err
+		}
+		sims = append(sims, t.sim)
+		walls = append(walls, t.wall)
+	}
+	return report.Point{
+		Size:   size,
+		Sim:    stats.TrimmedMean(sims),
+		Wall:   stats.TrimmedMean(walls),
+		StdDev: stats.StdDev(sims),
+	}, nil
+}
+
+// asTrial converts an engine result.
+func asTrial(r engine.Result) trial { return trial{sim: r.Sim, wall: r.Wall} }
+
+// variantLabel names the dataset variant the way the figures do.
+func variantLabel(formulas bool) string {
+	if formulas {
+		return "F"
+	}
+	return "V"
+}
+
+// Experiment couples an experiment ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	// Kind is "bct" or "oot".
+	Kind string
+	Run  func(cfg *Config) (*Result, error)
+}
+
+// annotateShapes appends the fitted complexity shape of every series to the
+// result's notes — the observed-vs-expected comparison the BCT analysis
+// performs per figure (§4: "compare the observed time complexity with the
+// expected one").
+func (r *Result) annotateShapes() {
+	for _, s := range r.Series {
+		pts := s.Sorted()
+		if len(pts) < 3 {
+			continue
+		}
+		sizes := make([]int, len(pts))
+		sims := make([]time.Duration, len(pts))
+		for i, p := range pts {
+			sizes[i] = p.Size
+			sims[i] = p.Sim
+		}
+		fit := stats.FitShape(sizes, sims)
+		r.note("shape %-24s %-10s (R^2=%.3f)", s.Label+":", fit.Shape, fit.R2)
+	}
+}
+
+// withShapes wraps an experiment runner with shape annotation.
+func withShapes(run func(cfg *Config) (*Result, error)) func(cfg *Config) (*Result, error) {
+	return func(cfg *Config) (*Result, error) {
+		res, err := run(cfg)
+		if res != nil {
+			res.annotateShapes()
+		}
+		return res, err
+	}
+}
+
+// Experiments returns the registry of all reproducible artifacts, in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig2-open", Title: "Open latency vs rows (Figure 2)", Kind: "bct", Run: withShapes(RunOpen)},
+		{ID: "fig3-sort", Title: "Sort latency vs rows (Figure 3)", Kind: "bct", Run: withShapes(RunSort)},
+		{ID: "fig4-condfmt", Title: "Conditional formatting latency vs rows (Figure 4)", Kind: "bct", Run: withShapes(RunConditionalFormat)},
+		{ID: "fig5-filter", Title: "Filter latency vs rows (Figure 5)", Kind: "bct", Run: withShapes(RunFilter)},
+		{ID: "fig6-pivot", Title: "Pivot table latency vs rows (Figure 6)", Kind: "bct", Run: withShapes(RunPivot)},
+		{ID: "fig7-countif", Title: "COUNTIF latency vs rows (Figure 7)", Kind: "bct", Run: withShapes(RunCountIf)},
+		{ID: "fig8-vlookup", Title: "VLOOKUP latency vs rows (Figure 8)", Kind: "bct", Run: withShapes(RunVlookup)},
+		{ID: "fig9-findreplace", Title: "Find-and-replace latency vs rows (Figure 9)", Kind: "oot", Run: withShapes(RunFindReplace)},
+		{ID: "fig10-layout", Title: "Sequential vs random access (Figure 10)", Kind: "oot", Run: withShapes(RunLayout)},
+		{ID: "fig11-shared", Title: "Repeated vs reusable computation (Figure 11)", Kind: "oot", Run: withShapes(RunShared)},
+		{ID: "fig12-redundant", Title: "Redundant identical formulae (Figure 12)", Kind: "oot", Run: withShapes(RunRedundant)},
+		{ID: "fig13-incremental", Title: "Recompute after single-cell update (Figure 13)", Kind: "oot", Run: withShapes(RunIncremental)},
+		{ID: "fig14-multi", Title: "N formulae after single-cell update (Figure 14)", Kind: "oot", Run: withShapes(RunMultiFormula)},
+		{ID: "ablation", Title: "§6 optimization ablations (extension)", Kind: "ext", Run: RunAblation},
+	}
+}
+
+// FindExperiment returns the experiment with the given ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// tinyConfig keeps experiment integration tests fast: two systems, tiny
+// sweeps, single trial.
+func tinyConfig() *Config {
+	return &Config{
+		Systems:    []string{"excel", "sheets"},
+		Trials:     2,
+		MaxRows:    300,
+		MaxRowsWeb: 300,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := &Config{}
+	if got := cfg.systems(); len(got) != 3 {
+		t.Errorf("default systems = %v", got)
+	}
+	if cfg.trials() != 5 {
+		t.Error("default trials")
+	}
+	if cfg.seed() == 0 {
+		t.Error("default seed")
+	}
+	full := PaperConfig()
+	if full.MaxRows != 500_000 || full.Trials != 10 || !full.Full {
+		t.Error("PaperConfig does not match §3.3")
+	}
+	quick := DefaultConfig()
+	if quick.MaxRows <= 0 || quick.MaxRowsWeb <= 0 {
+		t.Error("DefaultConfig sizes")
+	}
+}
+
+func TestSizesForCapsWeb(t *testing.T) {
+	cfg := DefaultConfig()
+	desktop := cfg.sizesFor("excel", 0)
+	web := cfg.sizesFor("sheets", 0)
+	if desktop[len(desktop)-1] != cfg.MaxRows {
+		t.Errorf("desktop max = %d", desktop[len(desktop)-1])
+	}
+	if web[len(web)-1] != cfg.MaxRowsWeb {
+		t.Errorf("web max = %d", web[len(web)-1])
+	}
+	capped := cfg.sizesFor("excel", 10_000)
+	if capped[len(capped)-1] != 10_000 {
+		t.Errorf("capped = %v", capped)
+	}
+	if cfg.maxSizeFor("excel", 0) != cfg.MaxRows {
+		t.Error("maxSizeFor")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 14 {
+		t.Fatalf("experiments = %d, want 14 (Figures 2-14 + ablation)", len(exps))
+	}
+	seen := map[string]bool{}
+	bct, oot, ext := 0, 0, 0
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		switch e.Kind {
+		case "bct":
+			bct++
+		case "oot":
+			oot++
+		case "ext":
+			ext++
+		default:
+			t.Errorf("%s: bad kind %q", e.ID, e.Kind)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil runner", e.ID)
+		}
+	}
+	if bct != 7 || oot != 6 || ext != 1 {
+		t.Errorf("bct=%d oot=%d ext=%d, want 7, 6, 1", bct, oot, ext)
+	}
+	if _, ok := FindExperiment("fig7-countif"); !ok {
+		t.Error("FindExperiment")
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Error("FindExperiment(nope)")
+	}
+}
+
+func TestTaxonomyTable(t *testing.T) {
+	if len(Taxonomy) != 12 {
+		t.Errorf("taxonomy rows = %d, want 12 (Table 1)", len(Taxonomy))
+	}
+	benchmarked := 0
+	for _, row := range Taxonomy {
+		if row.Benchmarked {
+			benchmarked++
+			if _, ok := FindExperiment(row.ExperimentID); !ok {
+				t.Errorf("%s: experiment %q not registered", row.Example, row.ExperimentID)
+			}
+		}
+	}
+	if benchmarked != 9 {
+		t.Errorf("benchmarked rows = %d", benchmarked)
+	}
+	var buf bytes.Buffer
+	WriteTaxonomy(&buf)
+	if !strings.Contains(buf.String(), "Pivot Table") || !strings.Contains(buf.String(), "O(m log m)") {
+		t.Error("taxonomy rendering incomplete")
+	}
+}
+
+// TestAllExperimentsRunTiny executes every registered experiment end to end
+// on a tiny configuration and sanity-checks the output curves.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	cfg := tinyConfig()
+	for _, e := range Experiments() {
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if res.ID != e.ID {
+			t.Errorf("%s: result ID %q", e.ID, res.ID)
+		}
+		if len(res.Series) == 0 {
+			t.Fatalf("%s: no series", e.ID)
+		}
+		for _, s := range res.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("%s: empty series %q", e.ID, s.Label)
+			}
+			for _, p := range s.Points {
+				if p.Sim <= 0 {
+					t.Errorf("%s/%s: non-positive sim at %d", e.ID, s.Label, p.Size)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBCTAndTable2(t *testing.T) {
+	cfg := tinyConfig()
+	results, err := RunBCT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("BCT results = %d", len(results))
+	}
+	rows := Table2(results, cfg.Systems)
+	if len(rows) != 7 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+	// Open row: both systems measured for F and V.
+	open := rows[0]
+	if open.Experiment != "Open" {
+		t.Errorf("first row = %q", open.Experiment)
+	}
+	for _, key := range []string{"excel/F", "excel/V", "sheets/F", "sheets/V"} {
+		if open.Cells[key] == "" || open.Cells[key] == "x" {
+			t.Errorf("open cell %s = %q", key, open.Cells[key])
+		}
+	}
+	// VLOOKUP: F not measured.
+	vl := rows[6]
+	if vl.Cells["excel/F"] != "x" {
+		t.Errorf("vlookup F cell = %q", vl.Cells["excel/F"])
+	}
+	if vl.Cells["excel/V"] == "x" {
+		t.Error("vlookup V cell missing")
+	}
+	var buf bytes.Buffer
+	report.WriteTable2(&buf, rows, cfg.Systems)
+	if !strings.Contains(buf.String(), "COUNTIF") {
+		t.Error("table2 render")
+	}
+}
+
+func TestRunOOT(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Systems = []string{"excel", "optimized"}
+	results, err := RunOOT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("OOT results = %d", len(results))
+	}
+}
+
+// TestIncrementalDetection is a positive-detection run (DESIGN.md §3): the
+// benchmark must show excel's update cost growing with size while the
+// optimized engine's stays flat (§5.5 / §6).
+func TestIncrementalDetection(t *testing.T) {
+	cfg := &Config{Systems: []string{"excel", "optimized"}, Trials: 1, MaxRows: 20_000}
+	res, err := RunIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := func(label string) time.Duration {
+		s := res.findSeries(label)
+		if s == nil {
+			t.Fatalf("missing series %q", label)
+		}
+		pts := s.Sorted()
+		return pts[len(pts)-1].Sim - pts[0].Sim
+	}
+	excelGrowth := growth("excel")
+	optGrowth := growth("optimized")
+	if excelGrowth <= 0 {
+		t.Errorf("excel update cost should grow with m, growth = %v", excelGrowth)
+	}
+	if optGrowth*5 > excelGrowth {
+		t.Errorf("optimized growth %v should be tiny next to excel's %v", optGrowth, excelGrowth)
+	}
+}
+
+func TestSharedComputationShapes(t *testing.T) {
+	cfg := &Config{Systems: []string{"excel"}, Trials: 1, MaxRows: 3000, MaxRowsWeb: 1000}
+	res, err := RunShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.findSeries("excel/repeated")
+	reu := res.findSeries("excel/reusable")
+	if rep == nil || reu == nil {
+		t.Fatal("series missing")
+	}
+	// Quadratic vs linear: at the largest size, repeated must clearly
+	// dwarf reusable (Figure 11); at 3k rows the quadratic term already
+	// contributes ~5x, and the gap widens with m.
+	rp := rep.Sorted()
+	up := reu.Sorted()
+	last := len(rp) - 1
+	if rp[last].Sim < 4*up[last].Sim {
+		t.Errorf("repeated (%v) should be >> reusable (%v)", rp[last].Sim, up[last].Sim)
+	}
+	// Repeated must grow superlinearly (doubling m costs >2x) while
+	// reusable stays ~linear (doubling costs ~2x).
+	if len(rp) >= 4 {
+		ratio := float64(rp[3].Sim) / float64(rp[1].Sim) // m doubles
+		if ratio < 2.5 {
+			t.Errorf("repeated growth ratio %f, want > 2.5 (superlinear)", ratio)
+		}
+		lin := float64(up[3].Sim) / float64(up[1].Sim)
+		if lin > 2.5 {
+			t.Errorf("reusable growth ratio %f, want ~2 (linear)", lin)
+		}
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	// Synthetic: build a Result and check Table 2 cell derivation.
+	res := newResult("fig7-countif", "t")
+	res.addSeries("excel/V", []report.Point{
+		{Size: 150, Sim: 10 * time.Millisecond},
+		{Size: 6000, Sim: 400 * time.Millisecond},
+		{Size: 10000, Sim: 600 * time.Millisecond},
+	})
+	cellVal := violationCell(res, "excel", "/V")
+	if cellVal != "1.0" { // 10000/1M = 1%
+		t.Errorf("violation cell = %q, want 1.0", cellVal)
+	}
+	res2 := newResult("x", "t")
+	res2.addSeries("sheets/V", []report.Point{
+		{Size: 10000, Sim: 900 * time.Millisecond},
+	})
+	cellVal = violationCell(res2, "sheets", "/V")
+	// 10000 rows * 17 cols / 5M cells = 3.4%
+	if cellVal != "3.4" {
+		t.Errorf("web violation cell = %q, want 3.4", cellVal)
+	}
+	if violationCell(nil, "excel", "/V") != "x" {
+		t.Error("nil result")
+	}
+	if violationCell(res, "calc", "/V") != "x" {
+		t.Error("missing series")
+	}
+	// No violation: "100" only when the sweep reached the paper's full
+	// extent; capped sweeps certify ">max%".
+	res3 := newResult("y", "t")
+	res3.addSeries("excel/V", []report.Point{{Size: 150, Sim: time.Millisecond}})
+	if got := violationCell(res3, "excel", "/V"); got != ">0.015" {
+		t.Errorf("capped no-violation cell = %q, want >0.015", got)
+	}
+	res4 := newResult("z", "t")
+	res4.addSeries("excel/V", []report.Point{{Size: 500_000, Sim: time.Millisecond}})
+	if got := violationCell(res4, "excel", "/V"); got != "100" {
+		t.Errorf("full-extent no-violation cell = %q, want 100", got)
+	}
+}
+
+func TestFullModeSweepSizes(t *testing.T) {
+	cfg := PaperConfig()
+	// Figure 10's paper sizes.
+	if got := layoutSizes(cfg, "excel"); len(got) != 3 || got[2] != 500_000 {
+		t.Errorf("full desktop layout sizes = %v", got)
+	}
+	if got := layoutSizes(cfg, "sheets"); len(got) != 3 || got[2] != 80_000 {
+		t.Errorf("full web layout sizes = %v", got)
+	}
+	// Figure 11's paper sizes.
+	d := sharedSizes(cfg, "excel")
+	if len(d) != 10 || d[0] != 10_000 || d[9] != 100_000 {
+		t.Errorf("full desktop shared sizes = %v", d)
+	}
+	w := sharedSizes(cfg, "sheets")
+	if len(w) != 6 || w[0] != 5_000 || w[5] != 30_000 {
+		t.Errorf("full web shared sizes = %v", w)
+	}
+	// Quick mode scales down but never exceeds the caps.
+	q := DefaultConfig()
+	for _, sys := range []string{"excel", "sheets"} {
+		for _, m := range sharedSizes(q, sys) {
+			if m > q.MaxRows {
+				t.Errorf("quick shared size %d exceeds cap", m)
+			}
+		}
+	}
+}
+
+func TestTable2EqualFoldFallback(t *testing.T) {
+	// Series labeled with different case still resolve (the boolean
+	// suffix path of fig8).
+	res := newResult("fig8-vlookup", "t")
+	res.addSeries("excel/sorted=false", []report.Point{
+		{Size: 150, Sim: time.Millisecond},
+	})
+	if got := violationCell(res, "excel", "/Sorted=FALSE"); got == "x" {
+		t.Errorf("case-insensitive label fallback failed: %q", got)
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// markerEvery is the spacing of planted search strings in the
+// find-and-replace experiment: one marked cell per 500 data rows.
+const markerEvery = 500
+
+// RunFindReplace reproduces Figure 9: find-and-replace of a planted string
+// (present) and of a nonexistent string (absent), on Value-only data. The
+// paper truncates the sweeps at 110k (Excel), 60k (Calc) and 30k rows
+// (Sheets timeout, §5.1.2). Present trials alternate the find/replace pair
+// so every trial rewrites the same number of cells.
+func RunFindReplace(cfg *Config) (*Result, error) {
+	res := newResult("fig9-findreplace", "Find-and-replace latency vs rows (Figure 9)")
+	caps := map[string]int{"excel": 110_000, "calc": 60_000, "sheets": 30_000}
+	for _, sys := range cfg.systems() {
+		for _, present := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, caps[sys]) {
+				eng, s, err := cfg.setup(sys, m, false)
+				if err != nil {
+					return nil, err
+				}
+				plantMarkers(s, m)
+				if err := reinstall(eng); err != nil {
+					return nil, err
+				}
+				flip := false
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					find, repl := "XFIND", "YFIND"
+					if !present {
+						find, repl = "QQNOPE", "QQNEVER"
+					} else if flip {
+						find, repl = repl, find
+					}
+					flip = !flip
+					_, r, err := eng.FindReplace(s, find, repl)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			label := sys + "/absent"
+			if present {
+				label = sys + "/present"
+			}
+			res.addSeries(label, pts)
+			cfg.progress("fig9-findreplace %s done", label)
+		}
+	}
+	res.note("sweeps truncated at 110k/60k/30k rows (excel/calc/sheets), as in §5.1.2")
+	return res, nil
+}
+
+// plantMarkers writes the fixed search string into one otherwise-empty
+// event cell per markerEvery data rows (§5.1.2: "we randomly insert a
+// predefined fixed search string X within one column").
+func plantMarkers(s *sheet.Sheet, m int) {
+	col := workload.ColEvent0 + workload.NumEvents - 1 // last event column
+	for r := 1; r <= m; r += markerEvery {
+		s.SetValue(cell.Addr{Row: r, Col: col}, cell.Str("XFIND"))
+	}
+}
+
+// reinstall refreshes engine state after direct (unmetered) sheet edits
+// during setup.
+func reinstall(eng *engine.Engine) error { return eng.Install(eng.Workbook()) }
+
+// RunLayout reproduces Figure 10: reading a full column through the
+// scripting API sequentially versus in random order, at three dataset
+// sizes (paper: 100k/300k/500k desktop, 20k/50k/80k web; the quick
+// configuration uses 20%/60%/100% of its sweep cap).
+func RunLayout(cfg *Config) (*Result, error) {
+	res := newResult("fig10-layout", "Sequential vs random access (Figure 10)")
+	for _, sys := range cfg.systems() {
+		sizes := layoutSizes(cfg, sys)
+		for _, sequential := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range sizes {
+				eng, s, err := cfg.setup(sys, m, false)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					return readColumnTrial(eng, s, m, sequential, cfg.seed()), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			label := sys + "/random"
+			if sequential {
+				label = sys + "/sequential"
+			}
+			res.addSeries(label, pts)
+			cfg.progress("fig10-layout %s done", label)
+		}
+	}
+	res.note("the optimized profile's sequential read is a single bulk call over the columnar layout")
+	return res, nil
+}
+
+func layoutSizes(cfg *Config, sys string) []int {
+	if cfg.Full {
+		if isWeb(sys) {
+			return []int{20_000, 50_000, 80_000}
+		}
+		return []int{100_000, 300_000, 500_000}
+	}
+	max := cfg.maxSizeFor(sys, 0)
+	return []int{max / 5, max * 3 / 5, max}
+}
+
+// readColumnTrial performs m reads of column A: one bulk/sequential pass or
+// m random single-cell API calls, summing the per-call costs.
+func readColumnTrial(eng *engine.Engine, s *sheet.Sheet, m int, sequential bool, seed uint64) trial {
+	var t trial
+	if sequential {
+		_, r := eng.ReadColumn(s, workload.ColID, 1, m)
+		return asTrial(r)
+	}
+	rng := seed | 1
+	for i := 0; i < m; i++ {
+		// xorshift64 row picks, deterministic per seed.
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		row := 1 + int(rng%uint64(m))
+		_, r := eng.CellValue(s, cell.Addr{Row: row, Col: workload.ColID})
+		t.sim += r.Sim
+		t.wall += r.Wall
+	}
+	return t
+}
+
+// RunShared reproduces Figure 11: filling a column with cumulative sums
+// expressed two ways — repeated ("=SUM(A2:Ai)" per row, quadratic total
+// references) versus reusable ("=Ai+C(i-1)", linear) — and measuring the
+// total insert-and-compute time. Each trial rebuilds the dataset so the
+// inserted column starts empty.
+func RunShared(cfg *Config) (*Result, error) {
+	res := newResult("fig11-shared", "Repeated vs reusable computation (Figure 11)")
+	for _, sys := range cfg.systems() {
+		for _, repeated := range []bool{true, false} {
+			var pts []report.Point
+			for _, m := range sharedSizes(cfg, sys) {
+				pt, err := runSharedPoint(cfg, sys, m, repeated)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			label := sys + "/reusable"
+			if repeated {
+				label = sys + "/repeated"
+			}
+			res.addSeries(label, pts)
+			cfg.progress("fig11-shared %s done", label)
+		}
+	}
+	if !cfg.Full {
+		res.note("quick mode scales the paper's 10k-100k (desktop) formula counts by 1/10")
+	}
+	return res, nil
+}
+
+func sharedSizes(cfg *Config, sys string) []int {
+	var sizes []int
+	if cfg.Full {
+		if isWeb(sys) {
+			for m := 5_000; m <= 30_000; m += 5_000 {
+				sizes = append(sizes, m)
+			}
+		} else {
+			for m := 10_000; m <= 100_000; m += 10_000 {
+				sizes = append(sizes, m)
+			}
+		}
+		return sizes
+	}
+	// Quick mode: ten equal steps up to 1/10 of the paper's range (or the
+	// configured cap when smaller), preserving the figure's x-axis shape.
+	// The shared-computation x-axis is its own sweep, not the standard
+	// dataset buckets.
+	max := cfg.MaxRows
+	limit := 10_000
+	if isWeb(sys) {
+		max = cfg.MaxRowsWeb
+		limit = 3_000
+	}
+	if max <= 0 {
+		max = limit
+	}
+	if max > limit {
+		max = limit
+	}
+	step := max / 10
+	if step < 10 {
+		step = 10
+	}
+	for m := step; m <= max; m += step {
+		sizes = append(sizes, m)
+	}
+	return sizes
+}
+
+func runSharedPoint(cfg *Config, sys string, m int, repeated bool) (report.Point, error) {
+	run := func() (trial, error) {
+		eng, s, err := cfg.setup(sys, m, false)
+		if err != nil {
+			return trial{}, err
+		}
+		// Repeated fills column B; reusable fills column C, exactly as in
+		// Figure 11a. The column is populated as one bulk fill (how macro
+		// code writes a formula column), so the measured cost is the
+		// computation, not per-call scripting overhead.
+		colB := workload.NumCols
+		colC := workload.NumCols + 1
+		items := make([]engine.BatchItem, 0, m)
+		for i := 1; i <= m; i++ {
+			dr := i + 1 // display row
+			if repeated {
+				items = append(items, engine.BatchItem{
+					At:   cell.Addr{Row: i, Col: colB},
+					Text: fmt.Sprintf("=SUM(A2:A%d)", dr),
+				})
+				continue
+			}
+			text := "=A2"
+			if i > 1 {
+				text = fmt.Sprintf("=A%d+%s%d", dr, cell.ColName(colC), dr-1)
+			}
+			items = append(items, engine.BatchItem{
+				At:   cell.Addr{Row: i, Col: colC},
+				Text: text,
+			})
+		}
+		r, err := eng.InsertFormulaBatch(s, items)
+		if err != nil {
+			return trial{}, err
+		}
+		return asTrial(r), nil
+	}
+	return runTrials(cfg, m, nil, func() (trial, error) { return run() })
+}
+
+// RunRedundant reproduces Figure 12: five programmatically inserted
+// instances of the identical COUNTIF formula versus one, on Value-only
+// data (§5.4).
+func RunRedundant(cfg *Config) (*Result, error) {
+	res := newResult("fig12-redundant", "Redundant identical formulae (Figure 12)")
+	for _, sys := range cfg.systems() {
+		for _, instances := range []int{1, 5} {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, s, err := cfg.setup(sys, m, false)
+				if err != nil {
+					return nil, err
+				}
+				text := fmt.Sprintf("=COUNTIF(%s2:%s%d,\"1\")",
+					cell.ColName(workload.ColStorm), cell.ColName(workload.ColStorm), lastDataRow(m))
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					var t trial
+					for k := 0; k < instances; k++ {
+						_, r, err := eng.InsertFormula(s, cell.Addr{Row: 1 + k, Col: workload.NumCols}, text)
+						if err != nil {
+							return trial{}, err
+						}
+						t.sim += r.Sim
+						t.wall += r.Wall
+					}
+					return t, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			label := fmt.Sprintf("%s/single", sys)
+			if instances > 1 {
+				label = fmt.Sprintf("%s/multi%d", sys, instances)
+			}
+			res.addSeries(label, pts)
+			cfg.progress("fig12-redundant %s done", label)
+		}
+	}
+	return res, nil
+}
+
+// RunIncremental reproduces Figure 13: with one "=COUNTIF(J2:Jm,"1")" on
+// the sheet, flip J2 between 1 and 0 and measure the recomputation (§5.5).
+func RunIncremental(cfg *Config) (*Result, error) {
+	res := newResult("fig13-incremental", "Recompute after single-cell update (Figure 13)")
+	for _, sys := range cfg.systems() {
+		var pts []report.Point
+		for _, m := range cfg.sizesFor(sys, 0) {
+			eng, s, err := cfg.setup(sys, m, false)
+			if err != nil {
+				return nil, err
+			}
+			if err := insertCountIfs(eng, s, m, 1); err != nil {
+				return nil, err
+			}
+			j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+			next := 1 - int(s.Value(j2).Num)
+			pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+				r, err := eng.SetCell(s, j2, cell.Num(float64(next)))
+				next = 1 - next
+				return asTrial(r), err
+			})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+		res.addSeries(sys, pts)
+		cfg.progress("fig13-incremental %s done", sys)
+	}
+	return res, nil
+}
+
+// insertCountIfs places n instances of the OOT COUNTIF in the first free
+// column (setup; results discarded).
+func insertCountIfs(eng *engine.Engine, s *sheet.Sheet, m, n int) error {
+	text := fmt.Sprintf("=COUNTIF(%s2:%s%d,\"1\")",
+		cell.ColName(workload.ColStorm), cell.ColName(workload.ColStorm), lastDataRow(m))
+	for k := 0; k < n; k++ {
+		if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1 + k, Col: workload.NumCols}, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMultiFormula reproduces Figure 14: N identical COUNTIF instances (N =
+// 1, 100, ..., 1000) over the largest dataset, recomputed after a single
+// cell update.
+func RunMultiFormula(cfg *Config) (*Result, error) {
+	res := newResult("fig14-multi", "N formulae after single-cell update (Figure 14)")
+	counts := []int{1}
+	for n := 100; n <= 1000; n += 100 {
+		counts = append(counts, n)
+	}
+	for _, sys := range cfg.systems() {
+		m := cfg.maxSizeFor(sys, 0)
+		var pts []report.Point
+		for _, n := range counts {
+			eng, s, err := cfg.setup(sys, m, false)
+			if err != nil {
+				return nil, err
+			}
+			if err := insertCountIfs(eng, s, m, n); err != nil {
+				return nil, err
+			}
+			j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+			next := 1 - int(s.Value(j2).Num)
+			pt, err := runTrials(cfg, n, nil, func() (trial, error) {
+				r, err := eng.SetCell(s, j2, cell.Num(float64(next)))
+				next = 1 - next
+				return asTrial(r), err
+			})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+		res.addSeries(fmt.Sprintf("%s (m=%s)", sys, report.FormatSize(m)), pts)
+		cfg.progress("fig14-multi %s done", sys)
+	}
+	res.note("x-axis is the number of formula instances; dataset size fixed per system")
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// table2Sources maps each Table 2 row to its experiment and the series
+// labels providing the F and V curves ("" = not measured, rendered "x").
+var table2Sources = []struct {
+	Row     string
+	ExpID   string
+	FSuffix string
+	VSuffix string
+}{
+	{"Open", "fig2-open", "/F", "/V"},
+	{"Sort", "fig3-sort", "/F", "/V"},
+	{"Conditional Formatting", "fig4-condfmt", "/F", "/V"},
+	{"Filter", "fig5-filter", "/F", "/V"},
+	{"Pivot Table", "fig6-pivot", "/F", "/V"},
+	{"COUNTIF", "fig7-countif", "/F", "/V"},
+	// §4.3.4 runs VLOOKUP on Value-only data only; the exact-match scan
+	// (sorted=FALSE) is the Table 2 entry.
+	{"VLOOKUP", "fig8-vlookup", "", "/sorted=false"},
+}
+
+// Table2 derives the interactivity summary (Table 2, §4.4) from the BCT
+// results: for every experiment, system, and dataset variant, the first
+// sweep size whose simulated latency exceeds the 500 ms bound, expressed as
+// a percentage of the system's documented scalability limit (1M rows
+// desktop, 5M cells web). "100" means no violation at any measured size;
+// "x" means not measured.
+func Table2(results map[string]*Result, systems []string) []report.Table2Row {
+	var rows []report.Table2Row
+	for _, src := range table2Sources {
+		row := report.Table2Row{Experiment: src.Row, Cells: map[string]string{}}
+		res := results[src.ExpID]
+		for _, sys := range systems {
+			row.Cells[sys+"/F"] = violationCell(res, sys, src.FSuffix)
+			row.Cells[sys+"/V"] = violationCell(res, sys, src.VSuffix)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func violationCell(res *Result, sys, suffix string) string {
+	if res == nil || suffix == "" {
+		return "x"
+	}
+	s := res.findSeries(sys + suffix)
+	if s == nil {
+		// Case-insensitive fallback for boolean-suffixed labels.
+		for i := range res.Series {
+			if equalFold(res.Series[i].Label, sys+suffix) {
+				s = &res.Series[i]
+				break
+			}
+		}
+	}
+	if s == nil || len(s.Points) == 0 {
+		return "x"
+	}
+	sizes := make([]int, len(s.Points))
+	sims := make([]time.Duration, len(s.Points))
+	for i, p := range s.Points {
+		sizes[i] = p.Size
+		sims[i] = p.Sim
+	}
+	size, violated := stats.InteractivityViolation(sizes, sims, InteractivityBound)
+	if !violated {
+		// "100" only when the sweep reached the paper's full extent;
+		// a capped quick-mode sweep can only certify ">max%".
+		maxMeasured := 0
+		for _, m := range sizes {
+			if m > maxMeasured {
+				maxMeasured = m
+			}
+		}
+		fullExtent := 500_000
+		if isWeb(sys) {
+			fullExtent = 90_000
+		}
+		if maxMeasured >= fullExtent {
+			return "100"
+		}
+		return ">" + report.FormatLimitPercent(limitFraction(sys, maxMeasured))
+	}
+	return report.FormatLimitPercent(limitFraction(sys, size))
+}
+
+// limitFraction converts a violating row count to the fraction of the
+// system's scalability limit, following §4.4's method (rows/1M for desktop;
+// rows x 17 columns / 5M cells for the web system).
+func limitFraction(sys string, rows int) float64 {
+	if isWeb(sys) {
+		return float64(rows*workload.NumCols) / float64(WebCellLimit)
+	}
+	return float64(rows) / float64(DesktopRowLimit)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBCT runs every BCT experiment and returns the results keyed by ID.
+func RunBCT(cfg *Config) (map[string]*Result, error) {
+	return runKind(cfg, "bct")
+}
+
+// RunOOT runs every OOT experiment and returns the results keyed by ID.
+func RunOOT(cfg *Config) (map[string]*Result, error) {
+	return runKind(cfg, "oot")
+}
+
+func runKind(cfg *Config, kind string) (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	for _, e := range Experiments() {
+		if e.Kind != kind {
+			continue
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			return out, err
+		}
+		out[e.ID] = res
+	}
+	return out, nil
+}

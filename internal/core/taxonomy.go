@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TaxonomyEntry is one row of Table 1: a spreadsheet operation class with
+// its inputs, outputs, and expected complexity (m rows, n columns for range
+// inputs).
+type TaxonomyEntry struct {
+	Category    string
+	SubCategory string
+	Example     string
+	Input       string
+	Output      string
+	Complexity  string
+	// Benchmarked is false for the grayed-out rows the paper excludes
+	// (constant-input Simple operations) or folds into another experiment.
+	Benchmarked bool
+	// ExperimentID links to the experiment exercising the class.
+	ExperimentID string
+}
+
+// Taxonomy reproduces Table 1.
+var Taxonomy = []TaxonomyEntry{
+	{
+		Category: "Data Load", SubCategory: "-", Example: "Open, Import",
+		Input: "Filename", Output: "Range (m x n)", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig2-open",
+	},
+	{
+		Category: "Update", SubCategory: "-", Example: "Find and Replace",
+		Input: "Range (m x n), Value X and Y", Output: "Updated cells", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig9-findreplace",
+	},
+	{
+		Category: "Update", SubCategory: "-", Example: "Copy-Paste",
+		Input: "Range (m x n)", Output: "Range (m x n)", Complexity: "O(mn)",
+		// §4.2: "results for copy-paste were found to be similar to
+		// find-and-replace, and [are] therefore excluded".
+		Benchmarked: false, ExperimentID: "fig9-findreplace",
+	},
+	{
+		Category: "Update", SubCategory: "-", Example: "Sort",
+		Input: "Range (m x n)", Output: "Range (m x n)", Complexity: "O(m log m)",
+		Benchmarked: true, ExperimentID: "fig3-sort",
+	},
+	{
+		Category: "Update", SubCategory: "-", Example: "Conditional Formatting",
+		Input: "Range (m x n), Condition", Output: "Updated cells", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig4-condfmt",
+	},
+	{
+		Category: "Query", SubCategory: "Simple", Example: "Add or Sub",
+		Input: "Value", Output: "Value", Complexity: "O(1)",
+		Benchmarked: false,
+	},
+	{
+		Category: "Query", SubCategory: "Simple", Example: "Now()",
+		Input: "-", Output: "Value", Complexity: "O(1)",
+		Benchmarked: false,
+	},
+	{
+		Category: "Query", SubCategory: "Select", Example: "Filter",
+		Input: "Range (m x n), Condition", Output: "List", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig5-filter",
+	},
+	{
+		Category: "Query", SubCategory: "Report", Example: "Pivot Table",
+		Input: "Range (m x n), Condition", Output: "Aggregate Table", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig6-pivot",
+	},
+	{
+		Category: "Query", SubCategory: "Aggregate", Example: "SUM, AVG, COUNT",
+		Input: "Range (m x n)", Output: "Value", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig7-countif",
+	},
+	{
+		Category: "Query", SubCategory: "Aggregate", Example: "Conditional Variants",
+		Input: "Range (m x n), Condition", Output: "Value", Complexity: "O(mn)",
+		Benchmarked: true, ExperimentID: "fig7-countif",
+	},
+	{
+		Category: "Query", SubCategory: "Lookup", Example: "Vlookup, Switch",
+		Input: "Range X, Value, Range Y", Output: "Value", Complexity: "O(mx nx my ny)",
+		Benchmarked: true, ExperimentID: "fig8-vlookup",
+	},
+}
+
+// WriteTaxonomy renders Table 1.
+func WriteTaxonomy(w io.Writer) {
+	title := "Table 1: Categorizing Spreadsheet Operations"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-10s %-12s %-24s %-30s %-16s %-14s %s\n",
+		"Category", "Sub-cat", "Example", "Input", "Output", "Complexity", "Benchmarked")
+	for _, t := range Taxonomy {
+		b := "no"
+		if t.Benchmarked {
+			b = "yes (" + t.ExperimentID + ")"
+		}
+		fmt.Fprintf(w, "%-10s %-12s %-24s %-30s %-16s %-14s %s\n",
+			t.Category, t.SubCategory, t.Example, t.Input, t.Output, t.Complexity, b)
+	}
+	fmt.Fprintln(w)
+}

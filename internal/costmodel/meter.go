@@ -1,0 +1,139 @@
+// Package costmodel implements the dual-clock accounting described in
+// DESIGN.md §4. Every engine operation performs real computation on real
+// data; while doing so it counts abstract work units (cell touches, formula
+// evaluations, comparisons, network bytes, ...) on a Meter. A per-system
+// vector of calibrated Coefficients converts those counts into a simulated
+// latency comparable to the paper's measurements on the original systems,
+// while wall-clock time remains available for raw engine benchmarking.
+//
+// The split matters for fidelity: curve *shapes* (linear, quadratic,
+// constant, crossover points between systems) are properties of the counted
+// work and therefore of the real algorithms; only the constants are fitted
+// to the paper's published figures (see calibration.go).
+package costmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metric identifies one class of counted work.
+type Metric int
+
+// The work-unit classes counted by the engine. Each corresponds to a cost
+// the benchmarked systems observably pay (see DESIGN.md §2 "costmodel").
+const (
+	// CellTouch counts reads of a cell value during computation (range
+	// scans inside formulae, filter predicate evaluation, pivot scans).
+	CellTouch Metric = iota
+	// CellWrite counts writes of a cell value (edits, paste, data movement
+	// during sort, cells materialized during load).
+	CellWrite
+	// StyleWrite counts style (formatting) updates, including row
+	// hide/unhide marks written by filters.
+	StyleWrite
+	// FormulaEval counts complete evaluations of one formula.
+	FormulaEval
+	// RefResolve counts resolution of one explicit cell reference inside a
+	// formula — the "cell-by-cell reference model" of §5.3.
+	RefResolve
+	// Compare counts value comparisons performed by searching, criteria
+	// matching, and sorting.
+	Compare
+	// DepOp counts dependency-graph maintenance operations: registering a
+	// formula's precedents, invalidating, and re-sequencing the calc chain
+	// after structural changes (the expensive phase Excel documents [6]).
+	DepOp
+	// StaleCheck counts per-cell staleness checks when a scan crosses a
+	// formula cell without re-evaluating it.
+	StaleCheck
+	// FormulaCompile counts formula parses/compilations (load time).
+	FormulaCompile
+	// APICall counts scripting-API invocations (one per Range/getValue-style
+	// call); dominant for the web system (§3.3).
+	APICall
+	// NetByte counts bytes transferred between client and server.
+	NetByte
+	// NetRTT counts network round trips.
+	NetRTT
+	// RenderCell counts cells rendered into the visible window.
+	RenderCell
+	// ParseByte counts bytes parsed while loading a file.
+	ParseByte
+	// IndexProbe counts probes into an index structure (optimized engine).
+	IndexProbe
+
+	numMetrics // sentinel; keep last
+)
+
+var metricNames = [numMetrics]string{
+	"cell_touch", "cell_write", "style_write", "formula_eval", "ref_resolve",
+	"compare", "dep_op", "stale_check", "formula_compile", "api_call",
+	"net_byte", "net_rtt", "render_cell", "parse_byte", "index_probe",
+}
+
+// String returns the snake_case metric name.
+func (m Metric) String() string {
+	if m < 0 || m >= numMetrics {
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// NumMetrics is the number of defined metrics, exported for table-driven
+// tests and report code.
+const NumMetrics = int(numMetrics)
+
+// Meter accumulates work-unit counts. It is not safe for concurrent use;
+// every experiment in the paper is single-threaded (§3.3) and so is the
+// engine.
+type Meter struct {
+	counts [numMetrics]int64
+}
+
+// Add records n units of the metric.
+func (m *Meter) Add(metric Metric, n int64) { m.counts[metric] += n }
+
+// Count returns the accumulated units for the metric.
+func (m *Meter) Count(metric Metric) int64 { return m.counts[metric] }
+
+// Total returns the sum over all metrics; useful as a crude work measure in
+// tests.
+func (m *Meter) Total() int64 {
+	var t int64
+	for _, c := range m.counts {
+		t += c
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() { m.counts = [numMetrics]int64{} }
+
+// Snapshot returns a copy of the current counts.
+func (m *Meter) Snapshot() Meter { return *m }
+
+// Sub returns the difference m - earlier, metric-wise. The harness uses it
+// to isolate the work done by a single operation.
+func (m *Meter) Sub(earlier Meter) Meter {
+	var out Meter
+	for i := range m.counts {
+		out.counts[i] = m.counts[i] - earlier.counts[i]
+	}
+	return out
+}
+
+// Coefficients maps each metric to a simulated cost in nanoseconds per unit.
+type Coefficients [numMetrics]float64
+
+// Time converts a meter's counts into a simulated duration under these
+// coefficients.
+func (c Coefficients) Time(m *Meter) time.Duration {
+	var ns float64
+	for i, n := range m.counts {
+		if n != 0 {
+			ns += float64(n) * c[i]
+		}
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// ApproxResult is an online-aggregation style estimate (§6 "Efficient
+// execution can also happen via approximation, e.g., depicting confidence
+// intervals for formulae currently under progress, as in online aggregation
+// [28]"): an estimated aggregate with a confidence interval that tightens
+// as more rows are sampled, letting the user terminate early.
+type ApproxResult struct {
+	// Estimate is the estimated aggregate value.
+	Estimate float64
+	// Margin is the half-width of the ~95% confidence interval.
+	Margin float64
+	// SampledRows is how many rows the estimate consumed.
+	SampledRows int
+	// TotalRows is the population size.
+	TotalRows int
+	// Cost is the metered cost of the sampling pass.
+	Cost Result
+}
+
+// ApproxAggregate estimates SUM, COUNTIF, or AVERAGE over one column range
+// from a uniform sample of sampleRows rows (clamped to the population). The
+// estimator is the standard Horvitz–Thompson scale-up with a normal-
+// approximation interval. Sampling is deterministic given the engine's
+// profile seed, so benchmark runs are reproducible.
+func (e *Engine) ApproxAggregate(s *sheet.Sheet, fn string, rng cell.Range, criterion cell.Value, sampleRows int) (ApproxResult, error) {
+	if s == nil {
+		return ApproxResult{}, errSheet("ApproxAggregate")
+	}
+	if rng.Cols() != 1 {
+		return ApproxResult{}, fmt.Errorf("engine: ApproxAggregate: single-column ranges only, got %v", rng)
+	}
+	t := e.begin(OpAggregate)
+	n := rng.Rows()
+	if sampleRows <= 0 || sampleRows > n {
+		sampleRows = n
+	}
+
+	var crit formula.Criterion
+	isCountIf := false
+	switch fn {
+	case "SUM", "AVERAGE":
+	case "COUNTIF":
+		crit = formula.CompileCriterion(criterion)
+		isCountIf = true
+	default:
+		return ApproxResult{}, fmt.Errorf("engine: ApproxAggregate: unsupported function %q", fn)
+	}
+
+	// Deterministic sample without replacement: a Feistel-light index
+	// permutation over [0, n).
+	seed := e.prof.Net.Seed | 0x9E37
+	perm := func(i int) int {
+		x := uint64(i) ^ seed
+		x ^= x >> 12
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		return int(x % uint64(n))
+	}
+
+	var sum, sumSq float64
+	seen := make(map[int]bool, sampleRows)
+	taken := 0
+	for i := 0; taken < sampleRows && i < 4*n+16; i++ {
+		row := perm(i)
+		if seen[row] {
+			continue
+		}
+		seen[row] = true
+		taken++
+		v := s.Value(cell.Addr{Row: rng.Start.Row + row, Col: rng.Start.Col})
+		e.meter.Add(costmodel.CellTouch, 1)
+		var x float64
+		if isCountIf {
+			e.meter.Add(costmodel.Compare, 1)
+			if crit.Match(v) {
+				x = 1
+			}
+		} else if v.Kind == cell.Number {
+			x = v.Num
+		}
+		sum += x
+		sumSq += x * x
+	}
+	// Fallback fill for pathological permutations.
+	for row := 0; taken < sampleRows && row < n; row++ {
+		if seen[row] {
+			continue
+		}
+		seen[row] = true
+		taken++
+		v := s.Value(cell.Addr{Row: rng.Start.Row + row, Col: rng.Start.Col})
+		e.meter.Add(costmodel.CellTouch, 1)
+		var x float64
+		if isCountIf {
+			if crit.Match(v) {
+				x = 1
+			}
+		} else if v.Kind == cell.Number {
+			x = v.Num
+		}
+		sum += x
+		sumSq += x * x
+	}
+
+	mean := sum / float64(taken)
+	variance := 0.0
+	if taken > 1 {
+		variance = (sumSq - float64(taken)*mean*mean) / float64(taken-1)
+	}
+	stderr := math.Sqrt(variance / float64(taken))
+	// Finite-population correction tightens the interval as the sample
+	// approaches the population.
+	fpc := math.Sqrt(float64(n-taken) / math.Max(float64(n-1), 1))
+	margin := 1.96 * stderr * fpc
+
+	out := ApproxResult{SampledRows: taken, TotalRows: n}
+	switch fn {
+	case "AVERAGE":
+		out.Estimate = mean
+		out.Margin = margin
+	default: // SUM, COUNTIF scale up
+		out.Estimate = mean * float64(n)
+		out.Margin = margin * float64(n)
+	}
+	out.Cost = t.finish()
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+func TestInsertFormulaBatchValues(t *testing.T) {
+	for _, sys := range []string{"excel", "sheets", "optimized"} {
+		eng, s := newTestEngine(t, sys, 50, false)
+		items := make([]BatchItem, 0, 50)
+		col := workload.NumCols
+		for i := 1; i <= 50; i++ {
+			text := "=A2"
+			if i > 1 {
+				text = fmt.Sprintf("=A%d+%s%d", i+1, cell.ColName(col), i)
+			}
+			items = append(items, BatchItem{At: cell.Addr{Row: i, Col: col}, Text: text})
+		}
+		res, err := eng.InsertFormulaBatch(s, items)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		// Chain result: cumulative sum of ids 2..51.
+		want := 0.0
+		for id := 2; id <= 51; id++ {
+			want += float64(id)
+		}
+		if got := s.Value(cell.Addr{Row: 50, Col: col}).Num; got != want {
+			t.Errorf("%s: chain tail = %v, want %v", sys, got, want)
+		}
+		if res.Op != OpBatchInsert {
+			t.Errorf("%s: op = %v", sys, res.Op)
+		}
+		if got := res.Work.Count(costmodel.APICall); got != 50 {
+			t.Errorf("%s: API calls = %d, want 50", sys, got)
+		}
+		if isWebProfile := eng.Profile().Web; isWebProfile {
+			if rtts := res.Work.Count(costmodel.NetRTT); rtts != 1 {
+				t.Errorf("%s: round trips = %d, want 1 (single batch call)", sys, rtts)
+			}
+		}
+	}
+}
+
+func TestInsertFormulaBatchVsPerCellNetwork(t *testing.T) {
+	// The batch fill must be dramatically cheaper than per-cell inserts on
+	// the web system — the reason fig11 uses it.
+	perCell := func() (sim int64) {
+		eng, s := newTestEngine(t, "sheets", 100, false)
+		var total int64
+		for i := 1; i <= 100; i++ {
+			_, r, err := eng.InsertFormula(s, cell.Addr{Row: i, Col: workload.NumCols}, fmt.Sprintf("=A%d", i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Sim.Nanoseconds()
+		}
+		return total
+	}
+	batch := func() int64 {
+		eng, s := newTestEngine(t, "sheets", 100, false)
+		items := make([]BatchItem, 0, 100)
+		for i := 1; i <= 100; i++ {
+			items = append(items, BatchItem{At: cell.Addr{Row: i, Col: workload.NumCols}, Text: fmt.Sprintf("=A%d", i+1)})
+		}
+		r, err := eng.InsertFormulaBatch(s, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Sim.Nanoseconds()
+	}
+	p, b := perCell(), batch()
+	if b*10 > p {
+		t.Errorf("batch (%d ns) should be >10x cheaper than per-cell (%d ns)", b, p)
+	}
+}
+
+func TestInsertFormulaBatchErrors(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 5, false)
+	if _, err := eng.InsertFormulaBatch(nil, nil); err == nil {
+		t.Error("nil sheet")
+	}
+	_, err := eng.InsertFormulaBatch(s, []BatchItem{{At: a("Z1"), Text: "=SUM("}})
+	if err == nil {
+		t.Error("bad formula must error")
+	}
+}
+
+func TestChainCacheReuse(t *testing.T) {
+	// Two full recalculations without formula-set changes must pay the
+	// sequencing DepOps only once ([6]: the calc chain is cached).
+	eng, s := newTestEngine(t, "excel", 300, true)
+	// Install already sequenced the chain; an unchanged sheet recalculates
+	// against the cached order (one validity check).
+	r1, err := eng.Recalculate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r1.Work.Count(costmodel.DepOp); d != 1 {
+		t.Errorf("cached recalc DepOps = %d, want 1 (validity check)", d)
+	}
+	// Inserting a formula invalidates the cache.
+	mustInsert(t, eng, s, "R2", "=SUM(J2:J301)")
+	r3, err := eng.Recalculate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Work.Count(costmodel.DepOp) <= 1 {
+		t.Error("formula insert must invalidate the chain cache")
+	}
+}

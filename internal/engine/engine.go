@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/formula"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/sheet"
+)
+
+// Result reports one operation's cost on both clocks, plus the work-unit
+// breakdown. Sim is comparable to the paper's measurements of the modeled
+// system; Wall is the raw cost of this Go engine.
+type Result struct {
+	// Wall is the real elapsed time of the operation.
+	Wall time.Duration
+	// Sim is the calibrated simulated latency (DESIGN.md §4).
+	Sim time.Duration
+	// Work is the work-unit delta the operation metered.
+	Work costmodel.Meter
+	// Op is the operation kind.
+	Op OpKind
+}
+
+// Engine is one spreadsheet system instance: a workbook, per-sheet
+// dependency graphs, the system profile, work meters, and (for web
+// profiles) a simulated network. Engines are single-threaded, like every
+// experiment in the paper (§3.3).
+type Engine struct {
+	prof Profile
+	wb   *sheet.Workbook
+
+	graphs map[*sheet.Sheet]*graph.Graph
+	chains map[*sheet.Sheet]*chainCache
+	opts   map[*sheet.Sheet]*optState
+
+	meter       costmodel.Meter // operation-attributed work
+	recalcMeter costmodel.Meter // unmultiplied recalculation work (pivot)
+	net         *netsim.Network
+	netTime     time.Duration // simulated network time, cumulative
+	netErr      error         // sticky quota error
+
+	nowFn func() time.Time
+}
+
+// New returns an engine with an empty workbook under the given profile.
+func New(prof Profile) *Engine {
+	e := &Engine{
+		prof:   prof,
+		wb:     sheet.NewWorkbook(),
+		graphs: make(map[*sheet.Sheet]*graph.Graph),
+		chains: make(map[*sheet.Sheet]*chainCache),
+		opts:   make(map[*sheet.Sheet]*optState),
+		nowFn:  time.Now,
+	}
+	if prof.Web {
+		e.net = netsim.New(prof.Net)
+	}
+	return e
+}
+
+// Profile returns the engine's system profile.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// Workbook returns the engine's current workbook.
+func (e *Engine) Workbook() *sheet.Workbook { return e.wb }
+
+// SetNow overrides the volatile-function clock; tests use it for
+// determinism.
+func (e *Engine) SetNow(now func() time.Time) { e.nowFn = now }
+
+// Meter exposes the engine's cumulative operation meter (read-only use).
+func (e *Engine) Meter() *costmodel.Meter { return &e.meter }
+
+// graph returns (creating if needed) the dependency graph for a sheet.
+func (e *Engine) graph(s *sheet.Sheet) *graph.Graph {
+	g, ok := e.graphs[s]
+	if !ok {
+		g = graph.New()
+		e.graphs[s] = g
+	}
+	return g
+}
+
+// Install adopts a prepared workbook without metering (experiment setup,
+// not a benchmarked operation): formulas are registered in the dependency
+// graphs and evaluated so the sheet starts consistent, and optimization
+// structures are built for optimized profiles.
+func (e *Engine) Install(wb *sheet.Workbook) error {
+	e.wb = wb
+	e.graphs = make(map[*sheet.Sheet]*graph.Graph)
+	e.chains = make(map[*sheet.Sheet]*chainCache)
+	e.opts = make(map[*sheet.Sheet]*optState)
+	for _, s := range wb.Sheets() {
+		g := e.graph(s)
+		s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+			dr, dc := fc.DeltaAt(a)
+			g.SetFormula(a, fc.Code.PrecedentRanges(dr, dc))
+			return true
+		})
+		e.evalAll(s, &e.meter)
+		if e.prof.Opt.Any() {
+			e.buildOptState(s)
+		}
+	}
+	// Setup work is not part of any experiment: clear the meters.
+	e.meter.Reset()
+	e.recalcMeter.Reset()
+	for _, g := range e.graphs {
+		g.ResetOps()
+	}
+	return nil
+}
+
+// opTimer measures one operation on both clocks.
+type opTimer struct {
+	e          *Engine
+	kind       OpKind
+	wallStart  time.Time
+	workSnap   costmodel.Meter
+	recalcSnap costmodel.Meter
+	netSnap    time.Duration
+}
+
+func (e *Engine) begin(kind OpKind) opTimer {
+	return opTimer{
+		e:          e,
+		kind:       kind,
+		wallStart:  time.Now(),
+		workSnap:   e.meter.Snapshot(),
+		recalcSnap: e.recalcMeter.Snapshot(),
+		netSnap:    e.netTime,
+	}
+}
+
+// finish computes the operation's Result: fixed cost + multiplied variable
+// work + unmultiplied recalculation work + simulated network time.
+func (t opTimer) finish() Result {
+	e := t.e
+	work := e.meter.Sub(t.workSnap)
+	recalc := e.recalcMeter.Sub(t.recalcSnap)
+	sim := e.prof.OpTime(t.kind, &work) +
+		e.prof.Coeff.Time(&recalc) +
+		(e.netTime - t.netSnap)
+	total := work
+	for m := costmodel.Metric(0); int(m) < costmodel.NumMetrics; m++ {
+		total.Add(m, recalc.Count(m))
+	}
+	return Result{
+		Wall: time.Since(t.wallStart),
+		Sim:  sim,
+		Work: total,
+		Op:   t.kind,
+	}
+}
+
+// netCall routes one API round trip through the simulated network. Quota
+// exhaustion is sticky, matching how Apps Script rejects further calls for
+// the day.
+func (e *Engine) netCall(payloadBytes int64) error {
+	if e.net == nil {
+		return nil
+	}
+	d, err := e.net.Call(payloadBytes)
+	e.netTime += d
+	e.meter.Add(costmodel.NetRTT, 1)
+	e.meter.Add(costmodel.NetByte, payloadBytes)
+	if err != nil {
+		e.netErr = err
+		return err
+	}
+	return e.netErr
+}
+
+// evalSource adapts a sheet to formula.Source, implementing the per-profile
+// read-through behavior of §4.3.3: Calc and Sheets re-evaluate a formula
+// cell whenever it is referenced; Excel pays a cheap staleness check.
+type evalSource struct {
+	e      *Engine
+	s      *sheet.Sheet
+	meter  *costmodel.Meter
+	inner  bool // already inside a read-through re-evaluation (depth cap 1)
+	recalc bool // inside a calc pass: cached values are fresh by ordering
+}
+
+// Value implements formula.Source.
+func (src evalSource) Value(a cell.Addr) cell.Value {
+	if src.recalc || src.inner {
+		return src.s.Value(a)
+	}
+	fc, isFormula := src.s.Formula(a)
+	if !isFormula {
+		return src.s.Value(a)
+	}
+	switch {
+	case src.e.prof.Recalc.ReevalOnRead:
+		dr, dc := fc.DeltaAt(a)
+		env := src.e.env(src.s, src.meter, true, false)
+		env.DR, env.DC = dr, dc
+		v := formula.Eval(fc.Code, env)
+		src.s.SetCachedValue(a, v)
+		return v
+	case src.e.prof.Recalc.StaleCheckOnRead:
+		src.meter.Add(costmodel.StaleCheck, 1)
+	}
+	return src.s.Value(a)
+}
+
+// env builds a formula evaluation environment over a sheet. inner caps
+// read-through recursion; recalc marks a calc pass (no read-through).
+func (e *Engine) env(s *sheet.Sheet, meter *costmodel.Meter, inner, recalc bool) *formula.Env {
+	var src formula.Source = evalSource{e: e, s: s, meter: meter, inner: inner, recalc: recalc}
+	if st := e.opts[s]; st != nil && e.prof.Lookup.Indexed {
+		src = indexedSrc{Source: src, e: e, s: s, st: st}
+	}
+	return &formula.Env{
+		Src:    src,
+		Meter:  meter,
+		Now:    e.nowFn,
+		Lookup: e.prof.Lookup,
+	}
+}
+
+// chainCache memoizes a sheet's full calculation order for the current
+// graph generation — real engines reuse the calculation sequence until the
+// formula set changes [6], so repeated full recalculations (e.g. after a
+// worksheet insertion) pay evaluation cost only.
+type chainCache struct {
+	version int64
+	order   []cell.Addr
+	cyclic  []cell.Addr
+}
+
+// fullChain returns the sheet's calculation order, re-sequencing only when
+// the formula set changed since the cached order was built.
+func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cyclic []cell.Addr) {
+	g := e.graph(s)
+	if c := e.chains[s]; c != nil && c.version == g.Version() {
+		meter.Add(costmodel.DepOp, 1) // cache validity check
+		return c.order, c.cyclic
+	}
+	g.ResetOps()
+	order, cyclic = g.AllFormulas()
+	meter.Add(costmodel.DepOp, g.Ops())
+	g.ResetOps()
+	e.chains[s] = &chainCache{version: g.Version(), order: order, cyclic: cyclic}
+	return order, cyclic
+}
+
+// evalAll evaluates every formula on the sheet in dependency order,
+// charging the given meter. Cyclic cells get #CYCLE!.
+func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
+	order, cyclic := e.fullChain(s, meter)
+	env := e.env(s, meter, false, true)
+	for _, a := range order {
+		fc, ok := s.Formula(a)
+		if !ok {
+			continue
+		}
+		env.DR, env.DC = fc.DeltaAt(a)
+		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+	}
+	for _, a := range cyclic {
+		s.SetCachedValue(a, cell.Errorf(cell.ErrCycle))
+	}
+}
+
+// rebuildGraph re-registers every formula's precedents from its current
+// position — the calc-chain re-sequencing that follows structural changes.
+func (e *Engine) rebuildGraph(s *sheet.Sheet, meter *costmodel.Meter) {
+	g := e.graph(s)
+	g.Clear()
+	g.ResetOps()
+	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+		dr, dc := fc.DeltaAt(a)
+		g.SetFormula(a, fc.Code.PrecedentRanges(dr, dc))
+		return true
+	})
+	meter.Add(costmodel.DepOp, g.Ops())
+	g.ResetOps()
+}
+
+// resequence recomputes the calculation order without evaluating — the
+// invalidation pass Excel performs on filters (§4.3.1). Unlike fullChain it
+// always reorders (the visibility change invalidates the cached chain);
+// the ordering phase is where the paper's mysterious superlinear filter
+// trend comes from in this model.
+func (e *Engine) resequence(s *sheet.Sheet, meter *costmodel.Meter) {
+	g := e.graph(s)
+	g.ResetOps()
+	order, cyclic := g.AllFormulas()
+	meter.Add(costmodel.DepOp, g.Ops())
+	g.ResetOps()
+	e.chains[s] = &chainCache{version: g.Version(), order: order, cyclic: cyclic}
+}
+
+// recalcDirty evaluates the transitive dependents of the changed cells in
+// dependency order, charging the given meter; returns how many formulae
+// were recomputed.
+func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) int {
+	g := e.graph(s)
+	// Volatile formulae (NOW, RAND, ...) refresh on every calculation
+	// pass in all three systems; seed them alongside the real changes so
+	// their dependents recompute too.
+	vol := s.VolatileCells()
+	if len(vol) > 0 {
+		env := e.env(s, meter, false, true)
+		for _, a := range vol {
+			fc, ok := s.Formula(a)
+			if !ok {
+				continue
+			}
+			env.DR, env.DC = fc.DeltaAt(a)
+			s.SetCachedValue(a, formula.Eval(fc.Code, env))
+		}
+		changed = append(append([]cell.Addr(nil), changed...), vol...)
+	}
+	g.ResetOps()
+	order, cyclic := g.Dirty(changed)
+	meter.Add(costmodel.DepOp, g.Ops())
+	g.ResetOps()
+	env := e.env(s, meter, false, true)
+	for _, a := range order {
+		fc, ok := s.Formula(a)
+		if !ok {
+			continue
+		}
+		env.DR, env.DC = fc.DeltaAt(a)
+		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+	}
+	for _, a := range cyclic {
+		s.SetCachedValue(a, cell.Errorf(cell.ErrCycle))
+	}
+	return len(order) + len(cyclic)
+}
+
+// classifyFormula maps a compiled formula to the operation kind used for
+// cost accounting: lookups vs aggregates (everything else prices as an
+// aggregate-style scan).
+func classifyFormula(c *formula.Compiled) OpKind {
+	if call, ok := c.Root.(formula.CallNode); ok {
+		switch call.Name {
+		case "VLOOKUP", "HLOOKUP", "MATCH", "INDEX", "SWITCH", "CHOOSE":
+			return OpLookup
+		}
+	}
+	return OpAggregate
+}
+
+// errSheet reports a nil sheet argument.
+func errSheet(op string) error { return fmt.Errorf("engine: %s: nil sheet", op) }

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func a(s string) cell.Addr { return cell.MustParseAddr(s) }
+
+// newTestEngine installs a fresh weather dataset into an engine of the
+// given profile.
+func newTestEngine(t *testing.T, profile string, rows int, formulas bool) (*Engine, *sheet.Sheet) {
+	t.Helper()
+	prof, ok := Profiles()[profile]
+	if !ok {
+		t.Fatalf("unknown profile %q", profile)
+	}
+	eng := New(prof)
+	wb := workload.Weather(workload.Spec{
+		Rows: rows, Formulas: formulas, Columnar: prof.Opt.ColumnarLayout,
+	})
+	if err := eng.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	return eng, wb.First()
+}
+
+func TestProfilesComplete(t *testing.T) {
+	profs := Profiles()
+	for _, name := range []string{"excel", "calc", "sheets", "optimized"} {
+		p, ok := profs[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+		if p.Coeff[costmodel.CellTouch] <= 0 {
+			t.Errorf("%s: CellTouch coefficient unset", name)
+		}
+	}
+	if !Profiles()["sheets"].Web {
+		t.Error("sheets must be web")
+	}
+	if Profiles()["excel"].Opt.Any() {
+		t.Error("excel must have no optimizations")
+	}
+	if !Profiles()["optimized"].Opt.Any() {
+		t.Error("optimized must have optimizations")
+	}
+}
+
+func TestInstallEvaluatesFormulas(t *testing.T) {
+	_, s := newTestEngine(t, "excel", 50, true)
+	// Every K-column cell displays 0 or 1, matching the event column.
+	for dr := 1; dr <= 50; dr++ {
+		ka := cell.Addr{Row: dr, Col: workload.ColFormula0}
+		v := s.Value(ka)
+		want := 0.0
+		if workload.EventAt(workload.DefaultSeed, dr, 0) == "STORM" {
+			want = 1
+		}
+		if v.Num != want {
+			t.Fatalf("K at data row %d = %v, want %v", dr, v.Num, want)
+		}
+	}
+}
+
+func TestInsertFormulaComputesAndCaches(t *testing.T) {
+	for _, sys := range []string{"excel", "calc", "sheets", "optimized"} {
+		eng, s := newTestEngine(t, sys, 100, false)
+		v, res, err := eng.InsertFormula(s, a("R2"), "=COUNTIF(K2:K101,1)")
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		want := countStorms(100)
+		if int(v.Num) != want {
+			t.Errorf("%s: COUNTIF = %v, want %d", sys, v.Num, want)
+		}
+		if got := s.Value(a("R2")); got.Num != v.Num {
+			t.Errorf("%s: cached value = %v", sys, got)
+		}
+		if res.Sim <= 0 {
+			t.Errorf("%s: Sim = %v", sys, res.Sim)
+		}
+		if res.Op != OpAggregate {
+			t.Errorf("%s: Op = %v", sys, res.Op)
+		}
+	}
+}
+
+func countStorms(rows int) int {
+	n := 0
+	for dr := 1; dr <= rows; dr++ {
+		if workload.EventAt(workload.DefaultSeed, dr, 0) == "STORM" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestInsertFormulaClassification(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 10, false)
+	_, res, err := eng.InsertFormula(s, a("R2"), "=VLOOKUP(5,A2:Q11,2,FALSE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != OpLookup {
+		t.Errorf("VLOOKUP op = %v, want lookup", res.Op)
+	}
+	_, res, err = eng.InsertFormula(s, a("R3"), "=SUM(J2:J11)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != OpAggregate {
+		t.Errorf("SUM op = %v", res.Op)
+	}
+	if _, _, err := eng.InsertFormula(s, a("R4"), "=SUM("); err == nil {
+		t.Error("bad formula must error")
+	}
+}
+
+func TestSetCellRecomputesDependents(t *testing.T) {
+	for _, sys := range []string{"excel", "calc", "sheets", "optimized"} {
+		eng, s := newTestEngine(t, sys, 50, false)
+		v, _, err := eng.InsertFormula(s, a("R2"), `=COUNTIF(J2:J51,"1")`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := int(v.Num)
+		j2 := a("J2")
+		old := s.Value(j2).Num
+		newVal := 1 - old
+		if _, err := eng.SetCell(s, j2, cell.Num(newVal)); err != nil {
+			t.Fatal(err)
+		}
+		after := int(s.Value(a("R2")).Num)
+		wantDelta := 1
+		if newVal == 0 {
+			wantDelta = -1
+		}
+		if after != before+wantDelta {
+			t.Errorf("%s: count %d -> %d, want delta %d", sys, before, after, wantDelta)
+		}
+	}
+}
+
+func TestSetCellChainRecalc(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 5, false)
+	mustInsert(t, eng, s, "S1", "=J2+1")
+	mustInsert(t, eng, s, "S2", "=S1*2")
+	mustInsert(t, eng, s, "S3", "=S2+S1")
+	if _, err := eng.SetCell(s, a("J2"), cell.Num(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(a("S3")).Num; got != 33 {
+		t.Errorf("chain result = %v, want (10+1)*2 + 11 = 33", got)
+	}
+}
+
+func mustInsert(t *testing.T, eng *Engine, s *sheet.Sheet, at, text string) cell.Value {
+	t.Helper()
+	v, _, err := eng.InsertFormula(s, a(at), text)
+	if err != nil {
+		t.Fatalf("insert %s: %v", text, err)
+	}
+	return v
+}
+
+func TestCycleYieldsError(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 5, false)
+	mustInsert(t, eng, s, "S1", "=S2+1")
+	mustInsert(t, eng, s, "S2", "=S1+1")
+	if _, err := eng.SetCell(s, a("S3"), cell.Num(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a precedent of the cycle to force dirty recalc through it.
+	mustInsert(t, eng, s, "S4", "=S1")
+	eng.SetCell(s, a("J2"), cell.Num(0))
+	// The cycle cells must carry the cycle error after any recalc pass
+	// that includes them.
+	eng.Recalculate(s)
+	if v := s.Value(a("S1")); v.Str != cell.ErrCycle {
+		t.Errorf("S1 = %+v, want #CYCLE!", v)
+	}
+}
+
+func TestReevalOnReadPolicy(t *testing.T) {
+	// Calc re-evaluates formula cells referenced by a new formula
+	// (§4.3.3); Excel only stale-checks. Compare FormulaEval counts.
+	evalCount := func(sys string) int64 {
+		eng, s := newTestEngine(t, sys, 200, true)
+		_, res, err := eng.InsertFormula(s, a("R2"), "=COUNTIF(K2:K201,1)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Work.Count(costmodel.FormulaEval)
+	}
+	excel := evalCount("excel")
+	calc := evalCount("calc")
+	if excel != 1 {
+		t.Errorf("excel FormulaEval = %d, want 1 (no read-through)", excel)
+	}
+	if calc != 1+200 {
+		t.Errorf("calc FormulaEval = %d, want 201 (re-evaluates each K cell)", calc)
+	}
+}
+
+func TestStaleCheckPolicy(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 100, true)
+	_, res, err := eng.InsertFormula(s, a("R2"), "=COUNTIF(K2:K101,1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Work.Count(costmodel.StaleCheck); got != 100 {
+		t.Errorf("StaleCheck = %d, want 100", got)
+	}
+	// Value-only: no formula cells crossed, no checks.
+	eng2, s2 := newTestEngine(t, "excel", 100, false)
+	_, res2, _ := eng2.InsertFormula(s2, a("R2"), "=COUNTIF(K2:K101,1)")
+	if got := res2.Work.Count(costmodel.StaleCheck); got != 0 {
+		t.Errorf("V StaleCheck = %d", got)
+	}
+}
+
+func TestReadThroughDepthCapped(t *testing.T) {
+	// A chain C_i = C_{i-1}+A_i must not recurse during read-through
+	// (depth cap 1), or reusable computation would turn quadratic.
+	eng, s := newTestEngine(t, "calc", 30, false)
+	mustInsert(t, eng, s, "S1", "=A2")
+	for i := 2; i <= 20; i++ {
+		mustInsert(t, eng, s, fmt.Sprintf("S%d", i), fmt.Sprintf("=A%d+S%d", i+1, i-1))
+	}
+	// Inserting one more formula reading S20 re-evaluates S20 only (depth
+	// 1), not the whole chain.
+	_, res, err := eng.InsertFormula(s, a("T1"), "=S20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Work.Count(costmodel.FormulaEval); got > 3 {
+		t.Errorf("FormulaEval = %d, want <= 3 (depth-capped read-through)", got)
+	}
+}
+
+func TestResultDualClocks(t *testing.T) {
+	eng, s := newTestEngine(t, "sheets", 1000, false)
+	_, res, err := eng.InsertFormula(s, a("R2"), "=COUNTIF(J2:J1001,1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 {
+		t.Error("wall clock not measured")
+	}
+	if res.Sim < res.Wall {
+		t.Errorf("sheets sim (%v) should exceed wall (%v) at this size", res.Sim, res.Wall)
+	}
+	if res.Work.Count(costmodel.NetRTT) == 0 {
+		t.Error("web op should count a round trip")
+	}
+}
+
+func TestWebJitterVariesAcrossTrials(t *testing.T) {
+	eng, s := newTestEngine(t, "sheets", 1000, false)
+	var first, second Result
+	_, first, _ = eng.InsertFormula(s, a("R2"), "=COUNTIF(J2:J1001,1)")
+	_, second, _ = eng.InsertFormula(s, a("R3"), "=COUNTIF(J2:J1001,1)")
+	if first.Sim == second.Sim {
+		t.Error("server-load jitter should vary simulated latencies (§3.3)")
+	}
+}
+
+func TestDesktopNoNetwork(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 100, false)
+	_, res, _ := eng.InsertFormula(s, a("R2"), "=SUM(J2:J101)")
+	if res.Work.Count(costmodel.NetRTT) != 0 {
+		t.Error("desktop profiles must not touch the network")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpOpen.String() != "open" || OpLookup.String() != "lookup" {
+		t.Error("names")
+	}
+	if OpKind(99).String() != "unknown" {
+		t.Error("out of range")
+	}
+}
+
+func TestNilSheetErrors(t *testing.T) {
+	eng, _ := newTestEngine(t, "excel", 1, false)
+	if _, err := eng.Sort(nil, 0, true, 0); err == nil {
+		t.Error("Sort(nil)")
+	}
+	if _, _, err := eng.Filter(nil, 0, cell.Num(1), 0); err == nil {
+		t.Error("Filter(nil)")
+	}
+	if _, _, err := eng.InsertFormula(nil, a("A1"), "=1"); err == nil {
+		t.Error("InsertFormula(nil)")
+	}
+	if _, err := eng.SetCell(nil, a("A1"), cell.Num(1)); err == nil {
+		t.Error("SetCell(nil)")
+	}
+	if _, _, err := eng.PivotTable(nil, 0, 1, 0); err == nil {
+		t.Error("PivotTable(nil)")
+	}
+	if _, _, err := eng.FindReplace(nil, "x", "y"); err == nil {
+		t.Error("FindReplace(nil)")
+	}
+	if _, _, err := eng.ConditionalFormat(nil, cell.Range{}, cell.Num(1), cell.Style{}); err == nil {
+		t.Error("ConditionalFormat(nil)")
+	}
+}

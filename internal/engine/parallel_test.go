@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func TestParallelRecalcMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		eng, s := newTestEngine(t, "excel", 400, true)
+		// A dependency chain on top of the embedded formulae, to exercise
+		// multi-level scheduling.
+		mustInsert(t, eng, s, "S1", "=SUM(K2:K401)")
+		mustInsert(t, eng, s, "T1", "=S1*2")
+		mustInsert(t, eng, s, "U1", "=T1+S1")
+
+		// Corrupt all cached values.
+		s.EachFormula(func(a cell.Addr, _ sheet.Formula) bool {
+			s.SetCachedValue(a, cell.Num(-1))
+			return true
+		})
+		if _, err := eng.RecalculateParallel(s, workers); err != nil {
+			t.Fatal(err)
+		}
+
+		want := float64(countStorms(400))
+		if got := s.Value(a("S1")).Num; got != want {
+			t.Errorf("workers=%d: S1 = %v, want %v", workers, got, want)
+		}
+		if got := s.Value(a("U1")).Num; got != want*3 {
+			t.Errorf("workers=%d: U1 = %v, want %v", workers, got, want*3)
+		}
+		for dr := 1; dr <= 400; dr++ {
+			at := cell.Addr{Row: dr, Col: workload.ColFormula0}
+			wantK := 0.0
+			if workload.EventAt(workload.DefaultSeed, dr, 0) == "STORM" {
+				wantK = 1
+			}
+			if got := s.Value(at).Num; got != wantK {
+				t.Fatalf("workers=%d: K%d = %v, want %v", workers, dr+1, got, wantK)
+			}
+		}
+	}
+}
+
+func TestParallelRecalcWorkEqualsSerial(t *testing.T) {
+	// Parallelism must not change the work-unit accounting.
+	work := func(parallel bool) int64 {
+		eng, s := newTestEngine(t, "excel", 300, true)
+		snap := eng.Meter().Snapshot()
+		if parallel {
+			if _, err := eng.RecalculateParallel(s, 4); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := eng.Recalculate(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := eng.Meter().Sub(snap)
+		return d.Total()
+	}
+	serial, par := work(false), work(true)
+	if serial != par {
+		t.Errorf("work units differ: serial %d, parallel %d", serial, par)
+	}
+}
+
+func TestParallelRecalcChain(t *testing.T) {
+	// A 50-deep chain must still evaluate level by level.
+	eng, s := newTestEngine(t, "excel", 60, false)
+	mustInsert(t, eng, s, "S1", "=A2")
+	for i := 2; i <= 50; i++ {
+		mustInsert(t, eng, s, fmt.Sprintf("S%d", i), fmt.Sprintf("=S%d+1", i-1))
+	}
+	base := s.Value(a("A2")).Num
+	s.EachFormula(func(at cell.Addr, _ sheet.Formula) bool {
+		s.SetCachedValue(at, cell.Num(-7))
+		return true
+	})
+	if _, err := eng.RecalculateParallel(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(a("S50")).Num; got != base+49 {
+		t.Errorf("S50 = %v, want %v", got, base+49)
+	}
+}
+
+func TestParallelRecalcNil(t *testing.T) {
+	eng, _ := newTestEngine(t, "excel", 1, false)
+	if _, err := eng.RecalculateParallel(nil, 2); err == nil {
+		t.Error("nil sheet must error")
+	}
+}

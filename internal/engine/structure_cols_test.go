@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/workload"
+)
+
+func TestInsertColsShiftsReferences(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 20, false)
+	// U1 references the state column (B); V1 aggregates the storm column (J).
+	mustInsert(t, eng, s, "U1", "=B5")
+	mustInsert(t, eng, s, "V1", "=SUM(J2:J21)")
+	stateBefore := s.Value(a("U1")).Str
+	sumBefore := s.Value(a("V1")).Num
+
+	// Insert 2 columns before column B (index 1).
+	if _, err := eng.InsertCols(s, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The inserted columns are blank; the state column moved to D.
+	if !s.Value(cell.Addr{Row: 1, Col: 1}).IsEmpty() {
+		t.Error("inserted column not blank")
+	}
+	if got := s.Value(cell.Addr{Row: 4, Col: 3}).Str; got != stateBefore {
+		t.Errorf("state column did not shift: %q", got)
+	}
+	// The formulas moved (U1 -> W1) and still track their targets.
+	if got := s.Value(a("W1")).Str; got != stateBefore {
+		t.Errorf("shifted ref = %q, want %q", got, stateBefore)
+	}
+	if got := s.Value(a("X1")).Num; got != sumBefore {
+		t.Errorf("shifted SUM = %v, want %v", got, sumBefore)
+	}
+}
+
+func TestDeleteColsRefError(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 10, false)
+	mustInsert(t, eng, s, "U1", "=B5")          // references the deleted column
+	mustInsert(t, eng, s, "V1", "=SUM(J2:J11)") // unaffected target column
+	sumBefore := s.Value(a("V1")).Num
+
+	// Delete column B (index 1).
+	if _, err := eng.DeleteCols(s, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Formulas shifted left one column: U1 -> T1, V1 -> U1.
+	if got := s.Value(a("T1")); got.Str != cell.ErrRef {
+		t.Errorf("ref into deleted column = %+v, want #REF!", got)
+	}
+	if got := s.Value(a("U1")).Num; got != sumBefore {
+		t.Errorf("surviving SUM = %v, want %v", got, sumBefore)
+	}
+	// 17 data columns grew to 22 when V1 (col 21) materialized; minus one.
+	if s.Cols() != 21 {
+		t.Errorf("cols = %d", s.Cols())
+	}
+}
+
+func TestColEditEmbeddedFormulas(t *testing.T) {
+	// Inserting a column before the event columns must keep every
+	// embedded COUNTIF pointing at its (shifted) event cell.
+	eng, s := newTestEngine(t, "calc", 30, true)
+	if _, err := eng.InsertCols(s, workload.ColEvent0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for dr := 1; dr <= 30; dr++ {
+		want := 0.0
+		if workload.EventAt(workload.DefaultSeed, dr, 0) == "STORM" {
+			want = 1
+		}
+		got := s.Value(cell.Addr{Row: dr, Col: workload.ColFormula0 + 1}).Num
+		if got != want {
+			t.Fatalf("row %d: K formula = %v, want %v", dr, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func TestInsertRowsShiftsReferences(t *testing.T) {
+	for _, sys := range []string{"excel", "calc", "optimized"} {
+		eng, s := newTestEngine(t, sys, 20, false)
+		// An aggregate over the data and a point reference below the edit.
+		mustInsert(t, eng, s, "S1", "=SUM(A2:A21)")
+		mustInsert(t, eng, s, "T1", "=A10")
+		sumBefore := s.Value(a("S1")).Num
+		refBefore := s.Value(a("T1")).Num
+
+		// Insert 3 blank rows before display row 5 (sheet row 4).
+		if _, err := eng.InsertRows(s, 4, 3); err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+
+		// The SUM's range grew past the blanks; blanks contribute 0.
+		if got := s.Value(a("S1")).Num; got != sumBefore {
+			t.Errorf("%s: SUM after insert = %v, want %v", sys, got, sumBefore)
+		}
+		// The point reference followed its target down 3 rows.
+		if got := s.Value(a("T1")).Num; got != refBefore {
+			t.Errorf("%s: ref after insert = %v, want %v", sys, got, refBefore)
+		}
+		// The inserted rows are blank.
+		for r := 4; r < 7; r++ {
+			if !s.Value(cell.Addr{Row: r, Col: workload.ColID}).IsEmpty() {
+				t.Errorf("%s: row %d not blank", sys, r)
+			}
+		}
+		// Data shifted: old sheet row 4 (data row 4, id 5) now at row 7.
+		if got := s.Value(cell.Addr{Row: 7, Col: workload.ColID}).Num; got != 5 {
+			t.Errorf("%s: shifted id = %v, want 5", sys, got)
+		}
+	}
+}
+
+func TestInsertRowsMovesEmbeddedFormulas(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 30, true)
+	if _, err := eng.InsertRows(s, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Every K formula still equals its own row's storm indicator.
+	for r := 1; r < s.Rows(); r++ {
+		id := s.Value(cell.Addr{Row: r, Col: workload.ColID})
+		if id.IsEmpty() {
+			continue
+		}
+		want := 0.0
+		if workload.EventAt(workload.DefaultSeed, int(id.Num)-1, 0) == "STORM" {
+			want = 1
+		}
+		if got := s.Value(cell.Addr{Row: r, Col: workload.ColFormula0}).Num; got != want {
+			t.Fatalf("row %d (id %v): K = %v, want %v", r, id.Num, got, want)
+		}
+	}
+}
+
+func TestDeleteRowsRefError(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 20, false)
+	mustInsert(t, eng, s, "S1", "=A10")         // inside the deletion
+	mustInsert(t, eng, s, "T1", "=A15")         // below it
+	mustInsert(t, eng, s, "U1", "=SUM(A2:A21)") // spans it
+	refBelow := s.Value(a("A15")).Num
+	sumBefore := s.Value(a("U1")).Num
+
+	// Delete sheet rows [8, 12): display rows 9-12, including A10.
+	if _, err := eng.DeleteRows(s, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Value(a("S1")); got.Str != cell.ErrRef {
+		t.Errorf("deleted ref = %+v, want #REF!", got)
+	}
+	if got := s.Value(a("T1")).Num; got != refBelow {
+		t.Errorf("shifted ref = %v, want %v", got, refBelow)
+	}
+	// The spanning SUM shrank by the deleted ids (display rows 9..12 hold
+	// ids 9..12).
+	wantSum := sumBefore - (9 + 10 + 11 + 12)
+	if got := s.Value(a("U1")).Num; got != wantSum {
+		t.Errorf("spanning SUM = %v, want %v", got, wantSum)
+	}
+}
+
+func TestRowEditInvalid(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 5, false)
+	if _, err := eng.InsertRows(nil, 1, 1); err == nil {
+		t.Error("nil sheet")
+	}
+	if _, err := eng.InsertRows(s, -1, 1); err == nil {
+		t.Error("negative at")
+	}
+	if _, err := eng.DeleteRows(s, 1, 0); err == nil {
+		t.Error("zero delta")
+	}
+}
+
+func TestRowEditRebuildsIndexes(t *testing.T) {
+	eng, s := newTestEngine(t, "optimized", 200, false)
+	mustInsert(t, eng, s, "R1", "=VLOOKUP(100,A2:Q201,2,FALSE)") // builds hash on A
+	if _, err := eng.InsertRows(s, 50, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh lookup after the structural edit must be correct.
+	v := mustInsert(t, eng, s, "R2", "=VLOOKUP(100,A2:Q206,2,FALSE)")
+	if v.Str != workload.StateAt(workload.DefaultSeed, 99) {
+		t.Errorf("post-edit lookup = %+v", v)
+	}
+}
+
+func TestRowEditDifferential(t *testing.T) {
+	// excel and optimized agree after interleaved structural edits.
+	engA, sA := newTestEngine(t, "excel", 100, true)
+	engB, sB := newTestEngine(t, "optimized", 100, true)
+	step := func(f func(e *Engine, s *sheet.Sheet) error) {
+		t.Helper()
+		if err := f(engA, sA); err != nil {
+			t.Fatal(err)
+		}
+		if err := f(engB, sB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(func(e *Engine, s *sheet.Sheet) error { _, err := e.InsertRows(s, 10, 3); return err })
+	step(func(e *Engine, s *sheet.Sheet) error { _, err := e.DeleteRows(s, 40, 5); return err })
+	step(func(e *Engine, s *sheet.Sheet) error {
+		_, _, err := e.InsertFormula(s, a("R1"), "=SUM(J2:J99)")
+		return err
+	})
+	step(func(e *Engine, s *sheet.Sheet) error { _, err := e.SetCell(s, a("J20"), cell.Num(1)); return err })
+	for r := 0; r < sA.Rows(); r++ {
+		for c := 0; c < sA.Cols(); c++ {
+			at := cell.Addr{Row: r, Col: c}
+			if !sA.Value(at).Equal(sB.Value(at)) {
+				t.Fatalf("divergence at %s: %+v vs %+v", at, sA.Value(at), sB.Value(at))
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+)
+
+func TestVolatileRefreshOnEveryPass(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 10, false)
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	eng.SetNow(func() time.Time { return now })
+
+	mustInsert(t, eng, s, "S1", "=NOW()")
+	mustInsert(t, eng, s, "S2", "=S1*2") // dependent of the volatile
+	first := s.Value(a("S1")).Num
+
+	// Advance the clock and edit an UNRELATED cell: the volatile cell and
+	// its dependent must refresh anyway (every calc pass).
+	now = now.Add(24 * time.Hour)
+	if _, err := eng.SetCell(s, a("J5"), cell.Num(0)); err != nil {
+		t.Fatal(err)
+	}
+	second := s.Value(a("S1")).Num
+	if second != first+1 {
+		t.Errorf("NOW after pass = %v, want %v", second, first+1)
+	}
+	if got := s.Value(a("S2")).Num; got != second*2 {
+		t.Errorf("dependent of volatile = %v, want %v", got, second*2)
+	}
+}
+
+func TestVolatileSetRetired(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 5, false)
+	mustInsert(t, eng, s, "S1", "=NOW()")
+	if len(s.VolatileCells()) != 1 {
+		t.Fatal("volatile not tracked")
+	}
+	if _, err := eng.SetCell(s, a("S1"), cell.Num(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.VolatileCells()) != 0 {
+		t.Error("overwriting a volatile formula must retire it")
+	}
+	// Replacing with a non-volatile formula also retires it.
+	mustInsert(t, eng, s, "S2", "=RAND()")
+	mustInsert(t, eng, s, "S2", "=1+1")
+	if len(s.VolatileCells()) != 0 {
+		t.Error("non-volatile replacement must retire the volatile flag")
+	}
+}

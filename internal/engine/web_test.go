@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// TestWebQuotaExhaustion: the Apps Script daily quota (§3.3) is modeled as
+// a sticky failure once the simulated service budget is spent.
+func TestWebQuotaExhaustion(t *testing.T) {
+	prof := SheetsProfile()
+	prof.Net.DailyQuota = 900 * time.Millisecond // ~4 calls at ~220ms each
+	prof.Net.JitterFraction = 0
+	eng := New(prof)
+	wb := workload.Weather(workload.Spec{Rows: 100})
+	if err := eng.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	s := wb.First()
+
+	var firstErr error
+	calls := 0
+	for i := 0; i < 10; i++ {
+		_, err := eng.SetCell(s, cell.Addr{Row: 1 + i, Col: workload.ColStorm}, cell.Num(0))
+		calls++
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("quota never exhausted")
+	}
+	if !errors.Is(firstErr, netsim.ErrQuotaExhausted) {
+		t.Fatalf("err = %v", firstErr)
+	}
+	if calls < 3 || calls > 6 {
+		t.Errorf("quota tripped after %d calls", calls)
+	}
+	// Sticky: subsequent operations keep failing for the day.
+	if _, err := eng.SetCell(s, cell.Addr{Row: 50, Col: workload.ColStorm}, cell.Num(0)); err == nil {
+		t.Error("quota exhaustion must be sticky")
+	}
+}
+
+func TestWebOpsAddNetworkTime(t *testing.T) {
+	eng, s := newTestEngine(t, "sheets", 200, false)
+	ops := []func() (Result, error){
+		func() (Result, error) { r, err := eng.Sort(s, workload.ColID, false, 1); return r, err },
+		func() (Result, error) {
+			_, r, err := eng.Filter(s, workload.ColState, cell.Str("SD"), 1)
+			return r, err
+		},
+		func() (Result, error) {
+			out, r, err := eng.PivotTable(s, workload.ColState, workload.ColStorm, 1)
+			if out != nil {
+				eng.Workbook().Remove(out.Name)
+			}
+			return r, err
+		},
+		func() (Result, error) { _, r, err := eng.FindReplace(s, "STORM", "S2"); return r, err },
+		func() (Result, error) { _, r, err := eng.InsertFormula(s, a("R2"), "=SUM(J2:J201)"); return r, err },
+		func() (Result, error) { r, err := eng.SetCell(s, a("J2"), cell.Num(0)); return r, err },
+	}
+	for i, op := range ops {
+		res, err := op()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		// Every web operation pays at least one round trip (~200ms here).
+		if res.Sim < 100*time.Millisecond {
+			t.Errorf("op %d: sim %v lacks network floor", i, res.Sim)
+		}
+	}
+}
+
+// TestCopyPasteZeroOffset is a regression guard: pasting onto the source
+// anchor is a no-op, not a corruption.
+func TestCopyPasteZeroOffset(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 10, false)
+	before := s.Value(a("A2"))
+	out, _, err := eng.CopyPaste(s, cell.RangeOf(a("A2"), a("B3")), a("A2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != cell.RangeOf(a("A2"), a("B3")) {
+		t.Errorf("out = %v", out)
+	}
+	if !s.Value(a("A2")).Equal(before) {
+		t.Error("zero-offset paste corrupted data")
+	}
+}

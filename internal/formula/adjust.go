@@ -1,0 +1,154 @@
+package formula
+
+import (
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Structural reference adjustment. Structural edits (inserting or deleting
+// rows/columns) differ from moves: EVERY reference whose effective
+// (displaced) coordinate lies at or beyond the edit point shifts, wherever
+// the formula lives, and references into a deleted region become #REF! —
+// the semantics all three benchmarked systems share. The adjusted text must
+// be recompiled; the engine re-anchors it at the formula's post-edit
+// address.
+
+// refAdjuster maps one effective reference to its post-edit form; dead
+// reports a reference into a deleted region.
+type refAdjuster func(r cell.Ref) (out cell.Ref, dead bool)
+
+// AdjustForRowChange renders the formula's post-edit text for a formula
+// hosted with displacement (dr, dc) from its authored origin.
+//
+//   - delta > 0: delta rows were inserted before row `boundary`;
+//     references with effective row >= boundary shift down.
+//   - delta < 0: rows [boundary, boundary-delta) were deleted; references
+//     into the region die, references below shift up.
+func AdjustForRowChange(c *Compiled, dr, dc int, boundary, delta int) string {
+	return adjustText(c, func(r cell.Ref) (cell.Ref, bool) {
+		eff := effective(r, dr, dc)
+		row, dead := shiftCoord(eff.Addr.Row, boundary, delta)
+		eff.Addr.Row = row
+		return eff, dead || !eff.Addr.Valid()
+	}, boundary, delta, true)
+}
+
+// AdjustForColChange is the column-axis counterpart of AdjustForRowChange.
+func AdjustForColChange(c *Compiled, dr, dc int, boundary, delta int) string {
+	return adjustText(c, func(r cell.Ref) (cell.Ref, bool) {
+		eff := effective(r, dr, dc)
+		col, dead := shiftCoord(eff.Addr.Col, boundary, delta)
+		eff.Addr.Col = col
+		return eff, dead || !eff.Addr.Valid()
+	}, boundary, delta, false)
+}
+
+// effective resolves a reference's displaced address, keeping abs flags.
+func effective(r cell.Ref, dr, dc int) cell.Ref {
+	eff := r
+	if !r.AbsRow {
+		eff.Addr.Row += dr
+	}
+	if !r.AbsCol {
+		eff.Addr.Col += dc
+	}
+	return eff
+}
+
+// shiftCoord applies the structural shift to one coordinate.
+func shiftCoord(x, boundary, delta int) (int, bool) {
+	switch {
+	case delta > 0:
+		if x >= boundary {
+			return x + delta, false
+		}
+	case delta < 0:
+		cut := -delta
+		switch {
+		case x >= boundary && x < boundary+cut:
+			return x, true
+		case x >= boundary+cut:
+			return x - cut, false
+		}
+	}
+	return x, false
+}
+
+func adjustText(c *Compiled, adj refAdjuster, boundary, delta int, rowAxis bool) string {
+	var b strings.Builder
+	b.WriteByte('=')
+	writeAdjusted(&b, c.Root, adj, boundary, rowAxis)
+	return b.String()
+}
+
+func writeAdjusted(b *strings.Builder, n Node, adj refAdjuster, boundary int, rowAxis bool) {
+	switch t := n.(type) {
+	case RefNode:
+		out, dead := adj(t.Ref)
+		if dead {
+			b.WriteString(cell.ErrRef)
+			return
+		}
+		b.WriteString(out.String())
+	case RangeNode:
+		// Endpoints clamp instead of erroring so ranges shrink over a
+		// deletion; only a fully deleted range yields #REF!.
+		from, fromDead := adj(t.From)
+		to, toDead := adj(t.To)
+		if fromDead && toDead {
+			b.WriteString(cell.ErrRef)
+			return
+		}
+		if fromDead {
+			if rowAxis {
+				from.Addr.Row = boundary
+			} else {
+				from.Addr.Col = boundary
+			}
+		}
+		if toDead {
+			if rowAxis {
+				to.Addr.Row = boundary - 1
+			} else {
+				to.Addr.Col = boundary - 1
+			}
+			if !to.Addr.Valid() {
+				b.WriteString(cell.ErrRef)
+				return
+			}
+		}
+		b.WriteString(from.String())
+		b.WriteByte(':')
+		b.WriteString(to.String())
+	case CallNode:
+		b.WriteString(t.Name)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeAdjusted(b, a, adj, boundary, rowAxis)
+		}
+		b.WriteByte(')')
+	case BinaryNode:
+		b.WriteByte('(')
+		writeAdjusted(b, t.L, adj, boundary, rowAxis)
+		b.WriteString(t.Op.String())
+		writeAdjusted(b, t.R, adj, boundary, rowAxis)
+		b.WriteByte(')')
+	case UnaryNode:
+		if t.Op == "%" {
+			b.WriteByte('(')
+			writeAdjusted(b, t.X, adj, boundary, rowAxis)
+			b.WriteString("%)")
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(t.Op)
+		writeAdjusted(b, t.X, adj, boundary, rowAxis)
+		b.WriteByte(')')
+	default:
+		t.writeCanonical(b)
+	}
+}

@@ -1,0 +1,119 @@
+package formula
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestErrorLiteralParsesAndPropagates(t *testing.T) {
+	for _, text := range []string{"=#REF!", "=#N/A", "=#DIV/0!", "=#VALUE!"} {
+		c, err := Compile(text)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", text, err)
+		}
+		v := Eval(c, &Env{Src: emptySource{}})
+		if !v.IsError() || "="+v.Str != text {
+			t.Errorf("%s = %+v", text, v)
+		}
+	}
+	// Error literals flow through expressions.
+	v := Eval(MustCompile("=#REF!+1"), &Env{Src: emptySource{}})
+	if v.Str != cell.ErrRef {
+		t.Errorf("#REF!+1 = %+v", v)
+	}
+	if v := Eval(MustCompile("=IFERROR(#REF!,42)"), &Env{Src: emptySource{}}); v.Num != 42 {
+		t.Errorf("IFERROR(#REF!) = %+v", v)
+	}
+	if _, err := Compile("=#BOGUS!"); err == nil {
+		t.Error("unknown error literal must fail to parse")
+	}
+}
+
+func TestAdjustForRowChangeInsert(t *testing.T) {
+	cases := []struct {
+		text     string
+		dr       int
+		boundary int
+		delta    int
+		want     string
+	}{
+		// Refs below the boundary shift; above stay.
+		{"=A1+A10", 0, 5, 3, "=(A1+A13)"},
+		// Absolute refs shift too (structural edits move absolute targets).
+		{"=$A$10", 0, 5, 3, "=$A$13"},
+		// Displacement applies first: formula authored at row 0 but hosted
+		// 4 rows lower reads A5 effectively.
+		{"=A1", 4, 3, 2, "=A7"},
+		// Ranges spanning the boundary grow.
+		{"=SUM(A1:A10)", 0, 5, 2, "=SUM(A1:A12)"},
+		// Ranges entirely above the boundary stay put.
+		{"=SUM(A1:A3)", 0, 5, 2, "=SUM(A1:A3)"},
+	}
+	for _, c := range cases {
+		got := AdjustForRowChange(MustCompile(c.text), c.dr, 0, c.boundary-1, c.delta)
+		if got != c.want {
+			t.Errorf("AdjustForRowChange(%s, dr=%d, boundary=%d, +%d) = %q, want %q",
+				c.text, c.dr, c.boundary, c.delta, got, c.want)
+		}
+	}
+}
+
+func TestAdjustForRowChangeDelete(t *testing.T) {
+	cases := []struct {
+		text     string
+		boundary int // 0-based first deleted row
+		n        int
+		want     string
+	}{
+		{"=A10", 4, 3, "=A7"},                 // below the cut: shifts up
+		{"=A5", 4, 3, "=#REF!"},               // inside the cut
+		{"=A3", 4, 3, "=A3"},                  // above the cut
+		{"=SUM(A1:A10)", 4, 3, "=SUM(A1:A7)"}, // spanning: shrinks
+		{"=SUM(A5:A7)", 4, 3, "=SUM(#REF!)"},  // fully inside: argument dies
+		{"=SUM(A6:A10)", 4, 3, "=SUM(A5:A7)"}, // start clamps to the cut
+	}
+	for _, c := range cases {
+		got := AdjustForRowChange(MustCompile(c.text), 0, 0, c.boundary, -c.n)
+		if got != c.want {
+			t.Errorf("delete [%d,%d): %s -> %q, want %q", c.boundary, c.boundary+c.n, c.text, got, c.want)
+		}
+	}
+}
+
+func TestAdjustForColChange(t *testing.T) {
+	cases := []struct {
+		text     string
+		boundary int
+		delta    int
+		want     string
+	}{
+		{"=B1+E1", 2, 2, "=(B1+G1)"},           // E (col 4) shifts to G
+		{"=SUM(A1:C10)", 1, 1, "=SUM(A1:D10)"}, // spanning range grows
+		{"=C1", 2, -1, "=#REF!"},               // deleted column
+		{"=D1", 2, -1, "=C1"},                  // shifts left
+	}
+	for _, c := range cases {
+		got := AdjustForColChange(MustCompile(c.text), 0, 0, c.boundary, c.delta)
+		if got != c.want {
+			t.Errorf("AdjustForColChange(%s, boundary=%d, %+d) = %q, want %q",
+				c.text, c.boundary, c.delta, got, c.want)
+		}
+	}
+}
+
+func TestAdjustedTextRecompiles(t *testing.T) {
+	// Every adjustment output must be valid formula text.
+	texts := []string{
+		"=A1+A10", "=SUM(A1:A10)*2", `=COUNTIF(B2:B9,"x")&"!"`,
+		"=VLOOKUP(5,A1:C10,2,FALSE)", "=IF(A5>0,A6,A7)",
+	}
+	for _, text := range texts {
+		for _, delta := range []int{3, -3} {
+			out := AdjustForRowChange(MustCompile(text), 0, 0, 4, delta)
+			if _, err := Compile(out); err != nil {
+				t.Errorf("adjusted %q -> %q does not recompile: %v", text, out, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package formula
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Node is a formula AST node. Nodes are immutable after parsing; a Compiled
+// formula and its AST may be shared between cells (the engine deduplicates
+// identical formula texts at load time purely to save memory — sharing the
+// *computation* is exactly what the benchmarked systems do not do, and is
+// modeled separately).
+type Node interface {
+	// writeCanonical appends the canonical text of the node: uppercase
+	// function names, '.'-normalized numbers, minimal parentheses via full
+	// parenthesization of operator nodes. Canonical text is the basis of
+	// formula fingerprints (§5.4 redundant-computation detection).
+	writeCanonical(b *strings.Builder)
+}
+
+// NumberLit is a numeric literal.
+type NumberLit float64
+
+// StringLit is a string literal.
+type StringLit string
+
+// BoolLit is TRUE or FALSE.
+type BoolLit bool
+
+// ErrorLit is an error literal such as #REF!, produced by structural edits
+// that delete referenced cells; it evaluates to the error value.
+type ErrorLit string
+
+// RefNode is a single-cell reference such as A1 or $B$2.
+type RefNode struct {
+	Ref cell.Ref
+}
+
+// RangeNode is a rectangular range reference such as A1:B10.
+type RangeNode struct {
+	From cell.Ref
+	To   cell.Ref
+}
+
+// Range returns the canonical cell range covered by the node.
+func (r RangeNode) Range() cell.Range { return cell.RangeOf(r.From.Addr, r.To.Addr) }
+
+// CallNode is a function invocation.
+type CallNode struct {
+	Name string // uppercase
+	Args []Node
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators in precedence groups (see parser.go).
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpConcat
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+var binOpText = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpPow: "^",
+	OpConcat: "&", OpEQ: "=", OpNE: "<>", OpLT: "<", OpLE: "<=",
+	OpGT: ">", OpGE: ">=",
+}
+
+// String returns the operator's source text.
+func (op BinOp) String() string { return binOpText[op] }
+
+// BinaryNode applies a binary operator.
+type BinaryNode struct {
+	Op   BinOp
+	L, R Node
+}
+
+// UnaryNode applies unary minus, unary plus, or the percent postfix.
+type UnaryNode struct {
+	Op string // "-", "+", "%"
+	X  Node
+}
+
+func (n NumberLit) writeCanonical(b *strings.Builder) {
+	b.WriteString(strconv.FormatFloat(float64(n), 'g', -1, 64))
+}
+
+func (n StringLit) writeCanonical(b *strings.Builder) {
+	b.WriteByte('"')
+	b.WriteString(strings.ReplaceAll(string(n), `"`, `""`))
+	b.WriteByte('"')
+}
+
+func (n BoolLit) writeCanonical(b *strings.Builder) {
+	if n {
+		b.WriteString("TRUE")
+	} else {
+		b.WriteString("FALSE")
+	}
+}
+
+func (n ErrorLit) writeCanonical(b *strings.Builder) { b.WriteString(string(n)) }
+
+func (n RefNode) writeCanonical(b *strings.Builder) { b.WriteString(n.Ref.String()) }
+
+func (n RangeNode) writeCanonical(b *strings.Builder) {
+	b.WriteString(n.From.String())
+	b.WriteByte(':')
+	b.WriteString(n.To.String())
+}
+
+func (n CallNode) writeCanonical(b *strings.Builder) {
+	b.WriteString(n.Name)
+	b.WriteByte('(')
+	for i, a := range n.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		a.writeCanonical(b)
+	}
+	b.WriteByte(')')
+}
+
+func (n BinaryNode) writeCanonical(b *strings.Builder) {
+	b.WriteByte('(')
+	n.L.writeCanonical(b)
+	b.WriteString(n.Op.String())
+	n.R.writeCanonical(b)
+	b.WriteByte(')')
+}
+
+func (n UnaryNode) writeCanonical(b *strings.Builder) {
+	if n.Op == "%" {
+		b.WriteByte('(')
+		n.X.writeCanonical(b)
+		b.WriteString("%)")
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(n.Op)
+	n.X.writeCanonical(b)
+	b.WriteByte(')')
+}
+
+// Canonical returns the canonical text of a formula AST (without the leading
+// '='). Two formulae with equal canonical text are guaranteed to compute the
+// same value on the same sheet.
+func Canonical(n Node) string {
+	var b strings.Builder
+	n.writeCanonical(&b)
+	return b.String()
+}
+
+// walk visits n and all descendants in depth-first order.
+func walk(n Node, visit func(Node)) {
+	visit(n)
+	switch t := n.(type) {
+	case CallNode:
+		for _, a := range t.Args {
+			walk(a, visit)
+		}
+	case BinaryNode:
+		walk(t.L, visit)
+		walk(t.R, visit)
+	case UnaryNode:
+		walk(t.X, visit)
+	}
+}
+
+// sanity check that all node types implement Node.
+var (
+	_ Node = NumberLit(0)
+	_ Node = StringLit("")
+	_ Node = BoolLit(false)
+	_ Node = ErrorLit("")
+	_ Node = RefNode{}
+	_ Node = RangeNode{}
+	_ Node = CallNode{}
+	_ Node = BinaryNode{}
+	_ Node = UnaryNode{}
+)
+
+// errParse wraps parse errors with the formula text for diagnostics.
+func errParse(src string, pos int, format string, args ...any) error {
+	return fmt.Errorf("formula: parsing %q at offset %d: %s", src, pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,237 @@
+package formula
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Compiled is a parsed formula together with the derived facts the engine
+// needs: the precedent cells/ranges, a fingerprint for redundant-computation
+// detection (§5.4), volatility (NOW, RAND force recomputation on every calc
+// pass), and the reference-shape flags driving the sort-recalculation
+// analysis of §6 ("Detecting what needs recomputation").
+type Compiled struct {
+	// Text is the original formula text, including the leading '='.
+	Text string
+	// Root is the parsed AST.
+	Root Node
+	// Refs holds the single-cell precedents in source order.
+	Refs []cell.Ref
+	// Ranges holds the range precedents in source order.
+	Ranges []cell.Range
+	// Volatile marks formulae that must recompute on every pass.
+	Volatile bool
+	// HasAbsolute is true when any reference component is absolute ($).
+	HasAbsolute bool
+	// Fingerprint is a 64-bit FNV-1a hash of the canonical text. Equal
+	// fingerprints (plus equal canonical text, checked on collision) mean
+	// the formulae compute identical values on the same sheet.
+	Fingerprint uint64
+	canonical   string
+}
+
+// volatileFuncs are functions whose value can change without any precedent
+// changing; the classic set shared by all three dialects.
+var volatileFuncs = map[string]bool{
+	"NOW": true, "TODAY": true, "RAND": true, "RANDBETWEEN": true,
+}
+
+// Compile parses and analyzes a formula. The text may include or omit the
+// leading '='.
+func Compile(text string) (*Compiled, error) {
+	root, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Root: root}
+	if strings.HasPrefix(text, "=") {
+		c.Text = text
+	} else {
+		c.Text = "=" + text
+	}
+	walk(root, func(n Node) {
+		switch t := n.(type) {
+		case RefNode:
+			c.Refs = append(c.Refs, t.Ref)
+			if t.Ref.AbsRow || t.Ref.AbsCol {
+				c.HasAbsolute = true
+			}
+		case RangeNode:
+			c.Ranges = append(c.Ranges, t.Range())
+			if t.From.AbsRow || t.From.AbsCol || t.To.AbsRow || t.To.AbsCol {
+				c.HasAbsolute = true
+			}
+		case CallNode:
+			if volatileFuncs[t.Name] {
+				c.Volatile = true
+			}
+		}
+	})
+	c.canonical = Canonical(root)
+	h := fnv.New64a()
+	h.Write([]byte(c.canonical))
+	c.Fingerprint = h.Sum64()
+	return c, nil
+}
+
+// MustCompile is like Compile but panics on error; for tests and
+// compile-time-constant formulae.
+func MustCompile(text string) *Compiled {
+	c, err := Compile(text)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CanonicalText returns the canonical (normalized) formula body used for
+// fingerprinting.
+func (c *Compiled) CanonicalText() string { return c.canonical }
+
+// EquivalentTo reports whether two compiled formulae are textually
+// equivalent after normalization — the "exactly the same formula" test of
+// the redundant-computation experiment (§5.4). Fingerprints are compared
+// first; canonical text breaks hash collisions.
+func (c *Compiled) EquivalentTo(d *Compiled) bool {
+	return c.Fingerprint == d.Fingerprint && c.canonical == d.canonical
+}
+
+// PrecedentCells returns the total number of individual cells referenced by
+// the formula (single refs plus all cells of every range). This is the
+// quantity whose quadratic growth explains the repeated-computation curve of
+// §5.3 (Figure 11).
+func (c *Compiled) PrecedentCells() int {
+	n := len(c.Refs)
+	for _, r := range c.Ranges {
+		n += r.Cells()
+	}
+	return n
+}
+
+// PrecedentRanges returns every precedent (single refs as 1x1 ranges) with
+// relative components translated by (dr, dc) — the displacement of the cell
+// hosting the formula from where its text was authored. The engine uses
+// this for dependency-graph registration.
+func (c *Compiled) PrecedentRanges(dr, dc int) []cell.Range {
+	out := make([]cell.Range, 0, len(c.Refs)+len(c.Ranges))
+	shift := func(r cell.Ref) cell.Addr {
+		a := r.Addr
+		if !r.AbsRow {
+			a.Row += dr
+		}
+		if !r.AbsCol {
+			a.Col += dc
+		}
+		return a
+	}
+	for _, r := range c.Refs {
+		out = append(out, cell.SingleCell(shift(r)))
+	}
+	walk(c.Root, func(n Node) {
+		if t, ok := n.(RangeNode); ok {
+			out = append(out, cell.RangeOf(shift(t.From), shift(t.To)))
+		}
+	})
+	return out
+}
+
+// RowLocal reports whether a formula placed at the given address reads only
+// relative references within its own row. Under a whole-sheet row
+// reordering (sort), such a formula travels with its row and its value
+// cannot change — the recalculation-skip rule from §6: "when sorting an
+// entire spreadsheet by row, any formula with relative columnar references,
+// e.g. C1 = A1 + B1, are unaffected, while formulae with absolute
+// references require recomputation".
+func (c *Compiled) RowLocal(at cell.Addr) bool {
+	if c.Volatile {
+		return false
+	}
+	for _, r := range c.Refs {
+		if r.AbsRow || r.AbsCol || r.Addr.Row != at.Row {
+			return false
+		}
+	}
+	// Any multi-row range spans other rows by construction; a single-row
+	// relative range in the formula's own row is still row-local.
+	for i, rng := range c.Ranges {
+		_ = i
+		if rng.Start.Row != at.Row || rng.End.Row != at.Row {
+			return false
+		}
+	}
+	// Re-check absolute flags on range endpoints (covered by HasAbsolute
+	// only if set); HasAbsolute includes refs too, so test explicitly.
+	if c.HasAbsolute {
+		return false
+	}
+	return true
+}
+
+// RewriteRelative returns the formula text with every relative reference
+// component translated by (dr, dc) rows/columns, as happens when a formula
+// is copy-pasted. Absolute components are preserved. Translating a
+// reference off the sheet yields a #REF! marker in the text, matching
+// spreadsheet behavior.
+func (c *Compiled) RewriteRelative(dr, dc int) string {
+	var b strings.Builder
+	b.WriteByte('=')
+	writeRewritten(&b, c.Root, dr, dc)
+	return b.String()
+}
+
+func writeRewritten(b *strings.Builder, n Node, dr, dc int) {
+	switch t := n.(type) {
+	case RefNode:
+		writeShiftedRef(b, t.Ref, dr, dc)
+	case RangeNode:
+		writeShiftedRef(b, t.From, dr, dc)
+		b.WriteByte(':')
+		writeShiftedRef(b, t.To, dr, dc)
+	case CallNode:
+		b.WriteString(t.Name)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeRewritten(b, a, dr, dc)
+		}
+		b.WriteByte(')')
+	case BinaryNode:
+		b.WriteByte('(')
+		writeRewritten(b, t.L, dr, dc)
+		b.WriteString(t.Op.String())
+		writeRewritten(b, t.R, dr, dc)
+		b.WriteByte(')')
+	case UnaryNode:
+		if t.Op == "%" {
+			b.WriteByte('(')
+			writeRewritten(b, t.X, dr, dc)
+			b.WriteString("%)")
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(t.Op)
+		writeRewritten(b, t.X, dr, dc)
+		b.WriteByte(')')
+	default:
+		t.writeCanonical(b)
+	}
+}
+
+func writeShiftedRef(b *strings.Builder, r cell.Ref, dr, dc int) {
+	s := r
+	if !s.AbsRow {
+		s.Addr.Row += dr
+	}
+	if !s.AbsCol {
+		s.Addr.Col += dc
+	}
+	if !s.Addr.Valid() {
+		b.WriteString(cell.ErrRef)
+		return
+	}
+	b.WriteString(s.String())
+}

@@ -1,0 +1,164 @@
+package formula
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+)
+
+func TestCriteriaNumeric(t *testing.T) {
+	cases := []struct {
+		crit cell.Value
+		v    cell.Value
+		want bool
+	}{
+		{cell.Num(1), cell.Num(1), true},
+		{cell.Num(1), cell.Num(2), false},
+		{cell.Num(1), cell.Boolean(true), true}, // 1 matches TRUE
+		{cell.Num(1), cell.Str("1"), true},      // numeric text matches
+		{cell.Num(1), cell.Str("x"), false},
+		{cell.Num(1), cell.Value{}, false}, // empty never matches a number
+		{cell.Str(">5"), cell.Num(6), true},
+		{cell.Str(">5"), cell.Num(5), false},
+		{cell.Str(">=5"), cell.Num(5), true},
+		{cell.Str("<5"), cell.Num(4), true},
+		{cell.Str("<=5"), cell.Num(6), false},
+		{cell.Str("<>5"), cell.Num(6), true},
+		{cell.Str("<>5"), cell.Num(5), false},
+		{cell.Str("<>5"), cell.Str("text"), true}, // non-numeric matches <>number
+		{cell.Str("=5"), cell.Num(5), true},
+		{cell.Str(">5"), cell.Str("abc"), false},
+	}
+	for _, c := range cases {
+		crit := CompileCriterion(c.crit)
+		if got := crit.Match(c.v); got != c.want {
+			t.Errorf("criterion %+v match %+v = %v, want %v", c.crit, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCriteriaText(t *testing.T) {
+	cases := []struct {
+		crit string
+		v    cell.Value
+		want bool
+	}{
+		{"STORM", cell.Str("storm"), true}, // case-insensitive
+		{"STORM", cell.Str("storms"), false},
+		{"STORM*", cell.Str("storms"), true},
+		{"*ORM", cell.Str("storm"), true}, // "storm" ends in "orm"
+		{"*ORM", cell.Str("storms"), false},
+		{"?torm", cell.Str("storm"), true},
+		{"s?orm", cell.Str("storm"), true},
+		{"s*m", cell.Str("storm"), true},
+		{"s*m", cell.Str("sam"), true},
+		{"s*m", cell.Str("sun"), false},
+		{"<>STORM", cell.Str("rain"), true},
+		{"<>STORM", cell.Str("storm"), false},
+		{"<>ST*", cell.Str("storm"), false},
+		{"<>ST*", cell.Str("rain"), true},
+		{"~*lit", cell.Str("*lit"), true}, // escaped wildcard
+		{"~*lit", cell.Str("xlit"), false},
+		{"", cell.Value{}, true}, // empty criterion matches empty
+		{"", cell.Str("x"), false},
+	}
+	for _, c := range cases {
+		crit := CompileCriterion(cell.Str(c.crit))
+		if got := crit.Match(c.v); got != c.want {
+			t.Errorf("criterion %q match %+v = %v, want %v", c.crit, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCriteriaTextOrderingOperators(t *testing.T) {
+	crit := CompileCriterion(cell.Str(">mango"))
+	if !crit.Match(cell.Str("papaya")) || crit.Match(cell.Str("apple")) {
+		t.Error("lexicographic > criterion misbehaved")
+	}
+}
+
+func TestWildMatchMatchesNaive(t *testing.T) {
+	// Property: wildMatch agrees with a naive recursive matcher on small
+	// alphabets.
+	var naive func(p, s string) bool
+	naive = func(p, s string) bool {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '*':
+			for i := 0; i <= len(s); i++ {
+				if naive(p[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			return s != "" && naive(p[1:], s[1:])
+		default:
+			return s != "" && p[0] == s[0] && naive(p[1:], s[1:])
+		}
+	}
+	alphabet := []byte("ab*?")
+	strAlphabet := []byte("ab")
+	gen := func(seed uint32, alpha []byte, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			seed = seed*1664525 + 1013904223
+			b.WriteByte(alpha[seed>>16&0xffff%uint32(len(alpha))])
+		}
+		return b.String()
+	}
+	f := func(seed uint32, pn, sn uint8) bool {
+		p := gen(seed, alphabet, int(pn%6))
+		s := gen(seed^0xdead, strAlphabet, int(sn%8))
+		return wildMatch(p, s) == naive(p, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriterionShape(t *testing.T) {
+	op, v, eq := CompileCriterion(cell.Num(5)).Shape()
+	if op != OpEQ || !eq || v.Num != 5 {
+		t.Errorf("Shape(5) = %v %v %v", op, v, eq)
+	}
+	op, v, eq = CompileCriterion(cell.Str(">=10")).Shape()
+	if op != OpGE || eq || v.Num != 10 {
+		t.Errorf("Shape(>=10) = %v %v %v", op, v, eq)
+	}
+	_, _, eq = CompileCriterion(cell.Str("st*")).Shape()
+	if eq {
+		t.Error("wildcard criterion is not an index-answerable equality")
+	}
+}
+
+func TestCriterionMatchesCountifSemantics(t *testing.T) {
+	// Cross-check Criterion against COUNTIF over a generated column.
+	src := make(mapSource)
+	vals := []cell.Value{
+		cell.Num(0), cell.Num(1), cell.Num(1), cell.Str("1"),
+		cell.Str("storm"), cell.Boolean(true), {},
+	}
+	for i, v := range vals {
+		src[cell.Addr{Row: i, Col: 0}.A1()] = v
+	}
+	for _, critText := range []string{"1", ">0", "storm", "<>storm", "<1"} {
+		crit := CompileCriterion(cell.Str(critText))
+		want := 0
+		for _, v := range vals {
+			if crit.Match(v) {
+				want++
+			}
+		}
+		f := fmt.Sprintf("=COUNTIF(A1:A%d,%q)", len(vals), critText)
+		got := evalText(t, src, f)
+		if int(got.Num) != want {
+			t.Errorf("%s = %v, want %d", f, got.Num, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package formula
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// Edge-case sweep over evaluator branches the main tables miss.
+func TestEvalEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		// Unary plus, percent chains, nested unary.
+		{"=+5", cell.Num(5)},
+		{"=+A1", cell.Num(10)},
+		{"=200%%", cell.Num(0.02)},
+		{"=--4", cell.Num(4)},
+		// Comparisons on every operator with text operands.
+		{`="b">="a"`, cell.Boolean(true)},
+		{`="a">"b"`, cell.Boolean(false)},
+		{`="a"<="a"`, cell.Boolean(true)},
+		// Unary on non-numeric.
+		{`=-"x"`, cell.Errorf(cell.ErrValue)},
+		{`="x"%`, cell.Errorf(cell.ErrValue)},
+		// RIGHT/REPT bounds.
+		{`=RIGHT("abc",-1)`, cell.Errorf(cell.ErrValue)},
+		{`=REPT("a",-2)`, cell.Errorf(cell.ErrValue)},
+		// DATE pre-epoch.
+		{"=DATE(1800,1,1)", cell.Errorf(cell.ErrValue)},
+		// SUMPRODUCT scalar error propagation.
+		{`=SUMPRODUCT("x")`, cell.Errorf(cell.ErrValue)},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMatchDescending(t *testing.T) {
+	src := mapSource{
+		"A1": cell.Num(9), "A2": cell.Num(7), "A3": cell.Num(5), "A4": cell.Num(3),
+	}
+	if v := evalText(t, src, "=MATCH(6,A1:A4,-1)"); v.Num != 2 {
+		t.Errorf("MATCH desc = %+v, want 2 (smallest >= 6)", v)
+	}
+	if v := evalText(t, src, "=MATCH(10,A1:A4,-1)"); !v.IsError() {
+		t.Errorf("MATCH above max = %+v", v)
+	}
+}
+
+func TestCanonicalTextExposed(t *testing.T) {
+	c := MustCompile("=sum(a1:a2)")
+	if c.CanonicalText() != "SUM(A1:A2)" {
+		t.Errorf("CanonicalText = %q", c.CanonicalText())
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	register("SUM", 1, -1, fnSum)
+}
+
+func TestCompileCriterionNonScalarKinds(t *testing.T) {
+	// Error-valued criteria fall back to text equality of the code.
+	crit := CompileCriterion(cell.Errorf(cell.ErrNA))
+	if !crit.Match(cell.Str("#n/a")) {
+		t.Error("error criterion should match its code text")
+	}
+	// Empty criterion matches blanks only.
+	empty := CompileCriterion(cell.Value{})
+	if !empty.Match(cell.Value{}) || empty.Match(cell.Num(0)) {
+		t.Error("empty criterion semantics")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	// Parser error messages must name every token kind.
+	for k := tokEOF; k <= tokGE; k++ {
+		if k.String() == "" {
+			t.Errorf("token kind %d has no name", k)
+		}
+	}
+}
+
+func TestNowDefaultsToWallClock(t *testing.T) {
+	v := Eval(MustCompile("=NOW()"), &Env{Src: emptySource{}})
+	// 2020-01-01 is serial 43831; any current date is far beyond it.
+	if v.Num < 43831 {
+		t.Errorf("NOW with default clock = %v", v.Num)
+	}
+}
+
+func TestRewriteRelativeNonRefNodes(t *testing.T) {
+	// Literals, calls, unaries and errors pass through rewriting.
+	c := MustCompile(`=IF(TRUE,-A1%,"s"&#N/A)`)
+	out := c.RewriteRelative(1, 1)
+	if _, err := Compile(out); err != nil {
+		t.Fatalf("rewritten %q: %v", out, err)
+	}
+}

@@ -1,0 +1,280 @@
+package formula
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+)
+
+// Source supplies cell values to the evaluator. A worksheet implements it;
+// tests use map-backed fakes.
+type Source interface {
+	// Value returns the displayed value of the cell (for a formula cell,
+	// its cached result).
+	Value(a cell.Addr) cell.Value
+}
+
+// Env is the evaluation environment: the value source, the work meter the
+// evaluator charges (may be nil for unmetered evaluation), and the clock
+// used by volatile time functions (defaults to time.Now).
+type Env struct {
+	Src   Source
+	Meter *costmodel.Meter
+	Now   func() time.Time
+	// Lookup selects the algorithms used by VLOOKUP/HLOOKUP/MATCH; the
+	// zero value is the fully naive full-scan behavior (§4.3.4).
+	Lookup LookupPolicy
+	// Rand supplies RAND()'s uniform [0,1) stream; when nil, a
+	// deterministic per-Env xorshift stream is used so benchmark runs and
+	// tests stay reproducible.
+	Rand func() float64
+	// randState backs the default deterministic RAND stream.
+	randState uint64
+	// DR and DC translate every *relative* reference component by this
+	// many rows/columns before resolution. The engine sets them to the
+	// formula's displacement from where its text was authored, so a
+	// formula that moved (sort, copy-paste) keeps relative semantics
+	// without text rewriting — the R1C1 trick real engines use.
+	DR, DC int
+}
+
+// shift resolves a reference under the environment's displacement:
+// absolute components stay put, relative components translate.
+func (e *Env) shift(r cell.Ref) cell.Addr {
+	a := r.Addr
+	if !r.AbsRow {
+		a.Row += e.DR
+	}
+	if !r.AbsCol {
+		a.Col += e.DC
+	}
+	return a
+}
+
+// shiftRange resolves a range under the displacement.
+func (e *Env) shiftRange(n RangeNode) cell.Range {
+	return cell.RangeOf(e.shift(n.From), e.shift(n.To))
+}
+
+func (e *Env) add(m costmodel.Metric, n int64) {
+	if e.Meter != nil {
+		e.Meter.Add(m, n)
+	}
+}
+
+func (e *Env) now() time.Time {
+	if e.Now != nil {
+		return e.Now()
+	}
+	return time.Now()
+}
+
+// rand returns the next uniform [0,1) variate.
+func (e *Env) rand() float64 {
+	if e.Rand != nil {
+		return e.Rand()
+	}
+	if e.randState == 0 {
+		e.randState = 0x9E3779B97F4A7C15
+	}
+	x := e.randState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.randState = x
+	return float64(x>>11) / float64(1<<53)
+}
+
+// value reads one cell, charging one reference resolution and one cell
+// touch — the cell-by-cell reference model of §5.3.
+func (e *Env) value(a cell.Addr) cell.Value {
+	e.add(costmodel.RefResolve, 1)
+	e.add(costmodel.CellTouch, 1)
+	return e.Src.Value(a)
+}
+
+// rangeTouch charges the cost of scanning n cells of a range argument. The
+// per-cell resolution inside a contiguous range is cheaper than an explicit
+// reference (no address decoding per cell) so it charges CellTouch only.
+func (e *Env) rangeTouch(n int64) { e.add(costmodel.CellTouch, n) }
+
+// operand is an evaluated argument: either a scalar value or an unexpanded
+// range (ranges stay lazy so aggregate functions can stream them).
+type operand struct {
+	val     cell.Value
+	rng     cell.Range
+	isRange bool
+}
+
+func scalarOp(v cell.Value) operand { return operand{val: v} }
+
+// scalar collapses the operand to a single value; a multi-cell range used in
+// scalar position is a #VALUE! error (the common dialect behavior outside
+// of implicit-intersection contexts, which the benchmark does not use).
+func (o operand) scalar(e *Env) cell.Value {
+	if !o.isRange {
+		return o.val
+	}
+	if o.rng.Cells() == 1 {
+		return e.value(o.rng.Start)
+	}
+	return cell.Errorf(cell.ErrValue)
+}
+
+// eachCell streams the cells of the operand in row-major order. For a
+// scalar operand the single value is yielded. Iteration stops early when f
+// returns false.
+func (o operand) eachCell(e *Env, f func(v cell.Value) bool) {
+	if !o.isRange {
+		f(o.val)
+		return
+	}
+	for r := o.rng.Start.Row; r <= o.rng.End.Row; r++ {
+		for c := o.rng.Start.Col; c <= o.rng.End.Col; c++ {
+			e.rangeTouch(1)
+			if !f(e.Src.Value(cell.Addr{Row: r, Col: c})) {
+				return
+			}
+		}
+	}
+}
+
+// Eval evaluates a compiled formula, charging one FormulaEval plus the work
+// of every reference it resolves.
+func Eval(c *Compiled, env *Env) cell.Value {
+	env.add(costmodel.FormulaEval, 1)
+	return evalNode(c.Root, env).scalar(env)
+}
+
+// EvalNode evaluates a bare AST node to a scalar value; exported for tests.
+func EvalNode(n Node, env *Env) cell.Value {
+	return evalNode(n, env).scalar(env)
+}
+
+func evalNode(n Node, env *Env) operand {
+	switch t := n.(type) {
+	case NumberLit:
+		return scalarOp(cell.Num(float64(t)))
+	case StringLit:
+		return scalarOp(cell.Str(string(t)))
+	case BoolLit:
+		return scalarOp(cell.Boolean(bool(t)))
+	case ErrorLit:
+		return scalarOp(cell.Errorf(string(t)))
+	case RefNode:
+		return scalarOp(env.value(env.shift(t.Ref)))
+	case RangeNode:
+		return operand{rng: env.shiftRange(t), isRange: true}
+	case CallNode:
+		return evalCall(t, env)
+	case BinaryNode:
+		return scalarOp(evalBinary(t, env))
+	case UnaryNode:
+		return scalarOp(evalUnary(t, env))
+	default:
+		return scalarOp(cell.Errorf(cell.ErrValue))
+	}
+}
+
+func evalCall(call CallNode, env *Env) operand {
+	fn, ok := functions[call.Name]
+	if !ok {
+		return scalarOp(cell.Errorf(cell.ErrName))
+	}
+	if len(call.Args) < fn.minArgs || (fn.maxArgs >= 0 && len(call.Args) > fn.maxArgs) {
+		return scalarOp(cell.Errorf(cell.ErrValue))
+	}
+	args := make([]operand, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = evalNode(a, env)
+	}
+	return scalarOp(fn.impl(env, args))
+}
+
+func evalBinary(b BinaryNode, env *Env) cell.Value {
+	l := evalNode(b.L, env).scalar(env)
+	if l.IsError() {
+		return l
+	}
+	r := evalNode(b.R, env).scalar(env)
+	if r.IsError() {
+		return r
+	}
+
+	switch b.Op {
+	case OpConcat:
+		return cell.Str(l.AsString() + r.AsString())
+	case OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE:
+		env.add(costmodel.Compare, 1)
+		return compareValues(b.Op, l, r)
+	}
+
+	lf, lok := l.AsNumber()
+	rf, rok := r.AsNumber()
+	if !lok || !rok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	switch b.Op {
+	case OpAdd:
+		return cell.Num(lf + rf)
+	case OpSub:
+		return cell.Num(lf - rf)
+	case OpMul:
+		return cell.Num(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return cell.Errorf(cell.ErrDiv0)
+		}
+		return cell.Num(lf / rf)
+	case OpPow:
+		return cell.Num(math.Pow(lf, rf))
+	default:
+		return cell.Errorf(cell.ErrValue)
+	}
+}
+
+// compareValues implements spreadsheet comparison semantics: numbers compare
+// numerically, strings case-insensitively, mixed number/string compare with
+// numbers < text (the shared dialect rule).
+func compareValues(op BinOp, l, r cell.Value) cell.Value {
+	c := l.Compare(r)
+	switch op {
+	case OpEQ:
+		return cell.Boolean(l.Equal(r))
+	case OpNE:
+		return cell.Boolean(!l.Equal(r))
+	case OpLT:
+		return cell.Boolean(c < 0)
+	case OpLE:
+		return cell.Boolean(c <= 0)
+	case OpGT:
+		return cell.Boolean(c > 0)
+	case OpGE:
+		return cell.Boolean(c >= 0)
+	default:
+		return cell.Errorf(cell.ErrValue)
+	}
+}
+
+func evalUnary(u UnaryNode, env *Env) cell.Value {
+	v := evalNode(u.X, env).scalar(env)
+	if v.IsError() {
+		return v
+	}
+	f, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	switch u.Op {
+	case "-":
+		return cell.Num(-f)
+	case "+":
+		return cell.Num(f)
+	case "%":
+		return cell.Num(f / 100)
+	default:
+		return cell.Errorf(cell.ErrValue)
+	}
+}

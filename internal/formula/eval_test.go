@@ -1,0 +1,435 @@
+package formula
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+)
+
+// mapSource is a simple formula.Source for tests.
+type mapSource map[string]cell.Value
+
+func (m mapSource) Value(a cell.Addr) cell.Value { return m[a.A1()] }
+
+// fixture builds the sheet most function tests evaluate against:
+//
+//	A: 10, 20, 30, 40, 50     B: text labels     C: mixed
+var fixture = mapSource{
+	"A1": cell.Num(10), "A2": cell.Num(20), "A3": cell.Num(30),
+	"A4": cell.Num(40), "A5": cell.Num(50),
+	"B1": cell.Str("storm"), "B2": cell.Str("rain"), "B3": cell.Str("STORM"),
+	"B4": cell.Str("snow"), "B5": cell.Str("stormy"),
+	"C1": cell.Num(1), "C2": cell.Str("x"), "C3": cell.Value{},
+	"C4": cell.Boolean(true), "C5": cell.Num(-3),
+	"D1": cell.Num(5), "D2": cell.Num(5), "D3": cell.Num(7),
+}
+
+func evalText(t *testing.T, src Source, text string) cell.Value {
+	t.Helper()
+	c, err := Compile(text)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", text, err)
+	}
+	fixed := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	return Eval(c, &Env{Src: src, Now: func() time.Time { return fixed }})
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{"=1+2", cell.Num(3)},
+		{"=A1*2", cell.Num(20)},
+		{"=A2-A1", cell.Num(10)},
+		{"=A1/4", cell.Num(2.5)},
+		{"=1/0", cell.Errorf(cell.ErrDiv0)},
+		{"=2^10", cell.Num(1024)},
+		{"=50%", cell.Num(0.5)},
+		{"=-A1", cell.Num(-10)},
+		{`="a"&"b"&1`, cell.Str("ab1")},
+		{"=A1=10", cell.Boolean(true)},
+		{"=A1<>10", cell.Boolean(false)},
+		{"=A1<A2", cell.Boolean(true)},
+		{"=A1>=10", cell.Boolean(true)},
+		{`="STORM"="storm"`, cell.Boolean(true)}, // case-insensitive =
+		{`="a"<"b"`, cell.Boolean(true)},
+		{`=1+"x"`, cell.Errorf(cell.ErrValue)},
+		{`="5"+2`, cell.Num(7)}, // numeric text coerces in arithmetic
+		{"=C3+5", cell.Num(5)},  // empty coerces to 0
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// valuesEqual compares exactly (kind-sensitive, unlike spreadsheet =).
+func valuesEqual(a, b cell.Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case cell.Number, cell.Bool:
+		return a.Num == b.Num || (math.IsNaN(a.Num) && math.IsNaN(b.Num))
+	case cell.Text, cell.ErrorVal:
+		return a.Str == b.Str
+	}
+	return true
+}
+
+func TestAggregates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{"=SUM(A1:A5)", cell.Num(150)},
+		{"=SUM(A1:A5,100)", cell.Num(250)},
+		{"=SUM(C1:C5)", cell.Num(-2)}, // skips text/bool/empty per spreadsheet SUM
+		{"=AVERAGE(A1:A5)", cell.Num(30)},
+		{"=AVERAGE(C3)", cell.Errorf(cell.ErrDiv0)}, // no numbers
+		{"=COUNT(A1:A5)", cell.Num(5)},
+		{"=COUNT(C1:C5)", cell.Num(2)},
+		{"=COUNTA(C1:C5)", cell.Num(4)},
+		{"=COUNTBLANK(C1:C5)", cell.Num(1)},
+		{"=MIN(A1:A5)", cell.Num(10)},
+		{"=MAX(A1:A5)", cell.Num(50)},
+		{"=MIN(C5,A1:A5)", cell.Num(-3)},
+		{"=PRODUCT(A1:A2)", cell.Num(200)},
+		{"=MEDIAN(A1:A5)", cell.Num(30)},
+		{"=MEDIAN(A1:A4)", cell.Num(25)},
+		{"=LARGE(A1:A5,2)", cell.Num(40)},
+		{"=SMALL(A1:A5,1)", cell.Num(10)},
+		{"=LARGE(A1:A5,6)", cell.Errorf(cell.ErrValue)},
+		{"=RANK(40,A1:A5)", cell.Num(2)},
+		{"=RANK(40,A1:A5,1)", cell.Num(4)},
+		{"=RANK(41,A1:A5)", cell.Errorf(cell.ErrNA)},
+		{"=PERCENTILE(A1:A5,0.5)", cell.Num(30)},
+		{"=PERCENTILE(A1:A5,0.25)", cell.Num(20)},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if v := evalText(t, fixture, "=STDEV(D1:D3)"); math.Abs(v.Num-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("STDEV = %v", v.Num)
+	}
+	if v := evalText(t, fixture, "=VAR(D1:D3)"); math.Abs(v.Num-4.0/3) > 1e-12 {
+		t.Errorf("VAR = %v", v.Num)
+	}
+}
+
+func TestConditionalAggregates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{`=COUNTIF(A1:A5,">=30")`, 3},
+		{`=COUNTIF(A1:A5,20)`, 1},
+		{`=COUNTIF(B1:B5,"storm")`, 2},   // case-insensitive
+		{`=COUNTIF(B1:B5,"storm*")`, 3},  // wildcard
+		{`=COUNTIF(B1:B5,"<>storm")`, 3}, // negation
+		{`=COUNTIF(C1:C5,1)`, 2},         // number 1 and TRUE both match
+		{`=SUMIF(A1:A5,">25")`, 120},
+		{`=SUMIF(B1:B5,"storm",A1:A5)`, 40}, // rows 1 and 3
+		{`=AVERAGEIF(A1:A5,">25")`, 40},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if got.Kind != cell.Number || got.Num != c.want {
+			t.Errorf("%s = %+v, want %v", c.in, got, c.want)
+		}
+	}
+	if v := evalText(t, fixture, `=AVERAGEIF(A1:A5,">100")`); !v.IsError() {
+		t.Errorf("AVERAGEIF with no matches should error, got %+v", v)
+	}
+}
+
+func TestLogicFunctions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{`=IF(A1=10,"yes","no")`, cell.Str("yes")},
+		{`=IF(A1=11,"yes","no")`, cell.Str("no")},
+		{`=IF(FALSE,"x")`, cell.Boolean(false)},
+		{`=IFERROR(1/0,"fallback")`, cell.Str("fallback")},
+		{`=IFERROR(A1,99)`, cell.Num(10)},
+		{"=AND(TRUE,1,A1)", cell.Boolean(true)},
+		{"=AND(TRUE,0)", cell.Boolean(false)},
+		{"=OR(FALSE,0,A1)", cell.Boolean(true)},
+		{"=XOR(TRUE,TRUE)", cell.Boolean(false)},
+		{"=XOR(TRUE,FALSE,FALSE)", cell.Boolean(true)},
+		{"=NOT(TRUE)", cell.Boolean(false)},
+		{"=ISBLANK(C3)", cell.Boolean(true)},
+		{"=ISBLANK(C1)", cell.Boolean(false)},
+		{"=ISNUMBER(A1)", cell.Boolean(true)},
+		{"=ISTEXT(B1)", cell.Boolean(true)},
+		{"=ISERROR(1/0)", cell.Boolean(true)},
+		{"=ISLOGICAL(C4)", cell.Boolean(true)},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"=ABS(-4)", 4},
+		{"=SQRT(16)", 4},
+		{"=INT(3.7)", 3},
+		{"=INT(-3.2)", -4},
+		{"=SIGN(-9)", -1},
+		{"=ROUND(2.345,2)", 2.35},
+		{"=ROUND(2.5)", 3},
+		{"=ROUNDUP(2.1)", 3},
+		{"=ROUNDDOWN(2.9)", 2},
+		{"=ROUNDUP(-2.1)", -3},
+		{"=MOD(7,3)", 1},
+		{"=MOD(-7,3)", 2}, // sign of divisor
+		{"=POWER(2,8)", 256},
+		{"=EXP(0)", 1},
+		{"=LN(1)", 0},
+		{"=LOG10(1000)", 3},
+		{"=LOG(8,2)", 3},
+		{"=LOG(100)", 2},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if got.Kind != cell.Number || math.Abs(got.Num-c.want) > 1e-9 {
+			t.Errorf("%s = %+v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"=SQRT(-1)", "=LN(0)", "=LOG10(-5)", "=MOD(1,0)", "=LOG(8,1)"} {
+		if v := evalText(t, fixture, bad); !v.IsError() {
+			t.Errorf("%s should error, got %+v", bad, v)
+		}
+	}
+	if v := evalText(t, fixture, "=PI()"); math.Abs(v.Num-math.Pi) > 1e-15 {
+		t.Errorf("PI = %v", v.Num)
+	}
+}
+
+func TestTextFunctions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{`=CONCATENATE("a",1,TRUE)`, cell.Str("a1TRUE")},
+		{`=CONCAT(B1,"-",B2)`, cell.Str("storm-rain")},
+		{`=LEN("hello")`, cell.Num(5)},
+		{`=LEFT("hello",2)`, cell.Str("he")},
+		{`=LEFT("hello")`, cell.Str("h")},
+		{`=LEFT("hi",10)`, cell.Str("hi")},
+		{`=RIGHT("hello",3)`, cell.Str("llo")},
+		{`=MID("hello",2,3)`, cell.Str("ell")},
+		{`=MID("hello",9,3)`, cell.Str("")},
+		{`=LOWER("StOrM")`, cell.Str("storm")},
+		{`=UPPER("storm")`, cell.Str("STORM")},
+		{`=TRIM("  a   b  ")`, cell.Str("a b")},
+		{`=FIND("ll","hello")`, cell.Num(3)},
+		{`=FIND("z","hello")`, cell.Errorf(cell.ErrValue)},
+		{`=FIND("l","hello",4)`, cell.Num(4)},
+		{`=SUBSTITUTE("aaa","a","b")`, cell.Str("bbb")},
+		{`=SUBSTITUTE("aaa","a","b",2)`, cell.Str("aba")},
+		{`=REPT("ab",3)`, cell.Str("ababab")},
+		{`=EXACT("a","A")`, cell.Boolean(false)},
+		{`=EXACT("a","a")`, cell.Boolean(true)},
+		{`=VALUE("42")`, cell.Num(42)},
+		{`=VALUE("x")`, cell.Errorf(cell.ErrValue)},
+		{`=TEXTJOIN(",",TRUE,B1:B3)`, cell.Str("storm,rain,STORM")},
+		{`=TEXTJOIN("-",TRUE,C1:C3)`, cell.Str("1-x")},
+		{`=TEXTJOIN("-",FALSE,C1:C3)`, cell.Str("1-x-")},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLookupFunctions(t *testing.T) {
+	// Lookup table: E1:F4 sorted by E.
+	src := mapSource{
+		"E1": cell.Num(1), "F1": cell.Str("one"),
+		"E2": cell.Num(3), "F2": cell.Str("three"),
+		"E3": cell.Num(5), "F3": cell.Str("five"),
+		"E4": cell.Num(7), "F4": cell.Str("seven"),
+	}
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{"=VLOOKUP(5,E1:F4,2,FALSE)", cell.Str("five")},
+		{"=VLOOKUP(4,E1:F4,2,FALSE)", cell.Errorf(cell.ErrNA)},
+		{"=VLOOKUP(4,E1:F4,2,TRUE)", cell.Str("three")}, // floor match
+		{"=VLOOKUP(0,E1:F4,2,TRUE)", cell.Errorf(cell.ErrNA)},
+		{"=VLOOKUP(7,E1:F4,1,FALSE)", cell.Num(7)},
+		{"=VLOOKUP(7,E1:F4,3,FALSE)", cell.Errorf(cell.ErrRef)},
+		{"=MATCH(5,E1:E4,0)", cell.Num(3)},
+		{"=MATCH(4,E1:E4,0)", cell.Errorf(cell.ErrNA)},
+		{"=MATCH(4,E1:E4,1)", cell.Num(2)},
+		{"=MATCH(4,E1:E4)", cell.Num(2)}, // mode defaults to 1
+		{"=INDEX(E1:F4,2,2)", cell.Str("three")},
+		{"=INDEX(E1:E4,4)", cell.Num(7)},
+		{"=INDEX(E1:F4,5,1)", cell.Errorf(cell.ErrRef)},
+		{"=CHOOSE(2,\"a\",\"b\",\"c\")", cell.Str("b")},
+		{"=CHOOSE(4,\"a\",\"b\")", cell.Errorf(cell.ErrValue)},
+		{`=SWITCH(3,1,"one",3,"three","dflt")`, cell.Str("three")},
+		{`=SWITCH(9,1,"one",3,"three","dflt")`, cell.Str("dflt")},
+		{`=SWITCH(9,1,"one",3,"three")`, cell.Errorf(cell.ErrNA)},
+	}
+	for _, c := range cases {
+		got := evalText(t, src, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHlookup(t *testing.T) {
+	src := mapSource{
+		"A1": cell.Num(1), "B1": cell.Num(3), "C1": cell.Num(5),
+		"A2": cell.Str("one"), "B2": cell.Str("three"), "C2": cell.Str("five"),
+	}
+	if v := evalText(t, src, "=HLOOKUP(3,A1:C2,2,FALSE)"); v.Str != "three" {
+		t.Errorf("HLOOKUP = %+v", v)
+	}
+	if v := evalText(t, src, "=HLOOKUP(4,A1:C2,2,TRUE)"); v.Str != "three" {
+		t.Errorf("HLOOKUP approx = %+v", v)
+	}
+}
+
+func TestLookupPolicies(t *testing.T) {
+	// Column with the key at position 3 of 100.
+	src := make(mapSource)
+	for i := 1; i <= 100; i++ {
+		src[cell.Addr{Row: i - 1, Col: 0}.A1()] = cell.Num(float64(i))
+	}
+	compiled := MustCompile("=VLOOKUP(3,A1:A100,1,FALSE)")
+
+	run := func(p LookupPolicy) int64 {
+		var m costmodel.Meter
+		v := Eval(compiled, &Env{Src: src, Meter: &m, Lookup: p})
+		if v.Num != 3 {
+			t.Fatalf("lookup result = %+v", v)
+		}
+		return m.Count(costmodel.Compare)
+	}
+
+	full := run(LookupPolicy{})
+	early := run(LookupPolicy{ExactEarlyExit: true})
+	if full != 100 {
+		t.Errorf("full scan compares = %d, want 100 (Calc/Sheets §4.3.4)", full)
+	}
+	if early != 3 {
+		t.Errorf("early-exit compares = %d, want 3 (Excel §4.3.4)", early)
+	}
+
+	approx := MustCompile("=VLOOKUP(50,A1:A100,1,TRUE)")
+	var m costmodel.Meter
+	v := Eval(approx, &Env{Src: src, Meter: &m, Lookup: LookupPolicy{ApproxBinarySearch: true}})
+	if v.Num != 50 {
+		t.Fatalf("approx result = %+v", v)
+	}
+	if c := m.Count(costmodel.Compare); c > 8 {
+		t.Errorf("binary search compares = %d, want <= ceil(log2(100))", c)
+	}
+}
+
+func TestVolatileNow(t *testing.T) {
+	c := MustCompile("=NOW()")
+	if !c.Volatile {
+		t.Error("NOW should be volatile")
+	}
+	fixed := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	v := Eval(c, &Env{Src: fixture, Now: func() time.Time { return fixed }})
+	// 2026-07-06 is 46209 days after 1899-12-30.
+	want := fixed.Sub(time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)).Hours() / 24
+	if v.Num != want {
+		t.Errorf("NOW = %v, want %v", v.Num, want)
+	}
+	today := Eval(MustCompile("=TODAY()"), &Env{Src: fixture, Now: func() time.Time {
+		return time.Date(2026, 7, 6, 17, 30, 0, 0, time.UTC)
+	}})
+	if today.Num != want {
+		t.Errorf("TODAY = %v, want %v", today.Num, want)
+	}
+}
+
+func TestUnknownFunctionAndArity(t *testing.T) {
+	if v := evalText(t, fixture, "=NOSUCHFN(1)"); v.Str != cell.ErrName {
+		t.Errorf("unknown function = %+v, want #NAME?", v)
+	}
+	if v := evalText(t, fixture, "=SUM()"); v.Str != cell.ErrValue {
+		t.Errorf("SUM() = %+v, want #VALUE!", v)
+	}
+	if v := evalText(t, fixture, "=IF(1,2,3,4)"); v.Str != cell.ErrValue {
+		t.Errorf("IF with 4 args = %+v, want #VALUE!", v)
+	}
+}
+
+func TestRangeInScalarPosition(t *testing.T) {
+	if v := evalText(t, fixture, "=A1:A5+1"); v.Str != cell.ErrValue {
+		t.Errorf("multi-cell range in scalar position = %+v, want #VALUE!", v)
+	}
+	if v := evalText(t, fixture, "=A1:A1+1"); v.Num != 11 {
+		t.Errorf("1x1 range in scalar position = %+v, want 11", v)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	src := mapSource{"A1": cell.Errorf(cell.ErrNA), "A2": cell.Num(1)}
+	for _, f := range []string{"=A1+1", "=SUM(A1:A2)", "=IF(A1,1,2)", "=ABS(A1)", "=MIN(A1:A2)"} {
+		if v := evalText(t, src, f); !v.IsError() {
+			t.Errorf("%s should propagate the error, got %+v", f, v)
+		}
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	var m costmodel.Meter
+	c := MustCompile("=SUM(A1:A5)+A1")
+	Eval(c, &Env{Src: fixture, Meter: &m})
+	if got := m.Count(costmodel.FormulaEval); got != 1 {
+		t.Errorf("FormulaEval = %d", got)
+	}
+	if got := m.Count(costmodel.CellTouch); got != 6 { // 5 range cells + 1 ref
+		t.Errorf("CellTouch = %d, want 6", got)
+	}
+	if got := m.Count(costmodel.RefResolve); got != 1 {
+		t.Errorf("RefResolve = %d, want 1 (only the explicit A1)", got)
+	}
+}
+
+func TestEnvShiftRelativeAndAbsolute(t *testing.T) {
+	src := mapSource{
+		"A1": cell.Num(1), "A2": cell.Num(2), "A3": cell.Num(3),
+	}
+	c := MustCompile("=A1+$A$1")
+	// Shift down 2 rows: relative A1 -> A3, absolute stays A1.
+	v := Eval(c, &Env{Src: src, DR: 2})
+	if v.Num != 4 {
+		t.Errorf("shifted eval = %v, want A3+$A$1 = 4", v.Num)
+	}
+	// Range shifting.
+	r := MustCompile("=SUM(A1:A2)")
+	v = Eval(r, &Env{Src: src, DR: 1})
+	if v.Num != 5 {
+		t.Errorf("shifted range sum = %v, want A2+A3 = 5", v.Num)
+	}
+}

@@ -1,0 +1,157 @@
+package formula
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cell"
+)
+
+// Date/time functions over the spreadsheet serial-date convention (days
+// since 1899-12-30, fractional days for time of day) — the representation
+// §2.1 alludes to ("value data types include numbers, dates, percentages"):
+// dates are numbers wearing a format.
+
+func init() {
+	register("DATE", 3, 3, fnDate)
+	register("YEAR", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Year()) }))
+	register("MONTH", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Month()) }))
+	register("DAY", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Day()) }))
+	register("HOUR", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Hour()) }))
+	register("MINUTE", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Minute()) }))
+	register("SECOND", 1, 1, datePart(func(t time.Time) float64 { return float64(t.Second()) }))
+	register("WEEKDAY", 1, 2, fnWeekday)
+	register("DAYS", 2, 2, fnDays)
+	register("EDATE", 2, 2, fnEdate)
+	register("EOMONTH", 2, 2, fnEomonth)
+}
+
+var serialEpoch = time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
+
+// fromSerial converts a serial number to a UTC time.
+func fromSerial(serial float64) time.Time {
+	days := math.Floor(serial)
+	frac := serial - days
+	return serialEpoch.AddDate(0, 0, int(days)).
+		Add(time.Duration(frac * 24 * float64(time.Hour)))
+}
+
+// toSerial converts a UTC time to a serial number.
+func toSerial(t time.Time) float64 { return serialTime(t) }
+
+func fnDate(env *Env, args []operand) cell.Value {
+	var y, m, d int
+	if e := intArg(env, args[0], &y); e.IsError() {
+		return e
+	}
+	if e := intArg(env, args[1], &m); e.IsError() {
+		return e
+	}
+	if e := intArg(env, args[2], &d); e.IsError() {
+		return e
+	}
+	// Out-of-range months and days roll over, as in all three dialects
+	// (DATE(2020,13,1) = 2021-01-01).
+	t := time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	if t.Before(serialEpoch) {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Num(toSerial(t))
+}
+
+func datePart(part func(time.Time) float64) func(env *Env, args []operand) cell.Value {
+	return func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value {
+			if x < 0 {
+				return cell.Errorf(cell.ErrValue)
+			}
+			return cell.Num(part(fromSerial(x)))
+		})
+	}
+}
+
+// fnWeekday returns the day of week; return type 1 (default) counts Sunday
+// as 1, type 2 counts Monday as 1, type 3 counts Monday as 0.
+func fnWeekday(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		if x < 0 {
+			return cell.Errorf(cell.ErrValue)
+		}
+		mode := 1
+		if len(args) == 2 {
+			if e := intArg(env, args[1], &mode); e.IsError() {
+				return e
+			}
+		}
+		wd := int(fromSerial(x).Weekday()) // Sunday = 0
+		switch mode {
+		case 1:
+			return cell.Num(float64(wd + 1))
+		case 2:
+			return cell.Num(float64((wd+6)%7 + 1))
+		case 3:
+			return cell.Num(float64((wd + 6) % 7))
+		default:
+			return cell.Errorf(cell.ErrValue)
+		}
+	})
+}
+
+func fnDays(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(end float64) cell.Value {
+		return withNum(env, args[1], func(start float64) cell.Value {
+			return cell.Num(math.Floor(end) - math.Floor(start))
+		})
+	})
+}
+
+// fnEdate shifts a date by whole months, clamping to the target month's
+// last day (EDATE(2020-01-31, 1) = 2020-02-29).
+func fnEdate(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		var months int
+		if e := intArg(env, args[1], &months); e.IsError() {
+			return e
+		}
+		if x < 0 {
+			return cell.Errorf(cell.ErrValue)
+		}
+		t := fromSerial(x)
+		shifted := addMonthsClamped(t, months)
+		return cell.Num(toSerial(shifted))
+	})
+}
+
+func fnEomonth(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		var months int
+		if e := intArg(env, args[1], &months); e.IsError() {
+			return e
+		}
+		if x < 0 {
+			return cell.Errorf(cell.ErrValue)
+		}
+		t := addMonthsClamped(fromSerial(x), months)
+		eom := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC).
+			AddDate(0, 1, -1)
+		return cell.Num(toSerial(eom))
+	})
+}
+
+// addMonthsClamped adds months without Go's AddDate day-overflow rollover:
+// Jan 31 + 1 month = Feb 29/28, not Mar 2/3.
+func addMonthsClamped(t time.Time, months int) time.Time {
+	y, m, d := t.Year(), int(t.Month())-1+months, t.Day()
+	y += m / 12
+	m = m % 12
+	if m < 0 {
+		m += 12
+		y--
+	}
+	first := time.Date(y, time.Month(m+1), 1, 0, 0, 0, 0, time.UTC)
+	last := first.AddDate(0, 1, -1).Day()
+	if d > last {
+		d = last
+	}
+	return time.Date(y, time.Month(m+1), d, 0, 0, 0, 0, time.UTC)
+}

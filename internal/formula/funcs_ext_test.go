@@ -1,0 +1,154 @@
+package formula
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestDateFunctions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{"=DATE(1899,12,31)", cell.Num(1)},
+		{"=DATE(1900,1,1)", cell.Num(2)},
+		{"=DATE(2020,13,1)", cell.Num(44197)}, // rolls to 2021-01-01
+		{"=YEAR(DATE(2026,7,6))", cell.Num(2026)},
+		{"=MONTH(DATE(2026,7,6))", cell.Num(7)},
+		{"=DAY(DATE(2026,7,6))", cell.Num(6)},
+		{"=HOUR(DATE(2026,7,6)+0.5)", cell.Num(12)},
+		{"=MINUTE(DATE(2026,7,6)+0.25)", cell.Num(0)},
+		{"=WEEKDAY(DATE(2026,7,6))", cell.Num(2)},   // a Monday; Sunday=1 mode
+		{"=WEEKDAY(DATE(2026,7,6),2)", cell.Num(1)}, // Monday=1 mode
+		{"=WEEKDAY(DATE(2026,7,6),3)", cell.Num(0)}, // Monday=0 mode
+		{"=DAYS(DATE(2026,7,6),DATE(2026,7,1))", cell.Num(5)},
+		{"=MONTH(EDATE(DATE(2020,1,31),1))", cell.Num(2)},
+		{"=DAY(EDATE(DATE(2020,1,31),1))", cell.Num(29)}, // leap clamp
+		{"=DAY(EOMONTH(DATE(2026,2,10),0))", cell.Num(28)},
+		{"=MONTH(EOMONTH(DATE(2026,1,15),-2))", cell.Num(11)},
+		{"=YEAR(-5)", cell.Errorf(cell.ErrValue)},
+	}
+	for _, c := range cases {
+		got := evalText(t, fixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDateSerialRoundTrip(t *testing.T) {
+	// fromSerial(toSerial(t)) is identity on whole days.
+	for _, serial := range []float64{1, 100, 36526, 46209} {
+		if got := toSerial(fromSerial(serial)); got != serial {
+			t.Errorf("serial %v round-tripped to %v", serial, got)
+		}
+	}
+}
+
+// multiFixture: two parallel columns for multi-criteria aggregates.
+var multiFixture = mapSource{
+	// A: region, B: product, C: sales
+	"A1": cell.Str("east"), "B1": cell.Str("ice"), "C1": cell.Num(10),
+	"A2": cell.Str("east"), "B2": cell.Str("tea"), "C2": cell.Num(20),
+	"A3": cell.Str("west"), "B3": cell.Str("ice"), "C3": cell.Num(30),
+	"A4": cell.Str("west"), "B4": cell.Str("tea"), "C4": cell.Num(40),
+	"A5": cell.Str("east"), "B5": cell.Str("ice"), "C5": cell.Num(50),
+}
+
+func TestMultiCriteriaAggregates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{`=COUNTIFS(A1:A5,"east")`, cell.Num(3)},
+		{`=COUNTIFS(A1:A5,"east",B1:B5,"ice")`, cell.Num(2)},
+		{`=COUNTIFS(A1:A5,"east",C1:C5,">15")`, cell.Num(2)},
+		{`=SUMIFS(C1:C5,A1:A5,"east")`, cell.Num(80)},
+		{`=SUMIFS(C1:C5,A1:A5,"east",B1:B5,"ice")`, cell.Num(60)},
+		{`=AVERAGEIFS(C1:C5,B1:B5,"tea")`, cell.Num(30)},
+		{`=MAXIFS(C1:C5,A1:A5,"east")`, cell.Num(50)},
+		{`=MINIFS(C1:C5,A1:A5,"west")`, cell.Num(30)},
+		{`=MAXIFS(C1:C5,A1:A5,"north")`, cell.Num(0)}, // no match
+		{`=AVERAGEIFS(C1:C5,A1:A5,"north")`, cell.Errorf(cell.ErrDiv0)},
+		// Shape mismatch and odd arity are errors.
+		{`=COUNTIFS(A1:A5,"east",B1:B4,"ice")`, cell.Errorf(cell.ErrValue)},
+		{`=SUMIFS(C1:C5,A1:A5)`, cell.Errorf(cell.ErrValue)},
+	}
+	for _, c := range cases {
+		got := evalText(t, multiFixture, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountIfsMatchesCountIfSingle(t *testing.T) {
+	// COUNTIFS with one clause must agree with COUNTIF.
+	for _, crit := range []string{`"east"`, `">20"`} {
+		a := evalText(t, multiFixture, `=COUNTIFS(A1:A5,`+crit+`)`)
+		b := evalText(t, multiFixture, `=COUNTIF(A1:A5,`+crit+`)`)
+		if !valuesEqual(a, b) {
+			t.Errorf("COUNTIFS %s = %v, COUNTIF = %v", crit, a, b)
+		}
+	}
+}
+
+func TestSumProduct(t *testing.T) {
+	src := mapSource{
+		"A1": cell.Num(1), "A2": cell.Num(2), "A3": cell.Num(3),
+		"B1": cell.Num(4), "B2": cell.Num(5), "B3": cell.Num(6),
+		"C1": cell.Str("x"), "C2": cell.Num(10), "C3": cell.Value{},
+	}
+	cases := []struct {
+		in   string
+		want cell.Value
+	}{
+		{"=SUMPRODUCT(A1:A3,B1:B3)", cell.Num(4 + 10 + 18)},
+		{"=SUMPRODUCT(A1:A3)", cell.Num(6)},
+		{"=SUMPRODUCT(A1:A3,C1:C3)", cell.Num(20)}, // text/empty rows contribute 0
+		{"=SUMPRODUCT(2,3)", cell.Num(6)},          // scalar path
+		{"=SUMPRODUCT(A1:A3,B1:B2)", cell.Errorf(cell.ErrValue)},
+	}
+	for _, c := range cases {
+		got := evalText(t, src, c.in)
+		if !valuesEqual(got, c.want) {
+			t.Errorf("%s = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRandFunctions(t *testing.T) {
+	env := &Env{Src: fixture}
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		v := Eval(MustCompile("=RAND()"), env)
+		if v.Kind != cell.Number || v.Num < 0 || v.Num >= 1 {
+			t.Fatalf("RAND = %+v", v)
+		}
+		seen[v.Num] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("RAND produced only %d distinct values in 20 draws", len(seen))
+	}
+	for i := 0; i < 50; i++ {
+		v := Eval(MustCompile("=RANDBETWEEN(3,7)"), env)
+		if v.Num < 3 || v.Num > 7 || v.Num != float64(int(v.Num)) {
+			t.Fatalf("RANDBETWEEN = %v", v.Num)
+		}
+	}
+	if v := Eval(MustCompile("=RANDBETWEEN(7,3)"), env); !v.IsError() {
+		t.Error("inverted bounds must error")
+	}
+	// Injected stream.
+	fixed := &Env{Src: fixture, Rand: func() float64 { return 0.5 }}
+	if v := Eval(MustCompile("=RANDBETWEEN(0,9)"), fixed); v.Num != 5 {
+		t.Errorf("injected RANDBETWEEN = %v, want 5", v.Num)
+	}
+	// Determinism: two fresh default envs agree.
+	a := Eval(MustCompile("=RAND()"), &Env{Src: fixture})
+	b := Eval(MustCompile("=RAND()"), &Env{Src: fixture})
+	if a.Num != b.Num {
+		t.Error("default RAND stream must be deterministic per fresh Env")
+	}
+}

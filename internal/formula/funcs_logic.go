@@ -1,0 +1,155 @@
+package formula
+
+import (
+	"time"
+
+	"repro/internal/cell"
+)
+
+func init() {
+	register("IF", 2, 3, fnIf)
+	register("IFERROR", 2, 2, fnIfError)
+	register("AND", 1, -1, fnAnd)
+	register("OR", 1, -1, fnOr)
+	register("XOR", 1, -1, fnXor)
+	register("NOT", 1, 1, fnNot)
+	register("ISBLANK", 1, 1, kindTest(func(v cell.Value) bool { return v.IsEmpty() }))
+	register("ISNUMBER", 1, 1, kindTest(func(v cell.Value) bool { return v.Kind == cell.Number }))
+	register("ISTEXT", 1, 1, kindTest(func(v cell.Value) bool { return v.Kind == cell.Text }))
+	register("ISERROR", 1, 1, kindTest(func(v cell.Value) bool { return v.IsError() }))
+	register("ISLOGICAL", 1, 1, kindTest(func(v cell.Value) bool { return v.Kind == cell.Bool }))
+
+	// Simple category of Table 1: constant-input, O(1) operations. The
+	// taxonomy excludes them from benchmarking for exactly that reason, but
+	// the engine supports them and NOW's volatility exercises the recalc
+	// machinery.
+	register("NOW", 0, 0, fnNow)
+	register("TODAY", 0, 0, fnToday)
+	register("RAND", 0, 0, fnRand)
+	register("RANDBETWEEN", 2, 2, fnRandBetween)
+}
+
+func fnRand(env *Env, _ []operand) cell.Value {
+	return cell.Num(env.rand())
+}
+
+func fnRandBetween(env *Env, args []operand) cell.Value {
+	var lo, hi int
+	if e := intArg(env, args[0], &lo); e.IsError() {
+		return e
+	}
+	if e := intArg(env, args[1], &hi); e.IsError() {
+		return e
+	}
+	if hi < lo {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Num(float64(lo + int(env.rand()*float64(hi-lo+1))))
+}
+
+func fnIf(env *Env, args []operand) cell.Value {
+	c := args[0].scalar(env)
+	if c.IsError() {
+		return c
+	}
+	b, ok := c.AsBool()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	if b {
+		return args[1].scalar(env)
+	}
+	if len(args) == 3 {
+		return args[2].scalar(env)
+	}
+	return cell.Boolean(false)
+}
+
+func fnIfError(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return args[1].scalar(env)
+	}
+	return v
+}
+
+// boolFold implements AND/OR/XOR over scalar and range arguments, skipping
+// empty and text cells the way the shared dialect does (text in logical
+// context is ignored, not an error, when it arrives via a range).
+func boolFold(env *Env, args []operand, init bool, fold func(acc, x bool) bool) cell.Value {
+	acc := init
+	seen := false
+	var errv cell.Value
+	for _, a := range args {
+		a.eachCell(env, func(v cell.Value) bool {
+			if v.IsError() {
+				errv = v
+				return false
+			}
+			if v.IsEmpty() || v.Kind == cell.Text {
+				return true
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return true
+			}
+			acc = fold(acc, b)
+			seen = true
+			return true
+		})
+		if errv.IsError() {
+			return errv
+		}
+	}
+	if !seen {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Boolean(acc)
+}
+
+func fnAnd(env *Env, args []operand) cell.Value {
+	return boolFold(env, args, true, func(a, x bool) bool { return a && x })
+}
+
+func fnOr(env *Env, args []operand) cell.Value {
+	return boolFold(env, args, false, func(a, x bool) bool { return a || x })
+}
+
+func fnXor(env *Env, args []operand) cell.Value {
+	return boolFold(env, args, false, func(a, x bool) bool { return a != x })
+}
+
+func fnNot(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Boolean(!b)
+}
+
+func kindTest(test func(cell.Value) bool) func(env *Env, args []operand) cell.Value {
+	return func(env *Env, args []operand) cell.Value {
+		return cell.Boolean(test(args[0].scalar(env)))
+	}
+}
+
+// serialTime converts a time to the spreadsheet serial-date convention:
+// days since the epoch 1899-12-30, fractional days for time of day.
+func serialTime(t time.Time) float64 {
+	epoch := time.Date(1899, 12, 30, 0, 0, 0, 0, time.UTC)
+	return t.UTC().Sub(epoch).Hours() / 24
+}
+
+func fnNow(env *Env, _ []operand) cell.Value {
+	return cell.Num(serialTime(env.now()))
+}
+
+func fnToday(env *Env, _ []operand) cell.Value {
+	t := env.now().UTC()
+	day := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	return cell.Num(serialTime(day))
+}

@@ -1,0 +1,291 @@
+package formula
+
+import (
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+)
+
+// LookupPolicy selects the algorithms lookup functions use. The paper's
+// Figure 8 shows these differ observably across systems: Excel terminates
+// an exact-match scan at the first hit and binary-searches sorted data for
+// approximate match, while Calc and Google Sheets scan the entire input
+// range in all cases (§4.3.4). The engine sets the policy per system
+// profile; the zero value is the most naive behavior (full scan always).
+type LookupPolicy struct {
+	// ExactEarlyExit stops an exact-match scan at the first hit.
+	ExactEarlyExit bool
+	// ApproxBinarySearch uses binary search for approximate match on
+	// sorted data instead of a linear scan.
+	ApproxBinarySearch bool
+	// Indexed consults a column index when the source provides one
+	// (optimized engine only); probes are charged to IndexProbe.
+	Indexed bool
+}
+
+// ColumnIndexer is implemented by sources that maintain per-column value
+// indexes (the optimized engine's sheet). LookupRow returns the first row
+// within [lo,hi] of the column whose value equals v, and whether one
+// exists; probes counts index node visits for metering.
+type ColumnIndexer interface {
+	LookupRow(col int, v cell.Value, lo, hi int) (row int, probes int, ok bool)
+}
+
+func init() {
+	register("VLOOKUP", 3, 4, fnVlookup)
+	register("HLOOKUP", 3, 4, fnHlookup)
+	register("MATCH", 2, 3, fnMatch)
+	register("INDEX", 2, 3, fnIndex)
+	register("CHOOSE", 2, -1, fnChoose)
+	register("SWITCH", 3, -1, fnSwitch)
+}
+
+func fnVlookup(env *Env, args []operand) cell.Value {
+	return lookup(env, args, true)
+}
+
+func fnHlookup(env *Env, args []operand) cell.Value {
+	return lookup(env, args, false)
+}
+
+// lookup implements VLOOKUP (vertical=true) and HLOOKUP. The search key is
+// matched in the first column (row) of the table range; on a hit the value
+// from the 1-based result column (row) of the same row (column) is
+// returned.
+func lookup(env *Env, args []operand, vertical bool) cell.Value {
+	key := args[0].scalar(env)
+	if key.IsError() {
+		return key
+	}
+	if !args[1].isRange {
+		return cell.Errorf(cell.ErrValue)
+	}
+	table := args[1].rng
+	var idx int
+	if e := intArg(env, args[2], &idx); e.IsError() {
+		return e
+	}
+	approx := true
+	if len(args) == 4 {
+		v := args[3].scalar(env)
+		b, ok := v.AsBool()
+		if !ok {
+			return cell.Errorf(cell.ErrValue)
+		}
+		approx = b
+	}
+	width := table.Cols()
+	length := table.Rows()
+	if !vertical {
+		width, length = length, width
+	}
+	if idx < 1 || idx > width {
+		return cell.Errorf(cell.ErrRef)
+	}
+
+	at := func(i int) cell.Addr { // i-th key cell along the search axis
+		if vertical {
+			return cell.Addr{Row: table.Start.Row + i, Col: table.Start.Col}
+		}
+		return cell.Addr{Row: table.Start.Row, Col: table.Start.Col + i}
+	}
+	result := func(i int) cell.Addr {
+		if vertical {
+			return cell.Addr{Row: table.Start.Row + i, Col: table.Start.Col + idx - 1}
+		}
+		return cell.Addr{Row: table.Start.Row + idx - 1, Col: table.Start.Col + i}
+	}
+
+	var hit = -1
+	switch {
+	case approx && env.Lookup.ApproxBinarySearch:
+		hit = binarySearchLE(env, key, length, at)
+	case approx:
+		// Linear scan for the last key <= search key (sorted-data
+		// semantics without the sorted-data algorithm). Naive systems
+		// scan the full range (§4.3.4).
+		for i := 0; i < length; i++ {
+			env.rangeTouch(1)
+			env.add(costmodel.Compare, 1)
+			v := env.Src.Value(at(i))
+			if v.Compare(key) <= 0 && !v.IsEmpty() {
+				hit = i
+			}
+		}
+	default: // exact
+		if env.Lookup.Indexed {
+			if ix, ok := env.Src.(ColumnIndexer); ok && vertical {
+				lo := table.Start.Row
+				row, probes, found := ix.LookupRow(table.Start.Col, key, lo, table.End.Row)
+				env.add(costmodel.IndexProbe, int64(probes))
+				if found {
+					hit = row - lo
+				}
+				break
+			}
+		}
+		for i := 0; i < length; i++ {
+			env.rangeTouch(1)
+			env.add(costmodel.Compare, 1)
+			v := env.Src.Value(at(i))
+			if v.Equal(key) && hit < 0 {
+				hit = i
+				if env.Lookup.ExactEarlyExit {
+					break
+				}
+			}
+		}
+	}
+	if hit < 0 {
+		return cell.Errorf(cell.ErrNA)
+	}
+	return env.value(result(hit))
+}
+
+// binarySearchLE finds the last position whose value is <= key, assuming
+// ascending order, charging one compare + touch per probe. Returns -1 when
+// even the first value exceeds the key.
+func binarySearchLE(env *Env, key cell.Value, length int, at func(int) cell.Addr) int {
+	lo, hi, ans := 0, length-1, -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		env.rangeTouch(1)
+		env.add(costmodel.Compare, 1)
+		v := env.Src.Value(at(mid))
+		if v.Compare(key) <= 0 {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ans
+}
+
+func fnMatch(env *Env, args []operand) cell.Value {
+	key := args[0].scalar(env)
+	if key.IsError() {
+		return key
+	}
+	if !args[1].isRange {
+		return cell.Errorf(cell.ErrValue)
+	}
+	rng := args[1].rng
+	mode := 1
+	if len(args) == 3 {
+		if e := intArg(env, args[2], &mode); e.IsError() {
+			return e
+		}
+	}
+	vertical := rng.Cols() == 1
+	length := rng.Rows()
+	if !vertical {
+		length = rng.Cols()
+	}
+	at := func(i int) cell.Addr {
+		if vertical {
+			return cell.Addr{Row: rng.Start.Row + i, Col: rng.Start.Col}
+		}
+		return cell.Addr{Row: rng.Start.Row, Col: rng.Start.Col + i}
+	}
+
+	hit := -1
+	switch {
+	case mode == 0: // exact; the first hit wins, but naive systems keep scanning
+		for i := 0; i < length; i++ {
+			env.rangeTouch(1)
+			env.add(costmodel.Compare, 1)
+			if env.Src.Value(at(i)).Equal(key) && hit < 0 {
+				hit = i
+				if env.Lookup.ExactEarlyExit {
+					break
+				}
+			}
+		}
+	case mode > 0: // largest value <= key, ascending data
+		if env.Lookup.ApproxBinarySearch {
+			hit = binarySearchLE(env, key, length, at)
+		} else {
+			for i := 0; i < length; i++ {
+				env.rangeTouch(1)
+				env.add(costmodel.Compare, 1)
+				v := env.Src.Value(at(i))
+				if !v.IsEmpty() && v.Compare(key) <= 0 {
+					hit = i
+				}
+			}
+		}
+	default: // mode < 0: smallest value >= key, descending data
+		for i := 0; i < length; i++ {
+			env.rangeTouch(1)
+			env.add(costmodel.Compare, 1)
+			v := env.Src.Value(at(i))
+			if !v.IsEmpty() && v.Compare(key) >= 0 {
+				hit = i
+			} else {
+				break
+			}
+		}
+	}
+	if hit < 0 {
+		return cell.Errorf(cell.ErrNA)
+	}
+	return cell.Num(float64(hit + 1))
+}
+
+func fnIndex(env *Env, args []operand) cell.Value {
+	if !args[0].isRange {
+		return cell.Errorf(cell.ErrValue)
+	}
+	rng := args[0].rng
+	var row, col int
+	if e := intArg(env, args[1], &row); e.IsError() {
+		return e
+	}
+	col = 1
+	if len(args) == 3 {
+		if e := intArg(env, args[2], &col); e.IsError() {
+			return e
+		}
+	}
+	// Single-row or single-column ranges accept a single coordinate.
+	if len(args) == 2 && rng.Rows() == 1 && rng.Cols() > 1 {
+		col, row = row, 1
+	}
+	if row < 1 || row > rng.Rows() || col < 1 || col > rng.Cols() {
+		return cell.Errorf(cell.ErrRef)
+	}
+	return env.value(cell.Addr{Row: rng.Start.Row + row - 1, Col: rng.Start.Col + col - 1})
+}
+
+func fnChoose(env *Env, args []operand) cell.Value {
+	var k int
+	if e := intArg(env, args[0], &k); e.IsError() {
+		return e
+	}
+	if k < 1 || k >= len(args) {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return args[k].scalar(env)
+}
+
+// fnSwitch implements SWITCH(expr, case1, value1, [case2, value2, ...],
+// [default]) — the lookup-category operation Table 1 cites alongside
+// VLOOKUP.
+func fnSwitch(env *Env, args []operand) cell.Value {
+	expr := args[0].scalar(env)
+	if expr.IsError() {
+		return expr
+	}
+	rest := args[1:]
+	for len(rest) >= 2 {
+		env.add(costmodel.Compare, 1)
+		if expr.Equal(rest[0].scalar(env)) {
+			return rest[1].scalar(env)
+		}
+		rest = rest[2:]
+	}
+	if len(rest) == 1 {
+		return rest[0].scalar(env) // default
+	}
+	return cell.Errorf(cell.ErrNA)
+}

@@ -1,0 +1,140 @@
+package formula
+
+import (
+	"math"
+
+	"repro/internal/cell"
+)
+
+func init() {
+	register("ABS", 1, 1, numFn1(math.Abs))
+	register("SQRT", 1, 1, func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value {
+			if x < 0 {
+				return cell.Errorf(cell.ErrValue)
+			}
+			return cell.Num(math.Sqrt(x))
+		})
+	})
+	register("EXP", 1, 1, numFn1(math.Exp))
+	register("LN", 1, 1, func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value {
+			if x <= 0 {
+				return cell.Errorf(cell.ErrValue)
+			}
+			return cell.Num(math.Log(x))
+		})
+	})
+	register("LOG10", 1, 1, func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value {
+			if x <= 0 {
+				return cell.Errorf(cell.ErrValue)
+			}
+			return cell.Num(math.Log10(x))
+		})
+	})
+	register("LOG", 1, 2, fnLog)
+	register("INT", 1, 1, numFn1(math.Floor))
+	register("SIGN", 1, 1, numFn1(func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		}
+		return 0
+	}))
+	register("ROUND", 1, 2, roundFn(math.Round))
+	register("ROUNDUP", 1, 2, roundFn(func(x float64) float64 {
+		if x < 0 {
+			return math.Floor(x)
+		}
+		return math.Ceil(x)
+	}))
+	register("ROUNDDOWN", 1, 2, roundFn(math.Trunc))
+	register("MOD", 2, 2, fnMod)
+	register("POWER", 2, 2, fnPower)
+	register("PI", 0, 0, func(*Env, []operand) cell.Value { return cell.Num(math.Pi) })
+}
+
+// withNum coerces the operand to a number and applies f; coercion failure
+// yields #VALUE!, and errors pass through.
+func withNum(env *Env, o operand, f func(x float64) cell.Value) cell.Value {
+	v := o.scalar(env)
+	if v.IsError() {
+		return v
+	}
+	x, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return f(x)
+}
+
+func numFn1(f func(float64) float64) func(env *Env, args []operand) cell.Value {
+	return func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value { return cell.Num(f(x)) })
+	}
+}
+
+func fnLog(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		base := 10.0
+		if len(args) == 2 {
+			v := args[1].scalar(env)
+			b, ok := v.AsNumber()
+			if !ok {
+				return cell.Errorf(cell.ErrValue)
+			}
+			base = b
+		}
+		if x <= 0 || base <= 0 || base == 1 {
+			return cell.Errorf(cell.ErrValue)
+		}
+		return cell.Num(math.Log(x) / math.Log(base))
+	})
+}
+
+// roundFn builds ROUND-family implementations: scale by 10^digits, apply the
+// unit rounding function, scale back.
+func roundFn(unit func(float64) float64) func(env *Env, args []operand) cell.Value {
+	return func(env *Env, args []operand) cell.Value {
+		return withNum(env, args[0], func(x float64) cell.Value {
+			digits := 0.0
+			if len(args) == 2 {
+				v := args[1].scalar(env)
+				d, ok := v.AsNumber()
+				if !ok {
+					return cell.Errorf(cell.ErrValue)
+				}
+				digits = math.Trunc(d)
+			}
+			scale := math.Pow(10, digits)
+			return cell.Num(unit(x*scale) / scale)
+		})
+	}
+}
+
+func fnMod(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		return withNum(env, args[1], func(y float64) cell.Value {
+			if y == 0 {
+				return cell.Errorf(cell.ErrDiv0)
+			}
+			// Spreadsheet MOD takes the sign of the divisor.
+			m := math.Mod(x, y)
+			if m != 0 && (m < 0) != (y < 0) {
+				m += y
+			}
+			return cell.Num(m)
+		})
+	})
+}
+
+func fnPower(env *Env, args []operand) cell.Value {
+	return withNum(env, args[0], func(x float64) cell.Value {
+		return withNum(env, args[1], func(y float64) cell.Value {
+			return cell.Num(math.Pow(x, y))
+		})
+	})
+}

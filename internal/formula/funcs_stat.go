@@ -1,0 +1,165 @@
+package formula
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cell"
+)
+
+func init() {
+	register("MEDIAN", 1, -1, fnMedian)
+	register("STDEV", 1, -1, fnStdev)
+	register("VAR", 1, -1, fnVar)
+	register("LARGE", 2, 2, fnLarge)
+	register("SMALL", 2, 2, fnSmall)
+	register("RANK", 2, 3, fnRank)
+	register("PERCENTILE", 2, 2, fnPercentile)
+}
+
+// collectNumbers gathers all numeric cells from the operands.
+func collectNumbers(env *Env, args []operand) ([]float64, cell.Value) {
+	var xs []float64
+	errv := forEachNumber(env, args, func(x float64) bool { xs = append(xs, x); return true })
+	return xs, errv
+}
+
+func fnMedian(env *Env, args []operand) cell.Value {
+	xs, errv := collectNumbers(env, args)
+	if errv.IsError() {
+		return errv
+	}
+	if len(xs) == 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return cell.Num(xs[n/2])
+	}
+	return cell.Num((xs[n/2-1] + xs[n/2]) / 2)
+}
+
+// variance returns the sample variance via Welford's algorithm (stable for
+// the large columns the benchmark scans).
+func variance(xs []float64) (float64, bool) {
+	if len(xs) < 2 {
+		return 0, false
+	}
+	var mean, m2 float64
+	for i, x := range xs {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+	}
+	return m2 / float64(len(xs)-1), true
+}
+
+func fnStdev(env *Env, args []operand) cell.Value {
+	xs, errv := collectNumbers(env, args)
+	if errv.IsError() {
+		return errv
+	}
+	v, ok := variance(xs)
+	if !ok {
+		return cell.Errorf(cell.ErrDiv0)
+	}
+	return cell.Num(math.Sqrt(v))
+}
+
+func fnVar(env *Env, args []operand) cell.Value {
+	xs, errv := collectNumbers(env, args)
+	if errv.IsError() {
+		return errv
+	}
+	v, ok := variance(xs)
+	if !ok {
+		return cell.Errorf(cell.ErrDiv0)
+	}
+	return cell.Num(v)
+}
+
+func fnLarge(env *Env, args []operand) cell.Value {
+	return kth(env, args, true)
+}
+
+func fnSmall(env *Env, args []operand) cell.Value {
+	return kth(env, args, false)
+}
+
+func kth(env *Env, args []operand, largest bool) cell.Value {
+	xs, errv := collectNumbers(env, args[:1])
+	if errv.IsError() {
+		return errv
+	}
+	var k int
+	if e := intArg(env, args[1], &k); e.IsError() {
+		return e
+	}
+	if k < 1 || k > len(xs) {
+		return cell.Errorf(cell.ErrValue)
+	}
+	sort.Float64s(xs)
+	if largest {
+		return cell.Num(xs[len(xs)-k])
+	}
+	return cell.Num(xs[k-1])
+}
+
+func fnRank(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	x, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	xs, errv := collectNumbers(env, args[1:2])
+	if errv.IsError() {
+		return errv
+	}
+	ascending := false
+	if len(args) == 3 {
+		var order int
+		if e := intArg(env, args[2], &order); e.IsError() {
+			return e
+		}
+		ascending = order != 0
+	}
+	rank, found := 1, false
+	for _, y := range xs {
+		if y == x {
+			found = true
+		}
+		if (ascending && y < x) || (!ascending && y > x) {
+			rank++
+		}
+	}
+	if !found {
+		return cell.Errorf(cell.ErrNA)
+	}
+	return cell.Num(float64(rank))
+}
+
+func fnPercentile(env *Env, args []operand) cell.Value {
+	xs, errv := collectNumbers(env, args[:1])
+	if errv.IsError() {
+		return errv
+	}
+	p := args[1].scalar(env)
+	f, ok := p.AsNumber()
+	if !ok || f < 0 || f > 1 || len(xs) == 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	sort.Float64s(xs)
+	// Linear interpolation between closest ranks (the shared dialect rule).
+	pos := f * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cell.Num(xs[lo])
+	}
+	frac := pos - float64(lo)
+	return cell.Num(xs[lo]*(1-frac) + xs[hi]*frac)
+}

@@ -1,0 +1,275 @@
+package formula
+
+import (
+	"strings"
+
+	"repro/internal/cell"
+)
+
+func init() {
+	register("CONCATENATE", 1, -1, fnConcatenate)
+	register("CONCAT", 1, -1, fnConcatenate)
+	register("LEN", 1, 1, fnLen)
+	register("LEFT", 1, 2, fnLeft)
+	register("RIGHT", 1, 2, fnRight)
+	register("MID", 3, 3, fnMid)
+	register("LOWER", 1, 1, strFn1(strings.ToLower))
+	register("UPPER", 1, 1, strFn1(strings.ToUpper))
+	register("TRIM", 1, 1, strFn1(trimSpreadsheet))
+	register("FIND", 2, 3, fnFind)
+	register("SUBSTITUTE", 3, 4, fnSubstitute)
+	register("REPT", 2, 2, fnRept)
+	register("EXACT", 2, 2, fnExact)
+	register("VALUE", 1, 1, fnValue)
+	register("TEXTJOIN", 3, -1, fnTextJoin)
+}
+
+func strFn1(f func(string) string) func(env *Env, args []operand) cell.Value {
+	return func(env *Env, args []operand) cell.Value {
+		v := args[0].scalar(env)
+		if v.IsError() {
+			return v
+		}
+		return cell.Str(f(v.AsString()))
+	}
+}
+
+// trimSpreadsheet removes leading/trailing spaces and collapses interior
+// runs to single spaces, which is what spreadsheet TRIM does (unlike
+// strings.TrimSpace).
+func trimSpreadsheet(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func fnConcatenate(env *Env, args []operand) cell.Value {
+	var b strings.Builder
+	for _, a := range args {
+		v := a.scalar(env)
+		if v.IsError() {
+			return v
+		}
+		b.WriteString(v.AsString())
+	}
+	return cell.Str(b.String())
+}
+
+func fnLen(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	return cell.Num(float64(len(v.AsString())))
+}
+
+func fnLeft(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	s := v.AsString()
+	n := 1
+	if len(args) == 2 {
+		if e := intArg(env, args[1], &n); e.IsError() {
+			return e
+		}
+	}
+	if n < 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	return cell.Str(s[:n])
+}
+
+func fnRight(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	s := v.AsString()
+	n := 1
+	if len(args) == 2 {
+		if e := intArg(env, args[1], &n); e.IsError() {
+			return e
+		}
+	}
+	if n < 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	return cell.Str(s[len(s)-n:])
+}
+
+func fnMid(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	s := v.AsString()
+	var start, n int
+	if e := intArg(env, args[1], &start); e.IsError() {
+		return e
+	}
+	if e := intArg(env, args[2], &n); e.IsError() {
+		return e
+	}
+	if start < 1 || n < 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	start-- // 1-based
+	if start >= len(s) {
+		return cell.Str("")
+	}
+	end := start + n
+	if end > len(s) {
+		end = len(s)
+	}
+	return cell.Str(s[start:end])
+}
+
+func fnFind(env *Env, args []operand) cell.Value {
+	needle := args[0].scalar(env)
+	hay := args[1].scalar(env)
+	if needle.IsError() {
+		return needle
+	}
+	if hay.IsError() {
+		return hay
+	}
+	start := 1
+	if len(args) == 3 {
+		if e := intArg(env, args[2], &start); e.IsError() {
+			return e
+		}
+	}
+	h := hay.AsString()
+	if start < 1 || start > len(h)+1 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	idx := strings.Index(h[start-1:], needle.AsString())
+	if idx < 0 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Num(float64(start + idx))
+}
+
+func fnSubstitute(env *Env, args []operand) cell.Value {
+	text := args[0].scalar(env)
+	old := args[1].scalar(env)
+	new_ := args[2].scalar(env)
+	for _, v := range []cell.Value{text, old, new_} {
+		if v.IsError() {
+			return v
+		}
+	}
+	s, o, n := text.AsString(), old.AsString(), new_.AsString()
+	if o == "" {
+		return cell.Str(s)
+	}
+	if len(args) == 4 {
+		var which int
+		if e := intArg(env, args[3], &which); e.IsError() {
+			return e
+		}
+		if which < 1 {
+			return cell.Errorf(cell.ErrValue)
+		}
+		idx := -1
+		for i := 0; i < which; i++ {
+			j := strings.Index(s[idx+1:], o)
+			if j < 0 {
+				return cell.Str(s)
+			}
+			idx += 1 + j
+		}
+		return cell.Str(s[:idx] + n + s[idx+len(o):])
+	}
+	return cell.Str(strings.ReplaceAll(s, o, n))
+}
+
+func fnRept(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	var n int
+	if e := intArg(env, args[1], &n); e.IsError() {
+		return e
+	}
+	if n < 0 || n*len(v.AsString()) > 1<<20 {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Str(strings.Repeat(v.AsString(), n))
+}
+
+func fnExact(env *Env, args []operand) cell.Value {
+	a := args[0].scalar(env)
+	b := args[1].scalar(env)
+	if a.IsError() {
+		return a
+	}
+	if b.IsError() {
+		return b
+	}
+	return cell.Boolean(a.AsString() == b.AsString()) // case-sensitive, unlike =
+}
+
+func fnValue(env *Env, args []operand) cell.Value {
+	v := args[0].scalar(env)
+	if v.IsError() {
+		return v
+	}
+	f, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	return cell.Num(f)
+}
+
+func fnTextJoin(env *Env, args []operand) cell.Value {
+	sep := args[0].scalar(env)
+	ignoreEmpty := args[1].scalar(env)
+	if sep.IsError() {
+		return sep
+	}
+	skip, ok := ignoreEmpty.AsBool()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	var parts []string
+	for _, a := range args[2:] {
+		var errv cell.Value
+		a.eachCell(env, func(v cell.Value) bool {
+			if v.IsError() {
+				errv = v
+				return false
+			}
+			if skip && v.IsEmpty() {
+				return true
+			}
+			parts = append(parts, v.AsString())
+			return true
+		})
+		if errv.IsError() {
+			return errv
+		}
+	}
+	return cell.Str(strings.Join(parts, sep.AsString()))
+}
+
+// intArg coerces an operand to an int, returning #VALUE! on failure.
+func intArg(env *Env, o operand, out *int) cell.Value {
+	v := o.scalar(env)
+	if v.IsError() {
+		return v
+	}
+	f, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue)
+	}
+	*out = int(f)
+	return cell.Value{}
+}

@@ -1,0 +1,296 @@
+package formula
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// parser is a recursive-descent parser with precedence climbing, matching
+// the operator precedence shared by the Excel, Calc, and Sheets dialects:
+//
+//	1 (lowest)  comparisons  = <> < <= > >=
+//	2           concatenation &
+//	3           additive     + -
+//	4           multiplicative * /
+//	5           exponentiation ^   (left-associative, as in Excel)
+//	6           unary -, unary +, percent postfix
+//	7 (highest) literals, references, ranges, calls, parentheses
+type parser struct {
+	src  string
+	lex  *lexer
+	tok  token // current token
+	peek *token
+}
+
+// Parse parses a formula. The text may include or omit the leading '='.
+func Parse(text string) (Node, error) {
+	body := text
+	if strings.HasPrefix(body, "=") {
+		body = body[1:]
+	}
+	p := &parser{src: body, lex: newLexer(body)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errParse(p.src, p.tok.pos, "unexpected %s", p.tok.kind)
+	}
+	return n, nil
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+// binPrec returns the precedence of the current token as a binary operator,
+// or 0 when it is not one.
+func binPrec(k tokKind) (BinOp, int) {
+	switch k {
+	case tokEQ:
+		return OpEQ, 1
+	case tokNE:
+		return OpNE, 1
+	case tokLT:
+		return OpLT, 1
+	case tokLE:
+		return OpLE, 1
+	case tokGT:
+		return OpGT, 1
+	case tokGE:
+		return OpGE, 1
+	case tokAmp:
+		return OpConcat, 2
+	case tokPlus:
+		return OpAdd, 3
+	case tokMinus:
+		return OpSub, 3
+	case tokStar:
+		return OpMul, 4
+	case tokSlash:
+		return OpDiv, 4
+	case tokCaret:
+		return OpPow, 5
+	default:
+		return 0, 0
+	}
+}
+
+func (p *parser) parseExpr(minPrec int) (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec := binPrec(p.tok.kind)
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr(prec + 1) // all ops left-associative
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryNode{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryNode{Op: "-", X: x}, nil
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryNode{Op: "+", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Node, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPercent {
+		x = UnaryNode{Op: "%", X: x}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, errParse(p.src, p.tok.pos, "bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return NumberLit(f), nil
+
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return StringLit(s), nil
+
+	case tokError:
+		code := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return ErrorLit(code), nil
+
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr(1)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, errParse(p.src, p.tok.pos, "expected ')', found %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+
+	case tokIdent:
+		return p.parseIdent()
+	}
+	return nil, errParse(p.src, p.tok.pos, "expected expression, found %s", p.tok.kind)
+}
+
+// parseIdent disambiguates identifiers: function call, boolean literal, cell
+// reference, or range.
+func (p *parser) parseIdent() (Node, error) {
+	name := p.tok.text
+	pos := p.tok.pos
+
+	next, err := p.peekTok()
+	if err != nil {
+		return nil, err
+	}
+	if next.kind == tokLParen {
+		return p.parseCall(strings.ToUpper(name))
+	}
+
+	switch strings.ToUpper(name) {
+	case "TRUE":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return BoolLit(true), nil
+	case "FALSE":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return BoolLit(false), nil
+	}
+
+	ref, err := cell.ParseRef(name)
+	if err != nil {
+		return nil, errParse(p.src, pos, "unknown identifier %q", name)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, errParse(p.src, p.tok.pos, "expected range end after ':'")
+		}
+		to, err := cell.ParseRef(p.tok.text)
+		if err != nil {
+			return nil, errParse(p.src, p.tok.pos, "bad range end %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return RangeNode{From: ref, To: to}, nil
+	}
+	return RefNode{Ref: ref}, nil
+}
+
+func (p *parser) parseCall(name string) (Node, error) {
+	// current token is the name; next is '('
+	if err := p.advance(); err != nil { // onto '('
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // past '('
+		return nil, err
+	}
+	var args []Node
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.parseExpr(1)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return nil, errParse(p.src, p.tok.pos, "expected ')' closing %s(...), found %s", name, p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return CallNode{Name: name, Args: args}, nil
+}

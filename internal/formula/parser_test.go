@@ -1,0 +1,134 @@
+package formula
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical text
+	}{
+		{"=1+2", "(1+2)"},
+		{"1+2*3", "(1+(2*3))"},
+		{"(1+2)*3", "((1+2)*3)"},
+		{"=2^3^2", "((2^3)^2)"}, // left-associative, as in Excel
+		{"-A1", "(-A1)"},
+		{"50%", "(50%)"},
+		{`="a"&"b"`, `("a"&"b")`},
+		{`=IF(A1>5,"big","small")`, `IF((A1>5),"big","small")`},
+		{"=SUM(A1:B10)", "SUM(A1:B10)"},
+		{"=sum(a1:b10)", "SUM(A1:B10)"},
+		{"=COUNTIF(C2,\"STORM\")", `COUNTIF(C2,"STORM")`},
+		{"=$A$1+B$2+$C3", "($A$1+B$2)+$C3"},
+		{"=TRUE", "TRUE"},
+		{"=false", "FALSE"},
+		{"=1<=2", "(1<=2)"},
+		{"=1<>2", "(1<>2)"},
+		{"=VLOOKUP(5,A1:B10,2,FALSE)", "VLOOKUP(5,A1:B10,2,FALSE)"},
+		{"=1.5e3", "1500"},
+		{"=SUM(A1;B2)", "SUM(A1,B2)"}, // Calc-dialect separator
+		{`="he said ""hi"""`, `"he said ""hi"""`},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		got := Canonical(n)
+		want := c.want
+		// Binary ops canonicalize fully parenthesized.
+		if !strings.HasPrefix(want, "(") && strings.ContainsAny(want, "+-*/") &&
+			!strings.Contains(want, "(") {
+			want = "(" + want + ")"
+		}
+		if got != want && got != "("+c.want+")" {
+			t.Errorf("Parse(%q) canonical = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"=", "=1+", "=(1", "=SUM(", "=SUM(A1,", "=)", "=1 2",
+		`="unterminated`, "=FOO BAR", "=A1:", "=@", "=A1:5",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Excel's rule: unary minus binds TIGHTER than ^, so "-2^2" is (-2)^2
+	// = 4. Our parser applies unary before the ^ climb, matching Excel.
+	n, err := Parse("=-2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := EvalNode(n, &Env{Src: emptySource{}})
+	if v.Num != 4 {
+		t.Errorf("-2^2 = %v, want 4 (Excel unary-minus precedence)", v.Num)
+	}
+}
+
+type emptySource struct{}
+
+func (emptySource) Value(cell.Addr) cell.Value { return cell.Value{} }
+
+func TestParseComparisonChainLeftAssoc(t *testing.T) {
+	// (1<2)<3 -> TRUE<3 -> bools sort above numbers -> FALSE
+	n, err := Parse("=1<2<3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := EvalNode(n, &Env{Src: emptySource{}})
+	if b, _ := v.AsBool(); b {
+		t.Errorf("1<2<3 should evaluate (TRUE<3) = FALSE, got %v", v)
+	}
+}
+
+func TestParseRangeRefs(t *testing.T) {
+	n, err := Parse("=SUM($A$1:B10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, ok := n.(CallNode)
+	if !ok || len(call.Args) != 1 {
+		t.Fatalf("want call with 1 arg, got %#v", n)
+	}
+	rng, ok := call.Args[0].(RangeNode)
+	if !ok {
+		t.Fatalf("want range arg, got %#v", call.Args[0])
+	}
+	if !rng.From.AbsRow || !rng.From.AbsCol || rng.To.AbsRow || rng.To.AbsCol {
+		t.Errorf("absolute flags wrong: %+v", rng)
+	}
+	if rng.Range() != cell.MustParseRange("A1:B10") {
+		t.Errorf("range = %v", rng.Range())
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	n, err := Parse("=  SUM( A1 : A3 ,  5 ) + 1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Canonical(n); got != "(SUM(A1:A3,5)+1)" {
+		t.Errorf("canonical = %q", got)
+	}
+}
+
+func TestParseNoArgsCall(t *testing.T) {
+	n, err := Parse("=NOW()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, ok := n.(CallNode)
+	if !ok || call.Name != "NOW" || len(call.Args) != 0 {
+		t.Fatalf("got %#v", n)
+	}
+}

@@ -1,0 +1,269 @@
+// Package formula implements the spreadsheet formula language shared (up to
+// minor dialect differences) by the three systems the paper benchmarks:
+// lexing, parsing, compilation to an AST with extracted references,
+// evaluation against a cell source, criteria matching for the *IF family,
+// reference rewriting for copy-paste, and the reference-locality analysis
+// behind the recalculation-necessity optimization of §6.
+package formula
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString // "..." literal with "" escaping
+	tokError  // #REF!, #N/A, ... error literal
+	tokIdent  // function name, TRUE/FALSE, or cell reference (disambiguated by parser)
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokCaret
+	tokAmp
+	tokPercent
+	tokEQ // =
+	tokNE // <>
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of formula"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokError:
+		return "error literal"
+	case tokIdent:
+		return "identifier"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokCaret:
+		return "'^'"
+	case tokAmp:
+		return "'&'"
+	case tokPercent:
+		return "'%'"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'<>'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source text and position.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer scans a formula body (without the leading '=').
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token, skipping whitespace.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		return l.lexNumber()
+	case c == '"':
+		return l.lexString()
+	case c == '#':
+		return l.lexError()
+	case isIdentStart(c):
+		return l.lexIdent()
+	}
+	l.pos++
+	one := func(k tokKind) (token, error) {
+		return token{kind: k, text: l.src[start:l.pos], pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return one(tokLParen)
+	case ')':
+		return one(tokRParen)
+	case ',', ';': // Calc dialect accepts ';' as the argument separator
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case ':':
+		return one(tokColon)
+	case '+':
+		return one(tokPlus)
+	case '-':
+		return one(tokMinus)
+	case '*':
+		return one(tokStar)
+	case '/':
+		return one(tokSlash)
+	case '^':
+		return one(tokCaret)
+	case '&':
+		return one(tokAmp)
+	case '%':
+		return one(tokPercent)
+	case '=':
+		return one(tokEQ)
+	case '<':
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '>':
+				l.pos++
+				return one(tokNE)
+			case '=':
+				l.pos++
+				return one(tokLE)
+			}
+		}
+		return one(tokLT)
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return one(tokGE)
+		}
+		return one(tokGT)
+	}
+	return token{}, fmt.Errorf("formula: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			// Lookahead: exponent must be followed by a digit or sign+digit,
+			// otherwise "1E" is a number followed by an identifier (which in
+			// practice is a malformed ref and will fail in the parser).
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				seenExp = true
+				l.pos = j + 1
+			} else {
+				return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				b.WriteByte('"') // "" escapes a quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("formula: unterminated string starting at offset %d", start)
+}
+
+// errorCodes are the error literals the dialect accepts, longest first so
+// #N/A wins over a hypothetical #N prefix.
+var errorCodes = []string{
+	"#DIV/0!", "#VALUE!", "#CYCLE!", "#NAME?", "#REF!", "#NULL!", "#NUM!", "#N/A",
+}
+
+func (l *lexer) lexError() (token, error) {
+	rest := l.src[l.pos:]
+	for _, code := range errorCodes {
+		if len(rest) >= len(code) && rest[:len(code)] == code {
+			start := l.pos
+			l.pos += len(code)
+			return token{kind: tokError, text: code, pos: start}, nil
+		}
+	}
+	return token{}, fmt.Errorf("formula: unknown error literal at offset %d", l.pos)
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+}
+
+// isIdentStart: letters, '$' (absolute reference marker), '_' (function
+// names like some dialect extensions).
+func isIdentStart(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c == '$' || c == '_'
+}
+
+// isIdentPart additionally allows digits ('A1'), '$' ('A$1'), and '.'
+// (Calc-dialect function names like 'ROUNDUP' are plain, but e.g.
+// 'CEILING.MATH' style names exist in the Excel dialect).
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}

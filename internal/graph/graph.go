@@ -1,0 +1,362 @@
+// Package graph tracks formula dependencies and produces recalculation
+// orders. It models the "calculation sequence" machinery Excel documents
+// and the paper repeatedly implicates in its latency findings [6]: when a
+// cell changes, the transitive dependents must be re-evaluated in
+// topological order; when the sheet is structurally changed (sort, open),
+// systems re-sequence the entire chain.
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/cell"
+)
+
+// smallRangeMax is the precedent-range size up to which dependencies are
+// expanded into exact per-cell edges. Larger ranges (e.g. a COUNTIF over an
+// entire column) are kept as interval entries and matched by scan — the
+// region-based bookkeeping real engines use, cheap because sheets have few
+// huge-range formulae but possibly millions of single-ref ones.
+const smallRangeMax = 16
+
+type rangeDep struct {
+	rng cell.Range
+	dep cell.Addr
+}
+
+// Graph is a single-sheet dependency graph. It is not safe for concurrent
+// use.
+type Graph struct {
+	// byCell maps a precedent cell to the formula cells that read it via
+	// small references.
+	byCell map[cell.Addr][]cell.Addr
+	// large holds big-range precedents, scanned on updates.
+	large []rangeDep
+	// precedents remembers each formula's registered ranges for removal.
+	precedents map[cell.Addr][]cell.Range
+	// ops counts graph maintenance operations since construction; the
+	// engine charges these to the DepOp metric.
+	ops int64
+	// version increments whenever the formula set changes; the engine
+	// uses it to cache calc-chain orders ([6]: real engines reuse the
+	// calculation sequence until the sheet's structure changes).
+	version int64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byCell:     make(map[cell.Addr][]cell.Addr),
+		precedents: make(map[cell.Addr][]cell.Range),
+	}
+}
+
+// Ops returns the number of maintenance operations performed since the last
+// ResetOps; the engine transfers this onto its meter.
+func (g *Graph) Ops() int64 { return g.ops }
+
+// Version identifies the current formula-set generation; it changes on
+// every SetFormula, RemoveFormula, and Clear.
+func (g *Graph) Version() int64 { return g.version }
+
+// ResetOps zeroes the maintenance-operation counter.
+func (g *Graph) ResetOps() { g.ops = 0 }
+
+// FormulaCount returns the number of registered formula cells.
+func (g *Graph) FormulaCount() int { return len(g.precedents) }
+
+// SetFormula registers (or replaces) the formula at the given cell with the
+// given precedent ranges. Single cells are passed as 1x1 ranges.
+func (g *Graph) SetFormula(at cell.Addr, ranges []cell.Range) {
+	if _, exists := g.precedents[at]; exists {
+		g.RemoveFormula(at)
+	}
+	stored := make([]cell.Range, len(ranges))
+	copy(stored, ranges)
+	g.precedents[at] = stored
+	g.ops++
+	g.version++
+	for _, r := range stored {
+		if r.Cells() <= smallRangeMax {
+			for row := r.Start.Row; row <= r.End.Row; row++ {
+				for col := r.Start.Col; col <= r.End.Col; col++ {
+					p := cell.Addr{Row: row, Col: col}
+					g.byCell[p] = append(g.byCell[p], at)
+					g.ops++
+				}
+			}
+		} else {
+			g.large = append(g.large, rangeDep{rng: r, dep: at})
+			g.ops++
+		}
+	}
+}
+
+// RemoveFormula unregisters the formula at the given cell.
+func (g *Graph) RemoveFormula(at cell.Addr) {
+	ranges, ok := g.precedents[at]
+	if !ok {
+		return
+	}
+	delete(g.precedents, at)
+	g.ops++
+	g.version++
+	for _, r := range ranges {
+		if r.Cells() <= smallRangeMax {
+			for row := r.Start.Row; row <= r.End.Row; row++ {
+				for col := r.Start.Col; col <= r.End.Col; col++ {
+					p := cell.Addr{Row: row, Col: col}
+					g.byCell[p] = removeAddr(g.byCell[p], at)
+					if len(g.byCell[p]) == 0 {
+						delete(g.byCell, p)
+					}
+					g.ops++
+				}
+			}
+		} else {
+			for i := range g.large {
+				if g.large[i].dep == at && g.large[i].rng == r {
+					g.large = append(g.large[:i], g.large[i+1:]...)
+					break
+				}
+			}
+			g.ops++
+		}
+	}
+}
+
+func removeAddr(s []cell.Addr, a cell.Addr) []cell.Addr {
+	for i := range s {
+		if s[i] == a {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Precedents returns the registered precedent ranges of a formula cell.
+func (g *Graph) Precedents(at cell.Addr) []cell.Range { return g.precedents[at] }
+
+// DirectDependents returns the formula cells that directly read the given
+// cell. The result is freshly allocated.
+func (g *Graph) DirectDependents(changed cell.Addr) []cell.Addr {
+	var out []cell.Addr
+	out = append(out, g.byCell[changed]...)
+	g.ops++
+	for _, rd := range g.large {
+		g.ops++
+		if rd.rng.Contains(changed) {
+			out = append(out, rd.dep)
+		}
+	}
+	return out
+}
+
+// Dirty computes the transitive dependents of the changed cells in
+// topological (evaluation) order: every formula appears after all formulae
+// it reads. Cells participating in a reference cycle are still returned
+// (in an arbitrary order within the cycle) so the engine can mark them
+// #CYCLE!; the second result lists them.
+func (g *Graph) Dirty(changed []cell.Addr) (order []cell.Addr, cyclic []cell.Addr) {
+	// Phase 1: discover the affected formula set by BFS over dependents.
+	affected := make(map[cell.Addr]bool)
+	queue := make([]cell.Addr, 0, len(changed))
+	for _, c := range changed {
+		for _, d := range g.DirectDependents(c) {
+			if !affected[d] {
+				affected[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, d := range g.DirectDependents(at) {
+			if !affected[d] {
+				affected[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(affected) == 0 {
+		return nil, nil
+	}
+
+	// Phase 2: Kahn's algorithm restricted to the affected set. An edge
+	// A -> B exists when B's precedents include A's cell.
+	indeg := make(map[cell.Addr]int, len(affected))
+	edges := make(map[cell.Addr][]cell.Addr, len(affected))
+	for b := range affected {
+		indeg[b] += 0
+		for _, r := range g.precedents[b] {
+			g.ops++
+			// Walk the affected formulae that lie inside b's precedent
+			// ranges. For small ranges enumerate cells; for large ranges
+			// test each affected cell (affected sets are small relative
+			// to huge ranges in real sheets).
+			if r.Cells() <= smallRangeMax {
+				for row := r.Start.Row; row <= r.End.Row; row++ {
+					for col := r.Start.Col; col <= r.End.Col; col++ {
+						a := cell.Addr{Row: row, Col: col}
+						if a != b && affected[a] {
+							edges[a] = append(edges[a], b)
+							indeg[b]++
+						}
+					}
+				}
+			} else {
+				for a := range affected {
+					if a != b && r.Contains(a) {
+						edges[a] = append(edges[a], b)
+						indeg[b]++
+					}
+				}
+			}
+		}
+	}
+
+	ready := make([]cell.Addr, 0, len(affected))
+	for a, d := range indeg {
+		if d == 0 {
+			ready = append(ready, a)
+		}
+	}
+	// Deterministic order for reproducible benchmarks and tests.
+	g.sortAddrs(ready)
+
+	order = make([]cell.Addr, 0, len(affected))
+	for len(ready) > 0 {
+		a := ready[0]
+		ready = ready[1:]
+		order = append(order, a)
+		next := edges[a]
+		g.sortAddrs(next)
+		for _, b := range next {
+			indeg[b]--
+			if indeg[b] == 0 {
+				ready = append(ready, b)
+			}
+		}
+		g.ops++
+	}
+	if len(order) < len(affected) {
+		for a := range affected {
+			if indeg[a] > 0 {
+				cyclic = append(cyclic, a)
+			}
+		}
+		g.sortAddrs(cyclic)
+	}
+	return order, cyclic
+}
+
+// AllFormulas returns every registered formula cell in topological order,
+// for full recalculation (open, and the re-sequencing after sort). Formulae
+// in cycles are appended at the end and also returned separately.
+func (g *Graph) AllFormulas() (order []cell.Addr, cyclic []cell.Addr) {
+	roots := make([]cell.Addr, 0, len(g.precedents))
+	for a := range g.precedents {
+		roots = append(roots, a)
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	// Treat every formula as affected and reuse the Kahn pass by seeding
+	// phase 2 directly.
+	affected := make(map[cell.Addr]bool, len(roots))
+	for _, a := range roots {
+		affected[a] = true
+	}
+	indeg := make(map[cell.Addr]int, len(affected))
+	edges := make(map[cell.Addr][]cell.Addr, len(affected))
+	for b := range affected {
+		indeg[b] += 0
+		for _, r := range g.precedents[b] {
+			g.ops++
+			if r.Cells() <= smallRangeMax {
+				for row := r.Start.Row; row <= r.End.Row; row++ {
+					for col := r.Start.Col; col <= r.End.Col; col++ {
+						a := cell.Addr{Row: row, Col: col}
+						if a != b && affected[a] {
+							edges[a] = append(edges[a], b)
+							indeg[b]++
+						}
+					}
+				}
+			} else {
+				// Large-range formulae over mostly-value cells: scan the
+				// large list once below instead of per-cell tests here.
+			}
+		}
+	}
+	// Large-range edges: for each large-range dep, link every affected
+	// formula inside the range to the dependent.
+	for _, rd := range g.large {
+		if !affected[rd.dep] {
+			continue
+		}
+		for a := range affected {
+			if a != rd.dep && rd.rng.Contains(a) {
+				edges[a] = append(edges[a], rd.dep)
+				indeg[rd.dep]++
+			}
+		}
+		g.ops++
+	}
+
+	ready := make([]cell.Addr, 0, len(affected))
+	for a, d := range indeg {
+		if d == 0 {
+			ready = append(ready, a)
+		}
+	}
+	g.sortAddrs(ready)
+	order = make([]cell.Addr, 0, len(affected))
+	for len(ready) > 0 {
+		a := ready[0]
+		ready = ready[1:]
+		order = append(order, a)
+		next := edges[a]
+		g.sortAddrs(next)
+		for _, b := range next {
+			indeg[b]--
+			if indeg[b] == 0 {
+				ready = append(ready, b)
+			}
+		}
+		g.ops++
+	}
+	if len(order) < len(affected) {
+		for a := range affected {
+			if indeg[a] > 0 {
+				cyclic = append(cyclic, a)
+			}
+		}
+		g.sortAddrs(cyclic)
+	}
+	return order, cyclic
+}
+
+// Clear removes every registered formula.
+func (g *Graph) Clear() {
+	g.byCell = make(map[cell.Addr][]cell.Addr)
+	g.large = g.large[:0]
+	g.precedents = make(map[cell.Addr][]cell.Range)
+	g.ops++
+	g.version++
+}
+
+// sortAddrs orders addresses row-major, counting each comparison as a
+// maintenance op — sequencing the ready set is the sort-like phase of
+// calc-chain construction, and the source of the superlinear trend the
+// engine's filter re-sequencing exhibits (§4.3.1).
+func (g *Graph) sortAddrs(s []cell.Addr) {
+	sort.Slice(s, func(i, j int) bool {
+		g.ops++
+		if s[i].Row != s[j].Row {
+			return s[i].Row < s[j].Row
+		}
+		return s[i].Col < s[j].Col
+	})
+}

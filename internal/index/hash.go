@@ -1,0 +1,142 @@
+// Package index implements the database-style access structures whose
+// absence the paper's OOT benchmark demonstrates (§5.1) and whose adoption
+// §6 proposes: a per-column hash index for exact-match lookups and equality
+// aggregates, a B+-tree for ordered lookups, an inverted token index for
+// find-and-replace, and shared prefix sums for overlapping range
+// aggregates. The optimized engine maintains these; they are also unit- and
+// property-tested standalone.
+package index
+
+import "repro/internal/cell"
+
+// key normalizes a cell value for hashing: numbers by bits, text folded to
+// lower case (spreadsheet equality is case-insensitive).
+type key struct {
+	kind cell.Kind
+	num  float64
+	str  string
+}
+
+func keyOf(v cell.Value) key {
+	switch v.Kind {
+	case cell.Number, cell.Bool:
+		return key{kind: cell.Number, num: v.Num}
+	case cell.Text:
+		return key{kind: cell.Text, str: foldLower(v.Str)}
+	default:
+		return key{kind: v.Kind, str: v.Str}
+	}
+}
+
+func foldLower(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Hash is an equality index over one column: value -> sorted list of rows.
+// It answers point lookups (VLOOKUP exact match) and equality counts
+// (COUNTIF with an equality criterion) in near-constant time, the
+// complexity the paper's §5.1 take-away calls for.
+type Hash struct {
+	rows map[key][]int32
+	n    int
+}
+
+// NewHash returns an empty hash index.
+func NewHash() *Hash { return &Hash{rows: make(map[key][]int32)} }
+
+// Add indexes the value at the given row.
+func (h *Hash) Add(row int, v cell.Value) {
+	if v.IsEmpty() {
+		return
+	}
+	k := keyOf(v)
+	h.rows[k] = insertSorted(h.rows[k], int32(row))
+	h.n++
+}
+
+// Remove drops the (row, value) pairing; it is a no-op when absent.
+func (h *Hash) Remove(row int, v cell.Value) {
+	if v.IsEmpty() {
+		return
+	}
+	k := keyOf(v)
+	s := h.rows[k]
+	i := searchInt32(s, int32(row))
+	if i < len(s) && s[i] == int32(row) {
+		h.rows[k] = append(s[:i], s[i+1:]...)
+		h.n--
+		if len(h.rows[k]) == 0 {
+			delete(h.rows, k)
+		}
+	}
+}
+
+// Replace updates the index for a single cell edit.
+func (h *Hash) Replace(row int, old, new cell.Value) {
+	h.Remove(row, old)
+	h.Add(row, new)
+}
+
+// FirstRow returns the smallest indexed row in [lo, hi] holding v. probes
+// counts hash+list probes for metering.
+func (h *Hash) FirstRow(v cell.Value, lo, hi int) (row, probes int, ok bool) {
+	s := h.rows[keyOf(v)]
+	i := searchInt32(s, int32(lo))
+	probes = 2 // hash probe + binary-search landing
+	if i < len(s) && int(s[i]) <= hi {
+		return int(s[i]), probes, true
+	}
+	return 0, probes, false
+}
+
+// Count returns the number of indexed rows in [lo, hi] holding v.
+func (h *Hash) Count(v cell.Value, lo, hi int) (count, probes int) {
+	s := h.rows[keyOf(v)]
+	i := searchInt32(s, int32(lo))
+	j := searchInt32(s, int32(hi+1))
+	return j - i, 3
+}
+
+// Len returns the number of indexed (row, value) entries.
+func (h *Hash) Len() int { return h.n }
+
+// DistinctValues returns the number of distinct indexed values.
+func (h *Hash) DistinctValues() int { return len(h.rows) }
+
+func insertSorted(s []int32, x int32) []int32 {
+	i := searchInt32(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// searchInt32 returns the first index with s[i] >= x.
+func searchInt32(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,82 @@
+package index
+
+// PrefixSums shares computation across overlapping range aggregates over
+// one column (§5.3, §6 "Shared computation"): after one O(m) build, any
+// SUM(col[i..j]) and COUNT of numeric cells in the range is answered in
+// O(1), turning the paper's quadratic repeated-computation workload
+// (Figure 11) linear.
+type PrefixSums struct {
+	sum   []float64 // sum[i] = sum of numeric values in rows [0, i)
+	count []int32   // count[i] = numeric cells in rows [0, i)
+	dirty bool
+}
+
+// NewPrefixSums builds prefix aggregates from the numeric interpretation of
+// a column: vals[i] is row i's numeric value and present[i] whether the
+// cell held a number.
+func NewPrefixSums(vals []float64, present []bool) *PrefixSums {
+	p := &PrefixSums{
+		sum:   make([]float64, len(vals)+1),
+		count: make([]int32, len(vals)+1),
+	}
+	for i, v := range vals {
+		p.sum[i+1] = p.sum[i]
+		p.count[i+1] = p.count[i]
+		if present[i] {
+			p.sum[i+1] += v
+			p.count[i+1]++
+		}
+	}
+	return p
+}
+
+// Rows returns the number of rows covered.
+func (p *PrefixSums) Rows() int { return len(p.sum) - 1 }
+
+// Sum returns the sum of numeric cells in rows [lo, hi] (inclusive,
+// clamped), in O(1).
+func (p *PrefixSums) Sum(lo, hi int) float64 {
+	lo, hi = p.clamp(lo, hi)
+	if lo > hi {
+		return 0
+	}
+	return p.sum[hi+1] - p.sum[lo]
+}
+
+// Count returns the number of numeric cells in rows [lo, hi].
+func (p *PrefixSums) Count(lo, hi int) int {
+	lo, hi = p.clamp(lo, hi)
+	if lo > hi {
+		return 0
+	}
+	return int(p.count[hi+1] - p.count[lo])
+}
+
+// Average returns the mean of numeric cells in rows [lo, hi]; ok is false
+// when the range holds no numbers.
+func (p *PrefixSums) Average(lo, hi int) (float64, bool) {
+	n := p.Count(lo, hi)
+	if n == 0 {
+		return 0, false
+	}
+	return p.Sum(lo, hi) / float64(n), true
+}
+
+// Update applies a single-cell delta: row's numeric value changed from old
+// to new. Incremental maintenance is O(m) on the prefix arrays, so instead
+// the structure marks itself dirty and the engine rebuilds lazily; Dirty
+// tells the engine a rebuild is pending.
+func (p *PrefixSums) Update() { p.dirty = true }
+
+// Dirty reports whether the prefix arrays are stale.
+func (p *PrefixSums) Dirty() bool { return p.dirty }
+
+func (p *PrefixSums) clamp(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.sum)-2 {
+		hi = len(p.sum) - 2
+	}
+	return lo, hi
+}

@@ -1,0 +1,74 @@
+package iolib
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/cell"
+	"repro/internal/sheet"
+)
+
+// ImportCSV reads raw CSV data into a new sheet — the "import" data-load
+// operation of Table 1 (the paper evaluates only open since the two are
+// "essentially equivalent"; we support both). Numeric-looking fields become
+// numbers, everything else text; no formulae.
+func ImportCSV(r io.Reader, name string) (*sheet.Sheet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("iolib: importing CSV: %w", err)
+	}
+	cols := 0
+	for _, rec := range records {
+		if len(rec) > cols {
+			cols = len(rec)
+		}
+	}
+	s := sheet.New(name, len(records), cols)
+	for r, rec := range records {
+		for c, field := range rec {
+			if field == "" {
+				continue
+			}
+			a := cell.Addr{Row: r, Col: c}
+			if f, err := strconv.ParseFloat(field, 64); err == nil {
+				s.SetValue(a, cell.Num(f))
+			} else {
+				s.SetValue(a, cell.Str(field))
+			}
+		}
+	}
+	return s, nil
+}
+
+// ImportCSVFile imports a CSV file from disk.
+func ImportCSVFile(path, name string) (*sheet.Sheet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ImportCSV(f, name)
+}
+
+// ExportCSV writes a sheet's displayed values as CSV (formulae export
+// their cached results, matching "save as CSV" in all three systems).
+func ExportCSV(w io.Writer, s *sheet.Sheet) error {
+	cw := csv.NewWriter(w)
+	rows, cols := s.Rows(), s.Cols()
+	record := make([]string, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			record[c] = s.Value(cell.Addr{Row: r, Col: c}).AsString()
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("iolib: exporting CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,298 @@
+// Package iolib implements workbook file formats for the data-load
+// experiments (§4.1): SVF, a line-oriented native workbook format carrying
+// values, formulae and styles (standing in for xlsx/ods, whose size per row
+// it approximates), and CSV import/export for raw data interchange.
+package iolib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// svfHeader is the magic first line of an SVF file.
+const svfHeader = "SVF1"
+
+// WriteWorkbook serializes a workbook to the SVF format.
+func WriteWorkbook(w io.Writer, wb *sheet.Workbook) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "%s\t%d\n", svfHeader, wb.Len())
+	for _, s := range wb.Sheets() {
+		if err := writeSheet(bw, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveWorkbook writes a workbook to a file path.
+func SaveWorkbook(path string, wb *sheet.Workbook) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteWorkbook(f, wb); err != nil {
+		f.Close()
+		return fmt.Errorf("iolib: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeSheet(bw *bufio.Writer, s *sheet.Sheet) error {
+	rows, cols := s.Rows(), s.Cols()
+	fmt.Fprintf(bw, "S\t%s\t%d\t%d\n", escapeName(s.Name), rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				bw.WriteByte('\t')
+			}
+			a := cell.Addr{Row: r, Col: c}
+			if fc, ok := s.Formula(a); ok {
+				// Persist the formula as authored at its current
+				// location: shift relative refs by the displacement.
+				dr, dc := fc.DeltaAt(a)
+				if dr == 0 && dc == 0 {
+					bw.WriteString(escapeField(fc.Code.Text))
+				} else {
+					bw.WriteString(escapeField(fc.Code.RewriteRelative(dr, dc)))
+				}
+				continue
+			}
+			writeValue(bw, s.Value(a))
+		}
+		bw.WriteByte('\n')
+	}
+	return nil
+}
+
+func writeValue(bw *bufio.Writer, v cell.Value) {
+	switch v.Kind {
+	case cell.Empty:
+	case cell.Number:
+		bw.WriteString("#n")
+		bw.WriteString(strconv.FormatFloat(v.Num, 'g', -1, 64))
+	case cell.Text:
+		bw.WriteString("#t")
+		bw.WriteString(escapeField(v.Str))
+	case cell.Bool:
+		if v.Num != 0 {
+			bw.WriteString("#b1")
+		} else {
+			bw.WriteString("#b0")
+		}
+	case cell.ErrorVal:
+		bw.WriteString("#e")
+		bw.WriteString(v.Str)
+	}
+}
+
+// escapeField protects tabs and newlines inside text payloads.
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeField(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func escapeName(s string) string { return escapeField(s) }
+
+// ReadResult is a parsed workbook plus parse statistics the engine meters.
+type ReadResult struct {
+	Workbook *sheet.Workbook
+	// Bytes is the total bytes consumed.
+	Bytes int64
+	// Cells is the number of non-empty cells materialized.
+	Cells int64
+	// Formulas is the number of formula cells compiled.
+	Formulas int64
+}
+
+// ReadWorkbook parses an SVF stream.
+func ReadWorkbook(r io.Reader) (*ReadResult, error) {
+	cr := &countingReader{r: r}
+	sc := bufio.NewScanner(cr)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("iolib: empty SVF stream")
+	}
+	head := strings.Split(sc.Text(), "\t")
+	if head[0] != svfHeader {
+		return nil, fmt.Errorf("iolib: bad SVF header %q", head[0])
+	}
+	nsheets := 1
+	if len(head) > 1 {
+		n, err := strconv.Atoi(head[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("iolib: bad sheet count %q", head[1])
+		}
+		nsheets = n
+	}
+
+	res := &ReadResult{Workbook: sheet.NewWorkbook()}
+	// Deduplicate compiled formulae by text: spreadsheet files repeat the
+	// same formula shape millions of times, and real loaders intern them.
+	compiled := make(map[string]*formula.Compiled)
+
+	for si := 0; si < nsheets; si++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("iolib: truncated SVF: missing sheet %d header", si)
+		}
+		parts := strings.Split(sc.Text(), "\t")
+		if len(parts) != 4 || parts[0] != "S" {
+			return nil, fmt.Errorf("iolib: bad sheet header %q", sc.Text())
+		}
+		rows, err1 := strconv.Atoi(parts[2])
+		cols, err2 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+			return nil, fmt.Errorf("iolib: bad sheet dimensions %q", sc.Text())
+		}
+		s := sheet.New(unescapeField(parts[1]), rows, cols)
+		for r := 0; r < rows; r++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("iolib: truncated SVF: sheet %q row %d", s.Name, r)
+			}
+			if err := parseRow(s, r, sc.Text(), compiled, res); err != nil {
+				return nil, err
+			}
+		}
+		if err := res.Workbook.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("iolib: reading SVF: %w", err)
+	}
+	res.Bytes = cr.n
+	return res, nil
+}
+
+func parseRow(s *sheet.Sheet, r int, line string, compiled map[string]*formula.Compiled, res *ReadResult) error {
+	col := 0
+	for len(line) > 0 || col == 0 {
+		var field string
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			field, line = line[:i], line[i+1:]
+		} else {
+			field, line = line, ""
+		}
+		if err := parseField(s, cell.Addr{Row: r, Col: col}, field, compiled, res); err != nil {
+			return err
+		}
+		col++
+		if line == "" {
+			break
+		}
+	}
+	return nil
+}
+
+func parseField(s *sheet.Sheet, a cell.Addr, field string, compiled map[string]*formula.Compiled, res *ReadResult) error {
+	if field == "" {
+		return nil
+	}
+	res.Cells++
+	if field[0] == '=' {
+		text := unescapeField(field)
+		c, ok := compiled[text]
+		if !ok {
+			var err error
+			c, err = formula.Compile(text)
+			if err != nil {
+				return fmt.Errorf("iolib: cell %s: %w", a, err)
+			}
+			compiled[text] = c
+		}
+		s.SetFormula(a, c)
+		res.Formulas++
+		return nil
+	}
+	if len(field) < 2 || field[0] != '#' {
+		return fmt.Errorf("iolib: cell %s: bad field %q", a, field)
+	}
+	switch field[1] {
+	case 'n':
+		f, err := strconv.ParseFloat(field[2:], 64)
+		if err != nil {
+			return fmt.Errorf("iolib: cell %s: bad number %q", a, field[2:])
+		}
+		s.SetValue(a, cell.Num(f))
+	case 't':
+		s.SetValue(a, cell.Str(unescapeField(field[2:])))
+	case 'b':
+		s.SetValue(a, cell.Boolean(field[2:] == "1"))
+	case 'e':
+		s.SetValue(a, cell.Errorf(field[2:]))
+	default:
+		return fmt.Errorf("iolib: cell %s: unknown field tag %q", a, field[:2])
+	}
+	return nil
+}
+
+// LoadWorkbook reads an SVF file from disk.
+func LoadWorkbook(path string) (*ReadResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := ReadWorkbook(f)
+	if err != nil {
+		return nil, fmt.Errorf("iolib: %s: %w", path, err)
+	}
+	return res, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,112 @@
+// Package netsim deterministically simulates the client/server network
+// behavior that dominates Google Sheets latencies in the paper (§3.3, §4.1):
+// round-trip time, transfer bandwidth, per-API-call overhead, server-load
+// jitter (the paper reports "the variance in response times ... was very
+// high — possibly due to the variation in the load on the server"), and the
+// Google Apps Script daily quotas that truncated the paper's Sheets
+// experiments at 90k rows.
+package netsim
+
+import (
+	"errors"
+	"time"
+)
+
+// Config describes a simulated network and service.
+type Config struct {
+	// RTT is the round-trip latency per network exchange.
+	RTT time.Duration
+	// BytesPerSecond is the transfer bandwidth.
+	BytesPerSecond float64
+	// CallOverhead is the fixed server-side cost of one scripting API call
+	// (auth, dispatch, serialization), paid in addition to RTT.
+	CallOverhead time.Duration
+	// JitterFraction is the maximum fractional jitter applied to each
+	// operation's network time (0.25 = up to ±25%).
+	JitterFraction float64
+	// Seed makes the jitter sequence reproducible.
+	Seed uint64
+	// DailyQuota is the total simulated service time budget before calls
+	// fail with ErrQuotaExhausted (zero = unlimited). The paper's Sheets
+	// runs were "limited by the daily quotas and hard limits imposed by
+	// Google Apps Script services".
+	DailyQuota time.Duration
+	// CallQuota caps the number of API calls (zero = unlimited).
+	CallQuota int64
+}
+
+// ErrQuotaExhausted is returned once the configured daily quota is consumed.
+var ErrQuotaExhausted = errors.New("netsim: daily service quota exhausted")
+
+// Network simulates the link. It is deterministic: the same call sequence
+// on the same seed yields the same simulated times.
+type Network struct {
+	cfg   Config
+	rng   uint64
+	spent time.Duration
+	calls int64
+}
+
+// New returns a network simulator for the config.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Network{cfg: cfg, rng: seed}
+}
+
+// next returns a uniform float64 in [0,1) from a xorshift64* stream.
+func (n *Network) next() float64 {
+	x := n.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	n.rng = x
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// Call simulates one scripting-API round trip moving the given number of
+// payload bytes and returns its simulated duration. Quota errors are
+// returned once the daily budget is exceeded; the duration of the failing
+// call is still reported (the paper's scripts burned quota on timeouts).
+func (n *Network) Call(payloadBytes int64) (time.Duration, error) {
+	base := n.cfg.RTT + n.cfg.CallOverhead
+	if n.cfg.BytesPerSecond > 0 && payloadBytes > 0 {
+		base += time.Duration(float64(payloadBytes) / n.cfg.BytesPerSecond * float64(time.Second))
+	}
+	if n.cfg.JitterFraction > 0 {
+		// jitter in [-f, +f]
+		j := (n.next()*2 - 1) * n.cfg.JitterFraction
+		base += time.Duration(float64(base) * j)
+	}
+	n.spent += base
+	n.calls++
+	if n.exhausted() {
+		return base, ErrQuotaExhausted
+	}
+	return base, nil
+}
+
+func (n *Network) exhausted() bool {
+	if n.cfg.DailyQuota > 0 && n.spent > n.cfg.DailyQuota {
+		return true
+	}
+	if n.cfg.CallQuota > 0 && n.calls > n.cfg.CallQuota {
+		return true
+	}
+	return false
+}
+
+// Spent returns the total simulated service time consumed.
+func (n *Network) Spent() time.Duration { return n.spent }
+
+// Calls returns the number of API calls made.
+func (n *Network) Calls() int64 { return n.calls }
+
+// ResetQuota starts a new "day": quota accounting is zeroed but the jitter
+// stream continues (a new day does not replay the old one's noise).
+func (n *Network) ResetQuota() {
+	n.spent = 0
+	n.calls = 0
+}

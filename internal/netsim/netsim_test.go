@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCallBaseCost(t *testing.T) {
+	n := New(Config{RTT: 100 * time.Millisecond, CallOverhead: 50 * time.Millisecond})
+	d, err := n.Call(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 150*time.Millisecond {
+		t.Errorf("Call = %v", d)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	n := New(Config{BytesPerSecond: 1 << 20}) // 1 MiB/s
+	d, err := n.Call(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != time.Second {
+		t.Errorf("1MiB at 1MiB/s = %v", d)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	cfg := Config{RTT: 100 * time.Millisecond, JitterFraction: 0.25, Seed: 42}
+	n1 := New(cfg)
+	n2 := New(cfg)
+	lo := time.Duration(float64(100*time.Millisecond) * 0.75)
+	hi := time.Duration(float64(100*time.Millisecond) * 1.25)
+	varied := false
+	var first time.Duration
+	for i := 0; i < 100; i++ {
+		d1, _ := n1.Call(0)
+		d2, _ := n2.Call(0)
+		if d1 != d2 {
+			t.Fatal("same seed must give same jitter stream")
+		}
+		if d1 < lo || d1 > hi {
+			t.Errorf("jittered call %v outside [%v, %v]", d1, lo, hi)
+		}
+		if i == 0 {
+			first = d1
+		} else if d1 != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter should vary across calls")
+	}
+}
+
+func TestQuota(t *testing.T) {
+	n := New(Config{RTT: time.Second, DailyQuota: 2500 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		if _, err := n.Call(0); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if _, err := n.Call(0); err != ErrQuotaExhausted {
+		t.Errorf("third call err = %v, want quota exhaustion", err)
+	}
+	if n.Calls() != 3 {
+		t.Errorf("Calls = %d", n.Calls())
+	}
+	n.ResetQuota()
+	if _, err := n.Call(0); err != nil {
+		t.Errorf("after ResetQuota: %v", err)
+	}
+}
+
+func TestCallQuota(t *testing.T) {
+	n := New(Config{RTT: time.Millisecond, CallQuota: 2})
+	n.Call(0)
+	n.Call(0)
+	if _, err := n.Call(0); err != ErrQuotaExhausted {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpentAccumulates(t *testing.T) {
+	n := New(Config{RTT: 10 * time.Millisecond})
+	n.Call(0)
+	n.Call(0)
+	if n.Spent() != 20*time.Millisecond {
+		t.Errorf("Spent = %v", n.Spent())
+	}
+}

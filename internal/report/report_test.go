@@ -1,0 +1,133 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{99 * time.Millisecond, "99.0ms"},
+		{2300 * time.Millisecond, "2.30s"},
+		{42 * time.Second, "42.0s"},
+		{11 * time.Minute, "660s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	if FormatSize(150) != "150" || FormatSize(6000) != "6k" || FormatSize(490000) != "490k" {
+		t.Error("FormatSize")
+	}
+	if FormatSize(1234) != "1234" {
+		t.Error("non-round size should print raw")
+	}
+}
+
+func sampleSeries() []Series {
+	return []Series{
+		{Label: "excel/F", Points: []Point{
+			{Size: 6000, Sim: 100 * time.Millisecond, Wall: time.Millisecond},
+			{Size: 150, Sim: 10 * time.Millisecond, Wall: time.Millisecond},
+		}},
+		{Label: "calc/F", Points: []Point{
+			{Size: 150, Sim: 450 * time.Millisecond},
+		}},
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, "fig: test", sampleSeries(), "a note")
+	out := buf.String()
+	for _, want := range []string{"fig: test", "# a note", "excel/F", "calc/F", "150", "6k", "10.0ms", "0.45s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point renders "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing cells should render '-'")
+	}
+}
+
+func TestWriteFigureSortsSizes(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, "t", sampleSeries())
+	out := buf.String()
+	if strings.Index(out, "150") > strings.Index(out, "6k") {
+		t.Error("rows must be size-sorted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCSV(&buf, sampleSeries())
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "series,rows,sim_ns,wall_ns,std_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Sorted by size within series.
+	if !strings.HasPrefix(lines[1], "excel/F,150,") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	s := sampleSeries()[0]
+	_ = s.Sorted()
+	if s.Points[0].Size != 6000 {
+		t.Error("Sorted must not mutate the series")
+	}
+}
+
+func TestWriteTable2(t *testing.T) {
+	rows := []Table2Row{
+		{Experiment: "Open", Cells: map[string]string{
+			"excel/F": "0.6", "excel/V": "0.6", "calc/F": "0.015",
+		}},
+		{Experiment: "VLOOKUP", Cells: map[string]string{"excel/V": "100"}},
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows, []string{"excel", "calc"})
+	out := buf.String()
+	for _, want := range []string{"Open", "VLOOKUP", "excel(F)%", "calc(V)%", "0.015", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatLimitPercent(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want string
+	}{
+		{1.0, "100"},
+		{2.0, "100"},
+		{0.34, "34"},
+		{0.07, "7.0"},
+		{0.01, "1.0"},
+		{0.006, "0.6"},
+		{0.00015, "0.015"},
+	}
+	for _, c := range cases {
+		if got := FormatLimitPercent(c.frac); got != c.want {
+			t.Errorf("FormatLimitPercent(%v) = %q, want %q", c.frac, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package sheet implements spreadsheet storage: a Grid interface with
+// row-major and column-major implementations (the layout experiment of §5.2
+// contrasts them), worksheets that combine a grid with formulae, styles and
+// row visibility, and multi-worksheet workbooks.
+package sheet
+
+import "repro/internal/cell"
+
+// Grid stores a dense rectangle of cell values. Implementations differ only
+// in physical layout; behavior is identical, which is what lets the
+// benchmark's sequential-vs-random access experiment isolate layout effects.
+type Grid interface {
+	// Value returns the value at a, or the empty value outside bounds.
+	Value(a cell.Addr) cell.Value
+	// SetValue stores v at a, growing the grid as needed.
+	SetValue(a cell.Addr, v cell.Value)
+	// Rows returns the number of materialized rows.
+	Rows() int
+	// Cols returns the number of materialized columns.
+	Cols() int
+	// ApplyRowPerm reorders rows so that new row i holds what was at row
+	// perm[i]. len(perm) must equal Rows(); perm must be a permutation.
+	ApplyRowPerm(perm []int)
+	// Layout names the physical layout ("row" or "column").
+	Layout() string
+}
+
+// RowGrid is a row-major grid: a slice of row slices. This is the layout
+// the paper finds all three systems effectively use no better than (§5.2 —
+// sequential and random column access cost the same).
+type RowGrid struct {
+	rows [][]cell.Value
+	cols int
+}
+
+// NewRowGrid returns an empty row-major grid preallocated to the given size.
+func NewRowGrid(rows, cols int) *RowGrid {
+	g := &RowGrid{rows: make([][]cell.Value, rows), cols: cols}
+	for i := range g.rows {
+		g.rows[i] = make([]cell.Value, cols)
+	}
+	return g
+}
+
+// Value implements Grid.
+func (g *RowGrid) Value(a cell.Addr) cell.Value {
+	if a.Row < 0 || a.Row >= len(g.rows) || a.Col < 0 || a.Col >= len(g.rows[a.Row]) {
+		return cell.Value{}
+	}
+	return g.rows[a.Row][a.Col]
+}
+
+// SetValue implements Grid.
+func (g *RowGrid) SetValue(a cell.Addr, v cell.Value) {
+	if !a.Valid() {
+		return
+	}
+	for a.Row >= len(g.rows) {
+		g.rows = append(g.rows, make([]cell.Value, g.cols))
+	}
+	row := g.rows[a.Row]
+	if a.Col >= len(row) {
+		grown := make([]cell.Value, a.Col+1)
+		copy(grown, row)
+		g.rows[a.Row] = grown
+		row = grown
+	}
+	if a.Col >= g.cols {
+		g.cols = a.Col + 1
+	}
+	row[a.Col] = v
+}
+
+// Rows implements Grid.
+func (g *RowGrid) Rows() int { return len(g.rows) }
+
+// Cols implements Grid.
+func (g *RowGrid) Cols() int { return g.cols }
+
+// ApplyRowPerm implements Grid; rows move as whole slices, so this is O(m)
+// pointer moves regardless of width.
+func (g *RowGrid) ApplyRowPerm(perm []int) {
+	out := make([][]cell.Value, len(g.rows))
+	for i, p := range perm {
+		out[i] = g.rows[p]
+	}
+	g.rows = out
+}
+
+// Layout implements Grid.
+func (g *RowGrid) Layout() string { return "row" }
+
+// ColGrid is a column-major grid: a slice of column slices, the layout §6
+// proposes for aggregate-heavy workloads. Scanning down one column is
+// contiguous in memory.
+type ColGrid struct {
+	cols [][]cell.Value
+	rows int
+}
+
+// NewColGrid returns an empty column-major grid preallocated to the given
+// size.
+func NewColGrid(rows, cols int) *ColGrid {
+	g := &ColGrid{cols: make([][]cell.Value, cols), rows: rows}
+	for i := range g.cols {
+		g.cols[i] = make([]cell.Value, rows)
+	}
+	return g
+}
+
+// Value implements Grid.
+func (g *ColGrid) Value(a cell.Addr) cell.Value {
+	if a.Col < 0 || a.Col >= len(g.cols) || a.Row < 0 || a.Row >= len(g.cols[a.Col]) {
+		return cell.Value{}
+	}
+	return g.cols[a.Col][a.Row]
+}
+
+// SetValue implements Grid.
+func (g *ColGrid) SetValue(a cell.Addr, v cell.Value) {
+	if !a.Valid() {
+		return
+	}
+	for a.Col >= len(g.cols) {
+		g.cols = append(g.cols, make([]cell.Value, g.rows))
+	}
+	col := g.cols[a.Col]
+	if a.Row >= len(col) {
+		grown := make([]cell.Value, a.Row+1)
+		copy(grown, col)
+		g.cols[a.Col] = grown
+		col = grown
+	}
+	if a.Row >= g.rows {
+		g.rows = a.Row + 1
+	}
+	col[a.Row] = v
+}
+
+// Rows implements Grid.
+func (g *ColGrid) Rows() int { return g.rows }
+
+// Cols implements Grid.
+func (g *ColGrid) Cols() int { return len(g.cols) }
+
+// ApplyRowPerm implements Grid; every column is permuted, O(m·n) moves.
+func (g *ColGrid) ApplyRowPerm(perm []int) {
+	for c, col := range g.cols {
+		out := make([]cell.Value, len(col))
+		for i, p := range perm {
+			if p < len(col) {
+				out[i] = col[p]
+			}
+		}
+		g.cols[c] = out
+	}
+}
+
+// Layout implements Grid.
+func (g *ColGrid) Layout() string { return "column" }
+
+// Column exposes the contiguous backing slice of one column for fast
+// columnar scans; the optimized engine's aggregate path uses it.
+func (g *ColGrid) Column(c int) []cell.Value {
+	if c < 0 || c >= len(g.cols) {
+		return nil
+	}
+	return g.cols[c]
+}
+
+var (
+	_ Grid = (*RowGrid)(nil)
+	_ Grid = (*ColGrid)(nil)
+)

@@ -1,0 +1,237 @@
+package sheet
+
+import "repro/internal/cell"
+
+// Structural row edits. Grids move raw values; Sheet additionally moves
+// styles, visibility marks, and formula cells (the engine rewrites the
+// formulas' references, which a pure move cannot express — see
+// engine.InsertRows).
+
+// InsertRows opens n empty rows before row `at` on a grid.
+func insertRowsGrid(g Grid, at, n int) {
+	switch t := g.(type) {
+	case *RowGrid:
+		blank := make([][]cell.Value, n)
+		for i := range blank {
+			blank[i] = make([]cell.Value, t.cols)
+		}
+		if at > len(t.rows) {
+			at = len(t.rows)
+		}
+		t.rows = append(t.rows[:at], append(blank, t.rows[at:]...)...)
+	case *ColGrid:
+		if at > t.rows {
+			at = t.rows
+		}
+		for c, col := range t.cols {
+			blank := make([]cell.Value, n)
+			t.cols[c] = append(col[:at], append(blank, col[at:]...)...)
+		}
+		t.rows += n
+	}
+}
+
+// deleteRowsGrid removes rows [at, at+n) from a grid.
+func deleteRowsGrid(g Grid, at, n int) {
+	switch t := g.(type) {
+	case *RowGrid:
+		if at >= len(t.rows) {
+			return
+		}
+		end := at + n
+		if end > len(t.rows) {
+			end = len(t.rows)
+		}
+		t.rows = append(t.rows[:at], t.rows[end:]...)
+	case *ColGrid:
+		if at >= t.rows {
+			return
+		}
+		end := at + n
+		if end > t.rows {
+			end = t.rows
+		}
+		for c, col := range t.cols {
+			if at < len(col) {
+				e := end
+				if e > len(col) {
+					e = len(col)
+				}
+				t.cols[c] = append(col[:at], col[e:]...)
+			}
+		}
+		t.rows -= end - at
+	}
+}
+
+// InsertRows opens n blank rows before row `at`, moving values, styles,
+// visibility marks, and formula attachments down. Formula references are
+// NOT adjusted here; the engine owns reference semantics.
+func (s *Sheet) InsertRows(at, n int) {
+	if n <= 0 || at < 0 {
+		return
+	}
+	insertRowsGrid(s.grid, at, n)
+	shift := func(a cell.Addr) (cell.Addr, bool) {
+		if a.Row >= at {
+			return cell.Addr{Row: a.Row + n, Col: a.Col}, true
+		}
+		return a, true
+	}
+	s.remapCells(shift)
+	if at <= len(s.hidden) {
+		blank := make([]bool, n)
+		s.hidden = append(s.hidden[:at], append(blank, s.hidden[at:]...)...)
+	}
+}
+
+// DeleteRows removes rows [at, at+n); formula cells inside the region
+// disappear with their rows.
+func (s *Sheet) DeleteRows(at, n int) {
+	if n <= 0 || at < 0 {
+		return
+	}
+	deleteRowsGrid(s.grid, at, n)
+	shift := func(a cell.Addr) (cell.Addr, bool) {
+		switch {
+		case a.Row < at:
+			return a, true
+		case a.Row < at+n:
+			return cell.Addr{}, false // deleted
+		default:
+			return cell.Addr{Row: a.Row - n, Col: a.Col}, true
+		}
+	}
+	s.remapCells(shift)
+	if at < len(s.hidden) {
+		end := at + n
+		if end > len(s.hidden) {
+			end = len(s.hidden)
+		}
+		s.hidden = append(s.hidden[:at], s.hidden[end:]...)
+	}
+}
+
+// insertColsGrid opens n empty columns before column `at` on a grid.
+func insertColsGrid(g Grid, at, n int) {
+	switch t := g.(type) {
+	case *RowGrid:
+		if at > t.cols {
+			at = t.cols
+		}
+		for r, row := range t.rows {
+			if at > len(row) {
+				continue
+			}
+			blank := make([]cell.Value, n)
+			t.rows[r] = append(row[:at], append(blank, row[at:]...)...)
+		}
+		t.cols += n
+	case *ColGrid:
+		if at > len(t.cols) {
+			at = len(t.cols)
+		}
+		blank := make([][]cell.Value, n)
+		for i := range blank {
+			blank[i] = make([]cell.Value, t.rows)
+		}
+		t.cols = append(t.cols[:at], append(blank, t.cols[at:]...)...)
+	}
+}
+
+// deleteColsGrid removes columns [at, at+n) from a grid.
+func deleteColsGrid(g Grid, at, n int) {
+	switch t := g.(type) {
+	case *RowGrid:
+		if at >= t.cols {
+			return
+		}
+		end := at + n
+		if end > t.cols {
+			end = t.cols
+		}
+		for r, row := range t.rows {
+			if at >= len(row) {
+				continue
+			}
+			e := end
+			if e > len(row) {
+				e = len(row)
+			}
+			t.rows[r] = append(row[:at], row[e:]...)
+		}
+		t.cols -= end - at
+	case *ColGrid:
+		if at >= len(t.cols) {
+			return
+		}
+		end := at + n
+		if end > len(t.cols) {
+			end = len(t.cols)
+		}
+		t.cols = append(t.cols[:at], t.cols[end:]...)
+	}
+}
+
+// InsertCols opens n blank columns before column `at`.
+func (s *Sheet) InsertCols(at, n int) {
+	if n <= 0 || at < 0 {
+		return
+	}
+	insertColsGrid(s.grid, at, n)
+	s.remapCells(func(a cell.Addr) (cell.Addr, bool) {
+		if a.Col >= at {
+			return cell.Addr{Row: a.Row, Col: a.Col + n}, true
+		}
+		return a, true
+	})
+}
+
+// DeleteCols removes columns [at, at+n); attachments inside disappear.
+func (s *Sheet) DeleteCols(at, n int) {
+	if n <= 0 || at < 0 {
+		return
+	}
+	deleteColsGrid(s.grid, at, n)
+	s.remapCells(func(a cell.Addr) (cell.Addr, bool) {
+		switch {
+		case a.Col < at:
+			return a, true
+		case a.Col < at+n:
+			return cell.Addr{}, false
+		default:
+			return cell.Addr{Row: a.Row, Col: a.Col - n}, true
+		}
+	})
+}
+
+// remapCells rewrites the addresses of formula and style attachments.
+func (s *Sheet) remapCells(shift func(cell.Addr) (cell.Addr, bool)) {
+	if len(s.formulas) > 0 {
+		nf := make(map[cell.Addr]Formula, len(s.formulas))
+		for a, fc := range s.formulas {
+			if to, keep := shift(a); keep {
+				nf[to] = fc
+			}
+		}
+		s.formulas = nf
+	}
+	if len(s.volatiles) > 0 {
+		nv := make(map[cell.Addr]bool, len(s.volatiles))
+		for a := range s.volatiles {
+			if to, keep := shift(a); keep {
+				nv[to] = true
+			}
+		}
+		s.volatiles = nv
+	}
+	if len(s.styles) > 0 {
+		ns := make(map[cell.Addr]cell.Style, len(s.styles))
+		for a, st := range s.styles {
+			if to, keep := shift(a); keep {
+				ns[to] = st
+			}
+		}
+		s.styles = ns
+	}
+}

@@ -1,0 +1,213 @@
+package sheet
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+)
+
+func fillSeq(g Grid, rows int) {
+	for r := 0; r < rows; r++ {
+		g.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64(r)))
+	}
+}
+
+func TestGridInsertDeleteRows(t *testing.T) {
+	for _, mk := range []func() Grid{
+		func() Grid { return NewRowGrid(5, 2) },
+		func() Grid { return NewColGrid(5, 2) },
+	} {
+		g := mk()
+		fillSeq(g, 5)
+		insertRowsGrid(g, 2, 3)
+		if g.Rows() != 8 {
+			t.Fatalf("%s: rows = %d", g.Layout(), g.Rows())
+		}
+		// 0,1,blank,blank,blank,2,3,4
+		want := []float64{0, 1, 0, 0, 0, 2, 3, 4}
+		blank := map[int]bool{2: true, 3: true, 4: true}
+		for r := 0; r < 8; r++ {
+			v := g.Value(cell.Addr{Row: r, Col: 0})
+			if blank[r] {
+				if !v.IsEmpty() {
+					t.Errorf("%s: row %d should be blank, got %+v", g.Layout(), r, v)
+				}
+				continue
+			}
+			if v.Num != want[r] {
+				t.Errorf("%s: row %d = %v, want %v", g.Layout(), r, v.Num, want[r])
+			}
+		}
+		deleteRowsGrid(g, 2, 3)
+		if g.Rows() != 5 {
+			t.Fatalf("%s: rows after delete = %d", g.Layout(), g.Rows())
+		}
+		for r := 0; r < 5; r++ {
+			if v := g.Value(cell.Addr{Row: r, Col: 0}); v.Num != float64(r) {
+				t.Errorf("%s: restored row %d = %v", g.Layout(), r, v.Num)
+			}
+		}
+	}
+}
+
+func TestGridDeleteRowsClamps(t *testing.T) {
+	g := NewRowGrid(3, 1)
+	fillSeq(g, 3)
+	deleteRowsGrid(g, 2, 10) // over-long deletion clamps
+	if g.Rows() != 2 {
+		t.Errorf("rows = %d", g.Rows())
+	}
+	deleteRowsGrid(g, 9, 1) // out of range is a no-op
+	if g.Rows() != 2 {
+		t.Errorf("rows = %d", g.Rows())
+	}
+}
+
+func TestSheetInsertRowsMovesAttachments(t *testing.T) {
+	s := New("t", 5, 3)
+	fillSeq(s.Grid(), 5)
+	s.SetFormula(cell.MustParseAddr("B4"), formula.MustCompile("=A4"))
+	s.SetStyle(cell.MustParseAddr("C4"), cell.Style{Fill: cell.Red})
+	s.SetRowHidden(3, true)
+
+	s.InsertRows(1, 2)
+
+	if _, ok := s.Formula(cell.MustParseAddr("B4")); ok {
+		t.Error("formula should have moved off B4")
+	}
+	if _, ok := s.Formula(cell.MustParseAddr("B6")); !ok {
+		t.Error("formula should be at B6")
+	}
+	if s.Style(cell.MustParseAddr("C6")).Fill != cell.Red {
+		t.Error("style should be at C6")
+	}
+	if !s.RowHidden(5) || s.RowHidden(3) {
+		t.Error("hidden mark should move from row 3 to 5")
+	}
+	// Inserted rows visible and blank.
+	if s.RowHidden(1) || s.RowHidden(2) {
+		t.Error("inserted rows must be visible")
+	}
+}
+
+func TestSheetDeleteRowsDropsAttachments(t *testing.T) {
+	s := New("t", 6, 2)
+	fillSeq(s.Grid(), 6)
+	s.SetFormula(cell.MustParseAddr("B3"), formula.MustCompile("=1")) // row 2: deleted
+	s.SetFormula(cell.MustParseAddr("B6"), formula.MustCompile("=2")) // row 5: shifts to 3
+	s.SetStyle(cell.MustParseAddr("A3"), cell.Style{Fill: cell.Red})
+
+	s.DeleteRows(2, 2)
+
+	if s.FormulaCount() != 1 {
+		t.Fatalf("formula count = %d", s.FormulaCount())
+	}
+	if _, ok := s.Formula(cell.MustParseAddr("B4")); !ok {
+		t.Error("surviving formula should land on B4")
+	}
+	if s.StyledCellCount() != 0 {
+		t.Error("style inside deleted rows must disappear")
+	}
+	if s.Rows() != 4 {
+		t.Errorf("rows = %d", s.Rows())
+	}
+}
+
+func TestSheetInsertRowsNoop(t *testing.T) {
+	s := New("t", 3, 1)
+	s.InsertRows(0, 0)
+	s.InsertRows(-1, 2)
+	s.DeleteRows(-1, 1)
+	if s.Rows() != 3 {
+		t.Errorf("rows = %d", s.Rows())
+	}
+}
+
+func TestGridInsertDeleteCols(t *testing.T) {
+	for _, mk := range []func() Grid{
+		func() Grid { return NewRowGrid(2, 4) },
+		func() Grid { return NewColGrid(2, 4) },
+	} {
+		g := mk()
+		for c := 0; c < 4; c++ {
+			g.SetValue(cell.Addr{Row: 0, Col: c}, cell.Num(float64(c)))
+		}
+		insertColsGrid(g, 1, 2)
+		if g.Cols() != 6 {
+			t.Fatalf("%s: cols = %d", g.Layout(), g.Cols())
+		}
+		// 0, blank, blank, 1, 2, 3
+		wantByCol := map[int]float64{0: 0, 3: 1, 4: 2, 5: 3}
+		for c := 0; c < 6; c++ {
+			v := g.Value(cell.Addr{Row: 0, Col: c})
+			if want, ok := wantByCol[c]; ok {
+				if v.Num != want {
+					t.Errorf("%s: col %d = %v, want %v", g.Layout(), c, v.Num, want)
+				}
+			} else if !v.IsEmpty() {
+				t.Errorf("%s: col %d should be blank", g.Layout(), c)
+			}
+		}
+		deleteColsGrid(g, 1, 2)
+		if g.Cols() != 4 {
+			t.Fatalf("%s: cols after delete = %d", g.Layout(), g.Cols())
+		}
+		for c := 0; c < 4; c++ {
+			if v := g.Value(cell.Addr{Row: 0, Col: c}); v.Num != float64(c) {
+				t.Errorf("%s: restored col %d = %v", g.Layout(), c, v.Num)
+			}
+		}
+		// Clamped/out-of-range deletions are safe.
+		deleteColsGrid(g, 3, 10)
+		if g.Cols() != 3 {
+			t.Errorf("%s: clamped cols = %d", g.Layout(), g.Cols())
+		}
+		deleteColsGrid(g, 9, 1)
+	}
+}
+
+func TestSheetInsertDeleteColsMovesAttachments(t *testing.T) {
+	s := New("t", 2, 5)
+	for c := 0; c < 5; c++ {
+		s.SetValue(cell.Addr{Row: 0, Col: c}, cell.Num(float64(c)))
+	}
+	s.SetFormula(cell.Addr{Row: 0, Col: 3}, formula.MustCompile("=A1"))
+	s.SetStyle(cell.Addr{Row: 0, Col: 4}, cell.Style{Fill: cell.Green})
+
+	s.InsertCols(2, 1)
+	if _, ok := s.Formula(cell.Addr{Row: 0, Col: 4}); !ok {
+		t.Error("formula should move right with its column")
+	}
+	if s.Style(cell.Addr{Row: 0, Col: 5}).Fill != cell.Green {
+		t.Error("style should move right")
+	}
+
+	s.DeleteCols(4, 1) // delete the formula's column
+	if s.FormulaCount() != 0 {
+		t.Error("formula in deleted column must disappear")
+	}
+	if s.Style(cell.Addr{Row: 0, Col: 4}).Fill != cell.Green {
+		t.Error("style should shift left after deletion")
+	}
+	// No-op guards.
+	s.InsertCols(-1, 1)
+	s.DeleteCols(0, 0)
+}
+
+func TestSheetDeleteRowsWithVolatiles(t *testing.T) {
+	s := New("t", 6, 2)
+	s.SetFormula(cell.MustParseAddr("B2"), formula.MustCompile("=NOW()"))
+	s.SetFormula(cell.MustParseAddr("B5"), formula.MustCompile("=RAND()"))
+	if len(s.VolatileCells()) != 2 {
+		t.Fatal("volatiles not tracked")
+	}
+	s.DeleteRows(1, 2) // removes B2's row
+	vols := s.VolatileCells()
+	if len(vols) != 1 {
+		t.Fatalf("volatiles after delete = %v", vols)
+	}
+	if vols[0] != cell.MustParseAddr("B3") {
+		t.Errorf("surviving volatile at %v, want B3", vols[0])
+	}
+}

@@ -1,0 +1,319 @@
+// Package sqlgen translates spreadsheet formulae into SQL over a relational
+// view of a sheet — the §6 research direction "to use a database backend
+// for efficient execution by translating formulae into SQL queries [21, 25,
+// 30], e.g., a join instead of a collection of VLOOKUPs".
+//
+// A sheet maps to a table whose columns are the sheet's columns (named from
+// its header row) plus a rowid preserving spreadsheet order. Supported
+// translations:
+//
+//   - aggregate formulae (SUM/COUNT/AVERAGE/MIN/MAX and the *IF variants
+//     with literal criteria) over single-column ranges -> SELECT agg(...)
+//   - VLOOKUP with exact match -> SELECT ... WHERE key = x LIMIT 1
+//   - a COLLECTION of VLOOKUPs sharing a table range -> one JOIN, the
+//     paper's flagship example
+//   - filter operations -> WHERE clauses
+//   - pivot (dimension/measure) -> GROUP BY
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Schema is the relational view of one sheet.
+type Schema struct {
+	// Table is the SQL table name.
+	Table string
+	// Columns maps the sheet's column index to a SQL column name.
+	Columns []string
+}
+
+// SchemaOf derives a schema from a sheet's header row; columns with empty
+// or duplicate headers get positional names (col_D).
+func SchemaOf(s *sheet.Sheet, table string) Schema {
+	cols := make([]string, s.Cols())
+	seen := map[string]bool{"rowid": true}
+	for c := range cols {
+		name := sanitizeIdent(s.Value(cell.Addr{Row: 0, Col: c}).AsString())
+		if name == "" || seen[name] {
+			name = "col_" + strings.ToLower(cell.ColName(c))
+		}
+		seen[name] = true
+		cols[c] = name
+	}
+	return Schema{Table: sanitizeIdent(table), Columns: cols}
+}
+
+// sanitizeIdent lowercases and strips non-identifier characters.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c + 'a' - 'A')
+		case c == ' ' || c == '-':
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out != "" && out[0] >= '0' && out[0] <= '9' {
+		out = "c" + out
+	}
+	return out
+}
+
+// column returns the SQL name for a sheet column index.
+func (sc Schema) column(c int) (string, error) {
+	if c < 0 || c >= len(sc.Columns) {
+		return "", fmt.Errorf("sqlgen: column %d outside schema (%d columns)", c, len(sc.Columns))
+	}
+	return sc.Columns[c], nil
+}
+
+// CreateTable renders a DDL statement for the schema (all columns typed
+// TEXT/REAL by sampling is out of scope; NUMERIC covers the benchmark).
+func (sc Schema) CreateTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (rowid INTEGER PRIMARY KEY", sc.Table)
+	for _, c := range sc.Columns {
+		fmt.Fprintf(&b, ", %s NUMERIC", c)
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// TranslateFormula translates one compiled formula into a SQL query.
+// Supported shapes are described in the package comment; anything else
+// returns an error (the engine keeps evaluating those natively).
+func TranslateFormula(sc Schema, c *formula.Compiled) (string, error) {
+	call, ok := c.Root.(formula.CallNode)
+	if !ok {
+		return "", fmt.Errorf("sqlgen: only top-level function calls translate, got %q", c.Text)
+	}
+	switch call.Name {
+	case "SUM", "COUNT", "AVERAGE", "MIN", "MAX":
+		return translateAggregate(sc, call)
+	case "COUNTIF", "SUMIF", "AVERAGEIF":
+		return translateConditional(sc, call)
+	case "VLOOKUP":
+		return TranslateVlookup(sc, call)
+	default:
+		return "", fmt.Errorf("sqlgen: no translation for %s", call.Name)
+	}
+}
+
+var sqlAgg = map[string]string{
+	"SUM": "SUM", "COUNT": "COUNT", "AVERAGE": "AVG", "MIN": "MIN", "MAX": "MAX",
+}
+
+// rangeClause renders the rowid restriction of a single-column range.
+// Sheet row r is rowid r (header rowid 0 excluded by r >= 1 ranges).
+func rangeClause(r cell.Range) string {
+	return fmt.Sprintf("rowid BETWEEN %d AND %d", r.Start.Row, r.End.Row)
+}
+
+func singleColumn(sc Schema, n formula.Node) (string, cell.Range, error) {
+	rn, ok := n.(formula.RangeNode)
+	if !ok {
+		return "", cell.Range{}, fmt.Errorf("sqlgen: expected a range argument")
+	}
+	r := rn.Range()
+	if r.Cols() != 1 {
+		return "", cell.Range{}, fmt.Errorf("sqlgen: multi-column range %v not supported", r)
+	}
+	col, err := sc.column(r.Start.Col)
+	return col, r, err
+}
+
+func translateAggregate(sc Schema, call formula.CallNode) (string, error) {
+	if len(call.Args) != 1 {
+		return "", fmt.Errorf("sqlgen: %s with %d args not supported", call.Name, len(call.Args))
+	}
+	col, r, err := singleColumn(sc, call.Args[0])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("SELECT %s(%s) FROM %s WHERE %s;",
+		sqlAgg[call.Name], col, sc.Table, rangeClause(r)), nil
+}
+
+// criterionSQL renders a literal COUNTIF criterion as a SQL predicate.
+func criterionSQL(col string, lit formula.Node) (string, error) {
+	switch v := lit.(type) {
+	case formula.NumberLit:
+		return fmt.Sprintf("%s = %s", col, formula.Canonical(v)), nil
+	case formula.BoolLit:
+		if v {
+			return col + " = 1", nil
+		}
+		return col + " = 0", nil
+	case formula.StringLit:
+		s := string(v)
+		for _, op := range []struct{ pre, sql string }{
+			{">=", ">="}, {"<=", "<="}, {"<>", "<>"}, {">", ">"}, {"<", "<"}, {"=", "="},
+		} {
+			if strings.HasPrefix(s, op.pre) {
+				rest := s[len(op.pre):]
+				if isNumeric(rest) {
+					return fmt.Sprintf("%s %s %s", col, op.sql, rest), nil
+				}
+				return fmt.Sprintf("%s %s '%s'", col, op.sql, escapeSQL(rest)), nil
+			}
+		}
+		if strings.ContainsAny(s, "*?") {
+			like := strings.NewReplacer("*", "%", "?", "_", "'", "''").Replace(s)
+			return fmt.Sprintf("%s LIKE '%s'", col, like), nil
+		}
+		if isNumeric(s) {
+			return fmt.Sprintf("%s = %s", col, s), nil
+		}
+		return fmt.Sprintf("%s = '%s'", col, escapeSQL(s)), nil
+	default:
+		return "", fmt.Errorf("sqlgen: criterion must be a literal")
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && !dot:
+			dot = true
+		case (c == '-' || c == '+') && i == 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+func translateConditional(sc Schema, call formula.CallNode) (string, error) {
+	if len(call.Args) < 2 {
+		return "", fmt.Errorf("sqlgen: %s needs a range and criterion", call.Name)
+	}
+	col, r, err := singleColumn(sc, call.Args[0])
+	if err != nil {
+		return "", err
+	}
+	pred, err := criterionSQL(col, call.Args[1])
+	if err != nil {
+		return "", err
+	}
+	agg := "COUNT(*)"
+	target := col
+	if len(call.Args) == 3 {
+		foldCol, _, err := singleColumn(sc, call.Args[2])
+		if err != nil {
+			return "", err
+		}
+		target = foldCol
+	}
+	switch call.Name {
+	case "SUMIF":
+		agg = fmt.Sprintf("SUM(%s)", target)
+	case "AVERAGEIF":
+		agg = fmt.Sprintf("AVG(%s)", target)
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s AND %s;",
+		agg, sc.Table, rangeClause(r), pred), nil
+}
+
+// TranslateVlookup renders one exact-match VLOOKUP as a point query.
+func TranslateVlookup(sc Schema, call formula.CallNode) (string, error) {
+	if call.Name != "VLOOKUP" || len(call.Args) < 3 {
+		return "", fmt.Errorf("sqlgen: not a translatable VLOOKUP")
+	}
+	rn, ok := call.Args[1].(formula.RangeNode)
+	if !ok {
+		return "", fmt.Errorf("sqlgen: VLOOKUP table must be a range")
+	}
+	r := rn.Range()
+	idx, ok := call.Args[2].(formula.NumberLit)
+	if !ok || int(idx) < 1 || int(idx) > r.Cols() {
+		return "", fmt.Errorf("sqlgen: VLOOKUP column index must be a literal inside the range")
+	}
+	keyCol, err := sc.column(r.Start.Col)
+	if err != nil {
+		return "", err
+	}
+	outCol, err := sc.column(r.Start.Col + int(idx) - 1)
+	if err != nil {
+		return "", err
+	}
+	key, err := criterionSQL(keyCol, call.Args[0])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s AND %s ORDER BY rowid LIMIT 1;",
+		outCol, sc.Table, rangeClause(r), key), nil
+}
+
+// TranslateVlookupColumn translates a COLLECTION of row-parallel VLOOKUPs —
+// one per row of a probe column — into a single foreign-key JOIN, the
+// paper's flagship example of what a database backend buys: "a join instead
+// of a collection of VLOOKUPs" (§6), cf. the grade-lookup anecdote in
+// §4.3.4.
+//
+// probe is the schema/column holding the lookup keys; table is the schema
+// of the lookup table whose first column is the key; resultCol is the
+// 1-based result column within the lookup table.
+func TranslateVlookupColumn(probe Schema, probeCol int, table Schema, keyCol, resultCol int) (string, error) {
+	pc, err := probe.column(probeCol)
+	if err != nil {
+		return "", err
+	}
+	kc, err := table.column(keyCol)
+	if err != nil {
+		return "", err
+	}
+	rc, err := table.column(resultCol)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"SELECT p.rowid, p.%s, t.%s FROM %s p LEFT JOIN %s t ON t.%s = p.%s ORDER BY p.rowid;",
+		pc, rc, probe.Table, table.Table, kc, pc), nil
+}
+
+// TranslateFilter renders the §4.3.1 filter operation as a WHERE query.
+func TranslateFilter(sc Schema, col int, literal string) (string, error) {
+	c, err := sc.column(col)
+	if err != nil {
+		return "", err
+	}
+	pred, err := criterionSQL(c, formula.StringLit(literal))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE rowid >= 1 AND %s;", sc.Table, pred), nil
+}
+
+// TranslatePivot renders the §4.3.2 pivot (sum of measure per dimension) as
+// a GROUP BY query.
+func TranslatePivot(sc Schema, dimCol, measureCol int) (string, error) {
+	d, err := sc.column(dimCol)
+	if err != nil {
+		return "", err
+	}
+	m, err := sc.column(measureCol)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("SELECT %s, SUM(%s) FROM %s WHERE rowid >= 1 GROUP BY %s ORDER BY %s;",
+		d, m, sc.Table, d, d), nil
+}

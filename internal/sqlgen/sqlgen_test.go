@@ -1,0 +1,182 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/workload"
+)
+
+func addrOf(a1 string) cell.Addr { return cell.MustParseAddr(a1) }
+func strVal(s string) cell.Value { return cell.Str(s) }
+
+func weatherSchema(t *testing.T) Schema {
+	t.Helper()
+	wb := workload.Weather(workload.Spec{Rows: 10})
+	return SchemaOf(wb.First(), "weather")
+}
+
+func TestSchemaOf(t *testing.T) {
+	sc := weatherSchema(t)
+	if sc.Table != "weather" {
+		t.Errorf("table = %q", sc.Table)
+	}
+	if len(sc.Columns) != workload.NumCols {
+		t.Fatalf("columns = %d", len(sc.Columns))
+	}
+	if sc.Columns[workload.ColID] != "id" || sc.Columns[workload.ColState] != "state" {
+		t.Errorf("columns = %v", sc.Columns[:2])
+	}
+	ddl := sc.CreateTable()
+	if !strings.HasPrefix(ddl, "CREATE TABLE weather (rowid INTEGER PRIMARY KEY, id NUMERIC") {
+		t.Errorf("DDL = %s", ddl)
+	}
+}
+
+func TestSchemaDuplicateAndEmptyHeaders(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 1})
+	s := wb.First()
+	// Force a duplicate and an empty header.
+	s.SetValue(addrOf("C1"), s.Value(addrOf("B1")))
+	s.SetValue(addrOf("D1"), strVal(""))
+	sc := SchemaOf(s, "w")
+	seen := map[string]bool{}
+	for _, c := range sc.Columns {
+		if c == "" || seen[c] {
+			t.Fatalf("column name %q empty or duplicated: %v", c, sc.Columns)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"State Name":  "state_name",
+		"99 balloons": "c99_balloons",
+		"id":          "id",
+		"Crazy!@#":    "crazy",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mustTranslate(t *testing.T, sc Schema, text string) string {
+	t.Helper()
+	c, err := formula.Compile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := TranslateFormula(sc, c)
+	if err != nil {
+		t.Fatalf("translate %s: %v", text, err)
+	}
+	return sql
+}
+
+func TestTranslateAggregates(t *testing.T) {
+	sc := weatherSchema(t)
+	cases := map[string]string{
+		"=SUM(J2:J11)":     "SELECT SUM(storm) FROM weather WHERE rowid BETWEEN 1 AND 10;",
+		"=COUNT(A2:A11)":   "SELECT COUNT(id) FROM weather WHERE rowid BETWEEN 1 AND 10;",
+		"=AVERAGE(J2:J11)": "SELECT AVG(storm) FROM weather WHERE rowid BETWEEN 1 AND 10;",
+		"=MAX(A2:A11)":     "SELECT MAX(id) FROM weather WHERE rowid BETWEEN 1 AND 10;",
+	}
+	for text, want := range cases {
+		if got := mustTranslate(t, sc, text); got != want {
+			t.Errorf("%s ->\n  %s\nwant\n  %s", text, got, want)
+		}
+	}
+}
+
+func TestTranslateConditional(t *testing.T) {
+	sc := weatherSchema(t)
+	cases := map[string]string{
+		`=COUNTIF(J2:J11,"1")`:       "SELECT COUNT(*) FROM weather WHERE rowid BETWEEN 1 AND 10 AND storm = 1;",
+		`=COUNTIF(J2:J11,">0")`:      "SELECT COUNT(*) FROM weather WHERE rowid BETWEEN 1 AND 10 AND storm > 0;",
+		`=COUNTIF(C2:C11,"STORM")`:   "SELECT COUNT(*) FROM weather WHERE rowid BETWEEN 1 AND 10 AND event1 = 'STORM';",
+		`=COUNTIF(C2:C11,"ST*M")`:    "SELECT COUNT(*) FROM weather WHERE rowid BETWEEN 1 AND 10 AND event1 LIKE 'ST%M';",
+		`=SUMIF(B2:B11,"SD",J2:J11)`: "SELECT SUM(storm) FROM weather WHERE rowid BETWEEN 1 AND 10 AND state = 'SD';",
+		`=AVERAGEIF(J2:J11,"<>0")`:   "SELECT AVG(storm) FROM weather WHERE rowid BETWEEN 1 AND 10 AND storm <> 0;",
+		`=COUNTIF(B2:B11,"o'brien")`: "SELECT COUNT(*) FROM weather WHERE rowid BETWEEN 1 AND 10 AND state = 'o''brien';",
+	}
+	for text, want := range cases {
+		if got := mustTranslate(t, sc, text); got != want {
+			t.Errorf("%s ->\n  %s\nwant\n  %s", text, got, want)
+		}
+	}
+}
+
+func TestTranslateVlookup(t *testing.T) {
+	sc := weatherSchema(t)
+	got := mustTranslate(t, sc, "=VLOOKUP(5,A2:Q11,2,FALSE)")
+	want := "SELECT state FROM weather WHERE rowid BETWEEN 1 AND 10 AND id = 5 ORDER BY rowid LIMIT 1;"
+	if got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestTranslateVlookupColumnJoin(t *testing.T) {
+	// The paper's flagship: a collection of VLOOKUPs becomes one join.
+	scores := Schema{Table: "scores", Columns: []string{"student", "score"}}
+	grades := Schema{Table: "grades", Columns: []string{"floor", "grade"}}
+	got, err := TranslateVlookupColumn(scores, 1, grades, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT p.rowid, p.score, t.grade FROM scores p LEFT JOIN grades t ON t.floor = p.score ORDER BY p.rowid;"
+	if got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestTranslateFilterAndPivot(t *testing.T) {
+	sc := weatherSchema(t)
+	f, err := TranslateFilter(sc, workload.ColState, "SD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != "SELECT * FROM weather WHERE rowid >= 1 AND state = 'SD';" {
+		t.Errorf("filter = %s", f)
+	}
+	p, err := TranslatePivot(sc, workload.ColState, workload.ColStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "SELECT state, SUM(storm) FROM weather WHERE rowid >= 1 GROUP BY state ORDER BY state;" {
+		t.Errorf("pivot = %s", p)
+	}
+}
+
+func TestTranslateUnsupported(t *testing.T) {
+	sc := weatherSchema(t)
+	for _, text := range []string{
+		"=A1+B1",                      // not a call
+		"=CONCATENATE(A1,B1)",         // untranslated function
+		"=SUM(A2:B11)",                // multi-column range
+		"=VLOOKUP(A1,A2:Q11,2,TRUE)",  // non-literal key is fine? key A1 -> criterionSQL fails
+		"=VLOOKUP(5,A2:Q11,99,FALSE)", // column index out of range
+	} {
+		c, err := formula.Compile(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TranslateFormula(sc, c); err == nil {
+			t.Errorf("%s: expected a translation error", text)
+		}
+	}
+}
+
+func TestColumnOutOfRange(t *testing.T) {
+	sc := Schema{Table: "t", Columns: []string{"a"}}
+	if _, err := sc.column(5); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := TranslateVlookupColumn(sc, 9, sc, 0, 0); err == nil {
+		t.Error("probe column out of range")
+	}
+}

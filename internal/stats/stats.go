@@ -1,0 +1,198 @@
+// Package stats implements the paper's measurement protocol (§3.3: ten
+// trials per experiment, report the mean of eight after dropping the min
+// and max) and the complexity-shape analysis the BCT benchmark performs
+// (§4: compare the observed trend against the expected O(1), O(log m),
+// O(m), O(m log m), O(m^2)).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// TrimmedMean drops the single minimum and maximum and averages the rest —
+// the paper's estimator. With fewer than three samples it averages all.
+func TrimmedMean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	if len(samples) < 3 {
+		var sum time.Duration
+		for _, s := range samples {
+			sum += s
+		}
+		return sum / time.Duration(len(samples))
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted[1 : len(sorted)-1] {
+		sum += s
+	}
+	return sum / time.Duration(len(sorted)-2)
+}
+
+// Shape is a candidate asymptotic complexity.
+type Shape int
+
+// The candidate shapes of Table 1's "Expected Complexity" column.
+const (
+	Constant Shape = iota
+	Logarithmic
+	Linear
+	Linearithmic // m log m
+	Quadratic
+)
+
+// String returns the shape in big-O notation.
+func (s Shape) String() string {
+	switch s {
+	case Constant:
+		return "O(1)"
+	case Logarithmic:
+		return "O(log m)"
+	case Linear:
+		return "O(m)"
+	case Linearithmic:
+		return "O(m log m)"
+	case Quadratic:
+		return "O(m^2)"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// basis evaluates the shape's growth function at m.
+func (s Shape) basis(m float64) float64 {
+	switch s {
+	case Constant:
+		return 1
+	case Logarithmic:
+		return math.Log2(m + 1)
+	case Linear:
+		return m
+	case Linearithmic:
+		return m * math.Log2(m+1)
+	case Quadratic:
+		return m * m
+	default:
+		return m
+	}
+}
+
+// Fit is the result of fitting one shape to a latency curve.
+type Fit struct {
+	Shape Shape
+	// A and B parameterize t(m) = A + B*basis(m), in nanoseconds.
+	A, B float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitShape least-squares fits t(m) = A + B*basis(m) for every candidate
+// shape and returns the best fit by R^2, with B constrained non-negative
+// (latency does not shrink with data size). At least two points are
+// required; with identical sizes the fit degenerates to Constant.
+func FitShape(sizes []int, latencies []time.Duration) Fit {
+	if len(sizes) != len(latencies) || len(sizes) < 2 {
+		return Fit{Shape: Constant, R2: 0}
+	}
+	best := Fit{Shape: Constant, R2: math.Inf(-1)}
+	for sh := Constant; sh <= Quadratic; sh++ {
+		fit := fitOne(sh, sizes, latencies)
+		if fit.R2 > best.R2 {
+			best = fit
+		}
+	}
+	if math.IsInf(best.R2, -1) {
+		best.R2 = 0
+	}
+	return best
+}
+
+func fitOne(sh Shape, sizes []int, lats []time.Duration) Fit {
+	n := float64(len(sizes))
+	var sx, sy, sxx, sxy float64
+	for i, m := range sizes {
+		x := sh.basis(float64(m))
+		y := float64(lats[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	var a, b float64
+	if den == 0 {
+		a, b = sy/n, 0
+	} else {
+		b = (n*sxy - sx*sy) / den
+		if b < 0 {
+			b = 0
+		}
+		a = (sy - b*sx) / n
+	}
+	// R^2 against the (possibly constrained) model.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i, m := range sizes {
+		x := sh.basis(float64(m))
+		y := float64(lats[i])
+		pred := a + b*x
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return Fit{Shape: sh, A: a, B: b, R2: r2}
+}
+
+// InteractivityViolation returns the first size whose latency exceeds the
+// bound, scanning in ascending size order; ok is false when no measured
+// size violates (the "100%" rows of Table 2).
+func InteractivityViolation(sizes []int, latencies []time.Duration, bound time.Duration) (size int, ok bool) {
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return sizes[idx[i]] < sizes[idx[j]] })
+	for _, i := range idx {
+		if latencies[i] > bound {
+			return sizes[i], true
+		}
+	}
+	return 0, false
+}
+
+// Mean returns the arithmetic mean.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// samples); the harness reports it for the web system's jittered runs.
+func StdDev(samples []time.Duration) time.Duration {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := float64(Mean(samples))
+	var ss float64
+	for _, s := range samples {
+		d := float64(s) - m
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(len(samples)-1)))
+}

@@ -1,0 +1,212 @@
+// Package workload generates the benchmark datasets of §3.2: a synthetic
+// replica of the paper's real-world weather spreadsheet (50k rows x 17
+// columns, seven COUNTIF formula columns over seven event columns), its 10x
+// scale-up to 500k rows, the Formula-value / Value-only pairing, and the 51
+// row-count versions the experiments sweep.
+//
+// Generation is deterministic: row r of every dataset is a pure function of
+// (seed, r), so a smaller dataset is an exact prefix of a larger one — the
+// in-memory equivalent of the paper's stratified sampling from the 500k
+// master.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Column layout of the weather dataset (17 columns, as in §3.2).
+const (
+	ColID    = 0 // "A": unique ascending integer, A_i = i (§4.3.4)
+	ColState = 1 // "B": US state code, the pivot/filter dimension
+	// ColEvent0..ColEvent0+6 ("C".."I"): event text columns; each cell
+	// holds an event keyword or is empty.
+	ColEvent0 = 2
+	NumEvents = 7
+	// ColStorm ("J"): numeric 0/1 storm indicator, the OOT aggregate
+	// target ("=COUNTIF(J2:Jm, 1)").
+	ColStorm = 9
+	// ColFormula0..+6 ("K".."Q"): the embedded COUNTIF columns; cell Kr
+	// holds =COUNTIF(Cr,"STORM") etc., evaluating to 0 or 1.
+	ColFormula0 = 10
+	// NumCols is the total width.
+	NumCols = 17
+)
+
+// Keywords are the event terms counted by the formula columns; keyword i
+// is matched in event column i.
+var Keywords = [NumEvents]string{
+	"STORM", "RAIN", "SNOW", "HAIL", "FLOOD", "DROUGHT", "FOG",
+}
+
+// otherEvents provides non-matching filler so keyword presence is a real
+// signal, not a constant.
+var otherEvents = []string{"CLEAR", "WIND", "CLOUDY", "HEAT", "FROST"}
+
+// States are the 50 dimension values of the state column. SD ("South
+// Dakota") is the paper's filter literal (§4.3.1).
+var States = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+// Spec describes one dataset instance.
+type Spec struct {
+	// Rows is the number of data rows (the header row is extra).
+	Rows int
+	// Formulas selects the Formula-value variant; false yields Value-only
+	// with the same displayed values (§3.2's "save as value-only").
+	Formulas bool
+	// Seed drives the deterministic generator; zero means DefaultSeed.
+	Seed uint64
+	// Columnar stores the sheet in a column-major grid (optimized-engine
+	// experiments).
+	Columnar bool
+}
+
+// DefaultSeed is the generator seed used by the benchmark harness.
+const DefaultSeed = 0xDA7A5E7
+
+// rowRand returns a 64-bit hash for (seed, row, column) — splitmix64 over
+// the packed inputs, giving independent deterministic streams.
+func rowRand(seed uint64, row, col int) uint64 {
+	x := seed + 0x9E3779B97F4A7C15*uint64(row+1) + 0xBF58476D1CE4E5B9*uint64(col+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// headerTitles returns the 17 column names.
+func headerTitles() [NumCols]string {
+	var h [NumCols]string
+	h[ColID] = "id"
+	h[ColState] = "state"
+	for i := 0; i < NumEvents; i++ {
+		h[ColEvent0+i] = fmt.Sprintf("event%d", i+1)
+		h[ColFormula0+i] = fmt.Sprintf("count%d", i+1)
+	}
+	h[ColStorm] = "storm"
+	return h
+}
+
+// EventAt returns event column i's text for the given data row, or "" for
+// no event. Exported so tests can cross-check generated sheets.
+func EventAt(seed uint64, dataRow, i int) string {
+	r := rowRand(seed, dataRow, ColEvent0+i)
+	switch {
+	case r%10 < 3: // 30%: the counted keyword
+		return Keywords[i]
+	case r%10 < 6: // 30%: a different event term
+		return otherEvents[(r/16)%uint64(len(otherEvents))]
+	default: // 40%: no event
+		return ""
+	}
+}
+
+// StateAt returns the state of the given data row.
+func StateAt(seed uint64, dataRow int) string {
+	return States[rowRand(seed, dataRow, ColState)%uint64(len(States))]
+}
+
+// Weather generates a weather workbook per the spec. Row 0 is the header;
+// data occupies rows 1..Rows. Formula cells are attached unevaluated; the
+// engine's Install computes them (Value-only sheets carry the equivalent
+// values directly).
+func Weather(spec Spec) *sheet.Workbook {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	rows := spec.Rows + 1
+	var g sheet.Grid
+	if spec.Columnar {
+		g = sheet.NewColGrid(rows, NumCols)
+	} else {
+		g = sheet.NewRowGrid(rows, NumCols)
+	}
+	s := sheet.NewWithGrid("weather", g)
+
+	titles := headerTitles()
+	for c, t := range titles {
+		s.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+
+	// Compile each formula column's shape once; cells share the compiled
+	// code with per-cell origins (ordinary relative-formula fill).
+	var countifs [NumEvents]*formula.Compiled
+	if spec.Formulas {
+		for i := 0; i < NumEvents; i++ {
+			text := fmt.Sprintf("=COUNTIF(%s2,%q)",
+				cell.ColName(ColEvent0+i), Keywords[i])
+			countifs[i] = formula.MustCompile(text)
+		}
+	}
+
+	for dr := 1; dr <= spec.Rows; dr++ {
+		s.SetValue(cell.Addr{Row: dr, Col: ColID}, cell.Num(float64(dr+1)))
+		s.SetValue(cell.Addr{Row: dr, Col: ColState}, cell.Str(StateAt(seed, dr)))
+		storm := 0.0
+		for i := 0; i < NumEvents; i++ {
+			ev := EventAt(seed, dr, i)
+			if ev != "" {
+				s.SetValue(cell.Addr{Row: dr, Col: ColEvent0 + i}, cell.Str(ev))
+			}
+			if i == 0 && ev == Keywords[0] {
+				storm = 1
+			}
+			fa := cell.Addr{Row: dr, Col: ColFormula0 + i}
+			if spec.Formulas {
+				// Attach with origin row 1 (the authored "K2" shape); the
+				// displacement mechanism shifts the reference per row.
+				s.AttachFormula(fa, sheet.Formula{
+					Code:   countifs[i],
+					Origin: cell.Addr{Row: 1, Col: ColFormula0 + i},
+				})
+			} else {
+				match := 0.0
+				if ev == Keywords[i] {
+					match = 1
+				}
+				s.SetValue(fa, cell.Num(match))
+			}
+		}
+		s.SetValue(cell.Addr{Row: dr, Col: ColStorm}, cell.Num(storm))
+	}
+
+	wb := sheet.NewWorkbook()
+	if err := wb.Add(s); err != nil {
+		panic(err) // fresh workbook; cannot collide
+	}
+	return wb
+}
+
+// PaperSizes returns the paper's 51 dataset row counts: 150, 6000, then
+// 10k, 20k, ..., 490k (N_i = 10000 + (i-3)*10000 for i = 3..51), and the
+// 500k master.
+func PaperSizes() []int {
+	sizes := []int{150, 6000}
+	for i := 3; i <= 51; i++ {
+		sizes = append(sizes, 10000+(i-3)*10000)
+	}
+	return append(sizes, 500000)
+}
+
+// SizesUpTo filters PaperSizes to those not exceeding max.
+func SizesUpTo(max int) []int {
+	var out []int
+	for _, n := range PaperSizes() {
+		if n <= max {
+			out = append(out, n)
+		}
+	}
+	return out
+}

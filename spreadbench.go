@@ -1,0 +1,183 @@
+// Package spreadbench reproduces "Benchmarking Spreadsheet Systems"
+// (Rahman et al., SIGMOD 2020) as a self-contained Go library: a complete
+// spreadsheet engine with calibrated behavioral profiles of Microsoft
+// Excel, LibreOffice Calc, and Google Sheets; an optimized engine
+// implementing the paper's §6 database-style techniques; the weather
+// dataset generator of §3.2; and the BCT (§4) and OOT (§5) benchmark
+// suites that regenerate every figure and table in the paper's evaluation.
+//
+// Quick start:
+//
+//	sys, _ := spreadbench.NewSystem("excel")
+//	wb := spreadbench.WeatherWorkbook(10_000, true)
+//	sys.Install(wb)
+//	v, res, _ := sys.InsertFormula(wb.First(),
+//	    spreadbench.Cell("R2"), `=COUNTIF(K2:K10001,1)`)
+//	fmt.Println(v.AsString(), res.Sim) // count, simulated latency
+//
+// Run the benchmarks with cfg := spreadbench.QuickConfig();
+// spreadbench.Run(cfg, nil) and render with spreadbench.WriteReport.
+package spreadbench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// InteractivityBound is the paper's 500 ms interactive-response threshold.
+const InteractivityBound = core.InteractivityBound
+
+// System is a spreadsheet system under test; see the engine package for the
+// full operation surface (Open, Sort, Filter, ConditionalFormat,
+// PivotTable, FindReplace, CopyPaste, InsertFormula, SetCell, ...). Every
+// operation returns a Result carrying both wall-clock and calibrated
+// simulated latency.
+type System = engine.Engine
+
+// Result is one operation's measured cost.
+type Result = engine.Result
+
+// Config controls a benchmark run; see QuickConfig and FullConfig.
+type Config = core.Config
+
+// ExperimentResult is one experiment's latency curves.
+type ExperimentResult = core.Result
+
+// Workbook is a collection of worksheets.
+type Workbook = sheet.Workbook
+
+// Sheet is one worksheet.
+type Sheet = sheet.Sheet
+
+// Value is a spreadsheet cell value.
+type Value = cell.Value
+
+// Addr is a cell address.
+type Addr = cell.Addr
+
+// NewSystem returns a fresh spreadsheet system for the named profile:
+// "excel", "calc", "sheets", or "optimized".
+func NewSystem(profile string) (*System, error) {
+	p, ok := engine.Profiles()[profile]
+	if !ok {
+		return nil, fmt.Errorf("spreadbench: unknown system profile %q (have %v)", profile, SystemNames())
+	}
+	return engine.New(p), nil
+}
+
+// SystemNames lists the available profiles.
+func SystemNames() []string {
+	var names []string
+	for name := range engine.Profiles() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cell parses an A1-notation address; it panics on malformed input (use
+// cellpkg.ParseAddr for error handling).
+func Cell(a1 string) Addr { return cell.MustParseAddr(a1) }
+
+// Num returns a numeric cell value.
+func Num(f float64) Value { return cell.Num(f) }
+
+// Str returns a text cell value.
+func Str(s string) Value { return cell.Str(s) }
+
+// WeatherWorkbook generates the paper's weather dataset (§3.2) with the
+// given number of data rows, as the Formula-value variant when formulas is
+// true and Value-only otherwise.
+func WeatherWorkbook(rows int, formulas bool) *Workbook {
+	return workload.Weather(workload.Spec{Rows: rows, Formulas: formulas})
+}
+
+// QuickConfig returns benchmark parameters sized for minutes-scale runs.
+func QuickConfig() *Config { return core.DefaultConfig() }
+
+// FullConfig returns the paper's exact experimental parameters (§3.3);
+// expect multi-hour runs.
+func FullConfig() *Config { return core.PaperConfig() }
+
+// ExperimentIDs lists every reproducible artifact in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// Run executes the named experiments (all of them when ids is empty) and
+// returns results keyed by experiment ID.
+func Run(cfg *Config, ids []string) (map[string]*ExperimentResult, error) {
+	if len(ids) == 0 {
+		ids = ExperimentIDs()
+	}
+	out := make(map[string]*ExperimentResult, len(ids))
+	for _, id := range ids {
+		exp, ok := core.FindExperiment(id)
+		if !ok {
+			return out, fmt.Errorf("spreadbench: unknown experiment %q", id)
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("spreadbench: %s: %w", id, err)
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+// WriteReport renders experiment results as the paper's figures, in paper
+// order, followed by Table 2 when the BCT experiments are present.
+func WriteReport(w io.Writer, results map[string]*ExperimentResult, cfg *Config) {
+	core.WriteTaxonomy(w)
+	for _, exp := range core.Experiments() {
+		res, ok := results[exp.ID]
+		if !ok {
+			continue
+		}
+		report.WriteFigure(w, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...)
+	}
+	if _, haveBCT := results["fig2-open"]; haveBCT {
+		systems := cfg.Systems
+		if len(systems) == 0 {
+			systems = []string{"excel", "calc", "sheets"}
+		}
+		report.WriteTable2(w, core.Table2(results, systems), systems)
+	}
+}
+
+// WriteCSV emits one experiment's curves as tidy CSV for plotting.
+func WriteCSV(w io.Writer, res *ExperimentResult) {
+	report.WriteCSV(w, res.Series)
+}
+
+// Violation scans an experiment series for the first size breaking the
+// interactivity bound; ok is false when the curve stays interactive.
+func Violation(res *ExperimentResult, label string) (size int, ok bool) {
+	for _, s := range res.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Sorted() {
+			if p.Sim > InteractivityBound {
+				return p.Size, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// FormatDuration renders a latency the way the report does.
+func FormatDuration(d time.Duration) string { return report.FormatDuration(d) }

@@ -1,0 +1,131 @@
+package spreadbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewSystem(t *testing.T) {
+	for _, name := range []string{"excel", "calc", "sheets", "optimized"} {
+		sys, err := NewSystem(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sys.Profile().Name != name {
+			t.Errorf("%s: profile %q", name, sys.Profile().Name)
+		}
+	}
+	if _, err := NewSystem("lotus123"); err == nil {
+		t.Error("unknown system must error")
+	}
+	names := SystemNames()
+	if len(names) != 4 {
+		t.Errorf("SystemNames = %v", names)
+	}
+}
+
+func TestFacadeQuickFlow(t *testing.T) {
+	sys, err := NewSystem("excel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := WeatherWorkbook(100, true)
+	if err := sys.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	v, res, err := sys.InsertFormula(wb.First(), Cell("R2"), "=COUNTIF(K2:K101,1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != 1 /* number */ || res.Sim <= 0 {
+		t.Errorf("v=%+v res=%+v", v, res)
+	}
+	if _, err := sys.SetCell(wb.First(), Cell("J2"), Num(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sys.CellValue(wb.First(), Cell("B1")); got.AsString() != "state" {
+		t.Errorf("header = %q", got.AsString())
+	}
+	_ = Str("x")
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if ids[0] != "fig2-open" || ids[len(ids)-1] != "ablation" {
+		t.Errorf("order: %v", ids)
+	}
+}
+
+func TestRunAndReport(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Systems = []string{"excel"}
+	cfg.Trials = 1
+	cfg.MaxRows = 300
+	cfg.MaxRowsWeb = 300
+
+	results, err := Run(cfg, []string{"fig7-countif", "fig13-incremental"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+
+	var buf bytes.Buffer
+	WriteReport(&buf, results, cfg)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "fig7-countif", "fig13-incremental", "excel/F"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Table 2") {
+		t.Error("Table 2 requires the full BCT set")
+	}
+
+	var csv bytes.Buffer
+	WriteCSV(&csv, results["fig7-countif"])
+	if !strings.HasPrefix(csv.String(), "series,rows,") {
+		t.Error("CSV header")
+	}
+
+	if _, err := Run(cfg, []string{"nope"}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestViolationHelper(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Systems = []string{"sheets"}
+	cfg.Trials = 1
+	cfg.MaxRows = 10_000
+	cfg.MaxRowsWeb = 10_000
+	results, err := Run(cfg, []string{"fig7-countif"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sheets violates the bound at 10k rows for COUNTIF (§4.3.3).
+	size, violated := Violation(results["fig7-countif"], "sheets/V")
+	if !violated {
+		t.Fatal("expected a violation for sheets COUNTIF at 10k (§4.3.3)")
+	}
+	if size != 10_000 {
+		t.Errorf("violation at %d, want 10000", size)
+	}
+	if _, v := Violation(results["fig7-countif"], "missing"); v {
+		t.Error("missing label")
+	}
+}
+
+func TestFormatDurationReexport(t *testing.T) {
+	if FormatDuration(0) != "0" {
+		t.Error("FormatDuration")
+	}
+	if InteractivityBound.Milliseconds() != 500 {
+		t.Error("bound must be 500ms [31]")
+	}
+}
