@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -522,4 +523,37 @@ func BenchmarkGridScan(b *testing.B) {
 		}
 	}
 	_ = sum
+}
+
+// BenchmarkAnalyzeWorkbook runs the static analyzer (internal/analyze)
+// over the 50k-row Formula-value workload — the paper's real-world
+// dataset size. The analyzer never evaluates, so its cost should scale
+// with the formula count (seven COUNTIFs per row), not with recalc cost;
+// b.N iterations over a fixed workbook make regressions in the per-formula
+// constant visible.
+func BenchmarkAnalyzeWorkbook(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true, Analysis: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := analyze.Workbook(wb, analyze.Options{})
+		if rep.Formulas == 0 || rep.EstRecalcOps == 0 {
+			b.Fatal("empty analysis report")
+		}
+	}
+}
+
+// BenchmarkAnalyzeScaling pins the O(formulas) claim: doubling the rows
+// should roughly double the wall time (compare ns/op across sub-runs).
+func BenchmarkAnalyzeScaling(b *testing.B) {
+	for _, rows := range []int{10_000, 20_000, 40_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			wb := workload.Weather(workload.Spec{Rows: rows, Formulas: true, Analysis: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := analyze.Workbook(wb, analyze.Options{}); rep.Formulas == 0 {
+					b.Fatal("empty analysis report")
+				}
+			}
+		})
+	}
 }

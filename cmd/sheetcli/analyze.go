@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/analyze"
+	"repro/internal/iolib"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// runAnalyze implements the `sheetcli analyze` subcommand: it loads a
+// workbook (an .svf file argument, or a generated weather dataset with the
+// analysis summary block) and prints the static analyzer's report without
+// evaluating a single formula.
+//
+// Usage: sheetcli analyze [-json] [-rows n] [-seed n] [-wide n] [-shared n]
+// [-hot n] [file.svf]
+func runAnalyze(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rows := fs.Int("rows", 5000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	wide := fs.Int("wide", 0, "wide-range threshold in cells; 0 means the default")
+	shared := fs.Int("shared", 0, "shared-subexpression minimum occurrences; 0 means the default")
+	hot := fs.Int64("hot", 0, "hot-formula static cost threshold; 0 means the default")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli analyze [-json] [-rows n] [-seed n] [-wide n] [-shared n] [-hot n] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 0 {
+		fmt.Fprintln(errOut, "sheetcli: -rows must be non-negative")
+		return 2
+	}
+
+	var wb *sheet.Workbook
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		wb = res.Workbook
+	} else {
+		wb = workload.Weather(workload.Spec{
+			Rows: *rows, Formulas: true, Seed: *seed, Analysis: true,
+		})
+	}
+
+	rep := analyze.Workbook(wb, analyze.Options{
+		WideRangeCells: *wide,
+		SharedMin:      *shared,
+		HotCostMin:     *hot,
+	})
+	var err error
+	if *jsonOut {
+		err = rep.WriteJSON(out)
+	} else {
+		err = rep.WriteText(out)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -5,11 +5,17 @@
 //
 // Usage: sheetcli [-system excel|calc|sheets|optimized] [file.svf]
 //
+//	sheetcli analyze [-json] [-rows n] [file.svf]
+//
+// runs the static analyzer (internal/analyze) over a workbook and exits;
+// see analyze.go.
+//
 // Commands (addresses in A1 notation, columns as letters):
 //
 //	set A1 <value|=FORMULA>   write a cell
 //	get A1                    read a cell
 //	show [rows]               print the top of the sheet
+//	analyze                   run the static analyzer on the workbook
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -28,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/cell"
 	"repro/internal/engine"
 	"repro/internal/iolib"
@@ -36,6 +43,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		os.Exit(runAnalyze(os.Args[2:], os.Stdout, os.Stderr))
+	}
+
 	system := flag.String("system", "excel", "system profile")
 	flag.Parse()
 
@@ -88,7 +99,13 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show sort filter pivot find gen open save quit")
+		fmt.Println("set get show analyze sort filter pivot find gen open save quit")
+
+	case "analyze":
+		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
 
 	case "set":
 		if len(args) < 3 {

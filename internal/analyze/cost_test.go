@@ -1,0 +1,68 @@
+package analyze
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestEstimateWithinTwoOfMeasured is the acceptance test for the static
+// cost model: across workload sizes, the estimated sequencing cost of a
+// full recalculation must land within a factor of two of what the graph
+// actually charges for AllFormulas on the same formula set.
+func TestEstimateWithinTwoOfMeasured(t *testing.T) {
+	for _, rows := range []int{200, 2000, 5000} {
+		spec := workload.Spec{Rows: rows, Formulas: true, Seed: 7, Analysis: true}
+		s := workload.Weather(spec).First()
+
+		sites := collectSites(s)
+		est := EstimateRecalcOps(sites)
+
+		g := graph.New()
+		for _, f := range sites {
+			g.SetFormula(f.at, f.code.PrecedentRanges(f.dr, f.dc))
+		}
+		g.ResetOps() // charge only the sequencing pass
+		g.AllFormulas()
+		measured := g.Ops()
+
+		if measured == 0 {
+			t.Fatalf("rows=%d: measured 0 ops", rows)
+		}
+		ratio := float64(est) / float64(measured)
+		t.Logf("rows=%d est=%d measured=%d ratio=%.3f", rows, est, measured, ratio)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("rows=%d: estimate %d vs measured %d (ratio %.3f) outside [0.5, 2.0]",
+				rows, est, measured, ratio)
+		}
+	}
+}
+
+func TestEstimateEmptySheet(t *testing.T) {
+	if got := EstimateRecalcOps(nil); got != 0 {
+		t.Errorf("EstimateRecalcOps(nil) = %d, want 0", got)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int64]int64{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestSheetReportEstimateMatchesWorkload ties the report field to the model
+// on the standard analysis fixture.
+func TestSheetReportEstimateMatchesWorkload(t *testing.T) {
+	s := workload.Weather(workload.Spec{Rows: 500, Formulas: true, Seed: 7, Analysis: true}).First()
+	sr := SheetReportFor(s, Options{})
+	if sr.EstRecalcOps != EstimateRecalcOps(collectSites(s)) {
+		t.Error("SheetReport estimate should equal EstimateRecalcOps over the same sites")
+	}
+	if sr.EstEvalCells == 0 {
+		t.Error("EstEvalCells should be nonzero for a formula workload")
+	}
+}

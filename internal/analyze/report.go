@@ -1,0 +1,77 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report for terminals: a workbook summary line, then
+// per sheet a header, the rule tally, and the findings most-severe-first.
+func (r *Report) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "workbook: %d sheet(s), %d formula(s), %d finding(s), est recalc ops %d\n",
+		len(r.Sheets), r.Formulas, r.Findings, r.EstRecalcOps)
+	if err != nil {
+		return err
+	}
+	for _, sr := range r.Sheets {
+		if err := sr.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sr *SheetReport) writeText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), est recalc ops %d, est eval cells %d\n",
+		sr.Sheet, sr.Formulas, sr.EstRecalcOps, sr.EstEvalCells)
+	if err != nil {
+		return err
+	}
+	if len(sr.RuleCounts) > 0 {
+		rules := make([]string, 0, len(sr.RuleCounts))
+		for rule := range sr.RuleCounts {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		if _, err := fmt.Fprintf(w, "  rules:"); err != nil {
+			return err
+		}
+		for _, rule := range rules {
+			if _, err := fmt.Fprintf(w, " %s=%d", rule, sr.RuleCounts[rule]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, f := range sr.Findings {
+		if _, err := fmt.Fprintf(w, "  %-4s %-15s %-5s %s\n", f.Severity, f.Rule, f.Cell, f.Message); err != nil {
+			return err
+		}
+	}
+	if dropped := sr.droppedFindings(); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "  ... %d finding(s) beyond the per-rule cap not shown\n", dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// droppedFindings is how many findings the per-rule cap suppressed.
+func (sr *SheetReport) droppedFindings() int {
+	total := 0
+	for _, n := range sr.RuleCounts {
+		total += n
+	}
+	return total - len(sr.Findings)
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"math"
 
+	"repro/internal/analyze"
 	"repro/internal/cell"
 	"repro/internal/costmodel"
 	"repro/internal/formula"
@@ -66,7 +67,13 @@ func (m *aggMat) value() cell.Value {
 	}
 }
 
-// buildOptState allocates empty optimization state for a sheet.
+// buildOptState allocates optimization state for a sheet. Most structures
+// build lazily, but the static analyzer's pre-flight runs here: columns
+// that several formulas aggregate (analyze.SharedColumnAggregates — the
+// shared-subexpression rule's engine-facing form) get their prefix-sum
+// indexes eagerly, so the first aggregate query after install is already an
+// index probe rather than a full column scan. Install resets the meters
+// after setup, so the eager build is charged to load, not to experiments.
 func (e *Engine) buildOptState(s *sheet.Sheet) *optState {
 	st := &optState{
 		hash:    make(map[int]*index.Hash),
@@ -76,8 +83,21 @@ func (e *Engine) buildOptState(s *sheet.Sheet) *optState {
 		aggs:    make(map[cell.Addr]*aggMat),
 	}
 	e.opts[s] = st
+	if e.prof.Opt.SharedComputation {
+		// Like the rest of setup (§6 builds asynchronously), the eager
+		// build is not charged: snapshot and restore the meter around it.
+		saved := e.meter
+		for _, col := range analyze.SharedColumnAggregates(s, sharedAggMin) {
+			st.prefixFor(e, s, col)
+		}
+		e.meter = saved
+	}
 	return st
 }
+
+// sharedAggMin is how many aggregate reads of one column justify building
+// its index at install time rather than on first query.
+const sharedAggMin = 2
 
 // hashFor returns the column's hash index, building it on first use (the
 // build scan is charged — one CellTouch per row — and amortized thereafter).

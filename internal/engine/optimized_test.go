@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/costmodel"
+	"repro/internal/formula"
 	"repro/internal/workload"
 )
 
@@ -395,5 +396,59 @@ func TestOptimizationsAnyZero(t *testing.T) {
 	o.HashIndex = true
 	if !o.Any() {
 		t.Error("Any")
+	}
+}
+
+func TestInstallPrewarmsSharedAggregateColumns(t *testing.T) {
+	// The install pre-flight (analyze.SharedColumnAggregates wired into
+	// buildOptState) must detect columns that several formulas aggregate
+	// and build their prefix indexes eagerly: the first post-install
+	// aggregate over such a column is then a pure index probe.
+	prof := Profiles()["optimized"]
+	eng := New(prof)
+	wb := workload.Weather(workload.Spec{Rows: 300, Formulas: false})
+	s := wb.First()
+	s.SetFormula(a("R2"), formula.MustCompile("=SUM(J2:J301)"))
+	s.SetFormula(a("R3"), formula.MustCompile("=SUM(J2:J301)/300"))
+	if err := eng.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	// Install resets meters; the eager build must not leak into them.
+	if got := eng.Meter().Count(costmodel.CellTouch); got != 0 {
+		t.Fatalf("meter shows %d cell touches right after install", got)
+	}
+	v, res, err := eng.InsertFormula(s, a("R4"), "=SUM(J2:J300)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Work.Count(costmodel.CellTouch); got != 0 {
+		t.Errorf("post-install aggregate touched %d cells, want 0 (prewarmed index)", got)
+	}
+	want := 0.0
+	for dr := 1; dr <= 299; dr++ {
+		want += s.Value(cell.Addr{Row: dr, Col: workload.ColStorm}).Num
+	}
+	if v.Num != want {
+		t.Errorf("SUM = %v, want %v", v.Num, want)
+	}
+}
+
+func TestNoPrewarmForSingleAggregate(t *testing.T) {
+	// One aggregate read of a column does not justify an eager index; the
+	// lazy path still pays the build scan on first query.
+	prof := Profiles()["optimized"]
+	eng := New(prof)
+	wb := workload.Weather(workload.Spec{Rows: 300, Formulas: false})
+	s := wb.First()
+	s.SetFormula(a("R2"), formula.MustCompile("=SUM(J2:J301)"))
+	if err := eng.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := eng.InsertFormula(s, a("R4"), "=SUM(J2:J300)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Work.Count(costmodel.CellTouch); got == 0 {
+		t.Error("single-aggregate column should not be prewarmed at install")
 	}
 }

@@ -2,6 +2,7 @@ package formula
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -18,7 +19,16 @@ type Node interface {
 	// function names, '.'-normalized numbers, minimal parentheses via full
 	// parenthesization of operator nodes. Canonical text is the basis of
 	// formula fingerprints (§5.4 redundant-computation detection).
-	writeCanonical(b *strings.Builder)
+	writeCanonical(b canonWriter)
+}
+
+// canonWriter is the sink canonical (or reference-shifted) formula text
+// streams into: a *strings.Builder when the text itself is wanted, or the
+// hashing adapter in visit.go when only a fingerprint is (so subtree
+// hashing allocates no intermediate strings).
+type canonWriter interface {
+	io.StringWriter
+	io.ByteWriter
 }
 
 // NumberLit is a numeric literal.
@@ -94,17 +104,17 @@ type UnaryNode struct {
 	X  Node
 }
 
-func (n NumberLit) writeCanonical(b *strings.Builder) {
+func (n NumberLit) writeCanonical(b canonWriter) {
 	b.WriteString(strconv.FormatFloat(float64(n), 'g', -1, 64))
 }
 
-func (n StringLit) writeCanonical(b *strings.Builder) {
+func (n StringLit) writeCanonical(b canonWriter) {
 	b.WriteByte('"')
 	b.WriteString(strings.ReplaceAll(string(n), `"`, `""`))
 	b.WriteByte('"')
 }
 
-func (n BoolLit) writeCanonical(b *strings.Builder) {
+func (n BoolLit) writeCanonical(b canonWriter) {
 	if n {
 		b.WriteString("TRUE")
 	} else {
@@ -112,17 +122,17 @@ func (n BoolLit) writeCanonical(b *strings.Builder) {
 	}
 }
 
-func (n ErrorLit) writeCanonical(b *strings.Builder) { b.WriteString(string(n)) }
+func (n ErrorLit) writeCanonical(b canonWriter) { b.WriteString(string(n)) }
 
-func (n RefNode) writeCanonical(b *strings.Builder) { b.WriteString(n.Ref.String()) }
+func (n RefNode) writeCanonical(b canonWriter) { b.WriteString(n.Ref.String()) }
 
-func (n RangeNode) writeCanonical(b *strings.Builder) {
+func (n RangeNode) writeCanonical(b canonWriter) {
 	b.WriteString(n.From.String())
 	b.WriteByte(':')
 	b.WriteString(n.To.String())
 }
 
-func (n CallNode) writeCanonical(b *strings.Builder) {
+func (n CallNode) writeCanonical(b canonWriter) {
 	b.WriteString(n.Name)
 	b.WriteByte('(')
 	for i, a := range n.Args {
@@ -134,7 +144,7 @@ func (n CallNode) writeCanonical(b *strings.Builder) {
 	b.WriteByte(')')
 }
 
-func (n BinaryNode) writeCanonical(b *strings.Builder) {
+func (n BinaryNode) writeCanonical(b canonWriter) {
 	b.WriteByte('(')
 	n.L.writeCanonical(b)
 	b.WriteString(n.Op.String())
@@ -142,7 +152,7 @@ func (n BinaryNode) writeCanonical(b *strings.Builder) {
 	b.WriteByte(')')
 }
 
-func (n UnaryNode) writeCanonical(b *strings.Builder) {
+func (n UnaryNode) writeCanonical(b canonWriter) {
 	if n.Op == "%" {
 		b.WriteByte('(')
 		n.X.writeCanonical(b)

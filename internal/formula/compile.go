@@ -33,9 +33,14 @@ type Compiled struct {
 }
 
 // volatileFuncs are functions whose value can change without any precedent
-// changing; the classic set shared by all three dialects.
+// changing; the classic set shared by all three dialects. OFFSET and
+// INDIRECT are volatile in Excel, Calc, and Sheets alike — their reference
+// targets are computed, so the dependency graph cannot prove their
+// precedents unchanged — and belong here even though this engine does not
+// evaluate them yet (unknown calls yield #NAME?).
 var volatileFuncs = map[string]bool{
 	"NOW": true, "TODAY": true, "RAND": true, "RANDBETWEEN": true,
+	"OFFSET": true, "INDIRECT": true,
 }
 
 // Compile parses and analyzes a formula. The text may include or omit the
@@ -181,7 +186,7 @@ func (c *Compiled) RewriteRelative(dr, dc int) string {
 	return b.String()
 }
 
-func writeRewritten(b *strings.Builder, n Node, dr, dc int) {
+func writeRewritten(b canonWriter, n Node, dr, dc int) {
 	switch t := n.(type) {
 	case RefNode:
 		writeShiftedRef(b, t.Ref, dr, dc)
@@ -221,7 +226,7 @@ func writeRewritten(b *strings.Builder, n Node, dr, dc int) {
 	}
 }
 
-func writeShiftedRef(b *strings.Builder, r cell.Ref, dr, dc int) {
+func writeShiftedRef(b canonWriter, r cell.Ref, dr, dc int) {
 	s := r
 	if !s.AbsRow {
 		s.Addr.Row += dr

@@ -67,13 +67,20 @@ func TestFingerprintStabilityProperty(t *testing.T) {
 }
 
 func TestVolatileDetection(t *testing.T) {
-	for _, text := range []string{"=NOW()", "=TODAY()+1", "=IF(A1,RAND(),2)"} {
+	for _, text := range []string{
+		"=NOW()", "=TODAY()+1", "=IF(A1,RAND(),2)", "=RANDBETWEEN(1,6)",
+		// OFFSET and INDIRECT compute their reference targets at run time;
+		// all three modeled systems treat them as volatile.
+		"=OFFSET(A1,1,0)", "=INDIRECT(\"A1\")", "=SUM(A1:A3)+OFFSET(B1,0,1)",
+	} {
 		if !MustCompile(text).Volatile {
 			t.Errorf("%s should be volatile", text)
 		}
 	}
-	if MustCompile("=SUM(A1:A3)").Volatile {
-		t.Error("SUM should not be volatile")
+	for _, text := range []string{"=SUM(A1:A3)", "=VLOOKUP(5,A1:B10,2)"} {
+		if MustCompile(text).Volatile {
+			t.Errorf("%s should not be volatile", text)
+		}
 	}
 }
 

@@ -19,6 +19,11 @@ import (
 // huge-range formulae but possibly millions of single-ref ones.
 const smallRangeMax = 16
 
+// SmallRangeMax exports the small/large range threshold for consumers that
+// model the graph's cost behavior (internal/analyze's static recalc-cost
+// estimate must classify precedent ranges the same way SetFormula does).
+const SmallRangeMax = smallRangeMax
+
 type rangeDep struct {
 	rng cell.Range
 	dep cell.Addr
@@ -149,6 +154,43 @@ func (g *Graph) DirectDependents(changed cell.Addr) []cell.Addr {
 			out = append(out, rd.dep)
 		}
 	}
+	return out
+}
+
+// TransitiveDependents returns every formula cell that transitively depends
+// on the given cell, in row-major order. Unlike DirectDependents it charges
+// no maintenance ops: it serves the static analyzer (internal/analyze),
+// which must observe the graph without perturbing the engine's meters. The
+// count of the result is a volatile formula's "blast radius" — how much of
+// the sheet a naive profile re-derives every calculation pass.
+func (g *Graph) TransitiveDependents(start cell.Addr) []cell.Addr {
+	seen := make(map[cell.Addr]bool)
+	queue := make([]cell.Addr, 0, 8)
+	visit := func(changed cell.Addr) {
+		for _, d := range g.byCell[changed] {
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+		for _, rd := range g.large {
+			if rd.rng.Contains(changed) && !seen[rd.dep] {
+				seen[rd.dep] = true
+				queue = append(queue, rd.dep)
+			}
+		}
+	}
+	visit(start)
+	for i := 0; i < len(queue); i++ {
+		visit(queue[i])
+	}
+	out := append([]cell.Addr(nil), queue...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].Col < out[j].Col
+	})
 	return out
 }
 

@@ -231,3 +231,38 @@ func TestManyIndependentFormulasOrderDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestTransitiveDependents(t *testing.T) {
+	// A1 <- B1 <- C1, and D1 reads B1 through a large range; E1 is
+	// unrelated. Blast radius of A1 is {B1, C1, D1}.
+	g := New()
+	g.SetFormula(a("B1"), []cell.Range{r("A1")})
+	g.SetFormula(a("C1"), []cell.Range{r("B1")})
+	g.SetFormula(a("D1"), []cell.Range{r("B1:B100")}) // > smallRangeMax cells
+	g.SetFormula(a("E1"), []cell.Range{r("A9")})
+
+	got := g.TransitiveDependents(a("A1"))
+	want := []cell.Addr{a("B1"), a("C1"), a("D1")}
+	if len(got) != len(want) {
+		t.Fatalf("TransitiveDependents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TransitiveDependents = %v, want %v (row-major order)", got, want)
+		}
+	}
+	if n := len(g.TransitiveDependents(a("Z9"))); n != 0 {
+		t.Errorf("untouched cell has %d dependents", n)
+	}
+}
+
+func TestTransitiveDependentsDoesNotChargeOps(t *testing.T) {
+	g := New()
+	g.SetFormula(a("B1"), []cell.Range{r("A1")})
+	g.SetFormula(a("C1"), []cell.Range{r("B1")})
+	g.ResetOps()
+	g.TransitiveDependents(a("A1"))
+	if got := g.Ops(); got != 0 {
+		t.Errorf("static traversal charged %d maintenance ops, want 0", got)
+	}
+}

@@ -1,0 +1,36 @@
+// Command rangemap runs the repository's determinism lint (internal/lint)
+// over package directories: it exits nonzero if any map iteration leaks its
+// order into a returned slice. With no arguments it checks the
+// ordering-sensitive packages (internal/graph, internal/analyze);
+// scripts/check.sh invokes it as part of the tier-1 gate.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/graph", "internal/analyze"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		diags, err := lint.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangemap: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "rangemap: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Package bad holds rangemap violations; every function here must be
+// flagged by the lint test.
+package bad
+
+// keysUnsorted leaks map order straight into its return value.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// namedResultUnsorted appends to a named result inside a map range.
+func namedResultUnsorted() (out []int) {
+	counts := make(map[int]int)
+	counts[1] = 1
+	for k := range counts {
+		out = append(out, k)
+	}
+	return
+}
+
+// store has a map-typed field; methods ranging over it are resolved too.
+type store struct {
+	byName map[string]int
+}
+
+func (s *store) names() []string {
+	var out []string
+	for k := range s.byName {
+		out = append(out, k)
+	}
+	return out
+}
+
+// literalMap ranges over a map composite literal.
+func literalMap() []string {
+	var out []string
+	for k := range map[string]bool{"a": true, "b": true} {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortsWrongSlice sorts a different slice; the leak remains.
+func sortsWrongSlice(m map[string]int) []string {
+	var out, other []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(other)
+	return out
+}
+
+func sortStrings(s []string) {}

@@ -1,0 +1,65 @@
+// Package good holds patterns the rangemap lint must accept.
+package good
+
+import "sort"
+
+// keysSorted collects from a map but sorts before returning.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keysSortSlice uses sort.Slice with the slice in the closure.
+func keysSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// helper mirrors (*Graph).sortAddrs: a method whose name contains "sort".
+type set struct{ m map[int]bool }
+
+func (s *set) sortInts(v []int) { sort.Ints(v) }
+
+func (s *set) members() []int {
+	var out []int
+	for k := range s.m {
+		out = append(out, k)
+	}
+	s.sortInts(out)
+	return out
+}
+
+// notReturned never hands the slice to the caller; order cannot leak.
+func notReturned(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}
+
+// sliceRange iterates a slice, which is already deterministic.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// sumOnly reads the map without appending anywhere.
+func sumOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

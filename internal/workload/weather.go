@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cell"
 	"repro/internal/formula"
@@ -34,6 +35,11 @@ const (
 	ColFormula0 = 10
 	// NumCols is the total width.
 	NumCols = 17
+	// ColSummaryLabel ("R") and ColSummary ("S") host the optional
+	// analysis summary block (Spec.Analysis); outside NumCols so the base
+	// dataset is byte-identical with the block off.
+	ColSummaryLabel = 17
+	ColSummary      = 18
 )
 
 // Keywords are the event terms counted by the formula columns; keyword i
@@ -68,6 +74,12 @@ type Spec struct {
 	// Columnar stores the sheet in a column-major grid (optimized-engine
 	// experiments).
 	Columnar bool
+	// Analysis appends a small summary block in columns R/S that exercises
+	// every static-analysis rule (internal/analyze): repeated SUM/COUNT
+	// subexpressions, a volatile cell with a dependent, a numeric COUNTIF
+	// criterion over the text state column, a constant-foldable product,
+	// and a two-cell reference cycle. Off for the benchmark datasets.
+	Analysis bool
 }
 
 // DefaultSeed is the generator seed used by the benchmark harness.
@@ -182,11 +194,47 @@ func Weather(spec Spec) *sheet.Workbook {
 		s.SetValue(cell.Addr{Row: dr, Col: ColStorm}, cell.Num(storm))
 	}
 
+	if spec.Analysis {
+		addAnalysisBlock(s, spec.Rows)
+	}
+
 	wb := sheet.NewWorkbook()
 	if err := wb.Add(s); err != nil {
 		panic(err) // fresh workbook; cannot collide
 	}
 	return wb
+}
+
+// analysisBlock is the summary block Spec.Analysis appends: labeled rows in
+// column R, formulas in column S. The shapes are chosen so that each static
+// analyzer rule fires at least once on a generated workbook (the "%d" slot
+// is the last data row in A1 numbering).
+var analysisBlock = []struct{ label, text string }{
+	{"storm total", "=SUM(J2:J%[1]d)"},
+	{"storm rate", "=SUM(J2:J%[1]d)/COUNT(A2:A%[1]d)"},
+	{"storm pct", "=SUM(J2:J%[1]d)*100/COUNT(A2:A%[1]d)"},
+	{"generated at", "=NOW()"},
+	{"stale by", "=S5+1"},
+	{"bad filter", `=COUNTIF(B2:B%[1]d,">=5")`},
+	{"storm total/day", "=S2*(24*60*60)"},
+	{"circular a", "=S10"},
+	{"circular b", "=S9"},
+}
+
+// addAnalysisBlock writes the summary block onto the sheet. Formulas start
+// at S2 (0-based row 1) so the cell names baked into the cross-references
+// above (S5, S9, S10) line up.
+func addAnalysisBlock(s *sheet.Sheet, rows int) {
+	lastA1 := rows + 1 // data occupies A1 rows 2..rows+1
+	for i, e := range analysisBlock {
+		r := i + 1
+		s.SetValue(cell.Addr{Row: r, Col: ColSummaryLabel}, cell.Str(e.label))
+		text := e.text
+		if strings.Contains(text, "%") {
+			text = fmt.Sprintf(text, lastA1)
+		}
+		s.SetFormula(cell.Addr{Row: r, Col: ColSummary}, formula.MustCompile(text))
+	}
 }
 
 // PaperSizes returns the paper's 51 dataset row counts: 150, 6000, then

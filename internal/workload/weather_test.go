@@ -185,3 +185,42 @@ func TestStateDistributionRoughlyUniform(t *testing.T) {
 		}
 	}
 }
+
+func TestAnalysisBlock(t *testing.T) {
+	base := Weather(Spec{Rows: 50, Formulas: true}).First()
+	with := Weather(Spec{Rows: 50, Formulas: true, Analysis: true}).First()
+
+	if got := with.FormulaCount() - base.FormulaCount(); got != len(analysisBlock) {
+		t.Fatalf("analysis block adds %d formulas, want %d", got, len(analysisBlock))
+	}
+	// The block must not disturb the base dataset: every base cell value
+	// is unchanged.
+	for r := 0; r < base.Rows(); r++ {
+		for c := 0; c < NumCols; c++ {
+			a := cell.Addr{Row: r, Col: c}
+			if !base.Value(a).Equal(with.Value(a)) {
+				t.Fatalf("cell %s differs with the analysis block on", a)
+			}
+		}
+	}
+	// Spot-check the anchors the analyzer's golden files depend on.
+	for _, probe := range []struct {
+		a1, want string
+	}{
+		{"S2", "=SUM(J2:J51)"},
+		{"S5", "=NOW()"},
+		{"S7", `=COUNTIF(B2:B51,">=5")`},
+		{"S9", "=S10"},
+	} {
+		f, ok := with.Formula(cell.MustParseAddr(probe.a1))
+		if !ok {
+			t.Fatalf("no formula at %s", probe.a1)
+		}
+		if f.Code.Text != probe.want {
+			t.Errorf("%s = %q, want %q", probe.a1, f.Code.Text, probe.want)
+		}
+	}
+	if v := with.Value(cell.MustParseAddr("R5")); v.Str != "generated at" {
+		t.Errorf("R5 label = %q, want \"generated at\"", v.Str)
+	}
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 quality gate: formatting, vet, the repository's custom determinism
+# lint (internal/lint/cmd/rangemap), build, and the full test suite under
+# the race detector. CI and pre-commit both run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== rangemap lint (internal/graph, internal/analyze) =="
+go run ./internal/lint/cmd/rangemap
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
