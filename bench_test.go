@@ -20,6 +20,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/iolib"
 	"repro/internal/report"
+	"repro/internal/typecheck"
 	"repro/internal/workload"
 )
 
@@ -538,6 +539,23 @@ func BenchmarkAnalyzeWorkbook(b *testing.B) {
 		rep := analyze.Workbook(wb, analyze.Options{})
 		if rep.Formulas == 0 || rep.EstRecalcOps == 0 {
 			b.Fatal("empty analysis report")
+		}
+	}
+}
+
+// BenchmarkTypecheckWorkbook measures the static type checker's full
+// pipeline — dependency graph, topological fixpoint over the kind lattice,
+// column certificates, report assembly — on the 50k-row weather workbook.
+// Like the analyzer, it never evaluates a formula, so cost should track
+// the formula count; the optimized engine pays exactly this once per
+// Install when TypedColumns is on.
+func BenchmarkTypecheckWorkbook(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true, Analysis: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := typecheck.Workbook(wb, typecheck.Options{})
+		if rep.Formulas == 0 || rep.ErrorCells == 0 {
+			b.Fatal("empty typecheck report")
 		}
 	}
 }

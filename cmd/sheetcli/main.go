@@ -10,12 +10,18 @@
 // runs the static analyzer (internal/analyze) over a workbook and exits;
 // see analyze.go.
 //
+//	sheetcli typecheck [-json] [-rows n] [file.svf]
+//
+// runs the static type & error-flow inference (internal/typecheck) over a
+// workbook and exits; see typecheck.go.
+//
 // Commands (addresses in A1 notation, columns as letters):
 //
 //	set A1 <value|=FORMULA>   write a cell
 //	get A1                    read a cell
 //	show [rows]               print the top of the sheet
 //	analyze                   run the static analyzer on the workbook
+//	typecheck                 run the static type & error-flow inference
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -39,12 +45,16 @@ import (
 	"repro/internal/engine"
 	"repro/internal/iolib"
 	"repro/internal/sheet"
+	"repro/internal/typecheck"
 	"repro/internal/workload"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		os.Exit(runAnalyze(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "typecheck" {
+		os.Exit(runTypecheck(os.Args[2:], os.Stdout, os.Stderr))
 	}
 
 	system := flag.String("system", "excel", "system profile")
@@ -99,11 +109,17 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze sort filter pivot find gen open save quit")
+		fmt.Println("set get show analyze typecheck sort filter pivot find gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
 		if err := rep.WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
+
+	case "typecheck":
+		res := typecheck.Workbook(eng.Workbook(), typecheck.Options{})
+		if err := res.WriteText(os.Stdout); err != nil {
 			return fail(err)
 		}
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/graph"
 	"repro/internal/sheet"
+	"repro/internal/typecheck"
 )
 
 // Rule identifiers, one per analysis. Stable: they appear in JSON output
@@ -33,6 +34,8 @@ const (
 	RuleTypeMismatch = "type-mismatch"
 	RuleCycle        = "cycle"
 	RuleHotFormula   = "hot-formula"
+	RuleErrorBlast   = "error-blast-radius"
+	RuleCoercion     = "coercion-hot-path"
 )
 
 // Severity ranks findings. High findings change results or dominate recalc
@@ -97,6 +100,13 @@ type Options struct {
 	// MaxFindingsPerRule caps emitted findings per rule per sheet; counts
 	// in RuleCounts are always complete. Default 25; -1 removes the cap.
 	MaxFindingsPerRule int
+	// ErrorBlastMin is the transitive-dependent count from which an
+	// error-possible formula becomes a RuleErrorBlast finding (default 4).
+	ErrorBlastMin int
+	// CoercionMinCells is the range size from which a numeric-criterion
+	// aggregate over possibly-text cells becomes a RuleCoercion finding
+	// (default 128).
+	CoercionMinCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +124,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxFindingsPerRule == 0 {
 		o.MaxFindingsPerRule = 25
+	}
+	if o.ErrorBlastMin == 0 {
+		o.ErrorBlastMin = 4
+	}
+	if o.CoercionMinCells == 0 {
+		o.CoercionMinCells = 128
 	}
 	return o
 }
@@ -197,12 +213,18 @@ func analyzeSheet(s *sheet.Sheet, opt Options) *SheetReport {
 	emit := newEmitter(sr, opt)
 	shared := newSharedScan()
 
+	// One inference pass (internal/typecheck) shared by the type- and
+	// error-flow rules; like the graph above it is private to the analyzer.
+	inf := typecheck.InferSheet(s)
+
 	for _, f := range sites {
 		checkVolatile(emit, s, g, f)
 		checkWideRange(emit, s, f, opt)
 		checkConstFold(emit, s, f)
 		checkTypes(emit, s, f, opt)
 		checkHotFormula(emit, s, g, f, opt)
+		checkErrorBlast(emit, s, g, inf, f, opt)
+		checkCoercion(emit, s, inf, f, opt)
 		shared.add(f)
 		sr.EstEvalCells += int64(f.code.PrecedentCells())
 	}

@@ -1,0 +1,125 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+func TestRuleErrorBlastRadius(t *testing.T) {
+	// A1 may divide by zero; B1..B4 inherit it transitively, one per link.
+	s := mkSheet(t, map[string]cell.Value{"A2": cell.Num(0)}, map[string]string{
+		"A1": "=1/A2",
+		"B1": "=A1+1",
+		"B2": "=B1+1",
+		"B3": "=B2+1",
+		"B4": "=B3+1",
+		"C1": "=5+6", // unrelated, error-free
+	})
+	sr := SheetReportFor(s, Options{})
+	fs := findingsFor(sr, RuleErrorBlast)
+	if len(fs) != 1 {
+		t.Fatalf("error-blast findings = %d, want 1:\n%+v", len(fs), sr.Findings)
+	}
+	f := fs[0]
+	if f.Cell != "A1" || f.Severity != High || f.Cost != 4 {
+		t.Errorf("finding = %+v, want cell A1, severity high, cost 4", f)
+	}
+	if !strings.Contains(f.Message, cell.ErrDiv0) {
+		t.Errorf("message %q should name the possible error", f.Message)
+	}
+}
+
+func TestRuleErrorBlastBelowThresholdIsSilent(t *testing.T) {
+	// Same shape but only 3 dependents: below the default threshold of 4.
+	s := mkSheet(t, map[string]cell.Value{"A2": cell.Num(0)}, map[string]string{
+		"A1": "=1/A2",
+		"B1": "=A1+1",
+		"B2": "=B1+1",
+		"B3": "=B2+1",
+	})
+	sr := SheetReportFor(s, Options{})
+	if fs := findingsFor(sr, RuleErrorBlast); len(fs) != 0 {
+		t.Errorf("unexpected findings below threshold: %+v", fs)
+	}
+	// Lowering the threshold surfaces it.
+	sr = SheetReportFor(s, Options{ErrorBlastMin: 1})
+	if fs := findingsFor(sr, RuleErrorBlast); len(fs) != 1 {
+		t.Errorf("findings with ErrorBlastMin=1 = %d, want 1", len(fs))
+	}
+}
+
+func TestRuleErrorBlastIgnoresCyclesAndAbsorbed(t *testing.T) {
+	s := mkSheet(t, map[string]cell.Value{"A3": cell.Num(0)}, map[string]string{
+		"A1": "=A2",              // cycle: certain, RuleCycle's business
+		"A2": "=A1",              //
+		"A4": "=IFERROR(1/A3,0)", // absorbed before anyone sees it
+		"B1": "=A4+1",
+		"B2": "=B1+1",
+		"B3": "=B2+1",
+		"B4": "=B3+1",
+	})
+	sr := SheetReportFor(s, Options{ErrorBlastMin: 1})
+	if fs := findingsFor(sr, RuleErrorBlast); len(fs) != 0 {
+		t.Errorf("cycle/absorbed errors must not fire error-blast: %+v", fs)
+	}
+	if n := sr.RuleCounts[RuleCycle]; n == 0 {
+		t.Error("cycle rule should still report the loop")
+	}
+}
+
+// coercionSheet builds a tall sheet with a numeric-criterion COUNTIF over
+// column A, whose cells are numbers except one optional text cell.
+func coercionSheet(t *testing.T, rows int, withText bool) *sheet.Sheet {
+	t.Helper()
+	s := sheet.New("test", rows+1, 4)
+	for r := 1; r <= rows; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64(r)))
+	}
+	if withText {
+		s.SetValue(cell.Addr{Row: rows / 2, Col: 0}, cell.Str("n/a"))
+	}
+	c, err := formula.Compile(fmt.Sprintf(`=COUNTIF(A2:A%d,">=5")`, rows+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFormula(cell.Addr{Row: 1, Col: 2}, c)
+	return s
+}
+
+func TestRuleCoercionHotPath(t *testing.T) {
+	sr := SheetReportFor(coercionSheet(t, 200, true), Options{})
+	fs := findingsFor(sr, RuleCoercion)
+	if len(fs) != 1 {
+		t.Fatalf("coercion findings = %d, want 1:\n%+v", len(fs), sr.Findings)
+	}
+	f := fs[0]
+	if f.Cell != "C2" || f.Severity != Warn || f.Cost != 200 {
+		t.Errorf("finding = %+v, want cell C2, severity warn, cost 200", f)
+	}
+	if !strings.Contains(f.Message, "COUNTIF") {
+		t.Errorf("message %q should name the aggregate", f.Message)
+	}
+}
+
+func TestRuleCoercionRequiresTextAndWidth(t *testing.T) {
+	// All-numeric range: nothing to coerce, however wide.
+	sr := SheetReportFor(coercionSheet(t, 200, false), Options{})
+	if fs := findingsFor(sr, RuleCoercion); len(fs) != 0 {
+		t.Errorf("all-numeric range fired coercion: %+v", fs)
+	}
+	// Text present but the range is narrower than the threshold.
+	sr = SheetReportFor(coercionSheet(t, 60, true), Options{})
+	if fs := findingsFor(sr, RuleCoercion); len(fs) != 0 {
+		t.Errorf("narrow range fired coercion: %+v", fs)
+	}
+	// Narrow range fires once the threshold is lowered.
+	sr = SheetReportFor(coercionSheet(t, 60, true), Options{CoercionMinCells: 16})
+	if fs := findingsFor(sr, RuleCoercion); len(fs) != 1 {
+		t.Errorf("findings with CoercionMinCells=16 = %d, want 1", len(fs))
+	}
+}

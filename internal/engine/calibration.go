@@ -278,6 +278,7 @@ func OptimizedProfile() Profile {
 		RedundantElimination:  true,
 		SortRecalcAnalysis:    true,
 		LazyOpen:              true,
+		TypedColumns:          true,
 	}
 	p.Multiplier = [numOpKinds]float64{}
 	return p

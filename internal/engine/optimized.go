@@ -9,6 +9,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/index"
 	"repro/internal/sheet"
+	"repro/internal/typecheck"
 )
 
 // optState holds the per-sheet optimization structures of §6. Structures
@@ -22,6 +23,13 @@ type optState struct {
 	inverted *index.Inverted
 	fpCache  map[uint64]fpEntry
 	aggs     map[cell.Addr]*aggMat
+	// typed holds the static type checker's column certificates: every
+	// data-row cell of a certified column is statically exactly a number
+	// and the column hosts no formulas, so typed columnar fills skip the
+	// per-cell kind dispatch. Certificates are dropped the moment a write
+	// or formula insert could break them (noteCellChange,
+	// noteFormulaResult, rebuildAfterReorder).
+	typed map[int]bool
 }
 
 // fpEntry caches one computed formula result by fingerprint (§5.4
@@ -81,8 +89,17 @@ func (e *Engine) buildOptState(s *sheet.Sheet) *optState {
 		prefix:  make(map[int]*index.PrefixSums),
 		fpCache: make(map[uint64]fpEntry),
 		aggs:    make(map[cell.Addr]*aggMat),
+		typed:   make(map[int]bool),
 	}
 	e.opts[s] = st
+	if e.prof.Opt.TypedColumns {
+		// The install pre-flight: run the static type checker and keep the
+		// numeric value-column certificates. Inference reads only stored
+		// values and formula ASTs (never the meter), so nothing to snapshot.
+		for _, col := range typecheck.NumericDataColumns(s) {
+			st.typed[col] = true
+		}
+	}
 	if e.prof.Opt.SharedComputation {
 		// Like the rest of setup (§6 builds asynchronously), the eager
 		// build is not charged: snapshot and restore the meter around it.
@@ -141,13 +158,30 @@ func (st *optState) prefixFor(e *Engine, s *sheet.Sheet, col int) *index.PrefixS
 	rows := s.Rows()
 	vals := make([]float64, rows)
 	present := make([]bool, rows)
-	for r := 0; r < rows; r++ {
-		v := s.Value(cell.Addr{Row: r, Col: col})
-		if v.Kind == cell.Number {
-			vals[r] = v.Num
+	if st.typed[col] && rows > 0 {
+		// Certified all-numeric value column: fill the typed columnar
+		// storage without per-cell coercion checks. Row 0 is the header,
+		// outside the certificate, and keeps the generic dispatch.
+		if v := s.Value(cell.Addr{Row: 0, Col: col}); v.Kind == cell.Number {
+			vals[0] = v.Num
+			present[0] = true
+		}
+		for r := 1; r < rows; r++ {
+			vals[r] = s.Value(cell.Addr{Row: r, Col: col}).Num
 			present[r] = true
 		}
+	} else {
+		for r := 0; r < rows; r++ {
+			v := s.Value(cell.Addr{Row: r, Col: col})
+			if v.Kind == cell.Number {
+				vals[r] = v.Num
+				present[r] = true
+			}
+		}
 	}
+	// The metering is identical on both paths — the certificate removes
+	// per-cell branch work, not cell touches — so simulated costs do not
+	// depend on which fill ran.
 	e.meter.Add(costmodel.CellTouch, int64(rows))
 	p := index.NewPrefixSums(vals, present)
 	st.prefix[col] = p
@@ -342,6 +376,10 @@ func (st *optState) countIfIndexed(e *Engine, s *sheet.Sheet, col, r0, r1 int, l
 // noteFormulaResult records a computed formula in the fingerprint cache and
 // registers qualifying aggregates for incremental maintenance.
 func (st *optState) noteFormulaResult(e *Engine, s *sheet.Sheet, at cell.Addr, c *formula.Compiled, v cell.Value) {
+	// A formula now lives in this column; its future re-evaluations write
+	// caches directly (no per-cell notification), so the value-column
+	// certificate no longer holds.
+	delete(st.typed, at.Col)
 	if e.prof.Opt.RedundantElimination && !c.Volatile {
 		st.fpCache[c.Fingerprint] = fpEntry{
 			canonical: c.CanonicalText(),
@@ -407,6 +445,12 @@ func (st *optState) noteCellChange(e *Engine, s *sheet.Sheet, a cell.Addr, old, 
 	// Writing over a cell that hosted a materialized aggregate retires the
 	// materialization (the formula itself is being replaced by a value).
 	delete(st.aggs, a)
+	// A non-numeric write into a data row breaks the column's all-numeric
+	// certificate for good; future fills fall back to generic dispatch.
+	// (Header-row writes are outside the certificate.)
+	if a.Row > 0 && new.Kind != cell.Number {
+		delete(st.typed, a.Col)
+	}
 	if h, ok := st.hash[a.Col]; ok {
 		h.Replace(a.Row, old, new)
 		e.meter.Add(costmodel.IndexProbe, 2)
@@ -504,4 +548,8 @@ func (st *optState) rebuildAfterReorder(e *Engine, s *sheet.Sheet) {
 	st.prefix = make(map[int]*index.PrefixSums)
 	st.inverted = nil
 	st.aggs = make(map[cell.Addr]*aggMat)
+	// Row structure changed (a permutation keeps a column's value multiset,
+	// but inserts/deletes do not); drop the certificates rather than reason
+	// about which survive. They are not rebuilt until the next install.
+	st.typed = make(map[int]bool)
 }

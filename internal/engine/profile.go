@@ -121,6 +121,11 @@ type Optimizations struct {
 	// LazyOpen loads only the visible window eagerly, resolving the rest
 	// in the background (§6, generalizing Google Sheets' behavior).
 	LazyOpen bool
+	// TypedColumns consumes the static type checker's column certificates
+	// (internal/typecheck): columns proven all-numeric fill typed columnar
+	// storage without per-cell coercion checks (§6 "Indexing and data
+	// layout" meets the analysis pass).
+	TypedColumns bool
 }
 
 // Any reports whether any optimization is enabled.

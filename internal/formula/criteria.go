@@ -87,9 +87,9 @@ func (c Criterion) Match(v cell.Value) bool {
 		}
 		switch c.op {
 		case OpEQ:
-			return f == c.num
+			return numEq(f, c.num)
 		case OpNE:
-			return f != c.num
+			return !numEq(f, c.num)
 		case OpLT:
 			return f < c.num
 		case OpLE:
@@ -183,3 +183,9 @@ func wildMatch(p, s string) bool {
 	}
 	return pi == len(p)
 }
+
+// numEq reports exact float64 equality. Spreadsheet dialects define
+// criteria matching and RANK ties as exact numeric equality, so this is
+// correct semantics, not an accident — it is the one audited place inline
+// float comparison is allowed, and the floatcmp lint allowlists it by name.
+func numEq(a, b float64) bool { return a == b }

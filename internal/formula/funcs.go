@@ -37,6 +37,15 @@ func HasFunction(name string) bool {
 // exercises plus the common core).
 func FunctionCount() int { return len(functions) }
 
+// FunctionArity returns the registered argument bounds of a built-in
+// (max == -1 means variadic); ok is false for unknown names. The static
+// type checker (internal/typecheck) uses this to mirror evalCall's arity
+// validation without evaluating.
+func FunctionArity(name string) (min, max int, ok bool) {
+	f, ok := functions[name]
+	return f.minArgs, f.maxArgs, ok
+}
+
 func init() {
 	// Aggregates (Table 1 "Aggregate": SUM, AVG, COUNT and conditional
 	// variants).

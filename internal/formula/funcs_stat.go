@@ -129,7 +129,7 @@ func fnRank(env *Env, args []operand) cell.Value {
 	}
 	rank, found := 1, false
 	for _, y := range xs {
-		if y == x {
+		if numEq(y, x) {
 			found = true
 		}
 		if (ascending && y < x) || (!ascending && y > x) {

@@ -1,0 +1,88 @@
+// Command sheetlint runs the repository's custom analyzers (internal/lint)
+// and exits nonzero on any finding; scripts/check.sh invokes it as part of
+// the tier-1 gate.
+//
+// Usage:
+//
+//	sheetlint                   run every analyzer over its default dirs
+//	sheetlint -only rangemap    run one analyzer (over its default dirs)
+//	sheetlint [dir ...]         run the selected analyzers over these dirs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("sheetlint", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single analyzer by name")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sheetlint [-only analyzer] [dir ...]")
+		fmt.Fprintln(fs.Output(), "analyzers:")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-10s %s (default: %v)\n", a.Name, a.Doc, a.DefaultDirs)
+		}
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = nil
+		for _, a := range lint.Analyzers() {
+			if a.Name == *only {
+				analyzers = []*lint.Analyzer{a}
+			}
+		}
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "sheetlint: unknown analyzer %q\n", *only)
+			return 2
+		}
+	}
+
+	// Parse each requested directory once and share it across analyzers.
+	pkgs := make(map[string]*lint.Package)
+	load := func(dir string) (*lint.Package, error) {
+		if pkg, ok := pkgs[dir]; ok {
+			return pkg, nil
+		}
+		pkg, err := lint.LoadDir(dir)
+		if err == nil {
+			pkgs[dir] = pkg
+		}
+		return pkg, err
+	}
+
+	bad := 0
+	for _, a := range analyzers {
+		dirs := fs.Args()
+		if len(dirs) == 0 {
+			dirs = a.DefaultDirs
+		}
+		for _, dir := range dirs {
+			pkg, err := load(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sheetlint: %s: %v\n", a.Name, err)
+				return 2
+			}
+			for _, d := range a.Run(pkg) {
+				fmt.Printf("%s: [%s] %s\n", d.Pos, a.Name, d.Message)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sheetlint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}

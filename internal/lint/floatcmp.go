@@ -1,0 +1,301 @@
+// The floatcmp analyzer: exact `==` / `!=` on float64 values is almost
+// always a bug in numeric code — results that differ in the last ulp
+// compare unequal and golden files stop reproducing. Spreadsheet dialects
+// DO define exact numeric equality in a few places (COUNTIF criteria,
+// RANK), so those comparisons must route through a named, allowlisted
+// helper (numEq) instead of inline operators.
+//
+// Type resolution is syntactic, like rangemap's: an expression is float64
+// if it is a float literal, a float64(...) conversion, a math.* call, an
+// identifier bound to a float64 parameter/result/declaration, a call of a
+// package function returning float64, a selector naming a float64 struct
+// field declared in the package (plus the repo-wide cell.Value.Num), the
+// element of a ranged []float64, or arithmetic over any of those.
+// Comparisons against integer literals (`y == 0`, `base == 1`) are exact
+// sentinel guards and are allowed.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatCmp is the float-equality analyzer. Its default gate covers the
+// numeric kernels.
+var FloatCmp = &Analyzer{
+	Name:        "floatcmp",
+	Doc:         "exact == / != on float64 outside allowlisted helpers",
+	DefaultDirs: []string{"internal/formula", "internal/stats"},
+	Run:         runFloatCmp,
+}
+
+// floatCmpAllow names the functions allowed to compare floats exactly:
+// the audited equality helpers the rest of the code must call.
+var floatCmpAllow = map[string]bool{"numEq": true}
+
+func runFloatCmp(pkg *Package) []Diagnostic {
+	res := newFloatResolver(pkg.Files)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || floatCmpAllow[fd.Name.Name] {
+				continue
+			}
+			vars := res.collectFloatVars(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isIntLit(be.X) || isIntLit(be.Y) {
+					return true // exact sentinel guard, intentional
+				}
+				if res.isFloat(be.X, vars) || res.isFloat(be.Y, vars) {
+					diags = append(diags, Diagnostic{
+						Pos: pkg.Fset.Position(be.OpPos).String(),
+						Message: fmt.Sprintf(
+							"exact %s on float64; use an allowlisted helper (numEq) or an epsilon compare", be.Op),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return sortDiags(diags)
+}
+
+// floatResolver holds the package-level syntactic type facts.
+type floatResolver struct {
+	// fields names float64 struct fields declared in the package, seeded
+	// with "Num" (cell.Value's float payload, referenced repo-wide).
+	fields map[string]bool
+	// funcs maps package function names to their result types: "f" for
+	// float64, "s" for []float64, "?" for anything else.
+	funcs map[string][]byte
+}
+
+func isFloat64Type(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "float64"
+}
+
+func isFloatSliceType(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	return ok && at.Len == nil && isFloat64Type(at.Elt)
+}
+
+func newFloatResolver(files []*ast.File) *floatResolver {
+	res := &floatResolver{
+		fields: map[string]bool{"Num": true},
+		funcs:  make(map[string][]byte),
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.StructType:
+				for _, fl := range t.Fields.List {
+					if !isFloat64Type(fl.Type) {
+						continue
+					}
+					for _, name := range fl.Names {
+						res.fields[name.Name] = true
+					}
+				}
+			case *ast.FuncDecl:
+				if t.Recv != nil || t.Type.Results == nil {
+					return true
+				}
+				var sig []byte
+				for _, r := range t.Type.Results.List {
+					k := byte('?')
+					if isFloat64Type(r.Type) {
+						k = 'f'
+					} else if isFloatSliceType(r.Type) {
+						k = 's'
+					}
+					reps := 1
+					if len(r.Names) > 1 {
+						reps = len(r.Names)
+					}
+					for i := 0; i < reps; i++ {
+						sig = append(sig, k)
+					}
+				}
+				res.funcs[t.Name.Name] = sig
+			}
+			return true
+		})
+	}
+	return res
+}
+
+// collectFloatVars resolves the identifiers one function binds to float64
+// ('f') or []float64 ('s') values: typed parameters/results/declarations,
+// assignments from float expressions or package-function results, and
+// range statements over float slices.
+func (res *floatResolver) collectFloatVars(fd *ast.FuncDecl) map[string]byte {
+	vars := make(map[string]byte)
+	addFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			k := byte(0)
+			if isFloat64Type(f.Type) {
+				k = 'f'
+			} else if isFloatSliceType(f.Type) {
+				k = 's'
+			}
+			if k == 0 {
+				continue
+			}
+			for _, name := range f.Names {
+				vars[name.Name] = k
+			}
+		}
+	}
+	addFieldList(fd.Type.Params)
+	addFieldList(fd.Type.Results)
+	if fd.Recv != nil {
+		addFieldList(fd.Recv)
+	}
+
+	// Two passes so `y := x` resolves when x is bound after y lexically
+	// never happens in practice, but cheap to be safe.
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.AssignStmt:
+				res.bindAssign(t, vars)
+			case *ast.ValueSpec:
+				if isFloat64Type(t.Type) {
+					for _, name := range t.Names {
+						vars[name.Name] = 'f'
+					}
+				} else if isFloatSliceType(t.Type) {
+					for _, name := range t.Names {
+						vars[name.Name] = 's'
+					}
+				}
+				for i, name := range t.Names {
+					if i < len(t.Values) && res.isFloat(t.Values[i], vars) {
+						vars[name.Name] = 'f'
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := t.Value.(*ast.Ident); ok && res.sliceKind(t.X, vars) {
+					vars[id.Name] = 'f'
+				}
+			}
+			return true
+		})
+	}
+	return vars
+}
+
+// bindAssign propagates float kinds through := and = assignments,
+// including multi-value assignment from a package function call.
+func (res *floatResolver) bindAssign(as *ast.AssignStmt, vars map[string]byte) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if res.isFloat(as.Rhs[i], vars) {
+				vars[id.Name] = 'f'
+			} else if res.sliceKind(as.Rhs[i], vars) {
+				vars[id.Name] = 's'
+			}
+		}
+		return
+	}
+	// Multi-value: a, b := fn(...) with fn declared in the package.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	sig, ok := res.funcs[fn.Name]
+	if !ok || len(sig) != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && sig[i] != '?' {
+			vars[id.Name] = sig[i]
+		}
+	}
+}
+
+// sliceKind reports whether an expression is a []float64 under the
+// resolver.
+func (res *floatResolver) sliceKind(e ast.Expr, vars map[string]byte) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return vars[t.Name] == 's'
+	case *ast.CallExpr:
+		if fn, ok := t.Fun.(*ast.Ident); ok {
+			sig := res.funcs[fn.Name]
+			return len(sig) == 1 && sig[0] == 's'
+		}
+	}
+	return false
+}
+
+// isFloat reports whether an expression is syntactically float64.
+func (res *floatResolver) isFloat(e ast.Expr, vars map[string]byte) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return vars[t.Name] == 'f'
+	case *ast.BasicLit:
+		return t.Kind == token.FLOAT
+	case *ast.SelectorExpr:
+		return res.fields[t.Sel.Name]
+	case *ast.ParenExpr:
+		return res.isFloat(t.X, vars)
+	case *ast.UnaryExpr:
+		return t.Op == token.SUB && res.isFloat(t.X, vars)
+	case *ast.IndexExpr:
+		return res.sliceKind(t.X, vars)
+	case *ast.BinaryExpr:
+		switch t.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return res.isFloat(t.X, vars) || res.isFloat(t.Y, vars)
+		}
+		return false
+	case *ast.CallExpr:
+		switch fn := t.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "float64" {
+				return true
+			}
+			sig := res.funcs[fn.Name]
+			return len(sig) == 1 && sig[0] == 'f'
+		case *ast.SelectorExpr:
+			if x, ok := fn.X.(*ast.Ident); ok && x.Name == "math" {
+				return !strings.HasPrefix(fn.Sel.Name, "Is") // IsNaN/IsInf return bool
+			}
+		}
+	}
+	return false
+}
+
+// isIntLit reports whether an expression is an integer literal (possibly
+// negated) — the exact sentinel comparisons the check deliberately allows.
+func isIntLit(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		return isIntLit(u.X)
+	}
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.INT
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFloatBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := FloatCmp.RunDir(filepath.Join("testdata", "src", "floatbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per *Compare function in floatbad.go.
+	const want = 8
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "floatbad.go") {
+			t.Errorf("finding outside floatbad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "float64") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}
+
+func TestFloatGoodPackageIsClean(t *testing.T) {
+	diags, err := FloatCmp.RunDir(filepath.Join("testdata", "src", "floatgood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+// TestNumericKernelsAreFloatCmpClean is the real gate: the numeric
+// packages must route exact float equality through allowlisted helpers.
+func TestNumericKernelsAreFloatCmpClean(t *testing.T) {
+	for _, dir := range []string{"../formula", "../stats"} {
+		diags, err := FloatCmp.RunDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}
+
+func TestAnalyzersRegistry(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil || len(a.DefaultDirs) == 0 {
+			t.Errorf("analyzer %+v incompletely declared", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if !names["rangemap"] || !names["floatcmp"] {
+		t.Errorf("registry missing expected analyzers: %v", names)
+	}
+}

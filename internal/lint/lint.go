@@ -1,0 +1,101 @@
+// Package lint implements the repository's custom static checks as a small
+// multi-analyzer framework. A formula engine must be deterministic (golden
+// files, benchmark reproducibility, calc-chain construction) and numerically
+// careful (float comparisons), and the checks here gate both properties in
+// scripts/check.sh via the cmd/sheetlint driver.
+//
+// The standard go/analysis framework lives in golang.org/x/tools, which
+// this repository deliberately does not depend on; analyzers are therefore
+// built on go/parser + go/ast alone and resolve types syntactically.
+// Expressions a resolver cannot classify are skipped, so every check errs
+// toward silence, never toward false positives.
+//
+// An analyzer is ~50 lines: implement Run over a loaded Package, declare
+// the package directories it gates by default, and add it to Analyzers.
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos is the "file:line:col" location of the offending node.
+	Pos string
+	// Message explains the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string { return d.Pos + ": " + d.Message }
+
+// Package is one parsed package directory, shared by every analyzer so the
+// directory is parsed once per run.
+type Package struct {
+	// Fset positions the Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test .go files, in file-name order.
+	Files []*ast.File
+	// Dir is the directory the files were loaded from.
+	Dir string
+}
+
+// LoadDir parses every non-test .go file of one package directory.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Fset: fset, Dir: dir}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	// Name is the check's short identifier ("rangemap", "floatcmp").
+	Name string
+	// Doc is a one-line description for the driver's usage text.
+	Doc string
+	// DefaultDirs are the repo-relative package directories the check gates
+	// when the driver runs with no explicit directories.
+	DefaultDirs []string
+	// Run reports the findings for one package, sorted by position.
+	Run func(pkg *Package) []Diagnostic
+}
+
+// Analyzers returns every registered analyzer, in gate order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{RangeMap, FloatCmp}
+}
+
+// RunDir loads one directory and runs one analyzer over it.
+func (a *Analyzer) RunDir(dir string) ([]Diagnostic, error) {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(pkg), nil
+}
+
+// sortDiags orders findings by position for deterministic driver output.
+func sortDiags(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}

@@ -1,70 +1,44 @@
-// Package lint implements the repository's custom static check: a formula
-// engine must be deterministic (golden files, benchmark reproducibility,
-// calc-chain construction), and the classic way Go code loses determinism
-// is iterating a map and letting the iteration order leak into a returned
+// The rangemap analyzer: the classic way Go code loses determinism is
+// iterating a map and letting the iteration order leak into a returned
 // slice.
 //
-// The rangemap check flags any `for ... range m` over a map-typed
-// expression whose body appends to a slice that the enclosing function
-// returns, unless a later statement in the same function passes that slice
-// to something sort-like (a call whose qualified name contains "sort" —
-// sort.Slice, sort.Strings, (*Graph).sortAddrs, ...). Ordering-sensitive
-// packages (internal/graph, internal/analyze) run it in scripts/check.sh
-// via the cmd/rangemap driver.
+// The check flags any `for ... range m` over a map-typed expression whose
+// body appends to a slice that the enclosing function returns, unless a
+// later statement in the same function passes that slice to something
+// sort-like (a call whose qualified name contains "sort" — sort.Slice,
+// sort.Strings, (*Graph).sortAddrs, ...).
 //
-// The standard go/analysis framework lives in golang.org/x/tools, which
-// this repository deliberately does not depend on; the check is therefore
-// built on go/parser + go/ast alone, with syntactic type resolution: a
-// variable is map-typed if it is declared with a map type, assigned from
-// make(map...) or a map literal, received as a map-typed parameter or
-// result, or is a selector naming a map-typed struct field declared in the
-// package. That resolves every map in this repository; expressions the
-// resolver cannot classify are skipped, so the check errs toward silence,
-// never toward false positives.
+// Type resolution is syntactic: a variable is map-typed if it is declared
+// with a map type, assigned from make(map...) or a map literal, received as
+// a map-typed parameter or result, or is a selector naming a map-typed
+// struct field declared in the package. That resolves every map in this
+// repository.
+
 package lint
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// Diagnostic is one rangemap finding.
-type Diagnostic struct {
-	// Pos is the "file:line:col" location of the offending range statement.
-	Pos string
-	// Message explains the finding.
-	Message string
+// RangeMap is the determinism analyzer. Its default gate covers the
+// packages whose slice output feeds golden files and calc chains.
+var RangeMap = &Analyzer{
+	Name:        "rangemap",
+	Doc:         "map iteration order must not leak into returned slices",
+	DefaultDirs: []string{"internal/graph", "internal/analyze", "internal/typecheck"},
+	Run: func(pkg *Package) []Diagnostic {
+		return CheckFiles(pkg.Fset, pkg.Files)
+	},
 }
-
-func (d Diagnostic) String() string { return d.Pos + ": " + d.Message }
 
 // CheckDir parses every non-test .go file of one package directory and
 // returns the rangemap findings, sorted by position.
 func CheckDir(dir string) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, ent := range entries {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return CheckFiles(fset, files), nil
+	return RangeMap.RunDir(dir)
 }
 
 // CheckFiles runs the check over already-parsed files of one package.
@@ -80,8 +54,7 @@ func CheckFiles(fset *token.FileSet, files []*ast.File) []Diagnostic {
 			diags = append(diags, checkFunc(fset, fd, mapFields)...)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags
+	return sortDiags(diags)
 }
 
 // collectMapFields gathers the names of map-typed struct fields declared

@@ -1,0 +1,51 @@
+// Package floatbad holds one flagged comparison per function; the floatcmp
+// test asserts the count.
+package floatbad
+
+import "math"
+
+type point struct {
+	Num float64
+	n   int
+}
+
+// paramCompare: both sides are float64 parameters.
+func paramCompare(a, b float64) bool { return a == b }
+
+// fieldCompare: the right side names a float64 struct field.
+func fieldCompare(p point, x float64) bool { return x != p.Num }
+
+// literalCompare: a float literal forces the other side float.
+func literalCompare(x float64) bool { return x == 0.5 }
+
+// mathCompare: math.* call results are float64.
+func mathCompare(x float64) bool { return math.Abs(x) == x }
+
+// derivedCompare: arithmetic over floats and locals bound from floats.
+func derivedCompare(a, b float64) bool {
+	d := a - b
+	return d != b*2
+}
+
+// resultCompare: a package function returning float64 resolves.
+func resultCompare(a float64) bool { return half(a) == a }
+
+// rangeCompare: elements of a ranged []float64 resolve.
+func rangeCompare(xs []float64, x float64) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// multiResultCompare: multi-value assignment from a package function.
+func multiResultCompare(a float64) bool {
+	f, ok := parse(a)
+	return ok && f == a
+}
+
+func half(x float64) float64 { return x / 2 }
+
+func parse(x float64) (float64, bool) { return x, true }

@@ -1,0 +1,29 @@
+// Package floatgood holds float comparisons the check must NOT flag.
+package floatgood
+
+type val struct {
+	Num  float64
+	Kind int
+}
+
+// numEq is the allowlisted helper: inline comparison allowed inside.
+func numEq(a, b float64) bool { return a == b }
+
+// zeroGuard: integer-literal sentinels are intentional exact checks.
+func zeroGuard(y float64) bool { return y == 0 }
+
+// oneGuard: any integer literal qualifies, negated too.
+func oneGuard(base float64) bool { return base != 1 && base != -1 }
+
+// viaHelper: routed comparisons are clean.
+func viaHelper(a, b float64) bool { return numEq(a, b) }
+
+// intCompare: plain int comparisons are out of scope.
+func intCompare(v val, k int) bool { return v.Kind == k }
+
+// boolCompare: comparison results compared as bools are not floats, even
+// though the operands of the inner comparisons are.
+func boolCompare(m, y float64) bool { return (m < 0) != (y < 0) }
+
+// stringCompare: untouched.
+func stringCompare(a, b string) bool { return a == b }

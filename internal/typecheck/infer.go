@@ -1,0 +1,567 @@
+package typecheck
+
+import (
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/graph"
+	"repro/internal/sheet"
+)
+
+// site is one formula cell prepared for inference: its address, compiled
+// code, and displacement from the authored origin (mirrors the analyzer's
+// formulaSite and the evaluator's Env.DR/DC).
+type site struct {
+	at     cell.Addr
+	code   *formula.Compiled
+	dr, dc int
+}
+
+// Inference holds the per-sheet inference result: one abstraction per
+// formula cell. Value cells are abstracted on demand from their stored
+// value (Exactly), so At covers every cell of the sheet.
+type Inference struct {
+	s      *sheet.Sheet
+	sites  []site
+	byCell map[cell.Addr]Abstract
+	cyclic []cell.Addr
+	g      *graph.Graph
+}
+
+// maxPasses bounds the fixpoint loop. The lattice is finite and the
+// transfer functions are monotone, so the loop converges; with a correct
+// topological order it converges on the second pass (the first computes,
+// the second observes no change). The bound is a belt against order bugs,
+// not a semantic limit.
+const maxPasses = 10
+
+// InferSheet runs the abstract interpreter over one sheet: formulas are
+// collected in row-major order, a private dependency graph supplies the
+// topological order (exactly the engine's calc-chain construction), cells
+// on or downstream of a reference cycle are pinned to #CYCLE! — matching
+// evalAll — and the remaining formulas are interpreted to a fixpoint.
+func InferSheet(s *sheet.Sheet) *Inference {
+	inf := &Inference{
+		s:      s,
+		byCell: make(map[cell.Addr]Abstract, s.FormulaCount()),
+		g:      graph.New(),
+	}
+	inf.sites = make([]site, 0, s.FormulaCount())
+	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+		dr, dc := fc.DeltaAt(a)
+		inf.sites = append(inf.sites, site{at: a, code: fc.Code, dr: dr, dc: dc})
+		return true
+	})
+	sort.Slice(inf.sites, func(i, j int) bool {
+		if inf.sites[i].at.Row != inf.sites[j].at.Row {
+			return inf.sites[i].at.Row < inf.sites[j].at.Row
+		}
+		return inf.sites[i].at.Col < inf.sites[j].at.Col
+	})
+
+	siteOf := make(map[cell.Addr]*site, len(inf.sites))
+	for i := range inf.sites {
+		st := &inf.sites[i]
+		inf.g.SetFormula(st.at, st.code.PrecedentRanges(st.dr, st.dc))
+		siteOf[st.at] = st
+	}
+
+	order, cyclic := inf.g.AllFormulas()
+	inf.cyclic = cyclic
+	// The engine marks every cell the topological sort cannot schedule —
+	// cycle members and their transitive dependents alike — with #CYCLE!.
+	// The abstraction is exact there.
+	for _, a := range cyclic {
+		inf.byCell[a] = Abstract{Errs: ECycle}
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, a := range order {
+			st := siteOf[a]
+			if st == nil {
+				continue
+			}
+			next := inf.byCell[a].Union(inf.evalNode(st.code.Root, st.dr, st.dc).scalar(inf))
+			if next != inf.byCell[a] {
+				inf.byCell[a] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return inf
+		}
+	}
+	// Not converged within the bound (indicates an ordering bug): widen
+	// every non-pinned formula cell to top so the result stays sound.
+	for _, a := range order {
+		inf.byCell[a] = Top
+	}
+	return inf
+}
+
+// At returns the abstraction of any cell: inferred for formula cells,
+// exact for value cells (out-of-grid addresses read as empty, like the
+// grid itself).
+func (inf *Inference) At(a cell.Addr) Abstract {
+	if ab, ok := inf.byCell[a]; ok {
+		return ab
+	}
+	return Exactly(inf.s.Value(a))
+}
+
+// RangeJoin joins the abstractions of every cell in a range, with early
+// exit once the join saturates at top.
+func (inf *Inference) RangeJoin(r cell.Range) Abstract {
+	var out Abstract
+	for row := r.Start.Row; row <= r.End.Row; row++ {
+		for col := r.Start.Col; col <= r.End.Col; col++ {
+			out = out.Union(inf.At(cell.Addr{Row: row, Col: col}))
+			if out == Top {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Formulas returns the number of formula cells inferred.
+func (inf *Inference) Formulas() int { return len(inf.sites) }
+
+// FormulaCells returns the addresses of every formula cell, in row-major
+// order.
+func (inf *Inference) FormulaCells() []cell.Addr {
+	out := make([]cell.Addr, len(inf.sites))
+	for i, st := range inf.sites {
+		out[i] = st.at
+	}
+	return out
+}
+
+// Cyclic returns the cells pinned to #CYCLE! (sorted).
+func (inf *Inference) Cyclic() []cell.Addr { return inf.cyclic }
+
+// NumericColumns returns the columns holding a numeric certificate: every
+// data-row cell (row 0 is the header and excluded) is statically exactly
+// a number — no text, no bool, no empties, no possible error. The
+// optimized engine's install pre-flight consumes these to select typed
+// columnar storage (internal/engine/optimized.go).
+func (inf *Inference) NumericColumns() []int {
+	rows, cols := inf.s.Rows(), inf.s.Cols()
+	if rows <= 1 {
+		return nil
+	}
+	var out []int
+	numeric := Abstract{Kinds: KNumber}
+	for c := 0; c < cols; c++ {
+		ok := true
+		for r := 1; r < rows; r++ {
+			if inf.At(cell.Addr{Row: r, Col: c}) != numeric {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NumericValueColumns returns the certified numeric columns that host no
+// formula cells. Their certificates depend only on the column's own stored
+// values — no formula re-evaluation can silently invalidate them — so a
+// consumer only has to watch direct writes into the column. The optimized
+// engine consumes exactly this set when selecting typed columnar storage
+// (internal/engine/optimized.go).
+func (inf *Inference) NumericValueColumns() []int {
+	hasFormula := make(map[int]bool)
+	for _, st := range inf.sites {
+		hasFormula[st.at.Col] = true
+	}
+	var out []int
+	for _, c := range inf.NumericColumns() {
+		if !hasFormula[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NumericDataColumns is the engine-facing convenience: infer the sheet and
+// return the certified numeric value columns.
+func NumericDataColumns(s *sheet.Sheet) []int {
+	return InferSheet(s).NumericValueColumns()
+}
+
+// absOp is the abstract counterpart of the evaluator's operand: either a
+// scalar abstraction or an unresolved range.
+type absOp struct {
+	ab      Abstract
+	rng     cell.Range
+	isRange bool
+}
+
+func scalarOp(a Abstract) absOp { return absOp{ab: a} }
+
+// scalar collapses the operand to a scalar abstraction the way
+// operand.scalar does: a multi-cell range in scalar position is exactly
+// #VALUE!; a one-cell range reads through.
+func (o absOp) scalar(inf *Inference) Abstract {
+	if !o.isRange {
+		return o.ab
+	}
+	if o.rng.Cells() == 1 {
+		return inf.At(o.rng.Start)
+	}
+	return Abstract{Errs: EValue}
+}
+
+// cells joins the abstractions of every cell the operand covers (the
+// abstract counterpart of operand.eachCell).
+func (o absOp) cells(inf *Inference) Abstract {
+	if !o.isRange {
+		return o.ab
+	}
+	return inf.RangeJoin(o.rng)
+}
+
+// shiftRef translates a reference by the site displacement the way the
+// evaluator does (absolute components stay put).
+func shiftRef(r cell.Ref, dr, dc int) cell.Addr {
+	a := r.Addr
+	if !r.AbsRow {
+		a.Row += dr
+	}
+	if !r.AbsCol {
+		a.Col += dc
+	}
+	return a
+}
+
+// evalNode is the abstract transfer of one AST node.
+func (inf *Inference) evalNode(n formula.Node, dr, dc int) absOp {
+	switch t := n.(type) {
+	case formula.NumberLit:
+		return scalarOp(Abstract{Kinds: KNumber})
+	case formula.StringLit:
+		return scalarOp(Abstract{Kinds: KText})
+	case formula.BoolLit:
+		return scalarOp(Abstract{Kinds: KBool})
+	case formula.ErrorLit:
+		return scalarOp(Abstract{Errs: errBit(string(t))})
+	case formula.RefNode:
+		return scalarOp(inf.At(shiftRef(t.Ref, dr, dc)))
+	case formula.RangeNode:
+		return absOp{
+			rng:     cell.RangeOf(shiftRef(t.From, dr, dc), shiftRef(t.To, dr, dc)),
+			isRange: true,
+		}
+	case formula.UnaryNode:
+		x := inf.evalNode(t.X, dr, dc).scalar(inf)
+		return scalarOp(Abstract{Kinds: KNumber, Errs: x.Errs | numCoerceErrs(x)})
+	case formula.BinaryNode:
+		return scalarOp(inf.evalBinary(t, dr, dc))
+	case formula.CallNode:
+		return scalarOp(inf.evalCall(t, dr, dc))
+	default:
+		return scalarOp(Top)
+	}
+}
+
+// numCoerceErrs returns the error possibility of coercing the abstraction
+// to a number (cell.Value.AsNumber): only text can fail to parse; numbers,
+// bools, and empty always coerce. Errors pass through separately.
+func numCoerceErrs(a Abstract) Errs {
+	if a.Kinds&KText != 0 {
+		return EValue
+	}
+	return 0
+}
+
+// boolCoerceErrs is the same for boolean coercion (cell.Value.AsBool):
+// only non-TRUE/FALSE text fails.
+func boolCoerceErrs(a Abstract) Errs {
+	if a.Kinds&KText != 0 {
+		return EValue
+	}
+	return 0
+}
+
+// nonzeroNumberLit reports whether the node is a literal number other than
+// zero — the only divisor shape for which #DIV/0! is statically excluded.
+func nonzeroNumberLit(n formula.Node) bool {
+	t, ok := n.(formula.NumberLit)
+	return ok && float64(t) != 0
+}
+
+// evalBinary mirrors evalBinary in eval.go: operand errors pass through,
+// arithmetic coerces numerically, & concatenates to text, comparisons
+// yield booleans and never error.
+func (inf *Inference) evalBinary(b formula.BinaryNode, dr, dc int) Abstract {
+	l := inf.evalNode(b.L, dr, dc).scalar(inf)
+	r := inf.evalNode(b.R, dr, dc).scalar(inf)
+	errs := l.Errs | r.Errs
+	switch b.Op {
+	case formula.OpConcat:
+		return Abstract{Kinds: KText, Errs: errs}
+	case formula.OpEQ, formula.OpNE, formula.OpLT, formula.OpLE, formula.OpGT, formula.OpGE:
+		return Abstract{Kinds: KBool, Errs: errs}
+	case formula.OpDiv:
+		errs |= numCoerceErrs(l) | numCoerceErrs(r)
+		if !nonzeroNumberLit(b.R) {
+			errs |= EDiv0
+		}
+		return Abstract{Kinds: KNumber, Errs: errs}
+	default: // OpAdd, OpSub, OpMul, OpPow
+		errs |= numCoerceErrs(l) | numCoerceErrs(r)
+		return Abstract{Kinds: KNumber, Errs: errs}
+	}
+}
+
+// evalCall mirrors evalCall in eval.go: unknown functions are exactly
+// #NAME?, arity violations exactly #VALUE!, and each built-in has a
+// transfer in the table below (conservative top for unmodeled ones).
+func (inf *Inference) evalCall(c formula.CallNode, dr, dc int) Abstract {
+	min, max, known := formula.FunctionArity(c.Name)
+	if !known {
+		return Abstract{Errs: EName}
+	}
+	if len(c.Args) < min || (max >= 0 && len(c.Args) > max) {
+		return Abstract{Errs: EValue}
+	}
+	ctx := &callCtx{inf: inf, call: c, dr: dr, dc: dc}
+	if tf, ok := transfers[c.Name]; ok {
+		return tf(ctx)
+	}
+	return Top
+}
+
+// callCtx carries one call's operands through a transfer function, with
+// lazy per-argument resolution.
+type callCtx struct {
+	inf    *Inference
+	call   formula.CallNode
+	dr, dc int
+}
+
+// arg returns the i-th argument operand.
+func (c *callCtx) arg(i int) absOp {
+	return c.inf.evalNode(c.call.Args[i], c.dr, c.dc)
+}
+
+// scalar resolves the i-th argument as a scalar.
+func (c *callCtx) scalar(i int) Abstract { return c.arg(i).scalar(c.inf) }
+
+// cellErrs joins the error sets of every cell of every argument — the
+// abstract counterpart of aggregate streaming (forEachNumber and friends
+// propagate the first cell error they see).
+func (c *callCtx) cellErrs() Errs {
+	var e Errs
+	for i := range c.call.Args {
+		e |= c.arg(i).cells(c.inf).Errs
+	}
+	return e
+}
+
+// scalarErrs joins the error-and-coercion possibilities of every argument
+// taken as a numeric scalar (the withNum-style helpers).
+func (c *callCtx) scalarErrs() Errs {
+	var e Errs
+	for i := range c.call.Args {
+		a := c.scalar(i)
+		e |= a.Errs | numCoerceErrs(a)
+	}
+	return e
+}
+
+// rangeArgErr returns EValue when the i-th argument is present and not
+// syntactically a range (SUMIF/AVERAGEIF reject non-range test and sum
+// arguments with #VALUE!).
+func (c *callCtx) rangeArgErr(i int) Errs {
+	if i >= len(c.call.Args) {
+		return 0
+	}
+	if _, ok := c.call.Args[i].(formula.RangeNode); !ok {
+		return EValue
+	}
+	return 0
+}
+
+func number(e Errs) Abstract  { return Abstract{Kinds: KNumber, Errs: e} }
+func boolean(e Errs) Abstract { return Abstract{Kinds: KBool, Errs: e} }
+func text(e Errs) Abstract    { return Abstract{Kinds: KText, Errs: e} }
+
+// transfers maps built-ins to their abstract transfer. Functions absent
+// from the table (lookups, SWITCH/CHOOSE, and anything added later)
+// default to Top in evalCall, which is sound for every total function.
+// Filled in init to break the declaration cycle through evalNode.
+var transfers map[string]func(*callCtx) Abstract
+
+func init() { transfers = builtinTransfers() }
+
+func builtinTransfers() map[string]func(*callCtx) Abstract {
+	return map[string]func(*callCtx) Abstract{
+		// Aggregates: forEachNumber propagates cell errors; AVERAGE adds
+		// #DIV/0! when no numeric cell is seen. COUNTA/COUNTBLANK never error.
+		"SUM":        func(c *callCtx) Abstract { return number(c.cellErrs()) },
+		"COUNT":      func(c *callCtx) Abstract { return number(c.cellErrs()) },
+		"MIN":        func(c *callCtx) Abstract { return number(c.cellErrs()) },
+		"MAX":        func(c *callCtx) Abstract { return number(c.cellErrs()) },
+		"PRODUCT":    func(c *callCtx) Abstract { return number(c.cellErrs()) },
+		"AVERAGE":    func(c *callCtx) Abstract { return number(c.cellErrs() | EDiv0) },
+		"COUNTA":     func(c *callCtx) Abstract { return number(0) },
+		"COUNTBLANK": func(c *callCtx) Abstract { return number(0) },
+		// The criterion family ignores cell errors (Criterion.Match maps them
+		// to a boolean); SUMIF/AVERAGEIF still reject non-range arguments.
+		"COUNTIF": func(c *callCtx) Abstract { return number(0) },
+		"SUMIF": func(c *callCtx) Abstract {
+			return number(c.rangeArgErr(0) | c.rangeArgErr(2))
+		},
+		"AVERAGEIF": func(c *callCtx) Abstract {
+			return number(c.rangeArgErr(0) | c.rangeArgErr(2) | EDiv0)
+		},
+
+		// Logic. IF propagates condition errors and coercion failures, then
+		// joins the branches (the untaken branch's errors never surface in the
+		// evaluator, but joining both is the sound static account of not
+		// knowing which is taken); the 2-arg form can yield FALSE.
+		"IF": func(c *callCtx) Abstract {
+			cond := c.scalar(0)
+			out := Abstract{Errs: cond.Errs | boolCoerceErrs(cond)}
+			out = out.Union(c.scalar(1))
+			if len(c.call.Args) == 3 {
+				out = out.Union(c.scalar(2))
+			} else {
+				out.Kinds |= KBool
+			}
+			return out
+		},
+		// IFERROR absorbs the first argument's errors entirely: the result
+		// errors only through the fallback, and only when the first argument
+		// can error at all.
+		"IFERROR": func(c *callCtx) Abstract {
+			v := c.scalar(0)
+			out := Abstract{Kinds: v.Kinds}
+			if v.Errs != 0 {
+				out = out.Union(c.scalar(1))
+			}
+			return out
+		},
+		"AND": func(c *callCtx) Abstract { return boolean(c.cellErrs() | EValue) },
+		"OR":  func(c *callCtx) Abstract { return boolean(c.cellErrs() | EValue) },
+		"XOR": func(c *callCtx) Abstract { return boolean(c.cellErrs() | EValue) },
+		"NOT": func(c *callCtx) Abstract {
+			v := c.scalar(0)
+			return boolean(v.Errs | boolCoerceErrs(v))
+		},
+		// The IS* tests absorb errors by construction: they return a boolean
+		// for any input, including error values.
+		"ISBLANK":   func(c *callCtx) Abstract { return boolean(0) },
+		"ISNUMBER":  func(c *callCtx) Abstract { return boolean(0) },
+		"ISTEXT":    func(c *callCtx) Abstract { return boolean(0) },
+		"ISERROR":   func(c *callCtx) Abstract { return boolean(0) },
+		"ISLOGICAL": func(c *callCtx) Abstract { return boolean(0) },
+
+		// Volatile constants: always a number. The fixpoint loop re-applies
+		// these transfers like any other; their result is stable by
+		// construction even though each evaluation differs.
+		"NOW":   func(c *callCtx) Abstract { return number(0) },
+		"TODAY": func(c *callCtx) Abstract { return number(0) },
+		"RAND":  func(c *callCtx) Abstract { return number(0) },
+		"PI":    func(c *callCtx) Abstract { return number(0) },
+		"RANDBETWEEN": func(c *callCtx) Abstract {
+			return number(c.scalarErrs() | EValue) // hi < lo is #VALUE!
+		},
+
+		// Math: withNum coerces, domain violations are #VALUE!, MOD divides.
+		"ABS":  func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"EXP":  func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"INT":  func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"SIGN": func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"SQRT": func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"LN":   func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"LOG10": func(c *callCtx) Abstract {
+			return number(c.scalarErrs() | EValue)
+		},
+		"LOG":       func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"ROUND":     func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"ROUNDUP":   func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"ROUNDDOWN": func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"POWER":     func(c *callCtx) Abstract { return number(c.scalarErrs()) },
+		"MOD": func(c *callCtx) Abstract {
+			e := c.scalarErrs()
+			if !nonzeroNumberLit(c.call.Args[1]) {
+				e |= EDiv0
+			}
+			return number(e)
+		},
+
+		// Date/time: numeric serials; invalid parts are #VALUE!.
+		"DATE":    func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"YEAR":    func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"MONTH":   func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"DAY":     func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"HOUR":    func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"MINUTE":  func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"SECOND":  func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"WEEKDAY": func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"DAYS":    func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"EDATE":   func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+		"EOMONTH": func(c *callCtx) Abstract { return number(c.scalarErrs() | EValue) },
+
+		// Multi-criteria aggregates: shape mismatches are #VALUE!; AVERAGEIFS
+		// divides by the match count.
+		"COUNTIFS":   func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"SUMIFS":     func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"MAXIFS":     func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"MINIFS":     func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"SUMPRODUCT": func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"AVERAGEIFS": func(c *callCtx) Abstract {
+			return number(c.cellErrs() | EValue | EDiv0)
+		},
+
+		// Statistics: collectNumbers propagates cell errors; empty inputs and
+		// out-of-range k are #VALUE!/#DIV/0!/#N/A depending on the function.
+		"MEDIAN":     func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"STDEV":      func(c *callCtx) Abstract { return number(c.cellErrs() | EDiv0 | EValue) },
+		"VAR":        func(c *callCtx) Abstract { return number(c.cellErrs() | EDiv0 | EValue) },
+		"LARGE":      func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"SMALL":      func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+		"RANK":       func(c *callCtx) Abstract { return number(c.cellErrs() | EValue | ENA) },
+		"PERCENTILE": func(c *callCtx) Abstract { return number(c.cellErrs() | EValue) },
+
+		// Text: string results; size/position violations are #VALUE!.
+		"CONCATENATE": func(c *callCtx) Abstract { return text(c.textArgErrs()) },
+		"CONCAT":      func(c *callCtx) Abstract { return text(c.textArgErrs()) },
+		"LOWER":       func(c *callCtx) Abstract { return text(c.textArgErrs()) },
+		"UPPER":       func(c *callCtx) Abstract { return text(c.textArgErrs()) },
+		"TRIM":        func(c *callCtx) Abstract { return text(c.textArgErrs()) },
+		"LEFT":        func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"RIGHT":       func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"MID":         func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"SUBSTITUTE":  func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"REPT":        func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"TEXTJOIN":    func(c *callCtx) Abstract { return text(c.textArgErrs() | EValue) },
+		"LEN":         func(c *callCtx) Abstract { return number(c.textArgErrs() | EValue) },
+		"FIND":        func(c *callCtx) Abstract { return number(c.textArgErrs() | EValue) },
+		"VALUE":       func(c *callCtx) Abstract { return number(c.textArgErrs() | EValue) },
+		"EXACT":       func(c *callCtx) Abstract { return boolean(c.textArgErrs() | EValue) },
+	}
+}
+
+// textArgErrs joins each argument's cell errors, plus #VALUE! for
+// multi-cell range arguments (the string built-ins take scalars, and a
+// multi-cell range in scalar position is #VALUE!; the few that stream
+// cells instead are over-approximated by the same join, which is sound).
+func (c *callCtx) textArgErrs() Errs {
+	var e Errs
+	for i := range c.call.Args {
+		a := c.arg(i)
+		e |= a.cells(c.inf).Errs
+		if a.isRange && a.rng.Cells() > 1 {
+			e |= EValue
+		}
+	}
+	return e
+}

@@ -1,0 +1,62 @@
+// Workbook-scale soundness: for every weather workbook size in the test
+// matrix, the concrete kind/error the evaluator produces for each formula
+// cell must be admitted by the statically inferred possibility set. This is
+// the membership half of the abstract-interpretation contract; the engine's
+// typed-column differential test covers the consumer half.
+package typecheck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/typecheck"
+	"repro/internal/workload"
+)
+
+func TestInferenceSoundOnWeatherMatrix(t *testing.T) {
+	for _, rows := range workload.SizesUpTo(25000) {
+		rows := rows
+		t.Run(fmt.Sprintf("rows=%d", rows), func(t *testing.T) {
+			wb := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true, Analysis: true})
+			s := wb.Sheets()[0]
+
+			// Infer strictly before evaluation: the analyzer sees only
+			// formulas and literal inputs, never cached results.
+			inf := typecheck.InferSheet(s)
+			if inf.Formulas() == 0 {
+				t.Fatal("no formulas inferred; fixture changed?")
+			}
+
+			if err := engine.New(engine.ExcelProfile()).Install(wb); err != nil {
+				t.Fatal(err)
+			}
+
+			bad := 0
+			for _, a := range inf.FormulaCells() {
+				got := s.Value(a)
+				if ab := inf.At(a); !ab.Admits(got) {
+					bad++
+					if bad <= 5 {
+						t.Errorf("%s: evaluator produced %v, inferred %v does not admit it", a.A1(), got, ab)
+					}
+				}
+			}
+			if bad > 5 {
+				t.Errorf("... and %d more violations", bad-5)
+			}
+
+			// The cycle block (S9/S10) must be pinned to exactly #CYCLE! and
+			// observed as such.
+			if n := len(inf.Cyclic()); n == 0 {
+				t.Error("fixture cycle S9/S10 not detected")
+			}
+			for _, a := range inf.Cyclic() {
+				if got := s.Value(a); !(got.Kind == cell.ErrorVal && got.Str == cell.ErrCycle) {
+					t.Errorf("%s: cyclic cell evaluated to %v, want %s", a.A1(), got, cell.ErrCycle)
+				}
+			}
+		})
+	}
+}

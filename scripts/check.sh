@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 quality gate: formatting, vet, the repository's custom determinism
-# lint (internal/lint/cmd/rangemap), build, and the full test suite under
-# the race detector. CI and pre-commit both run exactly this script.
+# Tier-1 quality gate: formatting, vet, the repository's custom analyzers
+# (internal/lint/cmd/sheetlint: rangemap determinism + floatcmp), build, and
+# the full test suite under the race detector. CI and pre-commit both run
+# exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +17,8 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== rangemap lint (internal/graph, internal/analyze) =="
-go run ./internal/lint/cmd/rangemap
+echo "== sheetlint (rangemap + floatcmp) =="
+go run ./internal/lint/cmd/sheetlint
 
 echo "== go build =="
 go build ./...
