@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/iolib"
+	"repro/internal/regions"
 	"repro/internal/report"
 	"repro/internal/typecheck"
 	"repro/internal/workload"
@@ -573,5 +574,39 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRegionInference measures fill-region inference (internal/regions)
+// over the 50k-row Formula-value workload: 350k formula cells canonicalized
+// to R1C1 and coalesced into seven column regions. The srcKey fast path
+// makes this O(formulas) with a small constant — the whole point of running
+// it on every optimized-engine Install.
+func BenchmarkRegionInference(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true})
+	s := wb.First()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr := regions.Infer(s)
+		if len(sr.Regions) != 7 {
+			b.Fatalf("regions = %d, want 7", len(sr.Regions))
+		}
+	}
+}
+
+// BenchmarkRegionGraphBuild measures building and sequencing the compressed
+// region-level dependency graph on top of a fixed inference result. With
+// seven regions the graph work is trivially small; what this pins is that
+// Build stays proportional to regions x references-per-class, not to the
+// 350k formula cells a per-cell graph would walk.
+func BenchmarkRegionGraphBuild(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true})
+	sr := regions.Infer(wb.First())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := regions.Build(sr)
+		if !g.OK() {
+			b.Fatal("formula-only weather sheet must sequence")
+		}
 	}
 }

@@ -124,3 +124,13 @@ func TestAnalyzeBadFile(t *testing.T) {
 		t.Error("missing-file failure should print to stderr")
 	}
 }
+
+// writeFormulaOnlySvf saves the weather workbook without the analysis
+// block — the fully sequencable fill-region fixture.
+func writeFormulaOnlySvf(t *testing.T, path string) {
+	t.Helper()
+	wb := workload.Weather(workload.Spec{Rows: 200, Formulas: true})
+	if err := iolib.SaveWorkbook(path, wb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,12 @@
 // runs the static type & error-flow inference (internal/typecheck) over a
 // workbook and exits; see typecheck.go.
 //
+//	sheetcli regions [-json] [-rows n] [file.svf]
+//
+// runs the fill-region inference (internal/regions) over a workbook and
+// reports formula-set compression and region-graph sequencability; see
+// regions.go.
+//
 // Commands (addresses in A1 notation, columns as letters):
 //
 //	set A1 <value|=FORMULA>   write a cell
@@ -22,6 +28,7 @@
 //	show [rows]               print the top of the sheet
 //	analyze                   run the static analyzer on the workbook
 //	typecheck                 run the static type & error-flow inference
+//	regions                   run the fill-region inference
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -55,6 +62,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "typecheck" {
 		os.Exit(runTypecheck(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "regions" {
+		os.Exit(runRegions(os.Args[2:], os.Stdout, os.Stderr))
 	}
 
 	system := flag.String("system", "excel", "system profile")
@@ -109,7 +119,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze typecheck sort filter pivot find gen open save quit")
+		fmt.Println("set get show analyze typecheck regions sort filter pivot find gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
@@ -120,6 +130,11 @@ func dispatch(eng *engine.Engine, line string) bool {
 	case "typecheck":
 		res := typecheck.Workbook(eng.Workbook(), typecheck.Options{})
 		if err := res.WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
+
+	case "regions":
+		if err := regionsReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
 			return fail(err)
 		}
 

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/cell"
+	"repro/internal/iolib"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// runRegions implements the `sheetcli regions` subcommand: it runs the
+// fill-region inference (internal/regions) over a workbook and reports how
+// far the formula set compresses — region and class counts, the region
+// dependency graph's size and sequencability, and the irregular outlier
+// cells that resist compression.
+//
+// Usage: sheetcli regions [-json] [-rows n] [-seed n] [-max n] [file.svf]
+func runRegions(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("regions", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rows := fs.Int("rows", 5000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	maxList := fs.Int("max", 20, "max regions and outliers listed per sheet; -1 removes the cap")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli regions [-json] [-rows n] [-seed n] [-max n] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 0 {
+		fmt.Fprintln(errOut, "sheetcli: -rows must be non-negative")
+		return 2
+	}
+
+	var wb *sheet.Workbook
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		wb = res.Workbook
+	} else {
+		wb = workload.Weather(workload.Spec{
+			Rows: *rows, Formulas: true, Seed: *seed, Analysis: true,
+		})
+	}
+
+	rep := regionsReportFor(wb)
+	var err error
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = rep.writeText(out, *maxList)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// regionEntry is one inferred region in the report.
+type regionEntry struct {
+	// Range is the region's extent in A1 notation ("K2:K201"; a singleton
+	// renders as its single cell).
+	Range string `json:"range"`
+	// Cells is the region height.
+	Cells int `json:"cells"`
+	// Class indexes the sheet's class list.
+	Class int `json:"class"`
+	// Text is the class's relative R1C1 canonical form.
+	Text string `json:"text"`
+}
+
+// sheetRegionsReport is the inference summary for one worksheet.
+type sheetRegionsReport struct {
+	Sheet    string `json:"sheet"`
+	Formulas int    `json:"formulas"`
+	Regions  int    `json:"regions"`
+	Classes  int    `json:"classes"`
+	// CompressionRatio is formula cells per region.
+	CompressionRatio float64 `json:"compression_ratio"`
+	// Sequencable reports whether the region graph orders cleanly; when
+	// false the engine falls back to per-cell sequencing.
+	Sequencable bool `json:"sequencable"`
+	// IntervalEdges and CrossEdges size the region dependency graph.
+	IntervalEdges int `json:"interval_edges"`
+	CrossEdges    int `json:"cross_edges"`
+	// RegionList holds every region, largest first.
+	RegionList []regionEntry `json:"region_list"`
+	// Outliers holds the height-1 regions — the cells that break up
+	// otherwise-uniform columns.
+	Outliers []regionEntry `json:"outliers"`
+}
+
+// regionsReport is the workbook-level report.
+type regionsReport struct {
+	Sheets   []*sheetRegionsReport `json:"sheets"`
+	Formulas int                   `json:"formulas"`
+	Regions  int                   `json:"regions"`
+}
+
+func regionsReportFor(wb *sheet.Workbook) *regionsReport {
+	rep := &regionsReport{}
+	for _, s := range wb.Sheets() {
+		sr := regions.Infer(s)
+		g := regions.Build(sr)
+		deps, cross := g.EdgeCount()
+		out := &sheetRegionsReport{
+			Sheet:            s.Name,
+			Formulas:         sr.Formulas,
+			Regions:          len(sr.Regions),
+			Classes:          len(sr.Classes),
+			CompressionRatio: sr.CompressionRatio(),
+			Sequencable:      g.OK(),
+			IntervalEdges:    deps,
+			CrossEdges:       cross,
+		}
+		for _, r := range sr.Regions {
+			out.RegionList = append(out.RegionList, entryFor(r, sr))
+		}
+		// Largest regions first; ties keep (col, row) inference order.
+		sortStable(out.RegionList)
+		for _, r := range sr.Singletons() {
+			out.Outliers = append(out.Outliers, entryFor(r, sr))
+		}
+		rep.Sheets = append(rep.Sheets, out)
+		rep.Formulas += sr.Formulas
+		rep.Regions += len(sr.Regions)
+	}
+	return rep
+}
+
+func entryFor(r regions.Region, sr *regions.SheetRegions) regionEntry {
+	from := cell.Addr{Row: r.Start, Col: r.Col}
+	rng := from.A1()
+	if r.End > r.Start {
+		rng += ":" + cell.Addr{Row: r.End, Col: r.Col}.A1()
+	}
+	return regionEntry{Range: rng, Cells: r.Rows(), Class: r.Class, Text: sr.Classes[r.Class].Text}
+}
+
+// sortStable orders region entries by descending height without importing
+// sort tie-break subtleties into the JSON shape.
+func sortStable(entries []regionEntry) {
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].Cells > entries[j-1].Cells; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+func (rep *regionsReport) writeText(w io.Writer, maxList int) error {
+	ratio := 1.0
+	if rep.Regions > 0 {
+		ratio = float64(rep.Formulas) / float64(rep.Regions)
+	}
+	if _, err := fmt.Fprintf(w, "workbook: %d sheet(s), %d formula(s), %d region(s), compression %.1fx\n",
+		len(rep.Sheets), rep.Formulas, rep.Regions, ratio); err != nil {
+		return err
+	}
+	for _, sr := range rep.Sheets {
+		if err := sr.writeText(w, maxList); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sr *sheetRegionsReport) writeText(w io.Writer, maxList int) error {
+	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), %d region(s), %d class(es), compression %.1fx\n",
+		sr.Sheet, sr.Formulas, sr.Regions, sr.Classes, sr.CompressionRatio)
+	if err != nil {
+		return err
+	}
+	seq := "sequencable"
+	if !sr.Sequencable {
+		seq = "NOT sequencable (engine falls back to the per-cell graph)"
+	}
+	if _, err := fmt.Fprintf(w, "  graph: %d interval edge(s), %d cross edge(s), %s\n",
+		sr.IntervalEdges, sr.CrossEdges, seq); err != nil {
+		return err
+	}
+	if err := writeEntries(w, "regions", sr.RegionList, maxList); err != nil {
+		return err
+	}
+	return writeEntries(w, "outliers", sr.Outliers, maxList)
+}
+
+func writeEntries(w io.Writer, label string, entries []regionEntry, maxList int) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "  %s:\n", label); err != nil {
+		return err
+	}
+	shown := entries
+	if maxList >= 0 && len(shown) > maxList {
+		shown = shown[:maxList]
+	}
+	for _, en := range shown {
+		text := en.Text
+		if len(text) > 60 {
+			text = text[:57] + "..."
+		}
+		if _, err := fmt.Fprintf(w, "    %-12s %6d cell(s)  class %-3d %s\n",
+			en.Range, en.Cells, en.Class, text); err != nil {
+			return err
+		}
+	}
+	if dropped := len(entries) - len(shown); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "    ... %d more not shown\n", dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

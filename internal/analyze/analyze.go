@@ -20,6 +20,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/formula"
 	"repro/internal/graph"
+	"repro/internal/regions"
 	"repro/internal/sheet"
 	"repro/internal/typecheck"
 )
@@ -36,6 +37,7 @@ const (
 	RuleHotFormula   = "hot-formula"
 	RuleErrorBlast   = "error-blast-radius"
 	RuleCoercion     = "coercion-hot-path"
+	RuleBrokenFill   = "broken-fill"
 )
 
 // Severity ranks findings. High findings change results or dominate recalc
@@ -107,6 +109,9 @@ type Options struct {
 	// aggregate over possibly-text cells becomes a RuleCoercion finding
 	// (default 128).
 	CoercionMinCells int
+	// BrokenFillMin is the formula count a column needs before its fill
+	// uniformity is judged by RuleBrokenFill (default 16).
+	BrokenFillMin int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +136,9 @@ func (o Options) withDefaults() Options {
 	if o.CoercionMinCells == 0 {
 		o.CoercionMinCells = 128
 	}
+	if o.BrokenFillMin == 0 {
+		o.BrokenFillMin = 16
+	}
 	return o
 }
 
@@ -147,6 +155,12 @@ type SheetReport struct {
 	// EstEvalCells is the total precedent-cell cardinality of all
 	// formulas: how many cell reads one full evaluation pass performs.
 	EstEvalCells int64 `json:"est_eval_cells"`
+	// Regions is the number of uniform fill regions the formulas collapse
+	// to (internal/regions); equal-shape fill columns count once.
+	Regions int `json:"regions"`
+	// CompressionRatio is formula cells per region — the node-count
+	// advantage a region-level dependency graph has over per-cell.
+	CompressionRatio float64 `json:"compression_ratio"`
 	// RuleCounts maps rule ID to the complete finding count, including
 	// findings dropped by the per-rule cap.
 	RuleCounts map[string]int `json:"rule_counts"`
@@ -231,6 +245,14 @@ func analyzeSheet(s *sheet.Sheet, opt Options) *SheetReport {
 
 	shared.report(emit, opt)
 	checkCycles(emit, s, g)
+
+	// Region inference (internal/regions) backs both the fill-uniformity
+	// rule and the report's compression metrics.
+	regs := regions.Infer(s)
+	sr.Regions = len(regs.Regions)
+	sr.CompressionRatio = regs.CompressionRatio()
+	checkBrokenFill(emit, s, regs, opt)
+
 	sr.EstRecalcOps = EstimateRecalcOps(sites)
 
 	emit.finish()

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -317,5 +318,69 @@ func TestAnalysisIsReadOnly(t *testing.T) {
 	_ = SheetReportFor(s, Options{})
 	if v := s.Value(cell.MustParseAddr("A1")); !v.IsEmpty() {
 		t.Errorf("A1 value = %v after analysis, want still empty", v)
+	}
+}
+
+// TestBrokenFillRule: a 40-row fill column with two hand-edited deviants
+// fires RuleBrokenFill once, anchored at the first deviant; a perfectly
+// uniform column and a short column stay silent.
+func TestBrokenFillRule(t *testing.T) {
+	s := sheet.New("S", 64, 6)
+	fill := formula.MustCompile("=A1*2")
+	for r := 0; r < 40; r++ {
+		s.AttachFormula(cell.Addr{Row: r, Col: 1}, sheet.Formula{Code: fill, Origin: cell.Addr{Row: 0, Col: 1}})
+	}
+	s.SetFormula(cell.Addr{Row: 12, Col: 1}, formula.MustCompile("=A13*2+1")) // deviant 1
+	s.SetFormula(cell.Addr{Row: 30, Col: 1}, formula.MustCompile("=99"))      // deviant 2
+	// Uniform control column, same height.
+	uni := formula.MustCompile("=A1+1")
+	for r := 0; r < 40; r++ {
+		s.AttachFormula(cell.Addr{Row: r, Col: 2}, sheet.Formula{Code: uni, Origin: cell.Addr{Row: 0, Col: 2}})
+	}
+	// Short broken column: below BrokenFillMin, must not fire.
+	for r := 0; r < 8; r++ {
+		s.SetFormula(cell.Addr{Row: r, Col: 3}, formula.MustCompile(fmt.Sprintf("=A%d*3", r+1)))
+	}
+	s.SetFormula(cell.Addr{Row: 4, Col: 3}, formula.MustCompile("=7"))
+
+	sr := SheetReportFor(s, Options{})
+	if got := sr.RuleCounts[RuleBrokenFill]; got != 1 {
+		t.Fatalf("broken-fill count = %d, want 1; findings %+v", got, sr.Findings)
+	}
+	var f *Finding
+	for i := range sr.Findings {
+		if sr.Findings[i].Rule == RuleBrokenFill {
+			f = &sr.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatal("finding missing despite count")
+	}
+	if f.Cell != "B13" {
+		t.Errorf("anchor = %s, want B13 (first deviant)", f.Cell)
+	}
+	if f.Severity != Warn {
+		t.Errorf("severity = %v, want warn", f.Severity)
+	}
+	if f.Cost != 2 {
+		t.Errorf("cost = %d, want 2 deviants", f.Cost)
+	}
+	if sr.Regions == 0 || sr.CompressionRatio <= 1 {
+		t.Errorf("report metrics: regions=%d ratio=%v", sr.Regions, sr.CompressionRatio)
+	}
+}
+
+// TestBrokenFillRespectsMin: raising BrokenFillMin above the column height
+// silences the rule.
+func TestBrokenFillRespectsMin(t *testing.T) {
+	s := sheet.New("S", 64, 4)
+	fill := formula.MustCompile("=A1*2")
+	for r := 0; r < 40; r++ {
+		s.AttachFormula(cell.Addr{Row: r, Col: 1}, sheet.Formula{Code: fill, Origin: cell.Addr{Row: 0, Col: 1}})
+	}
+	s.SetFormula(cell.Addr{Row: 20, Col: 1}, formula.MustCompile("=5"))
+	sr := SheetReportFor(s, Options{BrokenFillMin: 100})
+	if got := sr.RuleCounts[RuleBrokenFill]; got != 0 {
+		t.Errorf("broken-fill count = %d with min above height, want 0", got)
 	}
 }

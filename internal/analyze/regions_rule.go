@@ -1,0 +1,84 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// checkBrokenFill implements RuleBrokenFill: a column that is almost — but
+// not quite — a uniform fill region. One dominant R1C1 class covers at
+// least three quarters of the column's formulas, yet a handful of deviant
+// cells chop it into several regions, so region-level sequencing (the
+// RegionGraph optimization), shared-formula storage, and fill-down editing
+// all lose their compression. Usually the deviants are hand-edited cells a
+// later fill-down missed. The finding anchors at the first deviant; Cost is
+// the deviant count.
+func checkBrokenFill(e *emitter, s *sheet.Sheet, sr *regions.SheetRegions, opt Options) {
+	type colStat struct {
+		col     int
+		regions []regions.Region
+	}
+	var cols []colStat
+	for _, r := range sr.Regions {
+		if len(cols) == 0 || cols[len(cols)-1].col != r.Col {
+			cols = append(cols, colStat{col: r.Col})
+		}
+		cs := &cols[len(cols)-1]
+		cs.regions = append(cs.regions, r)
+	}
+	for _, cs := range cols {
+		total := 0
+		perClass := make(map[int]int)
+		for _, r := range cs.regions {
+			total += r.Rows()
+			perClass[r.Class] += r.Rows()
+		}
+		if total < opt.BrokenFillMin || len(cs.regions) < 2 {
+			continue
+		}
+		dominant, covered := -1, 0
+		for class, n := range perClass {
+			if n > covered || (n == covered && class < dominant) {
+				dominant, covered = class, n
+			}
+		}
+		deviants := total - covered
+		// A perfectly uniform column split only by blank gaps is fill
+		// style, not an error; the rule wants inconsistent formulas.
+		if deviants == 0 || covered*4 < total*3 {
+			continue
+		}
+		var anchor cell.Addr
+		found := false
+		for _, r := range cs.regions {
+			if r.Class != dominant {
+				anchor = cell.Addr{Row: r.Start, Col: r.Col}
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		e.emit(Finding{
+			Rule:     RuleBrokenFill,
+			Severity: Warn,
+			Sheet:    s.Name,
+			Cell:     anchor.A1(),
+			Message: fmt.Sprintf("column %s: %d of %d formula(s) deviate from the dominant fill pattern %s, splitting it into %d region(s)",
+				cell.ColName(cs.col), deviants, total, truncateText(sr.Classes[dominant].Text, 40), len(cs.regions)),
+			Cost: int64(deviants),
+		})
+	}
+}
+
+// truncateText shortens rule message payloads for report hygiene.
+func truncateText(t string, max int) string {
+	if len(t) > max {
+		return t[:max-3] + "..."
+	}
+	return t
+}

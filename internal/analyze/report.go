@@ -31,8 +31,8 @@ func (r *Report) WriteText(w io.Writer) error {
 }
 
 func (sr *SheetReport) writeText(w io.Writer) error {
-	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), est recalc ops %d, est eval cells %d\n",
-		sr.Sheet, sr.Formulas, sr.EstRecalcOps, sr.EstEvalCells)
+	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), %d region(s) (%.1fx), est recalc ops %d, est eval cells %d\n",
+		sr.Sheet, sr.Formulas, sr.Regions, sr.CompressionRatio, sr.EstRecalcOps, sr.EstEvalCells)
 	if err != nil {
 		return err
 	}

@@ -279,6 +279,7 @@ func OptimizedProfile() Profile {
 		SortRecalcAnalysis:    true,
 		LazyOpen:              true,
 		TypedColumns:          true,
+		RegionGraph:           true,
 	}
 	p.Multiplier = [numOpKinds]float64{}
 	return p

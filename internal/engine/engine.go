@@ -34,9 +34,10 @@ type Engine struct {
 	prof Profile
 	wb   *sheet.Workbook
 
-	graphs map[*sheet.Sheet]*graph.Graph
-	chains map[*sheet.Sheet]*chainCache
-	opts   map[*sheet.Sheet]*optState
+	graphs  map[*sheet.Sheet]*graph.Graph
+	chains  map[*sheet.Sheet]*chainCache
+	opts    map[*sheet.Sheet]*optState
+	regions map[*sheet.Sheet]*regionChain
 
 	meter       costmodel.Meter // operation-attributed work
 	recalcMeter costmodel.Meter // unmultiplied recalculation work (pivot)
@@ -50,12 +51,13 @@ type Engine struct {
 // New returns an engine with an empty workbook under the given profile.
 func New(prof Profile) *Engine {
 	e := &Engine{
-		prof:   prof,
-		wb:     sheet.NewWorkbook(),
-		graphs: make(map[*sheet.Sheet]*graph.Graph),
-		chains: make(map[*sheet.Sheet]*chainCache),
-		opts:   make(map[*sheet.Sheet]*optState),
-		nowFn:  time.Now,
+		prof:    prof,
+		wb:      sheet.NewWorkbook(),
+		graphs:  make(map[*sheet.Sheet]*graph.Graph),
+		chains:  make(map[*sheet.Sheet]*chainCache),
+		opts:    make(map[*sheet.Sheet]*optState),
+		regions: make(map[*sheet.Sheet]*regionChain),
+		nowFn:   time.Now,
 	}
 	if prof.Web {
 		e.net = netsim.New(prof.Net)
@@ -95,6 +97,7 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	e.graphs = make(map[*sheet.Sheet]*graph.Graph)
 	e.chains = make(map[*sheet.Sheet]*chainCache)
 	e.opts = make(map[*sheet.Sheet]*optState)
+	e.regions = make(map[*sheet.Sheet]*regionChain)
 	for _, s := range wb.Sheets() {
 		g := e.graph(s)
 		s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
@@ -243,6 +246,18 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 		meter.Add(costmodel.DepOp, 1) // cache validity check
 		return c.order, c.cyclic
 	}
+	// Region-level sequencing: O(#regions log #regions) ordering plus one
+	// op per emitted cell, instead of per-cell Kahn with its sort-like
+	// comparison cost. Valid only while the regions order cleanly; the
+	// fallback below is authoritative for everything else (cycles included).
+	if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
+		rc.g.ResetOps()
+		order = rc.g.Order()
+		meter.Add(costmodel.DepOp, rc.g.Ops())
+		rc.g.ResetOps()
+		e.chains[s] = &chainCache{version: g.Version(), order: order}
+		return order, nil
+	}
 	g.ResetOps()
 	order, cyclic = g.AllFormulas()
 	meter.Add(costmodel.DepOp, g.Ops())
@@ -302,7 +317,6 @@ func (e *Engine) resequence(s *sheet.Sheet, meter *costmodel.Meter) {
 // dependency order, charging the given meter; returns how many formulae
 // were recomputed.
 func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) int {
-	g := e.graph(s)
 	// Volatile formulae (NOW, RAND, ...) refresh on every calculation
 	// pass in all three systems; seed them alongside the real changes so
 	// their dependents recompute too.
@@ -319,10 +333,7 @@ func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmod
 		}
 		changed = append(append([]cell.Addr(nil), changed...), vol...)
 	}
-	g.ResetOps()
-	order, cyclic := g.Dirty(changed)
-	meter.Add(costmodel.DepOp, g.Ops())
-	g.ResetOps()
+	order, cyclic := e.dirtyOrder(s, changed, meter)
 	env := e.env(s, meter, false, true)
 	for _, a := range order {
 		fc, ok := s.Formula(a)

@@ -35,6 +35,7 @@ func (e *Engine) Open(path string) (Result, error) {
 	e.wb = res.Workbook
 	e.graphs = make(map[*sheet.Sheet]*graph.Graph)
 	e.opts = make(map[*sheet.Sheet]*optState)
+	e.regions = make(map[*sheet.Sheet]*regionChain)
 
 	lazyValueOnly := (e.prof.Web && e.prof.LazyViewport || e.prof.Opt.LazyOpen) &&
 		res.Formulas == 0
@@ -188,16 +189,40 @@ func (e *Engine) Sort(s *sheet.Sheet, col int, ascending bool, headerRows int) (
 // evalNonRowLocal re-evaluates only formulae whose value can change under a
 // row reordering — the recalculation-necessity analysis of §6.
 func (e *Engine) evalNonRowLocal(s *sheet.Sheet, meter *costmodel.Meter) {
-	env := e.env(s, meter, false, true)
+	recalc := make(map[cell.Addr]bool)
 	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
 		meter.Add(costmodel.DepOp, 1) // the per-formula locality test
-		if fc.Code.RowLocal(fc.Origin) {
-			return true
+		if !fc.Code.RowLocal(fc.Origin) {
+			recalc[a] = true
+		}
+		return true
+	})
+	if len(recalc) == 0 {
+		return
+	}
+	// A non-row-local formula can read another one (an aggregate over a
+	// column holding moved formulas), so the survivors of the necessity
+	// analysis must evaluate in dependency order, not discovery order.
+	order, cyclic := e.fullChain(s, meter)
+	env := e.env(s, meter, false, true)
+	evalAt := func(a cell.Addr) {
+		fc, ok := s.Formula(a)
+		if !ok {
+			return
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
 		s.SetCachedValue(a, formula.Eval(fc.Code, env))
-		return true
-	})
+	}
+	for _, a := range order {
+		if recalc[a] {
+			evalAt(a)
+		}
+	}
+	for _, a := range cyclic {
+		if recalc[a] {
+			evalAt(a)
+		}
+	}
 }
 
 // Filter hides the rows of the used range whose value in the given column
@@ -614,7 +639,10 @@ func (e *Engine) SetCell(s *sheet.Sheet, a cell.Addr, v cell.Value) (Result, err
 	t := e.begin(OpSetCell)
 	old := s.Value(a)
 	if _, wasFormula := s.Formula(a); wasFormula {
+		// Overwriting a formula breaks its fill region's uniformity: split
+		// the region (or drop the chain) before the value lands.
 		e.graph(s).RemoveFormula(a)
+		e.noteFormulaRemoved(s, a, &e.meter)
 	}
 	st := e.opts[s]
 	if st != nil {

@@ -514,11 +514,7 @@ func (m *aggMat) applyDelta(e *Engine, old, new cell.Value) {
 // were already updated by noteCellChange; any remaining (non-materialized)
 // dependent formulae recompute normally.
 func (st *optState) applyDeltas(e *Engine, s *sheet.Sheet, a cell.Addr, old, new cell.Value) {
-	g := e.graph(s)
-	g.ResetOps()
-	order, cyclic := g.Dirty([]cell.Addr{a})
-	e.meter.Add(costmodel.DepOp, g.Ops())
-	g.ResetOps()
+	order, cyclic := e.dirtyOrder(s, []cell.Addr{a}, &e.meter)
 	env := e.env(s, &e.meter, false, true)
 	for _, fa := range order {
 		if _, materialized := st.aggs[fa]; materialized {

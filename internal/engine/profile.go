@@ -126,6 +126,12 @@ type Optimizations struct {
 	// storage without per-cell coercion checks (§6 "Indexing and data
 	// layout" meets the analysis pass).
 	TypedColumns bool
+	// RegionGraph sequences recalculation over inferred uniform fill
+	// regions (internal/regions) instead of per-cell graph nodes — the
+	// shared-formula compression real engines apply to filled columns, run
+	// as a static pre-flight. Falls back to the per-cell graph whenever
+	// the sheet's regions cannot be ordered.
+	RegionGraph bool
 }
 
 // Any reports whether any optimization is enabled.

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// The RegionGraph optimization: calc-chain sequencing and dirty propagation
+// operate on inferred fill regions (internal/regions) instead of per-cell
+// graph nodes. Validity is keyed to the per-cell graph's version — every
+// formula-set change (insert, overwrite, copy-paste, the Clear inside a
+// post-sort or structural-edit rebuild) bumps it, so a stale chain can
+// never be consulted; it is lazily re-inferred on the next sequencing
+// request. The one incremental path is a formula overwrite on an otherwise
+// unchanged sheet: the hosting region splits in place (SplitAt) and only
+// the O(#regions) graph is rebuilt.
+type regionChain struct {
+	version int64 // graph.Version the chain was built against
+	sr      *regions.SheetRegions
+	g       *regions.Graph
+}
+
+// regionChainFor returns a region chain valid for the sheet's current
+// formula set, re-running the inference when stale. Returns nil when the
+// optimization is off. The inference and graph build are charged to DepOp —
+// they replace the per-cell sequencing work the naive path would charge.
+func (e *Engine) regionChainFor(s *sheet.Sheet, meter *costmodel.Meter) *regionChain {
+	if !e.prof.Opt.RegionGraph {
+		return nil
+	}
+	g := e.graph(s)
+	if rc := e.regions[s]; rc != nil && rc.version == g.Version() {
+		return rc
+	}
+	sr := regions.Infer(s)
+	rg := regions.Build(sr)
+	meter.Add(costmodel.DepOp, sr.Ops()+rg.Ops())
+	sr.ResetOps()
+	rg.ResetOps()
+	rc := &regionChain{version: g.Version(), sr: sr, g: rg}
+	e.regions[s] = rc
+	return rc
+}
+
+// noteFormulaRemoved keeps the region chain valid across a formula
+// overwrite — the uniformity-breaking edit. When the chain was fresh
+// immediately before the removal, the hosting region splits around the cell
+// and the region graph rebuilds in O(#regions); otherwise the chain is
+// dropped for lazy re-inference.
+func (e *Engine) noteFormulaRemoved(s *sheet.Sheet, a cell.Addr, meter *costmodel.Meter) {
+	if !e.prof.Opt.RegionGraph {
+		return
+	}
+	rc := e.regions[s]
+	if rc == nil {
+		return
+	}
+	g := e.graph(s)
+	if rc.version != g.Version()-1 {
+		delete(e.regions, s)
+		return
+	}
+	rc.sr.ResetOps()
+	if !rc.sr.SplitAt(a) {
+		delete(e.regions, s)
+		return
+	}
+	rc.g = regions.Build(rc.sr)
+	meter.Add(costmodel.DepOp, rc.sr.Ops()+rc.g.Ops())
+	rc.sr.ResetOps()
+	rc.g.ResetOps()
+	rc.version = g.Version()
+}
+
+// dirtyOrder computes the evaluation order of the transitive dependents of
+// the changed cells: over regions when the region chain applies, else over
+// the per-cell graph. The region path returns a covering superset of the
+// per-cell dirty set (sound: deterministic formulae re-evaluate to the same
+// value) and never reports cyclic cells — region sequencing succeeds only
+// on sheets whose per-cell graph is acyclic.
+func (e *Engine) dirtyOrder(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) (order, cyclic []cell.Addr) {
+	if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
+		rc.g.ResetOps()
+		order = rc.g.DirtyFrom(changed)
+		meter.Add(costmodel.DepOp, rc.g.Ops())
+		rc.g.ResetOps()
+		return order, nil
+	}
+	g := e.graph(s)
+	g.ResetOps()
+	order, cyclic = g.Dirty(changed)
+	meter.Add(costmodel.DepOp, g.Ops())
+	g.ResetOps()
+	return order, cyclic
+}
+
+// RegionChainInfo exposes the sheet's current region chain for tests and
+// diagnostics: region/formula counts and whether region-level sequencing is
+// active (built, valid, and ordered). It never builds the chain.
+func (e *Engine) RegionChainInfo(s *sheet.Sheet) (regionCount, formulaCount int, active bool) {
+	rc := e.regions[s]
+	if rc == nil {
+		return 0, 0, false
+	}
+	var g *graph.Graph
+	if g = e.graphs[s]; g == nil {
+		return 0, 0, false
+	}
+	valid := rc.version == g.Version()
+	return len(rc.sr.Regions), rc.sr.Formulas, valid && rc.g.OK()
+}

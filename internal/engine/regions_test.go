@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// regionsCompare asserts two sheets display byte-identical values in every
+// cell, including columns past the base width (inserted formulas land there).
+func regionsCompare(t *testing.T, label string, ref, got *sheet.Sheet) {
+	t.Helper()
+	if got.Rows() != ref.Rows() {
+		t.Fatalf("%s: rows %d != %d", label, got.Rows(), ref.Rows())
+	}
+	for r := 0; r < ref.Rows(); r++ {
+		for c := 0; c < ref.Cols()+2; c++ {
+			at := cell.Addr{Row: r, Col: c}
+			if !ref.Value(at).Equal(got.Value(at)) {
+				t.Fatalf("%s: differs at %s: naive %+v vs regions %+v",
+					label, at, ref.Value(at), got.Value(at))
+			}
+		}
+	}
+}
+
+// TestRegionGraphDifferential is the acceptance gate for the RegionGraph
+// optimization: across the weather size matrix the optimized engine — which
+// sequences recalculation over inferred fill regions — must install to
+// results byte-identical to the naive engine, with the region chain live.
+func TestRegionGraphDifferential(t *testing.T) {
+	if !Profiles()["optimized"].Opt.RegionGraph {
+		t.Fatal("optimized profile does not enable RegionGraph")
+	}
+	for _, rows := range workload.SizesUpTo(25000) {
+		t.Run(fmt.Sprintf("rows=%d", rows), func(t *testing.T) {
+			naive := New(Profiles()["excel"])
+			opt := New(Profiles()["optimized"])
+			naive.SetNow(typedColsClock)
+			opt.SetNow(typedColsClock)
+			wbN := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true})
+			wbO := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true,
+				Columnar: Profiles()["optimized"].Opt.ColumnarLayout})
+			if err := naive.Install(wbN); err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.Install(wbO); err != nil {
+				t.Fatal(err)
+			}
+			sO := wbO.First()
+			rc, fc, active := opt.RegionChainInfo(sO)
+			if !active {
+				t.Fatalf("region chain inactive after install (regions=%d formulas=%d)", rc, fc)
+			}
+			if rc != 7 || fc != 7*rows {
+				t.Errorf("chain = %d regions / %d formulas, want 7 / %d", rc, fc, 7*rows)
+			}
+			regionsCompare(t, "post-install", wbN.First(), sO)
+		})
+	}
+}
+
+// TestRegionGraphEdits drives the uniformity-breaking edits through both
+// engines and checks values stay byte-identical after each: value edits into
+// precedent columns, a formula overwrite inside a fill region (the SplitAt
+// fast path), a fresh formula, a row insert, a row delete, a sort, and a
+// find-replace over an event column.
+func TestRegionGraphEdits(t *testing.T) {
+	const rows = 300
+	naive := New(Profiles()["excel"])
+	opt := New(Profiles()["optimized"])
+	naive.SetNow(typedColsClock)
+	opt.SetNow(typedColsClock)
+	wbN := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true})
+	wbO := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true,
+		Columnar: Profiles()["optimized"].Opt.ColumnarLayout})
+	if err := naive.Install(wbN); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Install(wbO); err != nil {
+		t.Fatal(err)
+	}
+	sN, sO := wbN.First(), wbO.First()
+
+	both := func(label string, f func(e *Engine, s *sheet.Sheet) error) {
+		t.Helper()
+		if err := f(naive, sN); err != nil {
+			t.Fatalf("%s (naive): %v", label, err)
+		}
+		if err := f(opt, sO); err != nil {
+			t.Fatalf("%s (regions): %v", label, err)
+		}
+		regionsCompare(t, label, sN, sO)
+	}
+
+	if _, _, active := opt.RegionChainInfo(sO); !active {
+		t.Fatal("region chain inactive after install")
+	}
+
+	// Value edits into precedent columns: dirty propagation goes through
+	// the region-level interval edges.
+	both("storm value edit", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.SetCell(s, cell.Addr{Row: 17, Col: workload.ColStorm}, cell.Num(1))
+		return err
+	})
+	both("event text edit", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.SetCell(s, cell.Addr{Row: 42, Col: workload.ColEvent0 + 2}, cell.Str("STORM"))
+		return err
+	})
+
+	// Formula overwrite inside the K fill region: the deviant class forces
+	// a lazy re-inference; the next recalc must sequence over the split
+	// column and stay byte-identical.
+	both("formula overwrite in fill region", func(e *Engine, s *sheet.Sheet) error {
+		_, _, err := e.InsertFormula(s, cell.Addr{Row: 50, Col: workload.ColFormula0},
+			fmt.Sprintf("=COUNTIF(J2:J%d,1)", rows+1))
+		return err
+	})
+	both("edit feeding the split region", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.SetCell(s, cell.Addr{Row: 50, Col: workload.ColEvent0}, cell.Str("STORM"))
+		return err
+	})
+	rc, _, active := opt.RegionChainInfo(sO)
+	if !active {
+		t.Fatal("region chain inactive after overwrite + recalc")
+	}
+	if rc < 9 {
+		t.Errorf("regions = %d after overwrite, want >= 9 (7 columns + split halves + deviant)", rc)
+	}
+
+	// A value overwriting a formula cell takes the in-place SplitAt fast
+	// path: the chain must stay active and gain a region without a full
+	// re-inference.
+	both("value overwrite splits region", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.SetCell(s, cell.Addr{Row: 20, Col: workload.ColFormula0 + 3}, cell.Num(0))
+		return err
+	})
+	rc2, _, active := opt.RegionChainInfo(sO)
+	if !active {
+		t.Fatal("region chain inactive after SplitAt fast path")
+	}
+	if rc2 != rc+1 {
+		t.Errorf("regions = %d after value overwrite, want %d", rc2, rc+1)
+	}
+
+	// A brand-new formula outside the fill columns. Hosted in the header
+	// row so the later sort does not relocate it (a relocated aggregate's
+	// displaced references interact with the sort-recalc analysis, which
+	// is out of scope here).
+	both("fresh aggregate formula", func(e *Engine, s *sheet.Sheet) error {
+		_, _, err := e.InsertFormula(s, cell.Addr{Row: 0, Col: workload.NumCols + 1},
+			fmt.Sprintf("=SUM(K2:K%d)", rows+1))
+		return err
+	})
+
+	// Structural edits and a sort invalidate the chain wholesale; it must
+	// re-infer lazily and still agree with the naive engine.
+	both("row insert", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.InsertRows(s, 10, 3)
+		return err
+	})
+	both("row delete", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.DeleteRows(s, 10, 3)
+		return err
+	})
+	both("sort by storm", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.Sort(s, workload.ColStorm, false, 1)
+		return err
+	})
+	both("find-replace event", func(e *Engine, s *sheet.Sheet) error {
+		_, _, err := e.FindReplace(s, "STORM", "CALM")
+		return err
+	})
+	// Post-edit recalcs still sequence over regions (rebuilt lazily).
+	both("final storm edit", func(e *Engine, s *sheet.Sheet) error {
+		_, err := e.SetCell(s, cell.Addr{Row: 5, Col: workload.ColStorm}, cell.Num(1))
+		return err
+	})
+	if _, _, active := opt.RegionChainInfo(sO); !active {
+		t.Fatal("region chain did not recover after structural edits")
+	}
+}
+
+// TestRegionGraphCyclicFallback: the Analysis block contains a deliberate
+// S9/S10 cycle, so region sequencing must refuse the sheet and both engines
+// take the identical per-cell path — including #CYCLE! reporting.
+func TestRegionGraphCyclicFallback(t *testing.T) {
+	naive := New(Profiles()["excel"])
+	opt := New(Profiles()["optimized"])
+	naive.SetNow(typedColsClock)
+	opt.SetNow(typedColsClock)
+	wbN := workload.Weather(workload.Spec{Rows: 120, Seed: 7, Formulas: true, Analysis: true})
+	wbO := workload.Weather(workload.Spec{Rows: 120, Seed: 7, Formulas: true, Analysis: true,
+		Columnar: Profiles()["optimized"].Opt.ColumnarLayout})
+	if err := naive.Install(wbN); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Install(wbO); err != nil {
+		t.Fatal(err)
+	}
+	sO := wbO.First()
+	if _, _, active := opt.RegionChainInfo(sO); active {
+		t.Fatal("region chain must be inactive on a cyclic sheet")
+	}
+	regionsCompare(t, "cyclic sheet", wbN.First(), sO)
+}
+
+// TestRegionGraphCompressionAtScale is the paper-scale acceptance bound: at
+// 500k rows the region graph must carry at most 1% of the per-cell graph's
+// node count.
+func TestRegionGraphCompressionAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500k-row workbook in -short mode")
+	}
+	const rows = 500000
+	wb := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true})
+	s := wb.First()
+	sr := regions.Infer(s)
+	g := regions.Build(sr)
+	if !g.OK() {
+		t.Fatal("500k weather sheet should sequence")
+	}
+	perCellNodes := s.FormulaCount()
+	if perCellNodes != sr.Formulas {
+		t.Fatalf("inference covered %d of %d formulas", sr.Formulas, perCellNodes)
+	}
+	if limit := perCellNodes / 100; len(sr.Regions) > limit {
+		t.Fatalf("region count %d exceeds 1%% of per-cell nodes (%d)", len(sr.Regions), limit)
+	}
+	t.Logf("rows=%d formulas=%d regions=%d ratio=%.0fx", rows, sr.Formulas, len(sr.Regions), sr.CompressionRatio())
+}

@@ -44,6 +44,15 @@ func AdjustForColChange(c *Compiled, dr, dc int, boundary, delta int) string {
 	}, boundary, delta, false)
 }
 
+// EffectiveRef resolves a reference's displaced address — the relative-
+// offset normal form shared by structural adjustment (here), copy-paste
+// rewriting (RewriteRelative), and the R1C1 canonicalizer (r1c1.go):
+// relative components shift by the hosting cell's displacement (dr, dc)
+// from the formula's authored origin, absolute components are untouched.
+func EffectiveRef(r cell.Ref, dr, dc int) cell.Ref {
+	return effective(r, dr, dc)
+}
+
 // effective resolves a reference's displaced address, keeping abs flags.
 func effective(r cell.Ref, dr, dc int) cell.Ref {
 	eff := r

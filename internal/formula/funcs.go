@@ -1,6 +1,8 @@
 package formula
 
 import (
+	"sort"
+
 	"repro/internal/cell"
 	"repro/internal/costmodel"
 )
@@ -32,10 +34,20 @@ func HasFunction(name string) bool {
 	return ok
 }
 
-// FunctionNames returns the number of registered built-ins (the benchmark
+// FunctionCount returns the number of registered built-ins (the benchmark
 // taxonomy cites ~400 for Excel; we implement the subset the paper
 // exercises plus the common core).
 func FunctionCount() int { return len(functions) }
+
+// FunctionNames returns the names of every registered built-in, sorted.
+func FunctionNames() []string {
+	out := make([]string, 0, len(functions))
+	for name := range functions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // FunctionArity returns the registered argument bounds of a built-in
 // (max == -1 means variadic); ok is false for unknown names. The static

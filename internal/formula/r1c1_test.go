@@ -1,0 +1,184 @@
+package formula
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func at(a1 string) cell.Addr {
+	a, err := cell.ParseAddr(a1)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestR1C1Text(t *testing.T) {
+	cases := []struct {
+		formula string
+		host    string
+		want    string
+	}{
+		// Fill-down invariance: the J-column self-row read is the same
+		// token on every row.
+		{"=J2+1", "S2", "(RC[-9]+1)"},
+		{"=J500+1", "S500", "(RC[-9]+1)"},
+		{"=A1", "A1", "RC"},
+		{"=A1", "B3", "R[-2]C[-1]"},
+		{"=$A$1", "B3", "R1C1"},
+		{"=$A1", "B3", "R[-2]C1"},
+		{"=A$1", "B3", "R1C[-1]"},
+		{"=SUM(J2:J11)", "S1", "SUM(R[1]C[-9]:R[10]C[-9])"},
+		{`=COUNTIF(B2:B11,">=5")`, "D1", `COUNTIF(R[1]C[-2]:R[10]C[-2],">=5")`},
+		{"=-A1%", "A2", "(-(R[-1]C%))"},
+		{`="R[1]C[1]"&A1`, "A2", `("R[1]C[1]"&R[-1]C)`},
+	}
+	for _, tc := range cases {
+		c := MustCompile(tc.formula)
+		got := R1C1Text(c.Root, 0, 0, at(tc.host))
+		if got != tc.want {
+			t.Errorf("R1C1Text(%s at %s) = %q, want %q", tc.formula, tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestR1C1TextDisplacement(t *testing.T) {
+	// A formula authored at S2 and hosted at S500 (displacement dr=498)
+	// must produce the same R1C1 text as one authored in place: the
+	// effective address movement and the host movement cancel.
+	c := MustCompile("=J2+1")
+	origin := at("S2")
+	for _, host := range []cell.Addr{at("S2"), at("S500"), at("S100000")} {
+		dr, dc := host.Row-origin.Row, host.Col-origin.Col
+		if got := R1C1Text(c.Root, dr, dc, host); got != "(RC[-9]+1)" {
+			t.Errorf("host %s: got %q, want (RC[-9]+1)", host.A1(), got)
+		}
+		if h, want := R1C1Hash(c.Root, dr, dc, host), R1C1Hash(c.Root, 0, 0, origin); h != want {
+			t.Errorf("host %s: hash %d differs from origin hash %d", host.A1(), h, want)
+		}
+	}
+}
+
+func TestR1C1TextOffSheet(t *testing.T) {
+	c := MustCompile("=A1")
+	// Displaced two rows up from origin, the relative ref lands at row -2.
+	if got := R1C1Text(c.Root, -2, 0, at("B1")); !strings.Contains(got, cell.ErrRef) {
+		t.Errorf("off-sheet effective ref rendered %q, want #REF!", got)
+	}
+}
+
+func TestR1C1HashMatchesText(t *testing.T) {
+	formulas := []string{"=J2+1", "=SUM(A1:B10)", `=COUNTIF(B2:B10,"x")`, "=NOW()", "=1+2"}
+	host := at("C5")
+	for _, f := range formulas {
+		c := MustCompile(f)
+		text := R1C1Text(c.Root, 0, 0, host)
+		h := fnv.New64a()
+		h.Write([]byte(text))
+		if got, want := R1C1Hash(c.Root, 0, 0, host), h.Sum64(); got != want {
+			t.Errorf("R1C1Hash(%s) = %d, want hash of %q = %d", f, got, text, want)
+		}
+	}
+}
+
+func TestA1FromR1C1(t *testing.T) {
+	cases := []struct {
+		text string
+		host string
+		want string
+	}{
+		{"(RC[-9]+1)", "S2", "(J2+1)"},
+		{"RC", "A1", "A1"},
+		{"R1C1", "B3", "$A$1"},
+		{"R1C[-1]", "B3", "A$1"},
+		{"R[-2]C1", "B3", "$A1"},
+		{"SUM(R[1]C[-9]:R[10]C[-9])", "S1", "SUM(J2:J11)"},
+		// String literals are never scanned for tokens.
+		{`("R[1]C[1]"&R[-1]C)`, "A2", `("R[1]C[1]"&A1)`},
+		{`COUNTIF(RC[-2],"RC")`, "D1", `COUNTIF(B1,"RC")`},
+		// Function names starting with R are not reference tokens.
+		{"RAND()", "A1", "RAND()"},
+		{"ROUND(RC[1],2)", "A1", "ROUND(B1,2)"},
+		// #REF! passes through untouched.
+		{"(#REF!+1)", "A1", "(#REF!+1)"},
+	}
+	for _, tc := range cases {
+		got, err := A1FromR1C1(tc.text, at(tc.host))
+		if err != nil {
+			t.Errorf("A1FromR1C1(%q at %s): %v", tc.text, tc.host, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("A1FromR1C1(%q at %s) = %q, want %q", tc.text, tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestA1FromR1C1OffSheet(t *testing.T) {
+	if _, err := A1FromR1C1("R[-5]C", at("B3")); err == nil {
+		t.Fatal("R[-5]C at B3 resolves to row -3; want error")
+	}
+}
+
+// TestR1C1RoundTripAllBuiltins drives A1 -> R1C1 -> A1 for every function
+// in the builtin table, with a reference menagerie covering relative,
+// fully-absolute, and both mixed forms plus a range with a mixed endpoint.
+// Arity is not checked at parse time, so the same argument list compiles
+// for every builtin. The round-tripped text must recompile to the same
+// canonical formula as a direct relative rewrite.
+func TestR1C1RoundTripAllBuiltins(t *testing.T) {
+	names := FunctionNames()
+	if len(names) == 0 {
+		t.Fatal("no builtins registered")
+	}
+	if len(names) != FunctionCount() {
+		t.Fatalf("FunctionNames returned %d names, FunctionCount is %d", len(names), FunctionCount())
+	}
+	hosts := []cell.Addr{at("A1"), at("D7"), at("AA100")}
+	displacements := []struct{ dr, dc int }{{0, 0}, {3, 1}, {100, 0}}
+	for _, name := range names {
+		src := fmt.Sprintf(`=%s(G8,$B$2,C$3,$D4,E5:F$6,"x")`, name)
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %s: %v", src, err)
+		}
+		for _, host := range hosts {
+			for _, d := range displacements {
+				r1c1 := R1C1Text(c.Root, d.dr, d.dc, host)
+				back, err := A1FromR1C1(r1c1, host)
+				if err != nil {
+					t.Fatalf("%s host %s disp (%d,%d): A1FromR1C1(%q): %v",
+						name, host.A1(), d.dr, d.dc, r1c1, err)
+				}
+				rec, err := Compile(back)
+				if err != nil {
+					t.Fatalf("%s: recompile %q: %v", name, back, err)
+				}
+				want, err := Compile(c.RewriteRelative(d.dr, d.dc))
+				if err != nil {
+					t.Fatalf("%s: recompile rewrite: %v", name, err)
+				}
+				if !rec.EquivalentTo(want) {
+					t.Errorf("%s host %s disp (%d,%d): round trip %q != direct rewrite %q",
+						name, host.A1(), d.dr, d.dc, rec.CanonicalText(), want.CanonicalText())
+				}
+			}
+		}
+	}
+}
+
+// The dialect has no cross-sheet references: `Sheet2!A1` must not parse, so
+// the R1C1 normal form never needs to carry a sheet qualifier. This pins
+// the assumption; if `!` syntax is ever added, r1c1.go must learn it too.
+func TestR1C1NoCrossSheetRefs(t *testing.T) {
+	if _, err := Compile("=Sheet2!A1"); err == nil {
+		t.Fatal("cross-sheet reference compiled; R1C1 normal form assumes it cannot")
+	}
+	if _, err := Compile("='My Sheet'!A1"); err == nil {
+		t.Fatal("quoted cross-sheet reference compiled; R1C1 normal form assumes it cannot")
+	}
+}

@@ -70,6 +70,31 @@ func (g *Graph) ResetOps() { g.ops = 0 }
 // FormulaCount returns the number of registered formula cells.
 func (g *Graph) FormulaCount() int { return len(g.precedents) }
 
+// Stats summarizes the graph's materialized size: how many formula nodes
+// are registered, how many per-cell reverse edges the small-range expansion
+// produced, and how many precedent ranges were classified large (held as
+// intervals and scanned on update instead of expanded).
+type Stats struct {
+	// Formulas is the number of registered formula cells (nodes).
+	Formulas int
+	// CellEdges counts the expanded precedent-cell -> formula edges from
+	// ranges of at most SmallRangeMax cells.
+	CellEdges int
+	// LargeRanges counts precedent ranges kept in the interval list.
+	LargeRanges int
+}
+
+// Stats returns the graph's current size statistics. The small/large split
+// mirrors SetFormula's classification, so analyze's static cost model
+// (EstimateRecalcOps) can be validated against a built graph.
+func (g *Graph) Stats() Stats {
+	st := Stats{Formulas: len(g.precedents), LargeRanges: len(g.large)}
+	for _, deps := range g.byCell {
+		st.CellEdges += len(deps)
+	}
+	return st
+}
+
 // SetFormula registers (or replaces) the formula at the given cell with the
 // given precedent ranges. Single cells are passed as 1x1 ranges.
 func (g *Graph) SetFormula(at cell.Addr, ranges []cell.Range) {

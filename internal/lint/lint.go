@@ -82,7 +82,7 @@ type Analyzer struct {
 
 // Analyzers returns every registered analyzer, in gate order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMap, FloatCmp}
+	return []*Analyzer{RangeMap, FloatCmp, SortedOut}
 }
 
 // RunDir loads one directory and runs one analyzer over it.

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSortedOutBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := SortedOut.RunDir(filepath.Join("testdata", "src", "sortbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per function in sortbad.go.
+	const want = 5
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "sortbad.go") {
+			t.Errorf("finding outside sortbad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "map iteration order") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+	// Four of the five are the positional-write variant rangemap cannot see.
+	slots := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "picks the slots") {
+			slots++
+		}
+	}
+	if slots != 4 {
+		t.Errorf("positional-write findings = %d, want 4:\n%s", slots, join(diags))
+	}
+}
+
+func TestSortedOutGoodPackageIsClean(t *testing.T) {
+	diags, err := SortedOut.RunDir(filepath.Join("testdata", "src", "sortgood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+// TestSortedOutGateIsClean runs the analyzer over the packages it gates by
+// default: the region-inference stack whose slice outputs order calc chains.
+func TestSortedOutGateIsClean(t *testing.T) {
+	for _, dir := range SortedOut.DefaultDirs {
+		diags, err := SortedOut.RunDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}
+
+// TestSortedOutRegistered: the driver only runs what the registry returns.
+func TestSortedOutRegistered(t *testing.T) {
+	for _, a := range Analyzers() {
+		if a == SortedOut {
+			return
+		}
+	}
+	t.Error("SortedOut is not in Analyzers()")
+}

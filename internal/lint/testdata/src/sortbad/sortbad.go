@@ -1,0 +1,66 @@
+// Package sortbad holds sortedout violations; every function here must be
+// flagged by the lint test.
+package sortbad
+
+import "sort"
+
+// slotsByCounter fills slice slots in map visit order via a counter.
+func slotsByCounter(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// namedResultCounter advances the counter with a compound assignment and
+// writes into a named result.
+func namedResultCounter(m map[int]int) (out []int) {
+	out = make([]int, len(m))
+	var i int
+	for k := range m {
+		out[i] = k
+		i += 1
+	}
+	return
+}
+
+// table has a map-typed field; methods ranging over it are resolved too.
+type table struct {
+	rows map[string]int
+}
+
+func (t *table) labels() []string {
+	out := make([]string, len(t.rows))
+	n := 0
+	for k := range t.rows {
+		out[n] = k
+		n = n + 1
+	}
+	return out
+}
+
+// appendVariant leaks order by growing the slice; sortedout stands alone
+// for the directories it gates, so it reports this shape as well.
+func appendVariant(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortsWrongSlice sorts a different slice; the positional leak remains.
+func sortsWrongSlice(m map[string]int) []string {
+	out := make([]string, len(m))
+	other := make([]string, 0)
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+	sort.Strings(other)
+	return out
+}

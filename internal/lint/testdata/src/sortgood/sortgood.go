@@ -1,0 +1,73 @@
+// Package sortgood holds shapes sortedout must NOT flag: slot writes that
+// are deterministic, sorted afterwards, or never returned.
+package sortgood
+
+import "sort"
+
+// sortedAfterLoop fills by counter but sorts before returning.
+func sortedAfterLoop(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyedSlots indexes by the map value: each entry owns its slot, so visit
+// order cannot change the result.
+func keyedSlots(m map[string]int) []string {
+	out := make([]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// mapTarget writes into a map, not a slice; maps have no order to corrupt.
+func mapTarget(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// scratchSlice fills a local buffer that never escapes the function.
+func scratchSlice(m map[string]int) int {
+	buf := make([]int, len(m))
+	i := 0
+	for _, v := range m {
+		buf[i] = v
+		i++
+	}
+	total := 0
+	for _, v := range buf {
+		total += v
+	}
+	return total
+}
+
+// sliceRange ranges over a slice, which is already deterministic.
+func sliceRange(in []string) []string {
+	out := make([]string, len(in))
+	i := 0
+	for _, s := range in {
+		out[i] = s
+		i++
+	}
+	return out
+}
+
+// derivedIndex computes the slot from the key inside the loop; a fresh :=
+// variable per iteration carries no cross-iteration order.
+func derivedIndex(m map[int]string) []string {
+	out := make([]string, len(m))
+	for k, v := range m {
+		j := k % len(out)
+		out[j] = v
+	}
+	return out
+}

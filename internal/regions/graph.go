@@ -1,0 +1,459 @@
+package regions
+
+import (
+	"repro/internal/cell"
+	"repro/internal/formula"
+)
+
+// The compressed dependency graph. Because regions are vertical runs, a
+// relative reference's column offset is constant across a region; only row
+// coordinates slide with the host. Each precedent of a region therefore
+// collapses to one interval edge: a coverage rectangle plus a relation
+// mapping a dirty precedent row p to the dependent rows it invalidates.
+//
+//	sliding     rows [p-hi, p-lo]     both endpoints relative
+//	lowerFixed  rows [p-hi, End]      anchored top (running totals)
+//	upperFixed  rows [Start, p-lo]    anchored bottom
+//	whole       rows [Start, End]     fixed precedents
+//
+// The relations are monotone in p, so a dirty *interval* maps to the image
+// of its endpoints — dirty-propagation works on intervals, never cells.
+
+type relKind uint8
+
+const (
+	relSliding relKind = iota
+	relLowerFixed
+	relUpperFixed
+	relWhole
+)
+
+// depRec is one interval edge: any dirty cell inside rect invalidates rows
+// of region `to` per the relation.
+type depRec struct {
+	rect   cell.Range
+	to     int
+	rel    relKind
+	lo, hi int // row offsets of the reference relative to its host row
+}
+
+// Graph is the region-level dependency graph of one sheet.
+type Graph struct {
+	sr   *SheetRegions
+	deps []depRec
+	// order is a topological order of region indices; dir[i] is +1 when
+	// region i must evaluate top-down, -1 bottom-up.
+	order []int
+	dir   []int8
+	// selfDown/selfUp: region i has a self-edge pushing dirt toward its
+	// end/start; dirty intervals extend there in O(1) instead of crawling.
+	selfDown, selfUp []bool
+	crossEdges       int
+	ok               bool
+	ops              int64
+}
+
+// Build derives the region graph. When the regions cannot be sequenced —
+// a region-level cycle, or a region whose self-reference pattern has no
+// consistent direction — OK() reports false and callers must fall back to
+// the per-cell graph; Build never guesses.
+func Build(sr *SheetRegions) *Graph {
+	g := &Graph{
+		sr:       sr,
+		dir:      make([]int8, len(sr.Regions)),
+		selfDown: make([]bool, len(sr.Regions)),
+		selfUp:   make([]bool, len(sr.Regions)),
+		ok:       true,
+	}
+	for di := range sr.Regions {
+		g.addRegionDeps(di)
+	}
+	g.sequence()
+	return g
+}
+
+// rowEnd is one endpoint of a reference's row coordinate: a fixed absolute
+// row, or an offset from the host row.
+type rowEnd struct {
+	abs bool
+	v   int
+}
+
+// addRegionDeps walks the dependent region's representative AST and emits
+// one depRec per reference.
+func (g *Graph) addRegionDeps(di int) {
+	d := g.sr.Regions[di]
+	cls := g.sr.Classes[d.Class]
+	org := cls.Origin
+	emit := func(from, to cell.Ref) {
+		g.ops++
+		fr := rowEndOf(from, org)
+		tr := rowEndOf(to, org)
+		c1 := colOf(from, org, d.Col)
+		c2 := colOf(to, org, d.Col)
+		if c2 < c1 {
+			c1, c2 = c2, c1
+		}
+		if c2 < 0 {
+			return // entirely off-sheet: no live precedent cells
+		}
+		if c1 < 0 {
+			c1 = 0
+		}
+		rec, ok := classifyRows(fr, tr, d)
+		if !ok {
+			return
+		}
+		rec.to = di
+		rec.rect.Start.Col, rec.rect.End.Col = c1, c2
+		g.deps = append(g.deps, rec)
+		g.noteSelf(di, rec)
+	}
+	formula.Walk(cls.Code.Root, func(n formula.Node) {
+		switch t := n.(type) {
+		case formula.RefNode:
+			emit(t.Ref, t.Ref)
+		case formula.RangeNode:
+			emit(t.From, t.To)
+		}
+	})
+}
+
+func rowEndOf(r cell.Ref, org cell.Addr) rowEnd {
+	if r.AbsRow {
+		return rowEnd{abs: true, v: r.Addr.Row}
+	}
+	return rowEnd{v: r.Addr.Row - org.Row}
+}
+
+func colOf(r cell.Ref, org cell.Addr, hostCol int) int {
+	if r.AbsCol {
+		return r.Addr.Col
+	}
+	return hostCol + (r.Addr.Col - org.Col)
+}
+
+// classifyRows derives the row relation and coverage for one reference of
+// region d; ok is false when the precedent rows are entirely off-sheet.
+func classifyRows(f, t rowEnd, d Region) (depRec, bool) {
+	var rec depRec
+	switch {
+	case !f.abs && !t.abs:
+		lo, hi := f.v, t.v
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		rec.rel = relSliding
+		rec.lo, rec.hi = lo, hi
+		rec.rect.Start.Row, rec.rect.End.Row = d.Start+lo, d.End+hi
+	case f.abs && t.abs:
+		lo, hi := f.v, t.v
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		rec.rel = relWhole
+		rec.rect.Start.Row, rec.rect.End.Row = lo, hi
+	default:
+		a, o := f.v, t.v
+		if !f.abs {
+			a, o = t.v, f.v
+		}
+		// One anchored endpoint, one sliding. If the sliding endpoint
+		// stays on one side of the anchor across the whole region the
+		// relation is lower/upper-fixed; if it crosses, fall back to the
+		// whole-region relation (sound, rarely less precise).
+		switch {
+		case a <= d.Start+o:
+			rec.rel = relLowerFixed
+			rec.hi = o
+			rec.rect.Start.Row, rec.rect.End.Row = a, d.End+o
+		case a >= d.End+o:
+			rec.rel = relUpperFixed
+			rec.lo = o
+			rec.rect.Start.Row, rec.rect.End.Row = d.Start+o, a
+		default:
+			rec.rel = relWhole
+			rec.rect.Start.Row, rec.rect.End.Row = minInt(a, d.Start+o), maxInt(a, d.End+o)
+		}
+	}
+	if rec.rect.End.Row < 0 {
+		return rec, false
+	}
+	if rec.rect.Start.Row < 0 {
+		rec.rect.Start.Row = 0
+	}
+	return rec, true
+}
+
+// noteSelf records self-edge effects: evaluation-direction constraints and
+// the O(1) dirty-closure flags. A self-edge with no consistent direction
+// (it can read the host's own cell, or both sides at once) makes the region
+// unsequencable.
+func (g *Graph) noteSelf(di int, rec depRec) {
+	d := g.sr.Regions[di]
+	if d.Col < rec.rect.Start.Col || d.Col > rec.rect.End.Col {
+		return
+	}
+	if rec.rect.End.Row < d.Start || rec.rect.Start.Row > d.End {
+		return
+	}
+	down, up, bad := false, false, false
+	switch rec.rel {
+	case relSliding:
+		switch {
+		case rec.hi < 0:
+			down = true // reads strictly above: dirt flows downward
+		case rec.lo > 0:
+			up = true
+		default:
+			bad = true // offset 0 in range: the cell reads itself
+		}
+	case relLowerFixed:
+		if rec.hi < 0 {
+			down = true // running total: reads [anchor, host-1]
+		} else {
+			bad = true
+		}
+	case relUpperFixed:
+		if rec.lo > 0 {
+			up = true
+		} else {
+			bad = true
+		}
+	case relWhole:
+		bad = true
+	}
+	if bad {
+		g.ok = false
+		return
+	}
+	if down {
+		g.selfDown[di] = true
+		if g.dir[di] < 0 {
+			g.ok = false
+		}
+		g.dir[di] = 1
+	}
+	if up {
+		g.selfUp[di] = true
+		if g.dir[di] > 0 {
+			g.ok = false
+		}
+		g.dir[di] = -1
+	}
+}
+
+// sequence runs Kahn's algorithm over the cross-region edges. Determinism:
+// among ready regions the smallest index (row-major by construction) is
+// emitted first. Any region-level cycle — even one the per-cell graph would
+// resolve — clears ok; the engine then falls back wholly to the per-cell
+// path, so cyclic sheets always take identical code on both engines.
+func (g *Graph) sequence() {
+	n := len(g.sr.Regions)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool)
+	for _, rec := range g.deps {
+		for pi, p := range g.sr.Regions {
+			g.ops++
+			if pi == rec.to {
+				continue
+			}
+			if p.Col < rec.rect.Start.Col || p.Col > rec.rect.End.Col {
+				continue
+			}
+			if p.End < rec.rect.Start.Row || p.Start > rec.rect.End.Row {
+				continue
+			}
+			key := [2]int{pi, rec.to}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			adj[pi] = append(adj[pi], rec.to)
+			indeg[rec.to]++
+			g.crossEdges++
+		}
+	}
+	g.order = make([]int, 0, n)
+	emitted := make([]bool, n)
+	for len(g.order) < n {
+		next := -1
+		for i := 0; i < n; i++ {
+			g.ops++
+			if !emitted[i] && indeg[i] == 0 {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			g.ok = false // region-level cycle
+			return
+		}
+		emitted[next] = true
+		g.order = append(g.order, next)
+		for _, to := range adj[next] {
+			indeg[to]--
+		}
+	}
+}
+
+// OK reports whether region-level sequencing is valid for this sheet. When
+// false the per-cell graph must be used; when true the per-cell graph is
+// provably acyclic (every per-cell edge induces a region edge, and all
+// region edges are ordered), so the region path never has to report
+// #CYCLE! cells.
+func (g *Graph) OK() bool { return g.ok }
+
+// Regions returns the underlying inference result.
+func (g *Graph) Regions() *SheetRegions { return g.sr }
+
+// EdgeCount returns interval-edge counts: total depRecs and deduplicated
+// cross-region edges.
+func (g *Graph) EdgeCount() (deps, cross int) { return len(g.deps), g.crossEdges }
+
+// Ops returns the accumulated work counter (graph build plus any Order /
+// DirtyFrom calls since the last ResetOps).
+func (g *Graph) Ops() int64 { return g.ops }
+
+// ResetOps zeroes the work counter.
+func (g *Graph) ResetOps() { g.ops = 0 }
+
+// Order returns the full calculation chain: every formula cell, each region
+// contiguous, regions in topological order, rows in each region's required
+// direction. Callers must not mutate the result. Returns nil when OK() is
+// false.
+func (g *Graph) Order() []cell.Addr {
+	if !g.ok {
+		return nil
+	}
+	out := make([]cell.Addr, 0, g.sr.Formulas)
+	for _, ri := range g.order {
+		out = g.appendRows(out, ri, g.sr.Regions[ri].Start, g.sr.Regions[ri].End)
+	}
+	return out
+}
+
+func (g *Graph) appendRows(out []cell.Addr, ri, lo, hi int) []cell.Addr {
+	r := g.sr.Regions[ri]
+	g.ops += int64(hi - lo + 1) // chain emission: one op per cell written
+	if g.dir[ri] < 0 {
+		for row := hi; row >= lo; row-- {
+			out = append(out, cell.Addr{Row: row, Col: r.Col})
+		}
+		return out
+	}
+	for row := lo; row <= hi; row++ {
+		out = append(out, cell.Addr{Row: row, Col: r.Col})
+	}
+	return out
+}
+
+// DirtyFrom returns the transitive dependents of the changed cells in
+// evaluation order — the region-level counterpart of graph.Dirty. The
+// result is a superset of the per-cell dirty set (a region is re-evaluated
+// in covering intervals), which is sound: re-evaluating a clean formula
+// reproduces its value. Like graph.Dirty, the seeds themselves appear only
+// if some changed cell reaches them. Returns nil when OK() is false.
+func (g *Graph) DirtyFrom(changed []cell.Addr) []cell.Addr {
+	if !g.ok {
+		return nil
+	}
+	n := len(g.sr.Regions)
+	// Per-region covering dirty interval; lo > hi means clean.
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := range lo {
+		lo[i], hi[i] = 1, 0
+	}
+	var queue []int
+	queued := make([]bool, n)
+	merge := func(ri, l, h int) {
+		r := g.sr.Regions[ri]
+		if l < r.Start {
+			l = r.Start
+		}
+		if h > r.End {
+			h = r.End
+		}
+		if l > h {
+			return
+		}
+		// O(1) self-edge closure: a region that feeds itself extends any
+		// dirt to its boundary instead of crawling row by row.
+		if g.selfDown[ri] {
+			h = r.End
+		}
+		if g.selfUp[ri] {
+			l = r.Start
+		}
+		if lo[ri] > hi[ri] {
+			lo[ri], hi[ri] = l, h
+		} else if l >= lo[ri] && h <= hi[ri] {
+			return // already covered
+		} else {
+			lo[ri] = minInt(lo[ri], l)
+			hi[ri] = maxInt(hi[ri], h)
+		}
+		if !queued[ri] {
+			queued[ri] = true
+			queue = append(queue, ri)
+		}
+	}
+	// propagate pushes one dirty rectangle (col, rows [r0, r1]) across
+	// every interval edge it intersects.
+	propagate := func(col, r0, r1 int) {
+		for _, rec := range g.deps {
+			g.ops++
+			if col < rec.rect.Start.Col || col > rec.rect.End.Col {
+				continue
+			}
+			p0 := maxInt(r0, rec.rect.Start.Row)
+			p1 := minInt(r1, rec.rect.End.Row)
+			if p0 > p1 {
+				continue
+			}
+			d := g.sr.Regions[rec.to]
+			switch rec.rel {
+			case relSliding:
+				merge(rec.to, p0-rec.hi, p1-rec.lo)
+			case relLowerFixed:
+				merge(rec.to, p0-rec.hi, d.End)
+			case relUpperFixed:
+				merge(rec.to, d.Start, p1-rec.lo)
+			case relWhole:
+				merge(rec.to, d.Start, d.End)
+			}
+		}
+	}
+	for _, a := range changed {
+		propagate(a.Col, a.Row, a.Row)
+	}
+	for len(queue) > 0 {
+		ri := queue[0]
+		queue = queue[1:]
+		queued[ri] = false
+		propagate(g.sr.Regions[ri].Col, lo[ri], hi[ri])
+	}
+	var out []cell.Addr
+	for _, ri := range g.order {
+		if lo[ri] <= hi[ri] {
+			out = g.appendRows(out, ri, lo[ri], hi[ri])
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

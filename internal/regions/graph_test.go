@@ -1,0 +1,272 @@
+package regions
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/graph"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func buildFor(s *sheet.Sheet) (*SheetRegions, *Graph) {
+	sr := Infer(s)
+	return sr, Build(sr)
+}
+
+// perCellGraph mirrors the engine's graph construction so region-level
+// results can be checked against the per-cell baseline.
+func perCellGraph(s *sheet.Sheet) *graph.Graph {
+	g := graph.New()
+	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+		dr, dc := fc.DeltaAt(a)
+		g.SetFormula(a, fc.Code.PrecedentRanges(dr, dc))
+		return true
+	})
+	return g
+}
+
+func TestOrderCrossRegionChain(t *testing.T) {
+	// Column C depends on B, B on values in A: the C region must follow B,
+	// and the full order covers every formula cell exactly once.
+	s := sheet.New("S", 12, 4)
+	fillDown(s, "=A1*2", 1, 0, 9)
+	fillDown(s, "=B1+1", 2, 0, 9)
+	sr, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("expected sequencable graph")
+	}
+	order := g.Order()
+	if len(order) != sr.Formulas {
+		t.Fatalf("order covers %d cells, want %d", len(order), sr.Formulas)
+	}
+	pos := make(map[cell.Addr]int, len(order))
+	for i, a := range order {
+		if _, dup := pos[a]; dup {
+			t.Fatalf("cell %v emitted twice", a)
+		}
+		pos[a] = i
+	}
+	for r := 0; r <= 9; r++ {
+		b := cell.Addr{Row: r, Col: 1}
+		c := cell.Addr{Row: r, Col: 2}
+		if pos[b] > pos[c] {
+			t.Fatalf("row %d: B after its dependent C (%d > %d)", r, pos[b], pos[c])
+		}
+	}
+}
+
+func TestRunningTotalTopDown(t *testing.T) {
+	// B1=A1; B2..B10 = B(r-1)+Ar — the classic running total. The fill
+	// region's self-edge forces top-down evaluation.
+	s := sheet.New("S", 12, 4)
+	s.SetFormula(at("B1"), formula.MustCompile("=A1"))
+	fillDown(s, "=B1+A2", 1, 1, 9)
+	sr, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("running total should sequence")
+	}
+	if len(sr.Regions) != 2 {
+		t.Fatalf("regions = %v", sr.Regions)
+	}
+	order := g.Order()
+	if len(order) != 10 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, a := range order {
+		want := cell.Addr{Row: i, Col: 1}
+		if a != want {
+			t.Fatalf("order[%d] = %v, want %v (top-down)", i, a, want)
+		}
+	}
+
+	// Dirt in A5 reaches B5 and, via the self-edge closure, everything
+	// below it — in ascending row order.
+	dirty := g.DirtyFrom([]cell.Addr{at("A5")})
+	if len(dirty) != 6 {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	for i, a := range dirty {
+		want := cell.Addr{Row: 4 + i, Col: 1}
+		if a != want {
+			t.Fatalf("dirty[%d] = %v, want %v", i, a, want)
+		}
+	}
+
+	// A direct edit of B2 dirties B3..B10 but not B2 itself (graph.Dirty
+	// contract: seeds appear only when another seed reaches them).
+	dirty = g.DirtyFrom([]cell.Addr{at("B2")})
+	if len(dirty) != 8 || dirty[0] != at("B3") || dirty[7] != at("B10") {
+		t.Fatalf("dirty from B2 = %v", dirty)
+	}
+}
+
+func TestBottomUpRegion(t *testing.T) {
+	// B1..B9 = B(r+1)+Ar; B10 = A10. Reads strictly below force bottom-up.
+	s := sheet.New("S", 12, 4)
+	fillDown(s, "=B2+A1", 1, 0, 8)
+	s.SetFormula(at("B10"), formula.MustCompile("=A10"))
+	_, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("bottom-up region should sequence")
+	}
+	order := g.Order()
+	if len(order) != 10 {
+		t.Fatalf("order = %v", order)
+	}
+	// The B10 singleton must precede the fill region, which runs bottom-up.
+	if order[0] != at("B10") {
+		t.Fatalf("order[0] = %v, want B10", order[0])
+	}
+	for i := 1; i < len(order); i++ {
+		want := cell.Addr{Row: 9 - i, Col: 1}
+		if order[i] != want {
+			t.Fatalf("order[%d] = %v, want %v (bottom-up)", i, order[i], want)
+		}
+	}
+	// Dirt in A8 reaches B8 and flows upward to B1.
+	dirty := g.DirtyFrom([]cell.Addr{at("A8")})
+	if len(dirty) != 8 || dirty[0] != at("B8") || dirty[7] != at("B1") {
+		t.Fatalf("dirty = %v", dirty)
+	}
+}
+
+func TestSelfReadUnsequencable(t *testing.T) {
+	// A region whose cells read their own row in their own column has no
+	// consistent direction: the engine must fall back to the per-cell path
+	// (which reports the #CYCLE!s).
+	s := sheet.New("S", 8, 4)
+	fillDown(s, "=B1+1", 1, 0, 5)
+	if _, g := buildFor(s); g.OK() {
+		t.Fatal("self-reading region must not sequence")
+	}
+}
+
+func TestWholeColumnSelfAggregateUnsequencable(t *testing.T) {
+	s := sheet.New("S", 12, 4)
+	fillDown(s, "=SUM(B$1:B$10)", 1, 0, 9)
+	if _, g := buildFor(s); g.OK() {
+		t.Fatal("whole-self aggregate must not sequence")
+	}
+}
+
+func TestCrossRegionCycleUnsequencable(t *testing.T) {
+	s := sheet.New("S", 8, 4)
+	fillDown(s, "=C1", 1, 0, 5) // B reads C
+	fillDown(s, "=B1", 2, 0, 5) // C reads B
+	if _, g := buildFor(s); g.OK() {
+		t.Fatal("region-level cycle must not sequence")
+	}
+}
+
+func TestOrderNilWhenNotOK(t *testing.T) {
+	s := sheet.New("S", 8, 4)
+	fillDown(s, "=B1", 1, 0, 3)
+	_, g := buildFor(s)
+	if g.Order() != nil || g.DirtyFrom([]cell.Addr{at("A1")}) != nil {
+		t.Fatal("Order/DirtyFrom must be nil when !OK")
+	}
+}
+
+func TestAnchoredRunningAggregate(t *testing.T) {
+	// Br = SUM(A$1:A<r>) — lower-fixed against column A. A dirty A1 hits
+	// every row; a dirty A9 only rows 9..10.
+	s := sheet.New("S", 12, 4)
+	fillDown(s, "=SUM(A$1:A1)", 1, 0, 9)
+	_, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("anchored aggregate over a value column should sequence")
+	}
+	if dirty := g.DirtyFrom([]cell.Addr{at("A1")}); len(dirty) != 10 {
+		t.Fatalf("dirty from A1 = %v", dirty)
+	}
+	dirty := g.DirtyFrom([]cell.Addr{at("A9")})
+	if len(dirty) != 2 || dirty[0] != at("B9") || dirty[1] != at("B10") {
+		t.Fatalf("dirty from A9 = %v", dirty)
+	}
+}
+
+// Region-level dirty propagation must return a superset of the per-cell
+// dirty set, in an order consistent with per-cell dependencies.
+func TestDirtyFromSupersetOfPerCell(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 120, Seed: 7, Formulas: true})
+	s := wb.First()
+	sr, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("weather formula sheet should sequence")
+	}
+	pc := perCellGraph(s)
+
+	seeds := [][]cell.Addr{
+		{{Row: 5, Col: workload.ColStorm}},
+		{{Row: 1, Col: workload.ColEvent0}},
+		{{Row: 60, Col: workload.ColEvent0 + 3}, {Row: 61, Col: workload.ColStorm}},
+		{{Row: 2, Col: workload.ColFormula0}}, // a formula cell as seed
+	}
+	for i, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			want, cyclic := pc.Dirty(seed)
+			if len(cyclic) != 0 {
+				t.Fatalf("per-cell graph found cycles: %v", cyclic)
+			}
+			got := g.DirtyFrom(seed)
+			have := make(map[cell.Addr]bool, len(got))
+			for _, a := range got {
+				have[a] = true
+			}
+			for _, a := range want {
+				if !have[a] {
+					t.Fatalf("per-cell dirty %v missing from region dirty (%d cells)", a, len(got))
+				}
+			}
+			// Everything the region path emits must be a formula cell of
+			// some region (never a value cell).
+			for _, a := range got {
+				if sr.RegionFor(a) < 0 {
+					t.Fatalf("region dirty emitted non-formula cell %v", a)
+				}
+			}
+		})
+	}
+}
+
+// The region order must match the per-cell graph's edge directions: every
+// per-cell precedent that is itself a formula cell evaluates first.
+func TestOrderRespectsPerCellEdges(t *testing.T) {
+	s := sheet.New("S", 40, 6)
+	for r := 0; r < 30; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64(r)))
+	}
+	fillDown(s, "=A1+1", 1, 0, 29)                              // B <- A
+	fillDown(s, "=SUM(B$1:B1)", 2, 0, 29)                       // C <- B (running anchored)
+	fillDown(s, "=C1*2", 3, 0, 29)                              // D <- C
+	s.SetFormula(at("E1"), formula.MustCompile("=SUM(D1:D30)")) // E1 <- all D
+	_, g := buildFor(s)
+	if !g.OK() {
+		t.Fatal("should sequence")
+	}
+	order := g.Order()
+	pos := make(map[cell.Addr]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+		dr, dc := fc.DeltaAt(a)
+		for _, rng := range fc.Code.PrecedentRanges(dr, dc) {
+			for row := rng.Start.Row; row <= rng.End.Row; row++ {
+				for col := rng.Start.Col; col <= rng.End.Col; col++ {
+					p := cell.Addr{Row: row, Col: col}
+					if p == a {
+						continue
+					}
+					if pi, ok := pos[p]; ok && pi > pos[a] {
+						t.Fatalf("%v evaluates at %d before its precedent %v at %d", a, pos[a], p, pi)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,230 @@
+// Package regions infers maximal uniform fill regions — contiguous vertical
+// runs of formula cells whose relative R1C1 normal forms are identical — and
+// builds a compressed region-level dependency graph over them.
+//
+// The paper's Formula-value weather workbook is a handful of formula
+// *shapes* filled down 10k-500k rows; the per-cell graph (internal/graph)
+// nevertheless expands O(rows) nodes and edges, and calc-chain sequencing
+// pays O(rows log rows) every time the chain is rebuilt. Real engines (and
+// the xlsx shared-formula encoding) store one master formula per fill
+// region; this package is the static pass that recovers those regions from
+// an already-materialized sheet, so the optimized engine can sequence
+// recalculation over O(#regions) instead of O(#cells).
+package regions
+
+import (
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Region is a maximal contiguous vertical run of formula cells in one
+// column sharing one R1C1 equivalence class. A cell whose neighbors have
+// different classes becomes a singleton region, so the regions of a sheet
+// always partition its formula cells.
+type Region struct {
+	// Col is the hosting column.
+	Col int
+	// Start and End are the first and last row, inclusive.
+	Start, End int
+	// Class indexes SheetRegions.Classes.
+	Class int
+}
+
+// Rows returns the region's height in cells.
+func (r Region) Rows() int { return r.End - r.Start + 1 }
+
+// Contains reports whether the region hosts the given cell.
+func (r Region) Contains(a cell.Addr) bool {
+	return a.Col == r.Col && a.Row >= r.Start && a.Row <= r.End
+}
+
+// Class is one R1C1 equivalence class: every member formula computes the
+// same function of its host position. Code/Origin identify a representative
+// formula; the region graph derives each region's precedent shape from it.
+type Class struct {
+	// Hash is the FNV-1a hash of Text (formula.R1C1Hash).
+	Hash uint64
+	// Text is the relative R1C1 canonical text.
+	Text string
+	// Code and Origin are a representative member (sheet.Formula fields).
+	Code   *formula.Compiled
+	Origin cell.Addr
+}
+
+// SheetRegions is the result of region inference over one sheet.
+type SheetRegions struct {
+	// Regions is sorted by (Col, Start); regions never overlap.
+	Regions []Region
+	// Classes holds the R1C1 equivalence classes regions refer to.
+	Classes []Class
+	// Formulas is the number of formula cells covered (the per-cell graph's
+	// node count for the same sheet).
+	Formulas int
+
+	ops int64
+}
+
+// srcKey identifies the inputs the R1C1 form is a function of: the compiled
+// code and its authored origin. Relative offsets are ref-minus-origin, so
+// every host sharing (code, origin) — the fill-down case, where one
+// *Compiled is attached across a column — has the same form, and
+// classification is one map probe per cell instead of a hash of the AST.
+type srcKey struct {
+	code   *formula.Compiled
+	origin cell.Addr
+}
+
+// Infer computes the fill regions of a sheet. The result is deterministic:
+// regions are sorted by (column, start row), classes are numbered in
+// discovery order of that sorted scan.
+func Infer(s *sheet.Sheet) *SheetRegions {
+	sr := &SheetRegions{}
+	type cellRec struct {
+		addr cell.Addr
+		fc   sheet.Formula
+	}
+	recs := make([]cellRec, 0, s.FormulaCount())
+	s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
+		recs = append(recs, cellRec{a, fc})
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].addr.Col != recs[j].addr.Col {
+			return recs[i].addr.Col < recs[j].addr.Col
+		}
+		return recs[i].addr.Row < recs[j].addr.Row
+	})
+	sr.Formulas = len(recs)
+
+	bySrc := make(map[srcKey]int)
+	byHash := make(map[uint64][]int)
+	classes := make([]int, len(recs))
+	for i, rec := range recs {
+		sr.ops++ // one classification probe per formula cell
+		k := srcKey{rec.fc.Code, rec.fc.Origin}
+		cls, ok := bySrc[k]
+		if !ok {
+			cls = sr.classFor(rec.fc, byHash)
+			bySrc[k] = cls
+		}
+		classes[i] = cls
+	}
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].addr.Col == recs[i].addr.Col &&
+			recs[j].addr.Row == recs[j-1].addr.Row+1 && classes[j] == classes[i] {
+			j++
+		}
+		sr.Regions = append(sr.Regions, Region{
+			Col:   recs[i].addr.Col,
+			Start: recs[i].addr.Row,
+			End:   recs[j-1].addr.Row,
+			Class: classes[i],
+		})
+		sr.ops++
+		i = j
+	}
+	return sr
+}
+
+// classFor resolves (or creates) the class of a formula not seen via the
+// srcKey fast path. The hash buckets cells; text comparison breaks
+// collisions, so two distinct forms can never merge into one region.
+func (sr *SheetRegions) classFor(fc sheet.Formula, byHash map[uint64][]int) int {
+	h := formula.R1C1Hash(fc.Code.Root, 0, 0, fc.Origin)
+	text := ""
+	haveText := false
+	for _, ci := range byHash[h] {
+		if !haveText {
+			text = formula.R1C1Text(fc.Code.Root, 0, 0, fc.Origin)
+			haveText = true
+		}
+		if sr.Classes[ci].Text == text {
+			return ci
+		}
+	}
+	if !haveText {
+		text = formula.R1C1Text(fc.Code.Root, 0, 0, fc.Origin)
+	}
+	sr.Classes = append(sr.Classes, Class{Hash: h, Text: text, Code: fc.Code, Origin: fc.Origin})
+	ci := len(sr.Classes) - 1
+	byHash[h] = append(byHash[h], ci)
+	return ci
+}
+
+// Ops returns the inference work counter (charged to the engine's DepOp
+// metric when the pass runs inside a benchmarked operation).
+func (sr *SheetRegions) Ops() int64 { return sr.ops }
+
+// ResetOps zeroes the work counter.
+func (sr *SheetRegions) ResetOps() { sr.ops = 0 }
+
+// CompressionRatio is formula cells per region — how much smaller the
+// region-level graph's node set is than the per-cell graph's.
+func (sr *SheetRegions) CompressionRatio() float64 {
+	if len(sr.Regions) == 0 {
+		return 1
+	}
+	return float64(sr.Formulas) / float64(len(sr.Regions))
+}
+
+// RegionFor returns the index of the region hosting a, or -1 when a is not
+// a formula cell covered by the inference.
+func (sr *SheetRegions) RegionFor(a cell.Addr) int {
+	// First region strictly after a in (Col, Start) order...
+	i := sort.Search(len(sr.Regions), func(i int) bool {
+		r := sr.Regions[i]
+		return r.Col > a.Col || (r.Col == a.Col && r.Start > a.Row)
+	})
+	// ...means the candidate is its predecessor.
+	if i == 0 {
+		return -1
+	}
+	if r := sr.Regions[i-1]; r.Contains(a) {
+		return i - 1
+	}
+	return -1
+}
+
+// Singletons returns the height-1 regions — the irregular cells that break
+// up otherwise-uniform columns (the `broken-fill` analyzer's raw material).
+func (sr *SheetRegions) Singletons() []Region {
+	var out []Region
+	for _, r := range sr.Regions {
+		if r.Rows() == 1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SplitAt removes one cell from its region — the uniformity-breaking edit
+// (formula overwrite or deletion at a). The region splits into the runs
+// above and below a; either may be empty. Returns false when a is not in
+// any region (nothing to do). The caller must rebuild the region graph:
+// region indices after the split point shift.
+func (sr *SheetRegions) SplitAt(a cell.Addr) bool {
+	ri := sr.RegionFor(a)
+	if ri < 0 {
+		return false
+	}
+	r := sr.Regions[ri]
+	repl := make([]Region, 0, 2)
+	if a.Row > r.Start {
+		repl = append(repl, Region{Col: r.Col, Start: r.Start, End: a.Row - 1, Class: r.Class})
+	}
+	if a.Row < r.End {
+		repl = append(repl, Region{Col: r.Col, Start: a.Row + 1, End: r.End, Class: r.Class})
+	}
+	out := make([]Region, 0, len(sr.Regions)+1)
+	out = append(out, sr.Regions[:ri]...)
+	out = append(out, repl...)
+	out = append(out, sr.Regions[ri+1:]...)
+	sr.Regions = out
+	sr.Formulas--
+	sr.ops++
+	return true
+}

@@ -1,0 +1,197 @@
+package regions
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func at(s string) cell.Addr { return cell.MustParseAddr(s) }
+
+// fillDown attaches one compiled formula across a column run with a shared
+// origin — the workload's (and xlsx shared-formula) fill-down shape.
+func fillDown(s *sheet.Sheet, text string, col, start, end int) *formula.Compiled {
+	code := formula.MustCompile(text)
+	org := cell.Addr{Row: start, Col: col}
+	for r := start; r <= end; r++ {
+		s.AttachFormula(cell.Addr{Row: r, Col: col}, sheet.Formula{Code: code, Origin: org})
+	}
+	return code
+}
+
+func TestInferWeatherFormulaColumns(t *testing.T) {
+	const rows = 200
+	wb := workload.Weather(workload.Spec{Rows: rows, Seed: 7, Formulas: true})
+	sr := Infer(wb.First())
+
+	if sr.Formulas != 7*rows {
+		t.Fatalf("Formulas = %d, want %d", sr.Formulas, 7*rows)
+	}
+	if len(sr.Regions) != 7 {
+		t.Fatalf("regions = %d (%v), want 7", len(sr.Regions), sr.Regions)
+	}
+	if len(sr.Classes) != 7 {
+		t.Fatalf("classes = %d, want 7", len(sr.Classes))
+	}
+	for i, r := range sr.Regions {
+		if r.Col != workload.ColFormula0+i || r.Start != 1 || r.End != rows {
+			t.Errorf("region %d = %+v, want col %d rows 1..%d", i, r, workload.ColFormula0+i, rows)
+		}
+	}
+	if got := sr.CompressionRatio(); got != float64(rows) {
+		t.Errorf("compression ratio = %v, want %v", got, rows)
+	}
+}
+
+// Regions must partition the formula cells: every formula cell belongs to
+// exactly one region, and region heights sum to the formula count.
+func TestInferPartitionsFormulaCells(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 60, Seed: 3, Formulas: true, Analysis: true})
+	s := wb.First()
+	sr := Infer(s)
+
+	covered := 0
+	for _, r := range sr.Regions {
+		covered += r.Rows()
+	}
+	if covered != sr.Formulas || sr.Formulas != s.FormulaCount() {
+		t.Fatalf("regions cover %d cells, Formulas=%d, sheet has %d", covered, sr.Formulas, s.FormulaCount())
+	}
+	s.EachFormula(func(a cell.Addr, _ sheet.Formula) bool {
+		ri := sr.RegionFor(a)
+		if ri < 0 || !sr.Regions[ri].Contains(a) {
+			t.Fatalf("formula cell %v not covered (RegionFor=%d)", a, ri)
+		}
+		return true
+	})
+}
+
+func TestInferSharedCompiledFillDown(t *testing.T) {
+	s := sheet.New("S", 12, 4)
+	fillDown(s, "=A1+1", 1, 0, 9)
+	sr := Infer(s)
+	if len(sr.Regions) != 1 || len(sr.Classes) != 1 {
+		t.Fatalf("regions=%v classes=%d, want one region, one class", sr.Regions, len(sr.Classes))
+	}
+	if r := sr.Regions[0]; r.Col != 1 || r.Start != 0 || r.End != 9 {
+		t.Fatalf("region = %+v", r)
+	}
+	if got := sr.Classes[0].Text; got != "(RC[-1]+1)" {
+		t.Errorf("class text = %q", got)
+	}
+}
+
+// Separately compiled formulas (distinct *Compiled, distinct origins) whose
+// relative R1C1 forms agree must merge into one region via the hash path.
+func TestInferEquivalentTextsMerge(t *testing.T) {
+	s := sheet.New("S", 8, 4)
+	s.SetFormula(at("B1"), formula.MustCompile("=A1*2"))
+	s.SetFormula(at("B2"), formula.MustCompile("=A2*2"))
+	s.SetFormula(at("B3"), formula.MustCompile("=A3*2"))
+	sr := Infer(s)
+	if len(sr.Regions) != 1 || len(sr.Classes) != 1 {
+		t.Fatalf("regions=%v classes=%d, want 1 and 1", sr.Regions, len(sr.Classes))
+	}
+	if r := sr.Regions[0]; r.Start != 0 || r.End != 2 {
+		t.Fatalf("region = %+v", r)
+	}
+}
+
+// A structurally different formula in the middle of a run splits it; each
+// resulting region keeps its own class and the deviant shows in Singletons.
+func TestInferBreaksOnDeviantCell(t *testing.T) {
+	s := sheet.New("S", 8, 4)
+	s.SetFormula(at("B1"), formula.MustCompile("=A1"))
+	s.SetFormula(at("B2"), formula.MustCompile("=A2+100"))
+	s.SetFormula(at("B3"), formula.MustCompile("=A3"))
+	sr := Infer(s)
+	if len(sr.Regions) != 3 {
+		t.Fatalf("regions = %v, want 3 singletons", sr.Regions)
+	}
+	if len(sr.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(sr.Classes))
+	}
+	if sr.Regions[0].Class != sr.Regions[2].Class {
+		t.Errorf("B1 and B3 should share a class: %v", sr.Regions)
+	}
+	if got := len(sr.Singletons()); got != 3 {
+		t.Errorf("singletons = %d, want 3", got)
+	}
+}
+
+// A gap (non-formula cell) in a column also ends a region.
+func TestInferBreaksOnGap(t *testing.T) {
+	s := sheet.New("S", 8, 4)
+	s.SetFormula(at("B1"), formula.MustCompile("=A1"))
+	s.SetFormula(at("B2"), formula.MustCompile("=A2"))
+	s.SetFormula(at("B4"), formula.MustCompile("=A4"))
+	sr := Infer(s)
+	if len(sr.Regions) != 2 || len(sr.Classes) != 1 {
+		t.Fatalf("regions=%v classes=%d", sr.Regions, len(sr.Classes))
+	}
+}
+
+func TestRegionFor(t *testing.T) {
+	s := sheet.New("S", 20, 4)
+	fillDown(s, "=A1", 1, 2, 8)
+	sr := Infer(s)
+	if ri := sr.RegionFor(cell.Addr{Row: 5, Col: 1}); ri != 0 {
+		t.Errorf("RegionFor inside = %d", ri)
+	}
+	for _, a := range []cell.Addr{{Row: 1, Col: 1}, {Row: 9, Col: 1}, {Row: 5, Col: 0}, {Row: 5, Col: 2}} {
+		if ri := sr.RegionFor(a); ri != -1 {
+			t.Errorf("RegionFor(%v) = %d, want -1", a, ri)
+		}
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	s := sheet.New("S", 20, 4)
+	fillDown(s, "=A1", 1, 1, 10)
+	sr := Infer(s)
+
+	if sr.SplitAt(cell.Addr{Row: 0, Col: 1}) {
+		t.Fatal("SplitAt outside any region should return false")
+	}
+	if !sr.SplitAt(cell.Addr{Row: 5, Col: 1}) {
+		t.Fatal("SplitAt inside region returned false")
+	}
+	if len(sr.Regions) != 2 {
+		t.Fatalf("after mid split: %v", sr.Regions)
+	}
+	if a, b := sr.Regions[0], sr.Regions[1]; a.Start != 1 || a.End != 4 || b.Start != 6 || b.End != 10 {
+		t.Fatalf("split halves = %+v %+v", a, b)
+	}
+	if sr.Formulas != 9 {
+		t.Errorf("Formulas = %d, want 9", sr.Formulas)
+	}
+	// Splitting at an edge leaves a single shorter region.
+	if !sr.SplitAt(cell.Addr{Row: 1, Col: 1}) {
+		t.Fatal("edge split returned false")
+	}
+	if len(sr.Regions) != 2 || sr.Regions[0].Start != 2 {
+		t.Fatalf("after edge split: %v", sr.Regions)
+	}
+	// Splitting a singleton removes it entirely.
+	if !sr.SplitAt(cell.Addr{Row: 10, Col: 1}) {
+		t.Fatal("want true")
+	}
+	if !sr.SplitAt(cell.Addr{Row: 6, Col: 1}) || !sr.SplitAt(cell.Addr{Row: 7, Col: 1}) {
+		t.Fatal("want true")
+	}
+	for _, r := range sr.Regions {
+		if r.Rows() < 1 {
+			t.Fatalf("empty region survived: %v", sr.Regions)
+		}
+	}
+}
+
+func TestCompressionRatioEmpty(t *testing.T) {
+	sr := Infer(sheet.New("S", 4, 4))
+	if got := sr.CompressionRatio(); got != 1 {
+		t.Errorf("empty sheet ratio = %v, want 1", got)
+	}
+}

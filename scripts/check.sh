@@ -1,29 +1,51 @@
 #!/usr/bin/env bash
 # Tier-1 quality gate: formatting, vet, the repository's custom analyzers
-# (internal/lint/cmd/sheetlint: rangemap determinism + floatcmp), build, and
+# (internal/lint/cmd/sheetlint: rangemap + floatcmp + sortedout), build, and
 # the full test suite under the race detector. CI and pre-commit both run
 # exactly this script.
+#
+# Usage: check.sh [stage]
+#   lint   formatting, vet, sheetlint, build — the fast static half
+#   race   the full test suite under the race detector
+#   all    both halves (the default)
+#
+# CI runs the two stages as separate jobs so the static half reports in
+# seconds while the race suite grinds; with no argument this script is the
+# same gate it has always been.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
+stage="${1:-all}"
+case "$stage" in
+lint | race | all) ;;
+*)
+    echo "usage: $0 [lint|race|all]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$stage" != "race" ]; then
+    echo "== gofmt =="
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+
+    echo "== go vet =="
+    go vet ./...
+
+    echo "== sheetlint (rangemap + floatcmp + sortedout) =="
+    go run ./internal/lint/cmd/sheetlint
+
+    echo "== go build =="
+    go build ./...
 fi
 
-echo "== go vet =="
-go vet ./...
-
-echo "== sheetlint (rangemap + floatcmp) =="
-go run ./internal/lint/cmd/sheetlint
-
-echo "== go build =="
-go build ./...
-
-echo "== go test -race =="
-go test -race ./...
+if [ "$stage" != "lint" ]; then
+    echo "== go test -race =="
+    go test -race ./...
+fi
 
 echo "OK"
