@@ -46,7 +46,10 @@ func benchEngine(b *testing.B, system string, formulas bool) (*engine.Engine, *S
 
 func perSystem(b *testing.B, f func(b *testing.B, system string)) {
 	for _, sys := range []string{"excel", "calc", "sheets", "optimized"} {
-		b.Run(sys, func(b *testing.B) { f(b, sys) })
+		b.Run(sys, func(b *testing.B) {
+			b.ReportAllocs()
+			f(b, sys)
+		})
 	}
 }
 
@@ -58,6 +61,7 @@ func reportSim(b *testing.B, sim time.Duration) {
 }
 
 func BenchmarkTable1Taxonomy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.WriteTaxonomy(io.Discard)
 	}
@@ -213,6 +217,7 @@ func BenchmarkTable2Derivation(b *testing.B) {
 		results[exp.ID] = res
 	}
 	systems := []string{"excel", "calc", "sheets"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := core.Table2(results, systems)
@@ -388,6 +393,7 @@ func benchAblation(b *testing.B, p engine.Profile, formulas bool, run func(eng *
 		b.Fatal(err)
 	}
 	s := wb.First()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := run(eng, s, i); err != nil {
@@ -427,6 +433,7 @@ func BenchmarkAblationIncrementalUpdate(b *testing.B) {
 				b.Fatal(err)
 			}
 			j2 := cell.Addr{Row: 1, Col: workload.ColStorm}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.SetCell(s, j2, cell.Num(float64(i%2))); err != nil {
@@ -456,6 +463,7 @@ func BenchmarkAblationSharedComputation(b *testing.B) {
 	const m = 500
 	mk := func(p engine.Profile) func(b *testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				eng := engine.New(p)
@@ -491,6 +499,7 @@ func BenchmarkAblationSortRecalcAnalysis(b *testing.B) {
 				b.Fatal(err)
 			}
 			s := wb.First()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Sort(s, workload.ColID, i%2 == 0, 1); err != nil {
@@ -506,6 +515,7 @@ func BenchmarkAblationSortRecalcAnalysis(b *testing.B) {
 // Substrate micro-benchmarks: the engine hot paths.
 
 func BenchmarkFormulaCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := formula.Compile(`=COUNTIF(K2:K10001,1)+SUM(A1:A100)*2`); err != nil {
 			b.Fatal(err)
@@ -516,6 +526,7 @@ func BenchmarkFormulaCompile(b *testing.B) {
 func BenchmarkGridScan(b *testing.B) {
 	wb := workload.Weather(workload.Spec{Rows: benchRows})
 	s := wb.First()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sum float64
 	for i := 0; i < b.N; i++ {
@@ -535,6 +546,7 @@ func BenchmarkGridScan(b *testing.B) {
 // constant visible.
 func BenchmarkAnalyzeWorkbook(b *testing.B) {
 	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true, Analysis: true})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := analyze.Workbook(wb, analyze.Options{})
@@ -552,6 +564,7 @@ func BenchmarkAnalyzeWorkbook(b *testing.B) {
 // Install when TypedColumns is on.
 func BenchmarkTypecheckWorkbook(b *testing.B) {
 	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true, Analysis: true})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := typecheck.Workbook(wb, typecheck.Options{})
@@ -567,6 +580,7 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 	for _, rows := range []int{10_000, 20_000, 40_000} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			wb := workload.Weather(workload.Spec{Rows: rows, Formulas: true, Analysis: true})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if rep := analyze.Workbook(wb, analyze.Options{}); rep.Formulas == 0 {
@@ -585,6 +599,7 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 func BenchmarkRegionInference(b *testing.B) {
 	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true})
 	s := wb.First()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sr := regions.Infer(s)
@@ -602,6 +617,7 @@ func BenchmarkRegionInference(b *testing.B) {
 func BenchmarkRegionGraphBuild(b *testing.B) {
 	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true})
 	sr := regions.Infer(wb.First())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := regions.Build(sr)

@@ -21,6 +21,11 @@
 // reports formula-set compression and region-graph sequencability; see
 // regions.go.
 //
+//	sheetcli trace [-system p] [-rows n] [-script ops] [-json] [file.svf]
+//
+// runs a scripted operation sequence with the observability layer on and
+// prints the span tree plus 500 ms interactivity SLO verdicts; see trace.go.
+//
 // Commands (addresses in A1 notation, columns as letters):
 //
 //	set A1 <value|=FORMULA>   write a cell
@@ -33,6 +38,7 @@
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
 //	find <x> <y>              find-and-replace
+//	trace on|off|dump         record spans for later ops; dump the tree
 //	gen <rows> [F|V]          load a weather dataset
 //	open <path>               open an SVF workbook
 //	save <path>               save the workbook
@@ -51,6 +57,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/engine"
 	"repro/internal/iolib"
+	"repro/internal/obs"
 	"repro/internal/sheet"
 	"repro/internal/typecheck"
 	"repro/internal/workload"
@@ -65,6 +72,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "regions" {
 		os.Exit(runRegions(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
 	}
 
 	system := flag.String("system", "excel", "system profile")
@@ -107,7 +117,7 @@ func main() {
 // dispatch runs one command; it returns false to quit.
 func dispatch(eng *engine.Engine, line string) bool {
 	args := strings.Fields(line)
-	cmd := strings.ToLower(args[0])
+	cmd := strings.TrimPrefix(strings.ToLower(args[0]), ":")
 	s := eng.Workbook().First()
 	fail := func(err error) bool {
 		fmt.Println("error:", err)
@@ -119,7 +129,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze typecheck regions sort filter pivot find gen open save quit")
+		fmt.Println("set get show analyze typecheck regions sort filter pivot find trace gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
@@ -253,6 +263,29 @@ func dispatch(eng *engine.Engine, line string) bool {
 			return fail(err)
 		}
 		fmt.Printf("replaced in %d cells (sim %v)\n", n, res.Sim)
+
+	case "trace":
+		if len(args) != 2 {
+			fmt.Println("usage: trace on|off|dump")
+			return true
+		}
+		switch strings.ToLower(args[1]) {
+		case "on":
+			obs.Reset()
+			obs.SetEnabled(true)
+			fmt.Println("tracing on; run some ops, then: trace dump")
+		case "off":
+			obs.SetEnabled(false)
+			fmt.Println("tracing off")
+		case "dump":
+			tr := obs.Take()
+			rep := obs.CheckTrace(tr, obs.DefaultSLOBound)
+			if err := writeTraceText(os.Stdout, tr, rep, obs.TreeOptions{Durations: true, MaxSpans: 200}); err != nil {
+				return fail(err)
+			}
+		default:
+			fmt.Println("usage: trace on|off|dump")
+		}
 
 	case "gen":
 		if len(args) < 2 {

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/iolib"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// defaultTraceScript exercises every traced user-facing operation class on
+// the weather fixture: sort, filter, plain write, formula insert,
+// find-replace, and a forced full recalculation.
+const defaultTraceScript = "sort B; filter B TX; set J6 3; formula R2 =SUM(J2:J101); find TX XT; recalc"
+
+// runTrace implements the `sheetcli trace` subcommand: it runs a scripted
+// operation sequence against one system profile with the observability layer
+// on, then renders the span tree and the 500 ms interactivity SLO verdicts.
+// Verdicts are judged on the simulated clock each op span carries
+// (obs.SimAttr), so the output is deterministic for a fixed workload; wall
+// durations appear only with -wall.
+//
+// Usage: sheetcli trace [-system excel] [-rows n] [-seed n] [-script ops]
+//
+//	[-json] [-wall] [-max n] [-out trace.json] [file.svf]
+func runTrace(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	system := fs.String("system", "excel", "system profile to trace")
+	rows := fs.Int("rows", 1000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	script := fs.String("script", defaultTraceScript, "semicolon-separated operations to trace")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	wall := fs.Bool("wall", false, "include wall-clock durations in the span tree (non-deterministic)")
+	maxSpans := fs.Int("max", 200, "max spans rendered in the tree; 0 removes the cap")
+	chromeOut := fs.String("out", "", "also write the trace as Chrome trace-event JSON to this path")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli trace [-system p] [-rows n] [-seed n] [-script ops] [-json] [-wall] [-max n] [-out f] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	prof, ok := engine.Profiles()[*system]
+	if !ok {
+		fmt.Fprintf(errOut, "sheetcli: unknown system %q\n", *system)
+		return 2
+	}
+
+	eng := engine.New(prof)
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		if err := eng.Install(res.Workbook); err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+	} else {
+		wb := workload.Weather(workload.Spec{Rows: *rows, Formulas: true, Seed: *seed})
+		if err := eng.Install(wb); err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+	}
+
+	// Trace only the scripted operations, not the fixture install.
+	obs.Reset()
+	obs.SetEnabled(true)
+	scriptErr := runTraceScript(eng, *script)
+	obs.SetEnabled(false)
+	tr := obs.Take()
+	if scriptErr != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", scriptErr)
+		return 1
+	}
+
+	if *chromeOut != "" {
+		if err := writeChromeFile(*chromeOut, tr); err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(errOut, "wrote %s\n", *chromeOut)
+	}
+
+	rep := obs.CheckTrace(tr, obs.DefaultSLOBound)
+	var err error
+	if *jsonOut {
+		err = writeTraceJSON(out, *system, tr, rep)
+	} else {
+		err = writeTraceText(out, tr, rep, obs.TreeOptions{Durations: *wall, MaxSpans: *maxSpans})
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// writeChromeFile saves the trace as Chrome trace-event JSON, surfacing
+// write and close errors alike.
+func writeChromeFile(path string, tr *obs.Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := tr.WriteChromeJSON(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// runTraceScript executes a semicolon-separated operation sequence:
+//
+//	sort <col> [asc|desc]   filter <col> <value>   set A1 <value>
+//	formula A1 =TEXT        find <x> <y>           pivot <dim> <meas>
+//	recalc
+func runTraceScript(eng *engine.Engine, script string) error {
+	s := eng.Workbook().First()
+	for _, stmt := range strings.Split(script, ";") {
+		f := strings.Fields(strings.TrimSpace(stmt))
+		if len(f) == 0 {
+			continue
+		}
+		bad := func() error {
+			return fmt.Errorf("trace script: bad statement %q", strings.TrimSpace(stmt))
+		}
+		var err error
+		switch strings.ToLower(f[0]) {
+		case "sort":
+			if len(f) < 2 {
+				return bad()
+			}
+			col, cerr := cell.ParseColName(f[1])
+			if cerr != nil {
+				return cerr
+			}
+			asc := len(f) < 3 || !strings.EqualFold(f[2], "desc")
+			_, err = eng.Sort(s, col, asc, 1)
+		case "filter":
+			if len(f) != 3 {
+				return bad()
+			}
+			col, cerr := cell.ParseColName(f[1])
+			if cerr != nil {
+				return cerr
+			}
+			_, _, err = eng.Filter(s, col, cell.Str(f[2]), 1)
+		case "set":
+			if len(f) != 3 {
+				return bad()
+			}
+			a, cerr := cell.ParseAddr(f[1])
+			if cerr != nil {
+				return cerr
+			}
+			v := cell.Str(f[2])
+			if num, perr := strconv.ParseFloat(f[2], 64); perr == nil {
+				v = cell.Num(num)
+			}
+			_, err = eng.SetCell(s, a, v)
+		case "formula":
+			if len(f) < 3 {
+				return bad()
+			}
+			a, cerr := cell.ParseAddr(f[1])
+			if cerr != nil {
+				return cerr
+			}
+			_, _, err = eng.InsertFormula(s, a, strings.Join(f[2:], " "))
+		case "find":
+			if len(f) != 3 {
+				return bad()
+			}
+			_, _, err = eng.FindReplace(s, f[1], f[2])
+		case "pivot":
+			if len(f) != 3 {
+				return bad()
+			}
+			dim, cerr := cell.ParseColName(f[1])
+			if cerr != nil {
+				return cerr
+			}
+			meas, cerr := cell.ParseColName(f[2])
+			if cerr != nil {
+				return cerr
+			}
+			_, _, err = eng.PivotTable(s, dim, meas, 1)
+		case "recalc":
+			_, err = eng.Recalculate(s)
+		default:
+			return bad()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTraceText renders the span tree followed by the SLO verdict section —
+// the shared renderer behind the trace subcommand and the REPL's trace dump.
+func writeTraceText(w io.Writer, tr *obs.Trace, rep obs.SLOReport, opts obs.TreeOptions) error {
+	if tr.Spans == 0 {
+		if _, err := fmt.Fprintln(w, "no spans recorded"); err != nil {
+			return err
+		}
+	} else if err := tr.WriteTree(w, opts); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return rep.WriteText(w)
+}
+
+// traceSpanJSON is one span of the JSON report: names and attributes only —
+// the deterministic skeleton — with wall timings deliberately omitted.
+type traceSpanJSON struct {
+	Name     string           `json:"name"`
+	Attrs    map[string]any   `json:"attrs,omitempty"`
+	Children []*traceSpanJSON `json:"children,omitempty"`
+}
+
+func spanToJSON(sp *obs.TraceSpan) *traceSpanJSON {
+	out := &traceSpanJSON{Name: sp.Name}
+	if len(sp.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			if a.IsStr {
+				out.Attrs[a.Key] = a.Str
+			} else {
+				out.Attrs[a.Key] = a.Int
+			}
+		}
+	}
+	for _, c := range sp.Children {
+		out.Children = append(out.Children, spanToJSON(c))
+	}
+	return out
+}
+
+func writeTraceJSON(w io.Writer, system string, tr *obs.Trace, rep obs.SLOReport) error {
+	doc := struct {
+		System string           `json:"system"`
+		Spans  int              `json:"spans"`
+		SLO    obs.SLOReport    `json:"slo"`
+		Roots  []*traceSpanJSON `json:"roots"`
+	}{System: system, Spans: tr.Spans, SLO: rep}
+	for _, r := range tr.Roots {
+		doc.Roots = append(doc.Roots, spanToJSON(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

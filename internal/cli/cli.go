@@ -3,6 +3,7 @@
 package cli
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -11,8 +12,29 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// writeFile creates path and streams fn's output through a buffered writer,
+// surfacing write, flush, and close errors alike (result files land on real
+// disks that fill up; a dropped close error hides a truncated file).
+func writeFile(path string, fn func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := fn(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
 
 // Main parses os.Args, runs the benchmark suite of the given kind ("bct",
 // "oot", or "all"), renders the figures to stdout, and exits the process on
@@ -39,6 +61,8 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 		csvDir     = fs.String("csv", "", "also write one CSV per experiment into this directory")
 		quiet      = fs.Bool("quiet", false, "suppress progress lines")
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		sidecar    = fs.String("sidecar", "", "write an observability sidecar JSON (metrics + SLO verdicts) to this path")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +95,17 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(errw, "  "+format+"\n", args...)
 		}
+	}
+
+	// Observability: either output flag turns the whole layer on for the
+	// run. Tracing stays off otherwise, keeping the engines on the
+	// zero-allocation span path the benchmarks are calibrated against.
+	observing := *sidecar != "" || *traceOut != ""
+	if observing {
+		obs.Reset()
+		obs.Default.ResetValues()
+		obs.SetEnabled(true)
+		defer obs.SetEnabled(false)
 	}
 
 	results := make(map[string]*core.Result)
@@ -124,17 +159,61 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 		}
 		for id, res := range results {
 			path := filepath.Join(*csvDir, id+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			report.WriteCSV(f, res.Series)
-			if err := f.Close(); err != nil {
+			if err := writeFile(path, func(w io.Writer) error {
+				return report.WriteCSV(w, res.Series)
+			}); err != nil {
 				return err
 			}
 			if !*quiet {
 				fmt.Fprintf(errw, "wrote %s\n", path)
 			}
+		}
+	}
+
+	if observing {
+		if err := writeObservability(kind, cfg.Systems, *sidecar, *traceOut, out, errw, *quiet); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeObservability drains the run's trace, surfaces the interactivity SLO
+// verdicts in the report output, and emits the requested sidecar/trace
+// files. Operations are judged on the simulated clock (the paper-comparable
+// latency each op span carries as an attribute) against the 500 ms bound.
+func writeObservability(kind string, systems []string, sidecarPath, tracePath string, out, errw io.Writer, quiet bool) error {
+	tr := obs.Take()
+	rep := obs.CheckTrace(tr, obs.DefaultSLOBound)
+	if err := rep.WriteText(out); err != nil {
+		return err
+	}
+
+	if tracePath != "" {
+		if err := writeFile(tracePath, tr.WriteChromeJSON); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(errw, "wrote %s\n", tracePath)
+		}
+	}
+	if sidecarPath != "" {
+		sc := &obs.Sidecar{
+			Kind:         kind,
+			Systems:      systems,
+			SLO:          rep,
+			Metrics:      obs.Default.Snapshot(),
+			Spans:        tr.Spans,
+			SpansDropped: tr.Dropped,
+			TraceFile:    tracePath,
+		}
+		if err := writeFile(sidecarPath, func(w io.Writer) error {
+			return obs.WriteSidecar(w, sc)
+		}); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(errw, "wrote %s\n", sidecarPath)
 		}
 	}
 	return nil

@@ -2,10 +2,13 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunList(t *testing.T) {
@@ -55,6 +58,66 @@ func TestRunCSVOutput(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "series,rows,") {
 		t.Errorf("csv header: %q", string(data[:30]))
+	}
+}
+
+func TestRunObservabilitySidecar(t *testing.T) {
+	dir := t.TempDir()
+	scPath := filepath.Join(dir, "results_oot.obs.json")
+	trPath := filepath.Join(dir, "results_oot.trace.json")
+	var out, errw bytes.Buffer
+	args := []string{
+		"-exp", "fig13-incremental", "-trials", "1",
+		"-maxrows", "300", "-maxrows-web", "300",
+		"-systems", "excel", "-quiet",
+		"-sidecar", scPath, "-trace", trPath,
+	}
+	if err := Run("oot", args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Error("tracing must be switched back off after the run")
+	}
+	if !strings.Contains(out.String(), "Interactivity SLO") {
+		t.Errorf("runner output missing the SLO section:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(scPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obs.ParseSidecar(data)
+	if err != nil {
+		t.Fatalf("sidecar does not validate: %v", err)
+	}
+	if sc.Kind != "oot" || sc.Spans == 0 || sc.TraceFile != trPath {
+		t.Fatalf("sidecar: kind=%q spans=%d trace=%q", sc.Kind, sc.Spans, sc.TraceFile)
+	}
+	if len(sc.SLO.Ops) == 0 {
+		t.Error("sidecar has no SLO-judged operations")
+	}
+	found := false
+	for _, c := range sc.Metrics.Counters {
+		if c.Name == "engine_cells_evaluated" && c.Label == "excel" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sidecar metrics missing engine_cells_evaluated{excel}: %+v", sc.Metrics.Counters)
+	}
+
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }
 

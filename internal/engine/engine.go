@@ -9,6 +9,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sheet"
 )
 
@@ -46,6 +47,7 @@ type Engine struct {
 	netErr      error         // sticky quota error
 
 	nowFn func() time.Time
+	met   engineMetrics
 }
 
 // New returns an engine with an empty workbook under the given profile.
@@ -58,6 +60,7 @@ func New(prof Profile) *Engine {
 		opts:    make(map[*sheet.Sheet]*optState),
 		regions: make(map[*sheet.Sheet]*regionChain),
 		nowFn:   time.Now,
+		met:     newEngineMetrics(prof.Name),
 	}
 	if prof.Web {
 		e.net = netsim.New(prof.Net)
@@ -93,6 +96,8 @@ func (e *Engine) graph(s *sheet.Sheet) *graph.Graph {
 // graphs and evaluated so the sheet starts consistent, and optimization
 // structures are built for optimized profiles.
 func (e *Engine) Install(wb *sheet.Workbook) error {
+	sp := obs.StartRoot("engine.install").Str("profile", e.prof.Name)
+	defer sp.End()
 	e.wb = wb
 	e.graphs = make(map[*sheet.Sheet]*graph.Graph)
 	e.chains = make(map[*sheet.Sheet]*chainCache)
@@ -100,14 +105,18 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	e.regions = make(map[*sheet.Sheet]*regionChain)
 	for _, s := range wb.Sheets() {
 		g := e.graph(s)
+		gsp := obs.Start("install.graph")
 		s.EachFormula(func(a cell.Addr, fc sheet.Formula) bool {
 			dr, dc := fc.DeltaAt(a)
 			g.SetFormula(a, fc.Code.PrecedentRanges(dr, dc))
 			return true
 		})
+		gsp.Int("formulas", int64(g.FormulaCount())).End()
 		e.evalAll(s, &e.meter)
 		if e.prof.Opt.Any() {
+			osp := obs.Start("install.opt_state")
 			e.buildOptState(s)
+			osp.End()
 		}
 	}
 	// Setup work is not part of any experiment: clear the meters.
@@ -119,7 +128,9 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	return nil
 }
 
-// opTimer measures one operation on both clocks.
+// opTimer measures one operation on both clocks. When tracing is enabled it
+// also carries the operation's root span ("op.<kind>"), under which every
+// engine-internal span of the operation nests ambiently.
 type opTimer struct {
 	e          *Engine
 	kind       OpKind
@@ -127,6 +138,7 @@ type opTimer struct {
 	workSnap   costmodel.Meter
 	recalcSnap costmodel.Meter
 	netSnap    time.Duration
+	span       obs.Span
 }
 
 func (e *Engine) begin(kind OpKind) opTimer {
@@ -137,6 +149,7 @@ func (e *Engine) begin(kind OpKind) opTimer {
 		workSnap:   e.meter.Snapshot(),
 		recalcSnap: e.recalcMeter.Snapshot(),
 		netSnap:    e.netTime,
+		span:       obs.StartRoot("op."+kind.String()).Str("profile", e.prof.Name),
 	}
 }
 
@@ -152,6 +165,14 @@ func (t opTimer) finish() Result {
 	total := work
 	for m := costmodel.Metric(0); int(m) < costmodel.NumMetrics; m++ {
 		total.Add(m, recalc.Count(m))
+	}
+	e.met.opSimMS.ObserveDuration(sim)
+	if t.span.Active() {
+		// The simulated latency rides along as an attribute so SLO verdicts
+		// can be judged on the modeled system's clock, deterministically.
+		t.span.Int(obs.SimAttr, int64(sim)).
+			Int("work_cells", total.Count(costmodel.CellTouch)).
+			End()
 	}
 	return Result{
 		Wall: time.Since(t.wallStart),
@@ -241,9 +262,12 @@ type chainCache struct {
 // fullChain returns the sheet's calculation order, re-sequencing only when
 // the formula set changed since the cached order was built.
 func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cyclic []cell.Addr) {
+	sp := obs.Start("chain.sequence")
 	g := e.graph(s)
 	if c := e.chains[s]; c != nil && c.version == g.Version() {
 		meter.Add(costmodel.DepOp, 1) // cache validity check
+		e.met.chainCacheHits.Add(1)
+		sp.Str("source", "cache").Int("cells", int64(len(c.order))).End()
 		return c.order, c.cyclic
 	}
 	// Region-level sequencing: O(#regions log #regions) ordering plus one
@@ -256,6 +280,7 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 		meter.Add(costmodel.DepOp, rc.g.Ops())
 		rc.g.ResetOps()
 		e.chains[s] = &chainCache{version: g.Version(), order: order}
+		sp.Str("source", "region").Int("cells", int64(len(order))).End()
 		return order, nil
 	}
 	g.ResetOps()
@@ -263,12 +288,14 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 	meter.Add(costmodel.DepOp, g.Ops())
 	g.ResetOps()
 	e.chains[s] = &chainCache{version: g.Version(), order: order, cyclic: cyclic}
+	sp.Str("source", "cell").Int("cells", int64(len(order))).End()
 	return order, cyclic
 }
 
 // evalAll evaluates every formula on the sheet in dependency order,
 // charging the given meter. Cyclic cells get #CYCLE!.
 func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
+	sp := obs.Start("engine.eval_all")
 	order, cyclic := e.fullChain(s, meter)
 	env := e.env(s, meter, false, true)
 	for _, a := range order {
@@ -282,11 +309,15 @@ func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
 	for _, a := range cyclic {
 		s.SetCachedValue(a, cell.Errorf(cell.ErrCycle))
 	}
+	e.met.cellsEvaluated.Add(int64(len(order) + len(cyclic)))
+	sp.Int("cells", int64(len(order)+len(cyclic))).End()
 }
 
 // rebuildGraph re-registers every formula's precedents from its current
 // position — the calc-chain re-sequencing that follows structural changes.
 func (e *Engine) rebuildGraph(s *sheet.Sheet, meter *costmodel.Meter) {
+	sp := obs.Start("engine.rebuild_graph")
+	defer sp.End()
 	g := e.graph(s)
 	g.Clear()
 	g.ResetOps()
@@ -305,6 +336,8 @@ func (e *Engine) rebuildGraph(s *sheet.Sheet, meter *costmodel.Meter) {
 // the ordering phase is where the paper's mysterious superlinear filter
 // trend comes from in this model.
 func (e *Engine) resequence(s *sheet.Sheet, meter *costmodel.Meter) {
+	sp := obs.Start("engine.resequence")
+	defer sp.End()
 	g := e.graph(s)
 	g.ResetOps()
 	order, cyclic := g.AllFormulas()
@@ -316,7 +349,12 @@ func (e *Engine) resequence(s *sheet.Sheet, meter *costmodel.Meter) {
 // recalcDirty evaluates the transitive dependents of the changed cells in
 // dependency order, charging the given meter; returns how many formulae
 // were recomputed.
-func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) int {
+func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) (evaluated int) {
+	sp := obs.Start("engine.recalc_dirty").Int("seeds", int64(len(changed)))
+	defer func() {
+		e.met.cellsEvaluated.Add(int64(evaluated))
+		sp.Int("evaluated", int64(evaluated)).End()
+	}()
 	// Volatile formulae (NOW, RAND, ...) refresh on every calculation
 	// pass in all three systems; seed them alongside the real changes so
 	// their dependents recompute too.

@@ -1,0 +1,39 @@
+package engine
+
+import "repro/internal/obs"
+
+// engineMetrics holds the engine's per-profile metric handles, registered in
+// obs.Default under the profile name as label so BCT/OOT runs comparing
+// systems side by side export separable series. Handles are registered once
+// at engine construction; every update is gated (and dropped) inside the obs
+// layer while tracing is off.
+type engineMetrics struct {
+	// cellsEvaluated counts formula cells recomputed by calc passes
+	// (evalAll, recalcDirty) — the recalc attribution denominator.
+	cellsEvaluated *obs.Counter
+	// opSimMS is the simulated latency distribution of metered operations,
+	// with the paper's 500 ms interactivity bound as a bucket boundary.
+	opSimMS *obs.Histogram
+	// fastEvalHits counts formula inserts answered by an optimization fast
+	// path (prefix sums, indexes, fingerprint cache) without evaluation.
+	fastEvalHits *obs.Counter
+	// regionsSplit counts in-place fill-region splits (formula overwrite on
+	// an otherwise-unchanged sheet); regionReinfer counts full lazy
+	// re-inference passes of the region chain.
+	regionsSplit  *obs.Counter
+	regionReinfer *obs.Counter
+	// chainCacheHits counts full-recalc sequencing requests served by the
+	// memoized calculation chain.
+	chainCacheHits *obs.Counter
+}
+
+func newEngineMetrics(label string) engineMetrics {
+	return engineMetrics{
+		cellsEvaluated: obs.Default.Counter("engine_cells_evaluated", label),
+		opSimMS:        obs.Default.Histogram("engine_op_sim_ms", label, nil),
+		fastEvalHits:   obs.Default.Counter("engine_fast_eval_hits", label),
+		regionsSplit:   obs.Default.Counter("engine_regions_split", label),
+		regionReinfer:  obs.Default.Counter("engine_region_reinfer", label),
+		chainCacheHits: obs.Default.Counter("engine_chain_cache_hits", label),
+	}
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// withEngineTracing flips the obs gate on for one test with a clean trace
+// buffer and metric values, restoring the disabled default afterwards so the
+// rest of the engine suite keeps its zero-overhead path.
+func withEngineTracing(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.Default.ResetValues()
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+		obs.Default.ResetValues()
+	})
+}
+
+// spanNames collects every span name of a trace into a set.
+func spanNames(tr *obs.Trace) map[string]int {
+	names := make(map[string]int)
+	tr.Walk(func(sp *obs.TraceSpan, depth int) {
+		names[sp.Name]++
+	})
+	return names
+}
+
+func TestOpsProduceSpanTaxonomy(t *testing.T) {
+	eng, s := newTestEngine(t, "excel", 200, true)
+	withEngineTracing(t)
+
+	if _, err := eng.Sort(s, workload.ColState, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Filter(s, workload.ColState, cell.Str("TX"), 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.ClearFilter(s)
+	if _, _, err := eng.InsertFormula(s, cell.Addr{Row: 1, Col: workload.NumCols}, "=SUM(C2:C101)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SetCell(s, cell.Addr{Row: 5, Col: workload.ColStorm}, cell.Num(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.FindReplace(s, "TX", "XT"); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.Take()
+	names := spanNames(tr)
+	for _, want := range []string{
+		"op.sort", "sort.permute", "sort.recalc", "engine.rebuild_graph",
+		"engine.eval_all", "chain.sequence", "graph.calc_chain",
+		"op.filter", "filter.scan", "engine.resequence",
+		"op.aggregate", "insert.eval",
+		"op.setcell", "engine.recalc_dirty", "graph.dirty",
+		"op.findreplace", "find.scan",
+	} {
+		if names[want] == 0 {
+			t.Errorf("missing span %q in trace: %v", want, names)
+		}
+	}
+
+	// Every op root carries the profile and the simulated-latency attribute.
+	ops := 0
+	for _, root := range tr.Roots {
+		if len(root.Name) < 3 || root.Name[:3] != "op." {
+			continue
+		}
+		ops++
+		if p, ok := root.StrAttr("profile"); !ok || p != "excel" {
+			t.Errorf("%s: profile attr = %q, ok=%v", root.Name, p, ok)
+		}
+		if _, ok := root.IntAttr(obs.SimAttr); !ok {
+			t.Errorf("%s: missing %s attribute", root.Name, obs.SimAttr)
+		}
+	}
+	if ops < 5 {
+		t.Fatalf("op roots = %d, want >= 5", ops)
+	}
+
+	// Nesting: the sort's full recalculation must sit under the sort op.
+	found := false
+	tr.Walk(func(sp *obs.TraceSpan, depth int) {
+		if sp.Name == "op.sort" {
+			for _, c := range sp.Children {
+				if c.Name == "sort.recalc" {
+					found = true
+				}
+			}
+		}
+	})
+	if !found {
+		t.Error("sort.recalc is not a child of op.sort")
+	}
+}
+
+func TestEngineMetricsPerProfile(t *testing.T) {
+	withEngineTracing(t)
+	eng, s := newTestEngine(t, "excel", 100, true)
+	if _, err := eng.Recalculate(s); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default.Snapshot()
+	value := func(name, label string) int64 {
+		for _, c := range snap.Counters {
+			if c.Name == name && c.Label == label {
+				return c.Value
+			}
+		}
+		t.Fatalf("counter %s{%s} not registered", name, label)
+		return 0
+	}
+	if v := value("engine_cells_evaluated", "excel"); v < 100 {
+		t.Errorf("engine_cells_evaluated{excel} = %d, want >= 100", v)
+	}
+	// The formula evaluator's aggregate tracks per-cell work too hot for
+	// spans; a full recalc must have counted at least one eval per row.
+	var evals int64
+	for _, a := range snap.Aggregates {
+		if a.Name == "formula_eval_ns" {
+			evals = a.Count
+		}
+	}
+	if evals < 100 {
+		t.Errorf("formula_eval_ns count = %d, want >= 100", evals)
+	}
+	// Histogram of simulated op latency exists under the profile label.
+	okHist := false
+	for _, h := range snap.Histograms {
+		if h.Name == "engine_op_sim_ms" && h.Label == "excel" && h.Count > 0 {
+			okHist = true
+		}
+	}
+	if !okHist {
+		t.Error("engine_op_sim_ms{excel} recorded nothing")
+	}
+}
+
+func TestOptimizedRegionMetrics(t *testing.T) {
+	withEngineTracing(t)
+	eng, s := newTestEngine(t, "optimized", 200, true)
+	// Force a chain build (re-inference) and then an in-place region split
+	// via a formula overwrite.
+	if _, err := eng.Recalculate(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SetCell(s, cell.Addr{Row: 50, Col: workload.ColFormula0}, cell.Num(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default.Snapshot()
+	counters := make(map[string]int64)
+	for _, c := range snap.Counters {
+		if c.Label == "optimized" {
+			counters[c.Name] = c.Value
+		}
+	}
+	if counters["engine_region_reinfer"] == 0 {
+		t.Errorf("engine_region_reinfer{optimized} = 0, want > 0 (counters: %v)", counters)
+	}
+	if counters["engine_regions_split"] == 0 {
+		t.Errorf("engine_regions_split{optimized} = 0, want > 0 (counters: %v)", counters)
+	}
+}
+
+func TestDisabledOpsRecordNothing(t *testing.T) {
+	obs.Reset()
+	eng, s := newTestEngine(t, "excel", 100, true)
+	if _, err := eng.Recalculate(s); err != nil {
+		t.Fatal(err)
+	}
+	if tr := obs.Take(); tr.Spans != 0 {
+		t.Fatalf("disabled tracing recorded %d spans", tr.Spans)
+	}
+}
+
+// runTracedRecalc performs one traced full recalculation and returns the
+// drained trace alongside the measured wall time of the traced section.
+func runTracedRecalc(t *testing.T, rows int) (*obs.Trace, time.Duration) {
+	t.Helper()
+	eng, s := newTestEngine(t, "excel", rows, true)
+	withEngineTracing(t)
+	wallStart := time.Now()
+	if _, err := eng.Recalculate(s); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+	return obs.Take(), wall
+}
+
+// TestRecalcAttribution pins the tentpole acceptance bound at a CI-friendly
+// size: the root spans of a traced full recalculation account for the
+// operation's wall clock within 10%.
+func TestRecalcAttribution(t *testing.T) {
+	tr, wall := runTracedRecalc(t, 20000)
+	sum := tr.RootDuration()
+	if sum <= 0 {
+		t.Fatal("no attributed duration")
+	}
+	ratio := float64(sum) / float64(wall)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("attributed %v of %v wall (%.1f%%), want within 10%%", sum, wall, ratio*100)
+	}
+}
+
+// TestRecalcAttribution500k is the full acceptance run: a 500k-row
+// Formula-value recalculation whose exported Chrome trace span durations sum
+// to within 10% of wall clock. It allocates a 500k-row workbook, so it only
+// runs when OBS_ATTRIBUTION_500K=1 (it is exercised by scripts/bench.sh's
+// acceptance mode, not the default test suite).
+func TestRecalcAttribution500k(t *testing.T) {
+	if os.Getenv("OBS_ATTRIBUTION_500K") != "1" {
+		t.Skip("set OBS_ATTRIBUTION_500K=1 to run the 500k-row attribution check")
+	}
+	tr, wall := runTracedRecalc(t, 500000)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"` // microseconds
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	// Sum root ("op.") spans only: children overlap their parents.
+	var rootUS float64
+	for _, ev := range doc.TraceEvents {
+		if len(ev.Name) >= 3 && ev.Name[:3] == "op." {
+			rootUS += ev.Dur
+		}
+	}
+	sum := time.Duration(rootUS * float64(time.Microsecond))
+	ratio := float64(sum) / float64(wall)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("chrome-trace attribution %v of %v wall (%.1f%%), want within 10%%", sum, wall, ratio*100)
+	}
+}

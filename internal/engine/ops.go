@@ -10,6 +10,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/graph"
 	"repro/internal/iolib"
+	"repro/internal/obs"
 	"repro/internal/sheet"
 )
 
@@ -28,10 +29,13 @@ const bytesPerCell = 10
 // parsing and computing the first window, deferring the remainder (§6).
 func (e *Engine) Open(path string) (Result, error) {
 	t := e.begin(OpOpen)
+	psp := obs.Start("open.parse")
 	res, err := iolib.LoadWorkbook(path)
 	if err != nil {
+		psp.End()
 		return t.finish(), err
 	}
+	psp.Int("bytes", res.Bytes).Int("cells", res.Cells).End()
 	e.wb = res.Workbook
 	e.graphs = make(map[*sheet.Sheet]*graph.Graph)
 	e.opts = make(map[*sheet.Sheet]*optState)
@@ -46,6 +50,7 @@ func (e *Engine) Open(path string) (Result, error) {
 		// Only the visible window is shipped and rendered now; the rest
 		// loads on demand. For the desktop LazyOpen case the window's
 		// share of the file is parsed eagerly.
+		wsp := obs.Start("open.window")
 		first := e.wb.First()
 		cols := int64(1)
 		if first != nil {
@@ -60,7 +65,9 @@ func (e *Engine) Open(path string) (Result, error) {
 			e.meter.Add(costmodel.ParseByte, res.Bytes*minI64(window, rows)/maxI64(rows, 1))
 		}
 		e.meter.Add(costmodel.RenderCell, winCells)
-		if err := e.netCall(winCells * bytesPerCell); err != nil {
+		err := e.netCall(winCells * bytesPerCell)
+		wsp.End()
+		if err != nil {
 			return t.finish(), err
 		}
 
@@ -70,12 +77,14 @@ func (e *Engine) Open(path string) (Result, error) {
 			e.meter.Add(costmodel.CellWrite, res.Cells)
 		}
 		e.meter.Add(costmodel.FormulaCompile, res.Formulas)
+		bsp := obs.Start("open.build").Int("formulas", res.Formulas)
 		for _, s := range e.wb.Sheets() {
 			e.rebuildGraph(s, &e.meter)
 			if e.prof.Recalc.OnOpen {
 				e.evalAll(s, &e.meter)
 			}
 		}
+		bsp.End()
 		// Render the first window.
 		first := e.wb.First()
 		cols := int64(1)
@@ -91,9 +100,11 @@ func (e *Engine) Open(path string) (Result, error) {
 	if e.prof.Opt.Any() {
 		// Optimization structures build in the background (§6 asynchrony);
 		// they are constructed for real but not charged to the open.
+		osp := obs.Start("open.opt_state")
 		for _, s := range e.wb.Sheets() {
 			e.buildOptState(s)
 		}
+		osp.End()
 	}
 	return t.finish(), nil
 }
@@ -134,6 +145,7 @@ func (e *Engine) Sort(s *sheet.Sheet, col int, ascending bool, headerRows int) (
 
 	// Extract keys (one touch per row), then sort a permutation with
 	// metered comparisons.
+	psp := obs.Start("sort.permute").Int("rows", int64(n))
 	keys := make([]cell.Value, n)
 	for i := 0; i < n; i++ {
 		keys[i] = s.Value(cell.Addr{Row: headerRows + i, Col: col})
@@ -163,6 +175,7 @@ func (e *Engine) Sort(s *sheet.Sheet, col int, ascending bool, headerRows int) (
 	}
 	s.ApplyRowPerm(full)
 	e.meter.Add(costmodel.CellWrite, int64(rows)*int64(s.Cols()))
+	psp.End()
 
 	if e.prof.Web {
 		if err := e.netCall(int64(e.prof.WindowRows) * int64(s.Cols()) * bytesPerCell); err != nil {
@@ -176,12 +189,14 @@ func (e *Engine) Sort(s *sheet.Sheet, col int, ascending bool, headerRows int) (
 		st.rebuildAfterReorder(e, s)
 	}
 	if e.prof.Recalc.OnSort && s.FormulaCount() > 0 {
+		rsp := obs.Start("sort.recalc")
 		e.rebuildGraph(s, &e.meter)
 		if e.prof.Opt.SortRecalcAnalysis {
 			e.evalNonRowLocal(s, &e.meter)
 		} else {
 			e.evalAll(s, &e.meter)
 		}
+		rsp.End()
 	}
 	return t.finish(), nil
 }
@@ -234,6 +249,7 @@ func (e *Engine) Filter(s *sheet.Sheet, col int, criterion cell.Value, headerRow
 		return 0, Result{}, errSheet("Filter")
 	}
 	t := e.begin(OpFilter)
+	ssp := obs.Start("filter.scan").Int("rows", int64(s.Rows()-headerRows))
 	crit := formula.CompileCriterion(criterion)
 	kept := 0
 	for r := headerRows; r < s.Rows(); r++ {
@@ -249,6 +265,7 @@ func (e *Engine) Filter(s *sheet.Sheet, col int, criterion cell.Value, headerRow
 		}
 		s.SetRowHidden(r, !match)
 	}
+	ssp.Int("kept", int64(kept)).End()
 	if e.prof.Web {
 		if err := e.netCall(int64(e.prof.WindowRows) * int64(s.Cols()) * bytesPerCell); err != nil {
 			return kept, t.finish(), err
@@ -301,6 +318,7 @@ func (e *Engine) ConditionalFormat(s *sheet.Sheet, rng cell.Range, criterion cel
 	}
 
 	env := e.env(s, &e.meter, true, false) // inner: no read-through recursion
+	ssp := obs.Start("condformat.scan").Int("rows", int64(endRow-rng.Start.Row+1))
 	matched := 0
 	for r := rng.Start.Row; r <= endRow; r++ {
 		for c := rng.Start.Col; c <= rng.End.Col; c++ {
@@ -329,6 +347,7 @@ func (e *Engine) ConditionalFormat(s *sheet.Sheet, rng cell.Range, criterion cel
 			}
 		}
 	}
+	ssp.Int("matched", int64(matched)).End()
 	if e.prof.Web {
 		if err := e.netCall(int64(matched) * 4); err != nil {
 			return matched, t.finish(), err
@@ -354,6 +373,7 @@ func (e *Engine) PivotTable(s *sheet.Sheet, dimCol, measureCol, headerRows int) 
 		return nil, Result{}, errSheet("PivotTable")
 	}
 	t := e.begin(OpPivot)
+	ssp := obs.Start("pivot.scan")
 	groups := make(map[string]*PivotRow)
 	var order []string
 	for r := headerRows; r < s.Rows(); r++ {
@@ -374,6 +394,7 @@ func (e *Engine) PivotTable(s *sheet.Sheet, dimCol, measureCol, headerRows int) 
 		}
 		g.Count++
 	}
+	ssp.Int("groups", int64(len(order))).End()
 	sort.Strings(order)
 
 	out := sheet.New(e.wb.UniqueName("Pivot"), len(order)+1, 2)
@@ -416,7 +437,13 @@ func (e *Engine) FindReplace(s *sheet.Sheet, find, replace string) (int, Result,
 
 	var changed []cell.Addr
 	st := e.opts[s]
-	if st != nil && e.prof.Opt.InvertedIndex && len(indexTokens(find)) == 1 {
+	indexed := st != nil && e.prof.Opt.InvertedIndex && len(indexTokens(find)) == 1
+	scanName := "find.scan"
+	if indexed {
+		scanName = "find.index_probe"
+	}
+	ssp := obs.Start(scanName)
+	if indexed {
 		ix := st.invertedFor(e, s)
 		// Substring semantics (what the naive scan implements) via a
 		// dictionary scan: O(vocabulary), not O(cells).
@@ -456,6 +483,7 @@ func (e *Engine) FindReplace(s *sheet.Sheet, find, replace string) (int, Result,
 			}
 		}
 	}
+	ssp.Int("changed", int64(len(changed))).End()
 	if e.prof.Web {
 		if err := e.netCall(int64(len(changed)) * bytesPerCell); err != nil {
 			return len(changed), t.finish(), err
@@ -487,6 +515,7 @@ func (e *Engine) CopyPaste(s *sheet.Sheet, src cell.Range, dst cell.Addr) (cell.
 		return src, t.finish(), nil
 	}
 	g := e.graph(s)
+	csp := obs.Start("paste.copy").Int("cells", int64(src.Cells()))
 	var pasted []cell.Addr
 	for r := src.Start.Row; r <= src.End.Row; r++ {
 		for c := src.Start.Col; c <= src.End.Col; c++ {
@@ -506,13 +535,16 @@ func (e *Engine) CopyPaste(s *sheet.Sheet, src cell.Range, dst cell.Addr) (cell.
 	}
 	e.meter.Add(costmodel.DepOp, g.Ops())
 	g.ResetOps()
+	csp.End()
 
+	esp := obs.Start("paste.eval").Int("formulas", int64(len(pasted)))
 	env := e.env(s, &e.meter, false, true)
 	for _, a := range pasted {
 		fc, _ := s.Formula(a)
 		env.DR, env.DC = fc.DeltaAt(a)
 		s.SetCachedValue(a, formula.Eval(fc.Code, env))
 	}
+	esp.End()
 	out := cell.RangeOf(dst, cell.Addr{Row: src.End.Row + dr, Col: src.End.Col + dc})
 	if e.prof.Web {
 		if err := e.netCall(int64(out.Cells()) * bytesPerCell); err != nil {
@@ -552,15 +584,21 @@ func (e *Engine) InsertFormula(s *sheet.Sheet, a cell.Addr, text string) (cell.V
 	e.meter.Add(costmodel.DepOp, g.Ops())
 	g.ResetOps()
 
+	esp := obs.Start("insert.eval")
 	var v cell.Value
 	computed := false
 	if st := e.opts[s]; st != nil {
 		v, computed = st.fastEval(e, s, compiled)
 	}
-	if !computed {
+	if computed {
+		e.met.fastEvalHits.Add(1)
+		esp.Str("source", "fast_path")
+	} else {
 		env := e.env(s, &e.meter, false, false)
 		v = formula.Eval(compiled, env)
+		esp.Str("source", "eval")
 	}
+	esp.End()
 	s.SetCachedValue(a, v)
 	if st := e.opts[s]; st != nil {
 		st.noteFormulaResult(e, s, a, compiled, v)
@@ -592,11 +630,13 @@ func (e *Engine) InsertFormulaBatch(s *sheet.Sheet, items []BatchItem) (Result, 
 		return Result{}, errSheet("InsertFormulaBatch")
 	}
 	t := e.begin(OpBatchInsert)
+	bsp := obs.Start("batch.fill").Int("items", int64(len(items)))
 	g := e.graph(s)
 	env := e.env(s, &e.meter, false, true)
 	for _, it := range items {
 		compiled, err := formula.Compile(it.Text)
 		if err != nil {
+			bsp.End()
 			return t.finish(), fmt.Errorf("engine: batch insert at %s: %w", it.At, err)
 		}
 		e.meter.Add(costmodel.ParseByte, int64(len(it.Text)))
@@ -612,7 +652,9 @@ func (e *Engine) InsertFormulaBatch(s *sheet.Sheet, items []BatchItem) (Result, 
 		if st := e.opts[s]; st != nil {
 			v, computed = st.fastEval(e, s, compiled)
 		}
-		if !computed {
+		if computed {
+			e.met.fastEvalHits.Add(1)
+		} else {
 			v = formula.Eval(compiled, env)
 		}
 		s.SetCachedValue(it.At, v)
@@ -620,6 +662,7 @@ func (e *Engine) InsertFormulaBatch(s *sheet.Sheet, items []BatchItem) (Result, 
 			st.noteFormulaResult(e, s, it.At, compiled, v)
 		}
 	}
+	bsp.End()
 	if e.prof.Web {
 		if err := e.netCall(int64(len(items)) * bytesPerCell); err != nil {
 			return t.finish(), err
@@ -657,7 +700,9 @@ func (e *Engine) SetCell(s *sheet.Sheet, a cell.Addr, v cell.Value) (Result, err
 	}
 
 	if st != nil && e.prof.Opt.IncrementalAggregates {
+		dsp := obs.Start("setcell.deltas")
 		st.applyDeltas(e, s, a, old, v)
+		dsp.End()
 		return t.finish(), nil
 	}
 	if s.FormulaCount() > 0 {

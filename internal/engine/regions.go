@@ -4,6 +4,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/costmodel"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/regions"
 	"repro/internal/sheet"
 )
@@ -35,6 +36,9 @@ func (e *Engine) regionChainFor(s *sheet.Sheet, meter *costmodel.Meter) *regionC
 	if rc := e.regions[s]; rc != nil && rc.version == g.Version() {
 		return rc
 	}
+	sp := obs.Start("regions.reinfer")
+	defer sp.End()
+	e.met.regionReinfer.Add(1)
 	sr := regions.Infer(s)
 	rg := regions.Build(sr)
 	meter.Add(costmodel.DepOp, sr.Ops()+rg.Ops())
@@ -63,11 +67,16 @@ func (e *Engine) noteFormulaRemoved(s *sheet.Sheet, a cell.Addr, meter *costmode
 		delete(e.regions, s)
 		return
 	}
+	sp := obs.Start("regions.split")
+	defer sp.End()
 	rc.sr.ResetOps()
 	if !rc.sr.SplitAt(a) {
+		sp.Str("outcome", "dropped")
 		delete(e.regions, s)
 		return
 	}
+	e.met.regionsSplit.Add(1)
+	sp.Str("outcome", "split")
 	rc.g = regions.Build(rc.sr)
 	meter.Add(costmodel.DepOp, rc.sr.Ops()+rc.g.Ops())
 	rc.sr.ResetOps()

@@ -3,8 +3,10 @@ package formula
 import (
 	"hash/fnv"
 	"strings"
+	"time"
 
 	"repro/internal/cell"
+	"repro/internal/obs"
 )
 
 // Compiled is a parsed formula together with the derived facts the engine
@@ -46,6 +48,9 @@ var volatileFuncs = map[string]bool{
 // Compile parses and analyzes a formula. The text may include or omit the
 // leading '='.
 func Compile(text string) (*Compiled, error) {
+	if obs.Enabled() {
+		defer compileTime.ObserveSince(time.Now())
+	}
 	root, err := Parse(text)
 	if err != nil {
 		return nil, err

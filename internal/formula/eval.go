@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 )
 
 // Source supplies cell values to the evaluator. A worksheet implements it;
@@ -144,6 +145,9 @@ func (o operand) eachCell(e *Env, f func(v cell.Value) bool) {
 // Eval evaluates a compiled formula, charging one FormulaEval plus the work
 // of every reference it resolves.
 func Eval(c *Compiled, env *Env) cell.Value {
+	if obs.Enabled() {
+		defer evalTime.ObserveSince(time.Now())
+	}
 	env.add(costmodel.FormulaEval, 1)
 	return evalNode(c.Root, env).scalar(env)
 }

@@ -1,0 +1,14 @@
+package formula
+
+import "repro/internal/obs"
+
+// Per-cell formula work is far too hot for spans — a full recalculation of a
+// 500k-row sheet evaluates millions of formulae — so the compile/eval split
+// is tracked with timing aggregates instead: a count plus cumulative
+// nanoseconds, two atomic adds per call, recorded only while the obs gate is
+// on. The unlabeled instruments aggregate across profiles; the engine's
+// per-profile view comes from its own metrics.
+var (
+	compileTime = obs.Default.Aggregate("formula_compile_ns", "")
+	evalTime    = obs.Default.Aggregate("formula_eval_ns", "")
+)

@@ -7,9 +7,11 @@
 package graph
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/cell"
+	"repro/internal/obs"
 )
 
 // smallRangeMax is the precedent-range size up to which dependencies are
@@ -225,6 +227,8 @@ func (g *Graph) TransitiveDependents(start cell.Addr) []cell.Addr {
 // (in an arbitrary order within the cycle) so the engine can mark them
 // #CYCLE!; the second result lists them.
 func (g *Graph) Dirty(changed []cell.Addr) (order []cell.Addr, cyclic []cell.Addr) {
+	sp := obs.Start("graph.dirty").Int("seeds", int64(len(changed)))
+	defer func() { sp.Int("order", int64(len(order))).End() }()
 	// Phase 1: discover the affected formula set by BFS over dependents.
 	affected := make(map[cell.Addr]bool)
 	queue := make([]cell.Addr, 0, len(changed))
@@ -322,6 +326,8 @@ func (g *Graph) Dirty(changed []cell.Addr) (order []cell.Addr, cyclic []cell.Add
 // for full recalculation (open, and the re-sequencing after sort). Formulae
 // in cycles are appended at the end and also returned separately.
 func (g *Graph) AllFormulas() (order []cell.Addr, cyclic []cell.Addr) {
+	sp := obs.Start("graph.calc_chain").Int("formulas", int64(len(g.precedents)))
+	defer sp.End()
 	roots := make([]cell.Addr, 0, len(g.precedents))
 	for a := range g.precedents {
 		roots = append(roots, a)
@@ -414,13 +420,18 @@ func (g *Graph) Clear() {
 	g.version++
 }
 
-// sortAddrs orders addresses row-major, counting each comparison as a
-// maintenance op — sequencing the ready set is the sort-like phase of
-// calc-chain construction, and the source of the superlinear trend the
-// engine's filter re-sequencing exhibits (§4.3.1).
+// sortAddrs orders addresses row-major, charging n·⌈log2 n⌉ maintenance ops
+// — sequencing the ready set is the sort-like phase of calc-chain
+// construction, and the source of the superlinear trend the engine's filter
+// re-sequencing exhibits (§4.3.1). The charge is analytic rather than a live
+// comparison count: the slices arrive in map-iteration order, so the actual
+// comparison count varies run to run while the sorted result (and this
+// model's cost) must not.
 func (g *Graph) sortAddrs(s []cell.Addr) {
+	if n := int64(len(s)); n > 1 {
+		g.ops += n * int64(bits.Len64(uint64(n-1)))
+	}
 	sort.Slice(s, func(i, j int) bool {
-		g.ops++
 		if s[i].Row != s[j].Row {
 			return s[i].Row < s[j].Row
 		}

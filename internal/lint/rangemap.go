@@ -29,7 +29,7 @@ import (
 var RangeMap = &Analyzer{
 	Name:        "rangemap",
 	Doc:         "map iteration order must not leak into returned slices",
-	DefaultDirs: []string{"internal/graph", "internal/analyze", "internal/typecheck"},
+	DefaultDirs: []string{"internal/graph", "internal/analyze", "internal/typecheck", "internal/obs"},
 	Run: func(pkg *Package) []Diagnostic {
 		return CheckFiles(pkg.Fset, pkg.Files)
 	},

@@ -1,0 +1,104 @@
+// Command obscheck validates the observability layer's machine-readable
+// artifacts: runner sidecar JSON (-sidecar), Chrome trace-event JSON
+// (-trace), and the BENCH_engine.json benchmark record (-bench). The
+// bench-smoke CI stage runs it so a schema regression fails the build
+// instead of silently corrupting the perf-trajectory record.
+//
+// Usage: obscheck [-sidecar file] [-trace file] [-bench file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	sidecar := flag.String("sidecar", "", "validate a runner sidecar JSON file")
+	trace := flag.String("trace", "", "validate a Chrome trace-event JSON file")
+	bench := flag.String("bench", "", "validate a BENCH_engine.json file")
+	flag.Parse()
+	if *sidecar == "" && *trace == "" && *bench == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -sidecar, -trace, or -bench")
+		os.Exit(2)
+	}
+	if err := run(*sidecar, *trace, *bench, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(sidecar, trace, bench string, out *os.File) error {
+	if sidecar != "" {
+		data, err := os.ReadFile(sidecar)
+		if err != nil {
+			return err
+		}
+		sc, err := obs.ParseSidecar(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sidecar, err)
+		}
+		fmt.Fprintf(out, "%s: ok (%s, %d span(s), %d SLO op(s), %d violation(s))\n",
+			sidecar, sc.Kind, sc.Spans, len(sc.SLO.Ops), sc.SLO.Violations)
+	}
+	if trace != "" {
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			return err
+		}
+		n, err := validateChromeTrace(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", trace, err)
+		}
+		fmt.Fprintf(out, "%s: ok (%d trace event(s))\n", trace, n)
+	}
+	if bench != "" {
+		data, err := os.ReadFile(bench)
+		if err != nil {
+			return err
+		}
+		bf, err := obs.ParseBenchFile(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench, err)
+		}
+		fmt.Fprintf(out, "%s: ok (%d benchmark(s))\n", bench, len(bf.Benchmarks))
+	}
+	return nil
+}
+
+// validateChromeTrace checks the minimal trace-event contract: an object
+// with a traceEvents array of complete events carrying name/ph/ts/dur.
+func validateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, err
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("no traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("event %d: empty name", i)
+		}
+		if ev.Ph != "X" {
+			return 0, fmt.Errorf("event %d (%s): phase %q, want \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || ev.Dur == nil {
+			return 0, fmt.Errorf("event %d (%s): missing ts or dur", i, ev.Name)
+		}
+		if *ev.Ts < 0 || *ev.Dur < 0 {
+			return 0, fmt.Errorf("event %d (%s): negative ts or dur", i, ev.Name)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricKey identifies one metric instance: a name plus a label (the system
+// profile, for engine metrics; empty for global instruments).
+type metricKey struct{ name, label string }
+
+// Registry holds named metric instances. Handles are created once (get-or-
+// create) and then updated lock-free; the registry lock is only taken at
+// registration and snapshot time.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	hists    map[metricKey]*Histogram
+	aggs     map[metricKey]*Aggregate
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		hists:    make(map[metricKey]*Histogram),
+		aggs:     make(map[metricKey]*Aggregate),
+	}
+}
+
+// Default is the package-level registry all engine instrumentation records
+// into.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing counter. Updates are dropped while
+// the package gate is off.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter when the layer is enabled.
+func (c *Counter) Add(n int64) {
+	if c != nil && enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name, label string) *Counter {
+	k := metricKey{name, label}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// DefaultLatencyBucketsMS is the fixed bucket layout for operation-latency
+// histograms, in milliseconds. 500 ms — the paper's interactivity bound —
+// is a bucket boundary so SLO violations are readable off the histogram.
+var DefaultLatencyBucketsMS = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bounds; an
+// observation lands in the first bucket whose bound is >= the value, or in
+// the implicit overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64 // sum of observations scaled by 1e3 (milli-units)
+}
+
+// Observe records one value when the layer is enabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v * 1e3))
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Histogram returns (creating if needed) the named histogram. Bounds are
+// fixed at first registration; later calls with different bounds get the
+// original instrument.
+func (r *Registry) Histogram(name, label string, boundsMS []float64) *Histogram {
+	k := metricKey{name, label}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		if len(boundsMS) == 0 {
+			boundsMS = DefaultLatencyBucketsMS
+		}
+		h = &Histogram{bounds: append([]float64(nil), boundsMS...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Aggregate is a count + cumulative-duration pair — the cheap form of
+// timing for call sites too hot for spans (per-cell formula evaluation).
+type Aggregate struct {
+	n     atomic.Int64
+	total atomic.Int64 // nanoseconds
+}
+
+// ObserveSince adds one call whose start was t0, when the layer is enabled.
+func (a *Aggregate) ObserveSince(t0 time.Time) {
+	if a == nil || !enabled.Load() {
+		return
+	}
+	a.n.Add(1)
+	a.total.Add(int64(time.Since(t0)))
+}
+
+// Add records n calls totalling d.
+func (a *Aggregate) Add(n int64, d time.Duration) {
+	if a == nil || !enabled.Load() {
+		return
+	}
+	a.n.Add(n)
+	a.total.Add(int64(d))
+}
+
+// Count returns the number of observed calls.
+func (a *Aggregate) Count() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.n.Load()
+}
+
+// Total returns the cumulative observed duration.
+func (a *Aggregate) Total() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return time.Duration(a.total.Load())
+}
+
+// Aggregate returns (creating if needed) the named aggregate.
+func (r *Registry) Aggregate(name, label string) *Aggregate {
+	k := metricKey{name, label}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.aggs[k]
+	if !ok {
+		a = &Aggregate{}
+		r.aggs[k] = a
+	}
+	return a
+}
+
+// CounterSnap is one counter's exported state.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram's exported state.
+type HistogramSnap struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	// BoundsMS are the bucket upper bounds in milliseconds; Counts has one
+	// extra trailing entry for the overflow bucket.
+	BoundsMS []float64 `json:"bounds_ms"`
+	Counts   []int64   `json:"counts"`
+	Count    int64     `json:"count"`
+	SumMS    float64   `json:"sum_ms"`
+}
+
+// AggregateSnap is one aggregate's exported state.
+type AggregateSnap struct {
+	Name    string `json:"name"`
+	Label   string `json:"label,omitempty"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// MetricsSnapshot is the full exported state of a registry, sorted by
+// (name, label) for deterministic output.
+type MetricsSnapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Histograms []HistogramSnap `json:"histograms"`
+	Aggregates []AggregateSnap `json:"aggregates"`
+}
+
+// Snapshot exports every registered metric, including zero-valued ones, in
+// sorted order.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var snap MetricsSnapshot
+	for k, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: k.name, Label: k.label, Value: c.Value()})
+	}
+	for k, h := range r.hists {
+		hs := HistogramSnap{
+			Name: k.name, Label: k.label,
+			BoundsMS: append([]float64(nil), h.bounds...),
+			Count:    h.count.Load(),
+			SumMS:    float64(h.sum.Load()) / 1e3,
+		}
+		hs.Counts = make([]int64, len(h.counts))
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	for k, a := range r.aggs {
+		snap.Aggregates = append(snap.Aggregates, AggregateSnap{
+			Name: k.name, Label: k.label, Count: a.Count(), TotalNS: int64(a.Total()),
+		})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return snapLess(snap.Counters[i].Name, snap.Counters[i].Label, snap.Counters[j].Name, snap.Counters[j].Label)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return snapLess(snap.Histograms[i].Name, snap.Histograms[i].Label, snap.Histograms[j].Name, snap.Histograms[j].Label)
+	})
+	sort.Slice(snap.Aggregates, func(i, j int) bool {
+		return snapLess(snap.Aggregates[i].Name, snap.Aggregates[i].Label, snap.Aggregates[j].Name, snap.Aggregates[j].Label)
+	})
+	return snap
+}
+
+func snapLess(n1, l1, n2, l2 string) bool {
+	if n1 != n2 {
+		return n1 < n2
+	}
+	return l1 < l2
+}
+
+// ResetValues zeroes every registered metric without dropping the handles
+// callers already hold.
+func (r *Registry) ResetValues() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+	for _, a := range r.aggs {
+		a.n.Store(0)
+		a.total.Store(0)
+	}
+}

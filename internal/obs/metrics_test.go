@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	withTracing(t)
+	reg := NewRegistry()
+	a := reg.Counter("cells", "excel")
+	b := reg.Counter("cells", "excel")
+	if a != b {
+		t.Fatal("same (name,label) must return the same handle")
+	}
+	if reg.Counter("cells", "calc") == a {
+		t.Fatal("different labels must be distinct instruments")
+	}
+	a.Add(5)
+	b.Add(2)
+	if a.Value() != 7 {
+		t.Fatalf("counter = %d, want 7", a.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	withTracing(t)
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "x", []float64{10, 100, 500})
+	h.Observe(5)                              // bucket 0 (<=10)
+	h.Observe(10)                             // bucket 0 (boundary inclusive)
+	h.Observe(50)                             // bucket 1
+	h.ObserveDuration(700 * time.Millisecond) // overflow
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	hs := snap.Histograms[0]
+	want := []int64{2, 1, 0, 1}
+	if len(hs.Counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", hs.Counts, want)
+	}
+	for i := range want {
+		if hs.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", hs.Counts, want)
+		}
+	}
+	if hs.Count != 4 {
+		t.Fatalf("count = %d, want 4", hs.Count)
+	}
+	if hs.SumMS < 764 || hs.SumMS > 766 {
+		t.Fatalf("sum = %v ms, want ~765", hs.SumMS)
+	}
+}
+
+func TestSLOBoundIsBucketBoundary(t *testing.T) {
+	for _, b := range DefaultLatencyBucketsMS {
+		if b == 500 {
+			return
+		}
+	}
+	t.Fatal("500 ms must be a default latency bucket boundary")
+}
+
+func TestSnapshotSortedAndReset(t *testing.T) {
+	withTracing(t)
+	reg := NewRegistry()
+	reg.Counter("z", "a").Add(1)
+	reg.Counter("a", "b").Add(2)
+	reg.Counter("a", "a").Add(3)
+	reg.Aggregate("agg", "x").Add(2, 4*time.Millisecond)
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 3 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	order := []struct{ n, l string }{{"a", "a"}, {"a", "b"}, {"z", "a"}}
+	for i, want := range order {
+		if snap.Counters[i].Name != want.n || snap.Counters[i].Label != want.l {
+			t.Fatalf("counter order: %+v", snap.Counters)
+		}
+	}
+	if snap.Aggregates[0].Count != 2 || snap.Aggregates[0].TotalNS != int64(4*time.Millisecond) {
+		t.Fatalf("aggregate: %+v", snap.Aggregates[0])
+	}
+
+	reg.ResetValues()
+	snap = reg.Snapshot()
+	if snap.Counters[2].Value != 0 || snap.Aggregates[0].Count != 0 {
+		t.Fatalf("reset left values: %+v", snap)
+	}
+	// Handles created before the reset keep working.
+	reg.Counter("z", "a").Add(9)
+	if reg.Counter("z", "a").Value() != 9 {
+		t.Fatal("handle dead after ResetValues")
+	}
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var a *Aggregate
+	c.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	a.Add(1, time.Second)
+	a.ObserveSince(time.Now())
+	if c.Value() != 0 || a.Count() != 0 || a.Total() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}

@@ -1,0 +1,177 @@
+// Package obs is the engine's zero-dependency observability layer: spans
+// (a lightweight trace of where an operation's wall clock went), metrics
+// (counters, fixed-bucket histograms, and timing aggregates labeled per
+// system profile), and an interactivity SLO monitor built around the
+// paper's 500 ms bound (core.InteractivityBound, from Liu & Heer [31]).
+//
+// The whole layer sits behind one package-level atomic gate. With the gate
+// off — the default, and the state every benchmark runs in — a span call is
+// a single atomic load returning a zero Span, with no allocation and no
+// shared-memory write; metric handles drop their updates the same way. With
+// the gate on, completed spans are recorded into a sharded, lock-cheap
+// buffer and can be drained with Take for export as a Chrome trace-event
+// JSON file (chrome://tracing, Perfetto) or a plain-text tree.
+//
+// Span nesting is ambient: Start parents a new span under the innermost
+// open span without any context threading, which is exact for the engine's
+// single-threaded operation path (engine.Engine is single-threaded, like
+// every experiment in the paper §3.3). Concurrent recorders are safe — the
+// shard buffers and the ambient cursor are lock- or atomic-protected — but
+// spans started concurrently on other goroutines may attribute to an
+// approximate parent; they still record with correct names and durations.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the package-level gate. All recording — spans, metrics, SLO
+// observations — is dropped while it is false.
+var enabled atomic.Bool
+
+// Enabled reports whether the observability layer is recording.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips the recording gate. Turning the gate on does not clear
+// previously recorded spans; call Take (or Reset) first for a fresh trace.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// maxAttrs is the per-span attribute capacity. Attributes beyond it are
+// dropped silently; the span taxonomy (docs/OBSERVABILITY.md) stays below
+// the cap by design.
+const maxAttrs = 6
+
+// maxRecords caps the number of buffered span records so an unexpectedly
+// span-heavy traced run degrades by dropping spans instead of exhausting
+// memory. Take reports the number dropped.
+const maxRecords = 1 << 20
+
+// Attr is one span attribute: a key with either a string or an int64 value.
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+	// IsStr selects between Str and Int.
+	IsStr bool
+}
+
+// record is one completed (or in-flight) span.
+type record struct {
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	dur    time.Duration
+	nattr  int
+	attrs  [maxAttrs]Attr
+}
+
+// Span is a handle on an in-flight span. The zero Span (returned while the
+// gate is off) is valid: every method is a no-op on it.
+type Span struct{ r *record }
+
+// shardCount spreads End's buffer append across independently locked
+// shards; a power of two so the modulo is a mask.
+const shardCount = 32
+
+type shard struct {
+	mu   sync.Mutex
+	recs []*record
+}
+
+var (
+	shards  [shardCount]shard
+	nextID  atomic.Uint64 // span id allocator; 0 means "no span"
+	ambient atomic.Uint64 // id of the innermost open span
+	nrecs   atomic.Int64  // buffered records, for the maxRecords cap
+	dropped atomic.Int64  // records dropped at the cap
+)
+
+// Start begins a span parented under the innermost open span (ambient
+// nesting). While the gate is off it returns the zero Span and performs no
+// allocation.
+func Start(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	id := nextID.Add(1)
+	r := &record{id: id, parent: ambient.Load(), name: name, start: time.Now()}
+	ambient.Store(id)
+	return Span{r: r}
+}
+
+// StartRoot begins a span with no parent regardless of the ambient state —
+// the entry point for op-level spans that must anchor the trace tree.
+func StartRoot(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	id := nextID.Add(1)
+	r := &record{id: id, name: name, start: time.Now()}
+	ambient.Store(id)
+	return Span{r: r}
+}
+
+// Int attaches an integer attribute and returns the span for chaining.
+func (s Span) Int(key string, v int64) Span {
+	if s.r != nil && s.r.nattr < maxAttrs {
+		s.r.attrs[s.r.nattr] = Attr{Key: key, Int: v}
+		s.r.nattr++
+	}
+	return s
+}
+
+// Str attaches a string attribute and returns the span for chaining.
+func (s Span) Str(key, v string) Span {
+	if s.r != nil && s.r.nattr < maxAttrs {
+		s.r.attrs[s.r.nattr] = Attr{Key: key, Str: v, IsStr: true}
+		s.r.nattr++
+	}
+	return s
+}
+
+// Active reports whether the span is recording (started with the gate on).
+func (s Span) Active() bool { return s.r != nil }
+
+// End completes the span, records it into the trace buffer, and restores
+// the span's parent as the ambient span. Safe on the zero Span.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.dur = time.Since(s.r.start)
+	// Pop the ambient stack only if this span is still the innermost one;
+	// under concurrent recorders the CAS simply fails and nesting degrades
+	// to approximate parentage without corruption.
+	ambient.CompareAndSwap(s.r.id, s.r.parent)
+	if nrecs.Add(1) > maxRecords {
+		nrecs.Add(-1)
+		dropped.Add(1)
+		return
+	}
+	sh := &shards[s.r.id&(shardCount-1)]
+	sh.mu.Lock()
+	sh.recs = append(sh.recs, s.r)
+	sh.mu.Unlock()
+}
+
+// Reset discards all buffered spans and clears the ambient cursor.
+func Reset() { takeRecords() }
+
+// takeRecords drains every shard, returning the records and the number of
+// spans dropped at the buffer cap since the previous drain.
+func takeRecords() ([]*record, int64) {
+	var recs []*record
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		recs = append(recs, sh.recs...)
+		sh.recs = nil
+		sh.mu.Unlock()
+	}
+	nrecs.Add(int64(-len(recs)))
+	ambient.Store(0)
+	return recs, dropped.Swap(0)
+}

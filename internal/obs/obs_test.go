@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing enables the layer for one test, guaranteeing a clean slate
+// before and after. obs tests must not run in parallel: the gate and the
+// span buffers are package-global.
+func withTracing(t *testing.T) {
+	t.Helper()
+	Reset()
+	SetEnabled(true)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		Reset()
+	})
+}
+
+func TestGateDefaultsOff(t *testing.T) {
+	if Enabled() {
+		t.Fatal("observability must be off by default")
+	}
+	sp := Start("x")
+	if sp.Active() {
+		t.Fatal("span started while disabled must be inactive")
+	}
+	sp.Int("k", 1).Str("s", "v").End() // all no-ops, must not panic
+	if tr := Take(); tr.Spans != 0 {
+		t.Fatalf("disabled run recorded %d spans", tr.Spans)
+	}
+}
+
+// TestDisabledSpanZeroAllocs pins the acceptance criterion: with tracing
+// off, the span hot path performs zero allocations.
+func TestDisabledSpanZeroAllocs(t *testing.T) {
+	SetEnabled(false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start("recalc.region")
+		sp.Int("cells", 1234).Str("sheet", "data")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f times per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		StartRoot("op.sort").Int(SimAttr, 5).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled root-span path allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDisabledMetricsZeroAllocs: metric handles must also be free when off.
+func TestDisabledMetricsZeroAllocs(t *testing.T) {
+	SetEnabled(false)
+	c := Default.Counter("test_disabled_counter", "x")
+	h := Default.Histogram("test_disabled_hist", "x", nil)
+	a := Default.Aggregate("test_disabled_agg", "x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		h.Observe(1.5)
+		a.Add(1, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metric path allocates %.1f times per call, want 0", allocs)
+	}
+	if c.Value() != 0 || a.Count() != 0 {
+		t.Fatal("disabled metric updates must be dropped")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	withTracing(t)
+	root := StartRoot("op.sort").Str("profile", "excel")
+	child := Start("engine.eval_all").Int("cells", 42)
+	grand := Start("graph.calc_chain")
+	grand.End()
+	child.End()
+	sibling := Start("engine.rebuild_graph")
+	sibling.End()
+	root.End()
+
+	tr := Take()
+	if tr.Spans != 4 {
+		t.Fatalf("spans = %d, want 4", tr.Spans)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "op.sort" {
+		t.Fatalf("roots = %+v, want single op.sort", tr.Roots)
+	}
+	r := tr.Roots[0]
+	if len(r.Children) != 2 || r.Children[0].Name != "engine.eval_all" || r.Children[1].Name != "engine.rebuild_graph" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "graph.calc_chain" {
+		t.Fatalf("grandchildren = %+v", r.Children[0].Children)
+	}
+	if v, ok := r.Children[0].IntAttr("cells"); !ok || v != 42 {
+		t.Fatalf("cells attr = %d, %v", v, ok)
+	}
+	if s, ok := r.StrAttr("profile"); !ok || s != "excel" {
+		t.Fatalf("profile attr = %q, %v", s, ok)
+	}
+}
+
+func TestStartRootBreaksNesting(t *testing.T) {
+	withTracing(t)
+	a := StartRoot("op.first")
+	a.End()
+	b := StartRoot("op.second") // must not parent under op.first
+	b.End()
+	tr := Take()
+	if len(tr.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (StartRoot must not nest)", len(tr.Roots))
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	withTracing(t)
+	sp := Start("x")
+	for i := 0; i < maxAttrs+3; i++ {
+		sp = sp.Int("k", int64(i))
+	}
+	sp.End()
+	tr := Take()
+	if len(tr.Roots[0].Attrs) != maxAttrs {
+		t.Fatalf("attrs = %d, want capped at %d", len(tr.Roots[0].Attrs), maxAttrs)
+	}
+}
+
+// TestConcurrentSpans exercises concurrent recording from many goroutines;
+// under `go test -race` (the check.sh race stage) this is the satellite's
+// required race test for the span buffer and ambient cursor.
+func TestConcurrentSpans(t *testing.T) {
+	withTracing(t)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := Start("worker.unit").Int("i", int64(i))
+				inner := Start("worker.inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr := Take()
+	if tr.Spans != goroutines*perG*2 {
+		t.Fatalf("spans = %d, want %d", tr.Spans, goroutines*perG*2)
+	}
+	// Every span must have recorded a name and a non-negative duration,
+	// regardless of how the ambient parentage interleaved.
+	tr.Walk(func(sp *TraceSpan, _ int) {
+		if sp.Name == "" || sp.Dur < 0 {
+			t.Errorf("bad span: %+v", sp)
+		}
+	})
+}
+
+// TestConcurrentMetrics races counter/histogram/aggregate updates against a
+// snapshot; -race validates the atomics.
+func TestConcurrentMetrics(t *testing.T) {
+	withTracing(t)
+	reg := NewRegistry()
+	c := reg.Counter("c", "p")
+	h := reg.Histogram("h", "p", nil)
+	a := reg.Aggregate("a", "p")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				h.Observe(float64(i % 700))
+				a.Add(1, time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		_ = reg.Snapshot()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 4000 {
+		t.Fatalf("histogram snapshot: %+v", snap.Histograms)
+	}
+}
+
+func TestTakeResetsBuffers(t *testing.T) {
+	withTracing(t)
+	Start("a").End()
+	if tr := Take(); tr.Spans != 1 {
+		t.Fatalf("first take: %d spans", tr.Spans)
+	}
+	if tr := Take(); tr.Spans != 0 {
+		t.Fatalf("second take: %d spans, want 0", tr.Spans)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start("recalc.region")
+		sp.Int("cells", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	Reset()
+	SetEnabled(true)
+	b.Cleanup(func() {
+		SetEnabled(false)
+		Reset()
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start("recalc.region")
+		sp.Int("cells", int64(i))
+		sp.End()
+		if i&0xffff == 0xffff {
+			b.StopTimer()
+			Reset() // keep the buffer bounded across b.N scaling
+			b.StartTimer()
+		}
+	}
+}

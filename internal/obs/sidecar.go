@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SidecarSchema versions the sidecar JSON layout. Consumers (the bench-
+// smoke CI stage via cmd/obscheck, perf-trajectory tooling) match it
+// exactly.
+const SidecarSchema = "spreadbench-obs-sidecar/v1"
+
+// Sidecar is the metrics/trace companion file a benchmark runner writes
+// next to its results: the SLO verdicts, the metric registry snapshot, and
+// a pointer to the Chrome trace file when one was written.
+type Sidecar struct {
+	// Schema is always SidecarSchema.
+	Schema string `json:"schema"`
+	// Kind is the producing runner: "bct", "oot", "all", or "trace".
+	Kind string `json:"kind"`
+	// Systems lists the benchmarked system profiles.
+	Systems []string `json:"systems,omitempty"`
+	// SLO holds the interactivity verdicts (simulated clock).
+	SLO SLOReport `json:"slo"`
+	// Metrics snapshots the obs registry at the end of the run.
+	Metrics MetricsSnapshot `json:"metrics"`
+	// Spans is the number of spans recorded during the run; SpansDropped
+	// counts any lost at the buffer cap.
+	Spans        int   `json:"spans"`
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+	// TraceFile names the Chrome trace-event JSON written beside this
+	// sidecar, when tracing to a file was requested.
+	TraceFile string `json:"trace_file,omitempty"`
+}
+
+// WriteSidecar renders the sidecar as indented JSON.
+func WriteSidecar(w io.Writer, sc *Sidecar) error {
+	if sc.Schema == "" {
+		sc.Schema = SidecarSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// ParseSidecar decodes and validates a sidecar document. It is strict —
+// unknown schema, missing kind, or an SLO block without a bound all fail —
+// so the CI smoke stage catches schema drift, not just syntax errors.
+func ParseSidecar(data []byte) (*Sidecar, error) {
+	var sc Sidecar
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("sidecar: %w", err)
+	}
+	if sc.Schema != SidecarSchema {
+		return nil, fmt.Errorf("sidecar: schema %q, want %q", sc.Schema, SidecarSchema)
+	}
+	if sc.Kind == "" {
+		return nil, fmt.Errorf("sidecar: missing kind")
+	}
+	if sc.SLO.BoundMS <= 0 {
+		return nil, fmt.Errorf("sidecar: SLO bound %v ms, want > 0", sc.SLO.BoundMS)
+	}
+	for _, op := range sc.SLO.Ops {
+		if op.Op == "" {
+			return nil, fmt.Errorf("sidecar: SLO op with empty name")
+		}
+		if op.Violations > op.Count {
+			return nil, fmt.Errorf("sidecar: op %q has %d violations out of %d observations", op.Op, op.Violations, op.Count)
+		}
+	}
+	for _, h := range sc.Metrics.Histograms {
+		if len(h.Counts) != len(h.BoundsMS)+1 {
+			return nil, fmt.Errorf("sidecar: histogram %q has %d counts for %d bounds", h.Name, len(h.Counts), len(h.BoundsMS))
+		}
+	}
+	return &sc, nil
+}
+
+// BenchSchema versions the machine-readable benchmark file scripts/bench.sh
+// emits for the perf-trajectory record.
+const BenchSchema = "spreadbench-bench/v1"
+
+// BenchResult is one benchmark's headline numbers.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// BenchFile is the BENCH_engine.json layout.
+type BenchFile struct {
+	Schema     string        `json:"schema"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// ParseBenchFile decodes and validates a BENCH_engine.json document.
+func ParseBenchFile(data []byte) (*BenchFile, error) {
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("bench file: %w", err)
+	}
+	if bf.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench file: schema %q, want %q", bf.Schema, BenchSchema)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench file: no benchmarks")
+	}
+	for _, b := range bf.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("bench file: benchmark with empty name")
+		}
+		if b.NsPerOp < 0 || b.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("bench file: benchmark %q has negative metrics", b.Name)
+		}
+	}
+	return &bf, nil
+}

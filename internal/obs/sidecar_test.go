@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validSidecar() *Sidecar {
+	return &Sidecar{
+		Kind:    "bct",
+		Systems: []string{"excel", "calc"},
+		SLO: SLOReport{
+			BoundMS:    500,
+			Ops:        []SLOOp{{Op: "op.sort", Count: 10, Violations: 2, WorstMS: 812.5}},
+			Violations: 2,
+		},
+		Metrics: MetricsSnapshot{
+			Counters: []CounterSnap{{Name: "engine_cells_evaluated", Label: "excel", Value: 123}},
+			Histograms: []HistogramSnap{{
+				Name: "engine_op_sim_ms", Label: "excel",
+				BoundsMS: []float64{100, 500}, Counts: []int64{5, 3, 2}, Count: 10, SumMS: 2000,
+			}},
+		},
+		Spans:     42,
+		TraceFile: "results_bct.trace.json",
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSidecar(&buf, validSidecar()); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseSidecar(buf.Bytes())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if sc.Schema != SidecarSchema || sc.Kind != "bct" || sc.Spans != 42 {
+		t.Fatalf("parsed: %+v", sc)
+	}
+	if sc.SLO.Ops[0].WorstMS != 812.5 {
+		t.Fatalf("SLO survived badly: %+v", sc.SLO)
+	}
+}
+
+func TestSidecarStrictValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Sidecar)
+		errSub string
+	}{
+		{"wrong schema", func(sc *Sidecar) { sc.Schema = "bogus/v9" }, "schema"},
+		{"missing kind", func(sc *Sidecar) { sc.Kind = "" }, "kind"},
+		{"zero bound", func(sc *Sidecar) { sc.SLO.BoundMS = 0 }, "bound"},
+		{"anonymous op", func(sc *Sidecar) { sc.SLO.Ops[0].Op = "" }, "empty name"},
+		{"impossible violations", func(sc *Sidecar) { sc.SLO.Ops[0].Violations = 99 }, "violations"},
+		{"histogram shape", func(sc *Sidecar) { sc.Metrics.Histograms[0].Counts = []int64{1} }, "counts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := validSidecar()
+			var buf bytes.Buffer
+			if err := WriteSidecar(&buf, sc); err != nil {
+				t.Fatal(err)
+			}
+			// Mutate after marshalling defaults: re-encode by hand.
+			sc2, err := ParseSidecar(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(sc2)
+			buf.Reset()
+			if err := WriteSidecar(&buf, sc2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ParseSidecar(buf.Bytes()); err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.errSub)
+			}
+		})
+	}
+}
+
+func TestSidecarRejectsGarbage(t *testing.T) {
+	if _, err := ParseSidecar([]byte("not json")); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+}
+
+func TestBenchFileParse(t *testing.T) {
+	good := []byte(`{"schema":"spreadbench-bench/v1","benchmarks":[
+		{"name":"BenchmarkFig7Countif/excel","iterations":1,"ns_per_op":1234.5,"allocs_per_op":10,"bytes_per_op":2048}]}`)
+	bf, err := ParseBenchFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Benchmarks) != 1 || bf.Benchmarks[0].NsPerOp != 1234.5 {
+		t.Fatalf("parsed: %+v", bf)
+	}
+	for name, bad := range map[string]string{
+		"schema":    `{"schema":"x","benchmarks":[{"name":"a"}]}`,
+		"empty":     `{"schema":"spreadbench-bench/v1","benchmarks":[]}`,
+		"anonymous": `{"schema":"spreadbench-bench/v1","benchmarks":[{"name":""}]}`,
+		"negative":  `{"schema":"spreadbench-bench/v1","benchmarks":[{"name":"a","ns_per_op":-1}]}`,
+	} {
+		if _, err := ParseBenchFile([]byte(bad)); err == nil {
+			t.Errorf("%s: bad bench file must not validate", name)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSLOBound is the paper's interactivity threshold: a response slower
+// than 500 ms breaks the user's flow (Liu & Heer [31], adopted in §3.2 as
+// the bound every BCT experiment is judged against). core.InteractivityBound
+// is the benchmark-side constant; this is the observability-side default.
+const DefaultSLOBound = 500 * time.Millisecond
+
+// SLO monitors user-facing operation latencies against a fixed bound.
+// Unlike spans and metric handles it is not gated: an SLO instance exists
+// only because a runner or the trace CLI explicitly constructed one.
+type SLO struct {
+	bound time.Duration
+
+	mu    sync.Mutex
+	stats map[string]*sloStat
+}
+
+type sloStat struct {
+	count       int64
+	violations  int64
+	worst       time.Duration
+	worstDetail string
+}
+
+// NewSLO returns a monitor with the given bound; bound <= 0 selects
+// DefaultSLOBound.
+func NewSLO(bound time.Duration) *SLO {
+	if bound <= 0 {
+		bound = DefaultSLOBound
+	}
+	return &SLO{bound: bound, stats: make(map[string]*sloStat)}
+}
+
+// Bound returns the monitor's threshold.
+func (m *SLO) Bound() time.Duration { return m.bound }
+
+// Observe records one operation latency. detail annotates the worst
+// observation per op (e.g. "rows=500000 system=calc").
+func (m *SLO) Observe(op string, d time.Duration, detail string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stats[op]
+	if !ok {
+		st = &sloStat{}
+		m.stats[op] = st
+	}
+	st.count++
+	if d > m.bound {
+		st.violations++
+	}
+	if d > st.worst {
+		st.worst = d
+		st.worstDetail = detail
+	}
+}
+
+// SLOOp is one operation's verdict in a report.
+type SLOOp struct {
+	Op          string  `json:"op"`
+	Count       int64   `json:"count"`
+	Violations  int64   `json:"violations"`
+	WorstMS     float64 `json:"worst_ms"`
+	WorstDetail string  `json:"worst_detail,omitempty"`
+}
+
+// OK reports whether the op stayed within the bound.
+func (o SLOOp) OK() bool { return o.Violations == 0 }
+
+// SLOReport is a monitor's summary, ops sorted by name.
+type SLOReport struct {
+	BoundMS    float64 `json:"bound_ms"`
+	Ops        []SLOOp `json:"ops"`
+	Violations int64   `json:"violations"`
+}
+
+// Report summarizes the monitor's observations.
+func (m *SLO) Report() SLOReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := SLOReport{BoundMS: float64(m.bound) / float64(time.Millisecond)}
+	for op, st := range m.stats {
+		rep.Ops = append(rep.Ops, SLOOp{
+			Op: op, Count: st.count, Violations: st.violations,
+			WorstMS:     float64(st.worst) / float64(time.Millisecond),
+			WorstDetail: st.worstDetail,
+		})
+		rep.Violations += st.violations
+	}
+	sort.Slice(rep.Ops, func(i, j int) bool { return rep.Ops[i].Op < rep.Ops[j].Op })
+	return rep
+}
+
+// WriteText renders the report as the runner-facing verdict block.
+func (r SLOReport) WriteText(w io.Writer) error {
+	verdict := "PASS"
+	if r.Violations > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violation(s))", r.Violations)
+	}
+	if _, err := fmt.Fprintf(w, "Interactivity SLO (%.0f ms bound): %s\n", r.BoundMS, verdict); err != nil {
+		return err
+	}
+	for _, op := range r.Ops {
+		mark := "ok"
+		if !op.OK() {
+			mark = "VIOLATION"
+		}
+		detail := ""
+		if op.WorstDetail != "" {
+			detail = " (" + op.WorstDetail + ")"
+		}
+		if _, err := fmt.Fprintf(w, "  %-12s %4d op(s)  %3d over bound  worst %.1f ms%s  %s\n",
+			op.Op, op.Count, op.Violations, op.WorstMS, detail, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimAttr is the span attribute carrying an operation's calibrated
+// simulated latency in nanoseconds; CheckTrace prefers it over the span's
+// wall duration because the simulated clock is the paper-comparable one.
+const SimAttr = "sim_ns"
+
+// CheckTrace judges every root op span (names with the "op." prefix)
+// against the bound: the deferred SLO pass over an already-collected trace.
+func CheckTrace(tr *Trace, bound time.Duration) SLOReport {
+	m := NewSLO(bound)
+	for _, sp := range tr.Roots {
+		if len(sp.Name) < 3 || sp.Name[:3] != "op." {
+			continue
+		}
+		d := sp.Dur
+		if sim, ok := sp.IntAttr(SimAttr); ok {
+			d = time.Duration(sim)
+		}
+		detail, _ := sp.StrAttr("profile")
+		m.Observe(sp.Name, d, detail)
+	}
+	return m.Report()
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOObserveAndReport(t *testing.T) {
+	m := NewSLO(0)
+	if m.Bound() != DefaultSLOBound {
+		t.Fatalf("bound = %v, want %v", m.Bound(), DefaultSLOBound)
+	}
+	m.Observe("op.sort", 100*time.Millisecond, "rows=1000")
+	m.Observe("op.sort", 700*time.Millisecond, "rows=50000")
+	m.Observe("op.filter", 20*time.Millisecond, "rows=1000")
+	rep := m.Report()
+	if rep.Violations != 1 || len(rep.Ops) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Sorted by op name: filter before sort.
+	if rep.Ops[0].Op != "op.filter" || !rep.Ops[0].OK() {
+		t.Fatalf("ops[0]: %+v", rep.Ops[0])
+	}
+	st := rep.Ops[1]
+	if st.Op != "op.sort" || st.Count != 2 || st.Violations != 1 ||
+		st.WorstMS != 700 || st.WorstDetail != "rows=50000" {
+		t.Fatalf("ops[1]: %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"500 ms bound", "FAIL (1 violation(s))", "VIOLATION", "rows=50000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOBoundaryExclusive(t *testing.T) {
+	m := NewSLO(500 * time.Millisecond)
+	m.Observe("op.open", 500*time.Millisecond, "") // exactly at the bound: OK
+	if rep := m.Report(); rep.Violations != 0 {
+		t.Fatalf("500 ms exactly must not violate a 500 ms bound: %+v", rep)
+	}
+}
+
+// TestCheckTrace judges op spans from a collected trace, preferring the
+// simulated-clock attribute over the wall duration.
+func TestCheckTrace(t *testing.T) {
+	withTracing(t)
+	// Fast wall, slow simulated clock: must violate.
+	StartRoot("op.sort").Str("profile", "calc").Int(SimAttr, int64(900*time.Millisecond)).End()
+	// Fast on both clocks: must pass.
+	StartRoot("op.filter").Str("profile", "calc").Int(SimAttr, int64(3*time.Millisecond)).End()
+	// Non-op root spans are ignored.
+	StartRoot("engine.install").End()
+	rep := CheckTrace(Take(), 500*time.Millisecond)
+	if len(rep.Ops) != 2 {
+		t.Fatalf("ops: %+v", rep.Ops)
+	}
+	if rep.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", rep.Violations)
+	}
+	if rep.Ops[1].Op != "op.sort" || rep.Ops[1].WorstMS != 900 || rep.Ops[1].WorstDetail != "calc" {
+		t.Fatalf("sort verdict: %+v", rep.Ops[1])
+	}
+}

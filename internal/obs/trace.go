@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceSpan is one completed span in a drained trace, linked into the
+// parent/child tree.
+type TraceSpan struct {
+	// Name is the span's taxonomy name ("op.sort", "engine.eval_all", ...).
+	Name string
+	// Start is the span's wall-clock start.
+	Start time.Time
+	// Dur is the span's wall-clock duration.
+	Dur time.Duration
+	// Attrs holds the attributes in attachment order.
+	Attrs []Attr
+	// Children are the nested spans, in start order.
+	Children []*TraceSpan
+
+	id     uint64
+	parent uint64
+}
+
+// IntAttr returns the named integer attribute, or (0, false).
+func (sp *TraceSpan) IntAttr(key string) (int64, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key && !a.IsStr {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// StrAttr returns the named string attribute, or ("", false).
+func (sp *TraceSpan) StrAttr(key string) (string, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key && a.IsStr {
+			return a.Str, true
+		}
+	}
+	return "", false
+}
+
+// Trace is a drained set of spans, organized as a forest.
+type Trace struct {
+	// Roots holds the top-level spans in start order. A span whose parent
+	// was not recorded (e.g. drained in an earlier Take) is a root.
+	Roots []*TraceSpan
+	// Spans is the total number of recorded spans in the trace.
+	Spans int
+	// Dropped counts spans lost at the buffer cap since the last drain.
+	Dropped int64
+
+	epoch time.Time
+}
+
+// Take drains all recorded spans into a Trace and resets the buffers. The
+// gate's state is unchanged; spans still open keep recording and will land
+// in the next Take.
+func Take() *Trace {
+	recs, drop := takeRecords()
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].start.Equal(recs[j].start) {
+			return recs[i].start.Before(recs[j].start)
+		}
+		return recs[i].id < recs[j].id
+	})
+	tr := &Trace{Spans: len(recs), Dropped: drop}
+	nodes := make(map[uint64]*TraceSpan, len(recs))
+	for _, r := range recs {
+		sp := &TraceSpan{
+			Name: r.name, Start: r.start, Dur: r.dur,
+			Attrs: append([]Attr(nil), r.attrs[:r.nattr]...),
+			id:    r.id, parent: r.parent,
+		}
+		nodes[r.id] = sp
+	}
+	for _, r := range recs {
+		sp := nodes[r.id]
+		if p, ok := nodes[r.parent]; ok && r.parent != r.id {
+			p.Children = append(p.Children, sp)
+			continue
+		}
+		tr.Roots = append(tr.Roots, sp)
+	}
+	if len(recs) > 0 {
+		tr.epoch = recs[0].start
+	}
+	return tr
+}
+
+// RootDuration sums the durations of the root spans — the trace's total
+// attributed wall clock. Because nesting is containment, this is the number
+// to compare against an externally measured wall clock.
+func (t *Trace) RootDuration() time.Duration {
+	var sum time.Duration
+	for _, sp := range t.Roots {
+		sum += sp.Dur
+	}
+	return sum
+}
+
+// Walk visits every span depth-first in start order.
+func (t *Trace) Walk(f func(sp *TraceSpan, depth int)) {
+	var rec func(sp *TraceSpan, depth int)
+	rec = func(sp *TraceSpan, depth int) {
+		f(sp, depth)
+		for _, c := range sp.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, sp := range t.Roots {
+		rec(sp, 0)
+	}
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event); timestamps
+// and durations are microseconds per the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object; chrome://tracing and Perfetto both
+// accept it.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON renders the trace in the Chrome trace-event JSON format.
+// All spans share one pid/tid; the viewer reconstructs nesting from time
+// containment, which matches the ambient-parent semantics.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	events := make([]chromeEvent, 0, t.Spans)
+	t.Walk(func(sp *TraceSpan, _ int) {
+		ev := chromeEvent{
+			Name: sp.Name, Ph: "X",
+			Ts:  float64(sp.Start.Sub(t.epoch)) / float64(time.Microsecond),
+			Dur: float64(sp.Dur) / float64(time.Microsecond),
+			Pid: 1, Tid: 1,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.IsStr {
+					ev.Args[a.Key] = a.Str
+				} else {
+					ev.Args[a.Key] = a.Int
+				}
+			}
+		}
+		events = append(events, ev)
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// TreeOptions controls WriteTree's rendering.
+type TreeOptions struct {
+	// Durations includes each span's wall-clock duration. Golden tests
+	// leave it off: span structure and attributes are deterministic, wall
+	// times are not.
+	Durations bool
+	// MaxSpans caps the rendered spans (0 = no cap); a line reports any
+	// overflow so truncation is never silent.
+	MaxSpans int
+}
+
+// WriteTree renders the trace as an indented plain-text tree.
+func (t *Trace) WriteTree(w io.Writer, opts TreeOptions) error {
+	var err error
+	shown, total := 0, 0
+	t.Walk(func(sp *TraceSpan, depth int) {
+		total++
+		if err != nil || (opts.MaxSpans > 0 && shown >= opts.MaxSpans) {
+			return
+		}
+		shown++
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Name)
+		for _, a := range sp.Attrs {
+			if a.IsStr {
+				fmt.Fprintf(&b, " %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(&b, " %s=%d", a.Key, a.Int)
+			}
+		}
+		if opts.Durations {
+			fmt.Fprintf(&b, " [%v]", sp.Dur.Round(time.Microsecond))
+		}
+		_, err = fmt.Fprintln(w, b.String())
+	})
+	if err != nil {
+		return err
+	}
+	if hidden := total - shown; hidden > 0 {
+		if _, err := fmt.Fprintf(w, "... %d more span(s) not shown\n", hidden); err != nil {
+			return err
+		}
+	}
+	if t.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "!! %d span(s) dropped at the buffer cap\n", t.Dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

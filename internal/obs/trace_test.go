@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChromeJSONShape(t *testing.T) {
+	withTracing(t)
+	root := StartRoot("op.filter").Str("profile", "calc").Int("rows", 10)
+	child := Start("engine.resequence")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := Take().WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "op.filter" || ev.Ph != "X" || ev.Pid != 1 {
+		t.Fatalf("root event: %+v", ev)
+	}
+	if ev.Args["profile"] != "calc" || ev.Args["rows"] != float64(10) {
+		t.Fatalf("root args: %+v", ev.Args)
+	}
+	inner := doc.TraceEvents[1]
+	if inner.Name != "engine.resequence" || inner.Dur <= 0 {
+		t.Fatalf("child event: %+v", inner)
+	}
+	// Time containment: the child must sit inside the root on the shared
+	// track, which is how the viewer reconstructs nesting.
+	if inner.Ts < ev.Ts || inner.Ts+inner.Dur > ev.Ts+ev.Dur+1 {
+		t.Fatalf("child [%f,%f] escapes root [%f,%f]", inner.Ts, inner.Ts+inner.Dur, ev.Ts, ev.Ts+ev.Dur)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	withTracing(t)
+	root := StartRoot("op.sort").Str("profile", "excel")
+	Start("engine.eval_all").Int("cells", 7).End()
+	root.End()
+	tr := Take()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf, TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "op.sort profile=excel\n  engine.eval_all cells=7\n"
+	if got != want {
+		t.Fatalf("tree:\n%s\nwant:\n%s", got, want)
+	}
+
+	buf.Reset()
+	if err := tr.WriteTree(&buf, TreeOptions{Durations: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[") {
+		t.Fatalf("durations requested but missing: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := tr.WriteTree(&buf, TreeOptions{MaxSpans: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 more span(s) not shown") {
+		t.Fatalf("truncation must be reported: %s", buf.String())
+	}
+}
+
+// TestRootDurationAttribution pins the attribution contract on a synthetic
+// trace: the sum of root-span durations tracks the measured wall clock of
+// the traced section within 10%.
+func TestRootDurationAttribution(t *testing.T) {
+	withTracing(t)
+	wallStart := time.Now()
+	for i := 0; i < 5; i++ {
+		sp := StartRoot("op.setcell")
+		inner := Start("engine.recalc_dirty")
+		time.Sleep(4 * time.Millisecond)
+		inner.End()
+		sp.End()
+	}
+	wall := time.Since(wallStart)
+	tr := Take()
+	sum := tr.RootDuration()
+	if sum <= 0 {
+		t.Fatal("no attributed time")
+	}
+	ratio := float64(sum) / float64(wall)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("attributed %v of %v wall (%.1f%%), want within 10%%", sum, wall, ratio*100)
+	}
+}
+
+func TestOrphanSpansBecomeRoots(t *testing.T) {
+	withTracing(t)
+	parent := StartRoot("op.a")
+	child := Start("inner")
+	child.End()
+	// Drain while the parent is still open: the child's parent record is
+	// absent from this trace, so it must surface as a root, not vanish.
+	tr := Take()
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "inner" {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+	parent.End()
+	Take()
+}

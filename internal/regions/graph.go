@@ -3,6 +3,7 @@ package regions
 import (
 	"repro/internal/cell"
 	"repro/internal/formula"
+	"repro/internal/obs"
 )
 
 // The compressed dependency graph. Because regions are vertical runs, a
@@ -58,6 +59,8 @@ type Graph struct {
 // consistent direction — OK() reports false and callers must fall back to
 // the per-cell graph; Build never guesses.
 func Build(sr *SheetRegions) *Graph {
+	sp := obs.Start("regions.build").Int("regions", int64(len(sr.Regions)))
+	defer sp.End()
 	g := &Graph{
 		sr:       sr,
 		dir:      make([]int8, len(sr.Regions)),

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/sheet"
 )
 
@@ -81,7 +82,11 @@ type srcKey struct {
 // regions are sorted by (column, start row), classes are numbered in
 // discovery order of that sorted scan.
 func Infer(s *sheet.Sheet) *SheetRegions {
+	sp := obs.Start("regions.infer")
 	sr := &SheetRegions{}
+	defer func() {
+		sp.Int("formulas", int64(sr.Formulas)).Int("regions", int64(len(sr.Regions))).End()
+	}()
 	type cellRec struct {
 		addr cell.Addr
 		fc   sheet.Formula

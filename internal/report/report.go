@@ -91,14 +91,21 @@ func WriteFigure(w io.Writer, title string, series []Series, notes ...string) {
 }
 
 // WriteCSV emits the series as tidy CSV (label,size,sim_ns,wall_ns,std_ns)
-// for external plotting.
-func WriteCSV(w io.Writer, series []Series) {
-	fmt.Fprintln(w, "series,rows,sim_ns,wall_ns,std_ns")
+// for external plotting. Write errors are returned, not dropped: result
+// files land on real disks that fill up.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,rows,sim_ns,wall_ns,std_ns"); err != nil {
+		return err
+	}
 	for _, s := range series {
 		for _, p := range s.Sorted() {
-			fmt.Fprintf(w, "%s,%d,%d,%d,%d\n", s.Label, p.Size, p.Sim.Nanoseconds(), p.Wall.Nanoseconds(), p.StdDev.Nanoseconds())
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d\n",
+				s.Label, p.Size, p.Sim.Nanoseconds(), p.Wall.Nanoseconds(), p.StdDev.Nanoseconds()); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 func labels(series []Series) []string {

@@ -73,7 +73,9 @@ func TestWriteFigureSortsSizes(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	var buf bytes.Buffer
-	WriteCSV(&buf, sampleSeries())
+	if err := WriteCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if lines[0] != "series,rows,sim_ns,wall_ns,std_ns" {
 		t.Errorf("header = %q", lines[0])

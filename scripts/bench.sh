@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Benchmark runner with a machine-readable record: runs the root-package
+# benchmark suite with -benchmem, prints the usual go test output, and
+# converts it into BENCH_engine.json (schema spreadbench-bench/v1: name,
+# iterations, ns/op, B/op, allocs/op per benchmark) for the perf-trajectory
+# record. The file is validated with cmd/obscheck before the script exits,
+# so a format drift fails here rather than corrupting the record.
+#
+# Usage: bench.sh [-quick] [go test -bench args...]
+#   -quick    one iteration per benchmark (-benchtime=1x); the CI smoke mode
+#
+# Examples:
+#   bench.sh                         full run, default -bench=. -benchtime
+#   bench.sh -quick                  smoke: every benchmark once
+#   bench.sh -bench=BenchmarkFig3    just the sort benchmarks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_engine.json"
+args=(-bench=. -benchmem -run '^$')
+if [ "${1:-}" = "-quick" ]; then
+    shift
+    args+=(-benchtime=1x)
+fi
+if [ "$#" -gt 0 ]; then
+    args+=("$@")
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test ${args[*]} =="
+go test "${args[@]}" . | tee "$raw"
+
+# Benchmark lines look like:
+#   BenchmarkFig3Sort/excel-8  10  1234 ns/op  99 sim-ns/op  456 B/op  7 allocs/op
+# Fields after the iteration count come in value/unit pairs; pick the units
+# this record carries and emit one JSON object per line.
+awk '
+    /^Benchmark/ {
+        name = $1; iters = $2
+        ns = 0; bytes = 0; allocs = 0
+        for (i = 3; i < NF; i += 2) {
+            if ($(i + 1) == "ns/op") ns = $i
+            if ($(i + 1) == "B/op") bytes = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %d, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, iters, ns, bytes, allocs
+    }
+    BEGIN {
+        printf "{\n  \"schema\": \"spreadbench-bench/v1\",\n  \"benchmarks\": [\n"
+    }
+    END {
+        printf "\n  ]\n}\n"
+    }
+' "$raw" >"$out"
+
+echo "== obscheck =="
+go run ./internal/obs/cmd/obscheck -bench "$out"

@@ -7,9 +7,11 @@
 # Usage: check.sh [stage]
 #   lint   formatting, vet, sheetlint, build — the fast static half
 #   race   the full test suite under the race detector
-#   all    both halves (the default)
+#   bench  bench-smoke: one-iteration benchmark subset into BENCH_engine.json
+#          plus a tiny traced runner pass, both validated with cmd/obscheck
+#   all    every stage (the default)
 #
-# CI runs the two stages as separate jobs so the static half reports in
+# CI runs the stages as separate jobs so the static half reports in
 # seconds while the race suite grinds; with no argument this script is the
 # same gate it has always been.
 set -euo pipefail
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | all) ;;
+lint | race | bench | all) ;;
 *)
     echo "usage: $0 [lint|race|all]" >&2
     exit 2
@@ -43,9 +45,25 @@ if [ "$stage" != "race" ]; then
     go build ./...
 fi
 
-if [ "$stage" != "lint" ]; then
+if [ "$stage" = "race" ] || [ "$stage" = "all" ]; then
     echo "== go test -race =="
     go test -race ./...
+fi
+
+if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
+    echo "== bench smoke (BENCH_engine.json) =="
+    ./scripts/bench.sh -quick \
+        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental'
+
+    echo "== runner observability smoke (sidecar + trace) =="
+    smokedir=$(mktemp -d)
+    trap 'rm -rf "$smokedir"' EXIT
+    go run ./cmd/oot -exp fig13-incremental -trials 1 \
+        -maxrows 300 -maxrows-web 300 -systems excel -quiet \
+        -sidecar "$smokedir/smoke.obs.json" -trace "$smokedir/smoke.trace.json" \
+        >/dev/null
+    go run ./internal/obs/cmd/obscheck \
+        -sidecar "$smokedir/smoke.obs.json" -trace "$smokedir/smoke.trace.json"
 fi
 
 echo "OK"

@@ -159,8 +159,8 @@ func WriteReport(w io.Writer, results map[string]*ExperimentResult, cfg *Config)
 }
 
 // WriteCSV emits one experiment's curves as tidy CSV for plotting.
-func WriteCSV(w io.Writer, res *ExperimentResult) {
-	report.WriteCSV(w, res.Series)
+func WriteCSV(w io.Writer, res *ExperimentResult) error {
+	return report.WriteCSV(w, res.Series)
 }
 
 // Violation scans an experiment series for the first size breaking the

@@ -88,7 +88,9 @@ func TestRunAndReport(t *testing.T) {
 	}
 
 	var csv bytes.Buffer
-	WriteCSV(&csv, results["fig7-countif"])
+	if err := WriteCSV(&csv, results["fig7-countif"]); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.HasPrefix(csv.String(), "series,rows,") {
 		t.Error("CSV header")
 	}
