@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/interfere"
 	"repro/internal/iolib"
 	"repro/internal/regions"
 	"repro/internal/report"
@@ -623,6 +624,26 @@ func BenchmarkRegionGraphBuild(b *testing.B) {
 		g := regions.Build(sr)
 		if !g.OK() {
 			b.Fatal("formula-only weather sheet must sequence")
+		}
+	}
+}
+
+// BenchmarkInterferenceAnalysis measures the parallel-safety certification
+// (internal/interfere) on a fixed inference result for the 50k-row
+// Formula-value workload: per-class read footprints, the region-pair
+// interference relation, and the staged leveling. Like Build, the cost must
+// scale with regions and classes, never with the 350k formula cells — the
+// certificate is re-derived on every formula-set edit, so this is an
+// editing-latency path, not a one-time install cost.
+func BenchmarkInterferenceAnalysis(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true})
+	sr := regions.Infer(wb.First())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert := interfere.Analyze(sr)
+		if !cert.OK || cert.StageCount() != 1 {
+			b.Fatalf("cert: OK=%v stages=%d, want one certified stage", cert.OK, cert.StageCount())
 		}
 	}
 }

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/interfere"
+	"repro/internal/iolib"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// runInterfere implements the `sheetcli interfere` subcommand: it runs the
+// parallel-safety certification (internal/interfere) over a workbook and
+// reports whether the region set stages into certified parallel phases —
+// and when it does not, which cells block it and why.
+//
+// Usage: sheetcli interfere [-json] [-rows n] [-seed n] [-max n] [file.svf]
+func runInterfere(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("interfere", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rows := fs.Int("rows", 5000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	maxList := fs.Int("max", 20, "max regions listed per stage; -1 removes the cap")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli interfere [-json] [-rows n] [-seed n] [-max n] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 0 {
+		fmt.Fprintln(errOut, "sheetcli: -rows must be non-negative")
+		return 2
+	}
+
+	var wb *sheet.Workbook
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		wb = res.Workbook
+	} else {
+		wb = workload.Weather(workload.Spec{
+			Rows: *rows, Formulas: true, Seed: *seed, Analysis: true,
+		})
+	}
+
+	rep := interfereReportFor(wb)
+	var err error
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = rep.writeText(out, *maxList)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// stageEntry is one certified stage: its regions may evaluate concurrently.
+type stageEntry struct {
+	Stage int `json:"stage"`
+	// Regions lists the stage's members in A1 notation.
+	Regions []string `json:"regions"`
+	Cells   int      `json:"cells"`
+}
+
+// blockerEntry is one certification blocker.
+type blockerEntry struct {
+	// Cell anchors the blocker at its region's first cell.
+	Cell string `json:"cell"`
+	// Text is the region's relative R1C1 class text.
+	Text string `json:"text"`
+	// Reason says why the region cannot be staged.
+	Reason string `json:"reason"`
+	// Cells is the region height the blocker keeps serial.
+	Cells int `json:"cells"`
+}
+
+// sheetInterfereReport is the certification summary for one worksheet.
+type sheetInterfereReport struct {
+	Sheet    string `json:"sheet"`
+	Formulas int    `json:"formulas"`
+	Regions  int    `json:"regions"`
+	// Certified reports whether every region staged — the engine's staged
+	// scheduler refuses the sheet otherwise.
+	Certified bool `json:"certified"`
+	// Stages counts the certified phases; Widest is the largest phase's
+	// region count — the available parallelism.
+	Stages int `json:"stages"`
+	Widest int `json:"widest"`
+	// Edges counts cross-region read dependencies the stages must respect.
+	Edges     int            `json:"edges"`
+	StageList []stageEntry   `json:"stage_list"`
+	Blockers  []blockerEntry `json:"blockers"`
+}
+
+// interfereReport is the workbook-level report.
+type interfereReport struct {
+	Sheets    []*sheetInterfereReport `json:"sheets"`
+	Certified bool                    `json:"certified"`
+}
+
+func interfereReportFor(wb *sheet.Workbook) *interfereReport {
+	rep := &interfereReport{Certified: true}
+	for _, s := range wb.Sheets() {
+		sr := regions.Infer(s)
+		cert := interfere.Analyze(sr)
+		out := &sheetInterfereReport{
+			Sheet:     s.Name,
+			Formulas:  sr.Formulas,
+			Regions:   cert.Regions,
+			Certified: cert.OK,
+			Stages:    cert.StageCount(),
+			Widest:    cert.Widest(),
+			Edges:     len(cert.Edges),
+		}
+		for i, stage := range cert.Stages {
+			en := stageEntry{Stage: i}
+			for _, ri := range stage {
+				r := sr.Regions[ri]
+				en.Regions = append(en.Regions, entryFor(r, sr).Range)
+				en.Cells += r.Rows()
+			}
+			out.StageList = append(out.StageList, en)
+		}
+		for _, b := range cert.Blockers {
+			out.Blockers = append(out.Blockers, blockerEntry{
+				Cell:   b.Cell.A1(),
+				Text:   b.Text,
+				Reason: b.Reason,
+				Cells:  sr.Regions[b.Region].Rows(),
+			})
+		}
+		rep.Sheets = append(rep.Sheets, out)
+		rep.Certified = rep.Certified && cert.OK
+	}
+	return rep
+}
+
+func (rep *interfereReport) writeText(w io.Writer, maxList int) error {
+	verdict := "certified for staged parallel recalculation"
+	if !rep.Certified {
+		verdict = "NOT certified (engine falls back to per-cell leveling)"
+	}
+	if _, err := fmt.Fprintf(w, "workbook: %d sheet(s), %s\n", len(rep.Sheets), verdict); err != nil {
+		return err
+	}
+	for _, sr := range rep.Sheets {
+		if err := sr.writeText(w, maxList); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sr *sheetInterfereReport) writeText(w io.Writer, maxList int) error {
+	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), %d region(s), %d cross edge(s)\n",
+		sr.Sheet, sr.Formulas, sr.Regions, sr.Edges)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  certificate: %d stage(s), widest %d, %d blocker(s)\n",
+		sr.Stages, sr.Widest, len(sr.Blockers)); err != nil {
+		return err
+	}
+	for _, st := range sr.StageList {
+		shown := st.Regions
+		if maxList >= 0 && len(shown) > maxList {
+			shown = shown[:maxList]
+		}
+		if _, err := fmt.Fprintf(w, "  stage %d (%d region(s), %d cell(s)):", st.Stage, len(st.Regions), st.Cells); err != nil {
+			return err
+		}
+		for _, r := range shown {
+			if _, err := fmt.Fprintf(w, " %s", r); err != nil {
+				return err
+			}
+		}
+		if dropped := len(st.Regions) - len(shown); dropped > 0 {
+			if _, err := fmt.Fprintf(w, " ... %d more", dropped); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if len(sr.Blockers) > 0 {
+		if _, err := fmt.Fprintln(w, "  blockers:"); err != nil {
+			return err
+		}
+		for _, b := range sr.Blockers {
+			text := b.Text
+			if len(text) > 40 {
+				text = text[:37] + "..."
+			}
+			if _, err := fmt.Fprintf(w, "    %-6s %-40s %s\n", b.Cell, text, b.Reason); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -21,6 +21,11 @@
 // reports formula-set compression and region-graph sequencability; see
 // regions.go.
 //
+//	sheetcli interfere [-json] [-rows n] [file.svf]
+//
+// runs the parallel-safety certification (internal/interfere) over a
+// workbook and reports certified stages and blockers; see interfere.go.
+//
 //	sheetcli trace [-system p] [-rows n] [-script ops] [-json] [file.svf]
 //
 // runs a scripted operation sequence with the observability layer on and
@@ -34,6 +39,7 @@
 //	analyze                   run the static analyzer on the workbook
 //	typecheck                 run the static type & error-flow inference
 //	regions                   run the fill-region inference
+//	interfere                 run the parallel-safety certification
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -72,6 +78,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "regions" {
 		os.Exit(runRegions(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "interfere" {
+		os.Exit(runInterfere(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
@@ -129,7 +138,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze typecheck regions sort filter pivot find trace gen open save quit")
+		fmt.Println("set get show analyze typecheck regions interfere sort filter pivot find trace gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
@@ -145,6 +154,11 @@ func dispatch(eng *engine.Engine, line string) bool {
 
 	case "regions":
 		if err := regionsReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
+			return fail(err)
+		}
+
+	case "interfere":
+		if err := interfereReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
 			return fail(err)
 		}
 

@@ -38,6 +38,9 @@ const (
 	RuleErrorBlast   = "error-blast-radius"
 	RuleCoercion     = "coercion-hot-path"
 	RuleBrokenFill   = "broken-fill"
+	// RuleParallelBlocker flags the cells whose formulas keep the sheet's
+	// parallel-safety certificate (internal/interfere) from staging.
+	RuleParallelBlocker = "parallel-blocker"
 )
 
 // Severity ranks findings. High findings change results or dominate recalc
@@ -252,6 +255,7 @@ func analyzeSheet(s *sheet.Sheet, opt Options) *SheetReport {
 	sr.Regions = len(regs.Regions)
 	sr.CompressionRatio = regs.CompressionRatio()
 	checkBrokenFill(emit, s, regs, opt)
+	checkParallelBlockers(emit, s, regs)
 
 	sr.EstRecalcOps = EstimateRecalcOps(sites)
 

@@ -1,0 +1,34 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/interfere"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// checkParallelBlockers implements RuleParallelBlocker: the sheet's
+// parallel-safety certification (internal/interfere) names every region
+// whose formulas it cannot stage — volatile or computed references,
+// readers of such regions, and region-level interference cycles. Each
+// blocker anchors at its region's first cell; Cost is the region height,
+// the cell count the blocker keeps serial.
+func checkParallelBlockers(e *emitter, s *sheet.Sheet, sr *regions.SheetRegions) {
+	cert := interfere.Analyze(sr)
+	if cert.OK {
+		return
+	}
+	for _, b := range cert.Blockers {
+		r := sr.Regions[b.Region]
+		e.emit(Finding{
+			Rule:     RuleParallelBlocker,
+			Severity: Warn,
+			Sheet:    s.Name,
+			Cell:     b.Cell.A1(),
+			Message: fmt.Sprintf("formula blocks parallel-safety certification: %s (fill pattern %s)",
+				b.Reason, truncateText(b.Text, 40)),
+			Cost: int64(r.Rows()),
+		})
+	}
+}

@@ -39,6 +39,7 @@ type Engine struct {
 	chains  map[*sheet.Sheet]*chainCache
 	opts    map[*sheet.Sheet]*optState
 	regions map[*sheet.Sheet]*regionChain
+	certs   map[*sheet.Sheet]*certEntry
 
 	meter       costmodel.Meter // operation-attributed work
 	recalcMeter costmodel.Meter // unmultiplied recalculation work (pivot)
@@ -59,6 +60,7 @@ func New(prof Profile) *Engine {
 		chains:  make(map[*sheet.Sheet]*chainCache),
 		opts:    make(map[*sheet.Sheet]*optState),
 		regions: make(map[*sheet.Sheet]*regionChain),
+		certs:   make(map[*sheet.Sheet]*certEntry),
 		nowFn:   time.Now,
 		met:     newEngineMetrics(prof.Name),
 	}
@@ -103,6 +105,7 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	e.chains = make(map[*sheet.Sheet]*chainCache)
 	e.opts = make(map[*sheet.Sheet]*optState)
 	e.regions = make(map[*sheet.Sheet]*regionChain)
+	e.certs = make(map[*sheet.Sheet]*certEntry)
 	for _, s := range wb.Sheets() {
 		g := e.graph(s)
 		gsp := obs.Start("install.graph")
@@ -117,6 +120,14 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 			osp := obs.Start("install.opt_state")
 			e.buildOptState(s)
 			osp.End()
+		}
+		if e.prof.Opt.RegionGraph {
+			// Parallel-safety pre-flight: issue the certificate now so the
+			// first staged recalculation finds it installed; edits that bump
+			// the graph version invalidate it exactly like the region chain.
+			csp := obs.Start("install.parallel_cert")
+			e.parallelCertFor(s, &e.meter)
+			csp.End()
 		}
 	}
 	// Setup work is not part of any experiment: clear the meters.

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/formula"
+	"repro/internal/interfere"
+	"repro/internal/obs"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// The parallel-safety certificate (internal/interfere) rides the same
+// version-keyed lifecycle as the region chain: issued against the per-cell
+// graph's version, refused the moment any formula-set edit bumps it, and
+// lazily re-derived on the next staged scheduling request. A stale schedule
+// — in particular one predating a SplitAt — can therefore never be
+// replayed.
+
+// certEntry pairs a certificate with the region inference and region graph
+// it was derived from.
+type certEntry struct {
+	version int64
+	sr      *regions.SheetRegions
+	g       *regions.Graph
+	cert    *interfere.Cert
+}
+
+// parallelCertFor returns the sheet's parallel-safety certificate, deriving
+// it when missing or stale. Unlike the region chain this is profile-
+// independent — staged scheduling is an engine extension available on every
+// profile — but when the RegionGraph optimization is active the chain's
+// inference is reused rather than repeated. The analysis itself is never
+// charged to the meter: like install-time optimization builds, a static
+// certification pass is not work the modeled system performs.
+func (e *Engine) parallelCertFor(s *sheet.Sheet, meter *costmodel.Meter) *certEntry {
+	g := e.graph(s)
+	if ce := e.certs[s]; ce != nil && ce.version == g.Version() {
+		return ce
+	}
+	sp := obs.Start("interfere.analyze")
+	defer sp.End()
+	var sr *regions.SheetRegions
+	var rg *regions.Graph
+	if rc := e.regionChainFor(s, meter); rc != nil {
+		sr, rg = rc.sr, rc.g
+	} else {
+		saved := *meter
+		sr = regions.Infer(s)
+		rg = regions.Build(sr)
+		sr.ResetOps()
+		rg.ResetOps()
+		*meter = saved
+	}
+	cert := interfere.Analyze(sr)
+	cert.ResetOps()
+	cert.Version = g.Version()
+	ce := &certEntry{version: g.Version(), sr: sr, g: rg, cert: cert}
+	e.certs[s] = ce
+	sp.Int("regions", int64(cert.Regions)).
+		Int("stages", int64(cert.StageCount())).
+		Int("blockers", int64(len(cert.Blockers)))
+	return ce
+}
+
+// ParallelCert returns the sheet's current parallel-safety certificate,
+// deriving it if needed. Returns nil for a nil sheet.
+func (e *Engine) ParallelCert(s *sheet.Sheet) *interfere.Cert {
+	if s == nil {
+		return nil
+	}
+	return e.parallelCertFor(s, &e.meter).cert
+}
+
+// RecalculateStaged is the certificate-checked scheduler shim: it
+// recomputes every formula stage-by-stage — still sequentially — under the
+// sheet's certificate, after asserting that no dependency edge crosses
+// stages backward. It errors when the sheet is not certified (blockers, or
+// a region set the region graph cannot sequence) and on any runtime
+// certificate violation; it never falls back, which is what makes it a
+// soundness instrument rather than a scheduler.
+func (e *Engine) RecalculateStaged(s *sheet.Sheet) (Result, error) {
+	if s == nil {
+		return Result{}, errSheet("RecalculateStaged")
+	}
+	t := e.begin(OpSetCell)
+	_, cyclic := e.fullChain(s, &e.meter)
+	ce := e.parallelCertFor(s, &e.meter)
+	if !ce.cert.OK {
+		return Result{}, fmt.Errorf("engine: RecalculateStaged: sheet not certified (%d blockers, first: %s)",
+			len(ce.cert.Blockers), describeBlocker(ce.cert.Blockers))
+	}
+	if !ce.g.OK() {
+		return Result{}, fmt.Errorf("engine: RecalculateStaged: region graph not sequencable")
+	}
+	if len(cyclic) > 0 {
+		return Result{}, fmt.Errorf("engine: RecalculateStaged: %d cyclic cells under a certified schedule", len(cyclic))
+	}
+	if err := e.runStages(s, ce, 1); err != nil {
+		return Result{}, err
+	}
+	return t.finish(), nil
+}
+
+func describeBlocker(bs []interfere.Blocker) string {
+	if len(bs) == 0 {
+		return "none"
+	}
+	b := bs[0]
+	return fmt.Sprintf("%s %s: %s", b.Cell.A1(), b.Text, b.Reason)
+}
+
+// runStages executes the certified schedule: stages in certificate order,
+// regions within a stage split across workers, rows within a region in the
+// region graph's required direction. Before anything runs the certificate
+// is checked against the region graph's independently derived cross-region
+// edges — the footprint analysis and the interval-edge sequencer must agree
+// that every dependency spans strictly increasing stages, or the
+// certificate is unsound and the recalculation aborts.
+func (e *Engine) runStages(s *sheet.Sheet, ce *certEntry, workers int) error {
+	if bad := ce.cert.CheckStages(ce.g.CrossEdges()); len(bad) > 0 {
+		return fmt.Errorf("engine: parallel certificate violation: %d cross-stage edges not strictly staged (first: region %d -> %d)",
+			len(bad), bad[0][0], bad[0][1])
+	}
+	meters := make([]costmodel.Meter, workers)
+	for _, stage := range ce.cert.Stages {
+		// Work lists are materialized on the scheduler goroutine:
+		// RegionCells charges the region graph's op counter, which is not
+		// goroutine-safe.
+		parts := make([][]cell.Addr, workers)
+		for i, ri := range stage {
+			w := i % workers
+			parts[w] = ce.g.RegionCells(parts[w], ri)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			if len(parts[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, part []cell.Addr) {
+				defer wg.Done()
+				env := &formula.Env{
+					Src:    s, // raw sheet: calc-pass semantics, no read-through
+					Meter:  &meters[w],
+					Now:    e.nowFn,
+					Lookup: e.prof.Lookup,
+				}
+				for _, at := range part {
+					fc, ok := s.Formula(at)
+					if !ok {
+						continue
+					}
+					env.DR, env.DC = fc.DeltaAt(at)
+					s.SetCachedValue(at, formula.Eval(fc.Code, env))
+				}
+			}(w, parts[w])
+		}
+		wg.Wait()
+	}
+	for w := range meters {
+		for m := costmodel.Metric(0); int(m) < costmodel.NumMetrics; m++ {
+			if n := meters[w].Count(m); n != 0 {
+				e.meter.Add(m, n)
+			}
+		}
+	}
+	return nil
+}

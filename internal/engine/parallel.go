@@ -12,10 +12,16 @@ import (
 // RecalculateParallel recomputes every formula using the given number of
 // workers — the multi-threaded recalculation §3.3 notes Excel 2016 supports
 // but ships disabled ("the default setting is to evaluate a formula on the
-// main thread"), which is why the benchmark proper never uses it. It is
-// provided as the corresponding engine extension: formulae are grouped into
-// dependency levels; within a level all formulae are independent and
-// evaluate concurrently, with per-worker meters merged at the end.
+// main thread"), which is why the benchmark proper never uses it.
+//
+// Scheduling is certificate-driven: when the sheet's parallel-safety
+// certificate (internal/interfere) stages cleanly and the region graph can
+// sequence it, regions within one certified stage evaluate concurrently via
+// the runtime-checked scheduler. Sheets that cannot be certified — volatile
+// or computed references, region cycles, per-cell cycles — fall back to
+// conservative per-cell dependency leveling. Both paths are version-keyed
+// to the formula set, so no edit (including a region SplitAt) can ever
+// replay a stale schedule.
 //
 // Results are identical to Recalculate; only wall time changes. The
 // simulated clock is unaffected by parallelism (simulated time models the
@@ -30,7 +36,20 @@ func (e *Engine) RecalculateParallel(s *sheet.Sheet, workers int) (Result, error
 	}
 	t := e.begin(OpSetCell)
 	order, cyclic := e.fullChain(s, &e.meter)
+	if ce := e.parallelCertFor(s, &e.meter); len(cyclic) == 0 && ce.cert.OK && ce.g.OK() {
+		if err := e.runStages(s, ce, workers); err != nil {
+			return Result{}, err
+		}
+		return t.finish(), nil
+	}
+	e.recalcLevels(s, order, cyclic, workers)
+	return t.finish(), nil
+}
 
+// recalcLevels is the uncertified fallback: formulae are grouped into
+// per-cell dependency levels; within a level all formulae are independent
+// and evaluate concurrently, with per-worker meters merged at the end.
+func (e *Engine) recalcLevels(s *sheet.Sheet, order, cyclic []cell.Addr, workers int) {
 	// Assign dependency levels: a formula evaluates one level after the
 	// deepest formula it reads. Small ranges resolve exactly; a formula
 	// with a large-range precedent is conservatively placed after
@@ -118,5 +137,4 @@ func (e *Engine) RecalculateParallel(s *sheet.Sheet, workers int) (Result, error
 			}
 		}
 	}
-	return t.finish(), nil
 }

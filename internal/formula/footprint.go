@@ -1,0 +1,148 @@
+package formula
+
+import "repro/internal/cell"
+
+// Static read/write footprints. A compiled formula's references collapse to
+// a small set of rectangles whose coordinates are either absolute sheet
+// indices or offsets from the host cell — the relative-R1C1 interval form
+// the interference analysis (internal/interfere) reasons over. The *write*
+// footprint of a spreadsheet formula is trivial: it writes exactly its host
+// cell (WriteInterval); all the structure is in the reads.
+//
+// Footprints are a property of (code, origin), like the R1C1 normal form:
+// every host of a fill region shares one footprint, so whole-region
+// precedent coverage is derived once per region, not once per cell.
+
+// Coord is one endpoint of a footprint interval along one axis: a fixed
+// absolute index (an anchored `$` component) or an offset from the host.
+type Coord struct {
+	// Abs marks an anchored component; V is then the absolute index.
+	Abs bool
+	// V is the absolute index, or the signed offset from the host.
+	V int
+}
+
+// At resolves the coordinate against a host index on the same axis.
+func (c Coord) At(host int) int {
+	if c.Abs {
+		return c.V
+	}
+	return host + c.V
+}
+
+// Interval is one read rectangle in relative-R1C1 terms, kept in authored
+// corner orientation (From/To may be unordered once resolved, exactly as a
+// range like $A$5:A2 may invert under displacement; resolution normalizes).
+type Interval struct {
+	FromRow, FromCol Coord
+	ToRow, ToCol     Coord
+}
+
+// WriteInterval is the write footprint of any formula: the host cell itself,
+// R[0]C[0] in relative terms.
+func WriteInterval() Interval { return Interval{} }
+
+// RangeAt materializes the interval for a formula hosted at the given cell,
+// normalizing corner order the way range evaluation does. No clipping is
+// applied: like Compiled.PrecedentRanges, an off-sheet resolution yields
+// negative coordinates the caller must clip or reject.
+func (iv Interval) RangeAt(host cell.Addr) cell.Range {
+	a := cell.Addr{Row: iv.FromRow.At(host.Row), Col: iv.FromCol.At(host.Col)}
+	b := cell.Addr{Row: iv.ToRow.At(host.Row), Col: iv.ToCol.At(host.Col)}
+	return cell.RangeOf(a, b)
+}
+
+// CoverOver returns the union of the interval's resolutions as its host
+// slides over rows [startRow, endRow] of column hostCol — the whole-region
+// precedent rectangle. Each resolved endpoint is monotone nondecreasing in
+// the host row, so the union of the per-host rectangles is itself one
+// rectangle: rows from the minimum corner at startRow to the maximum corner
+// at endRow.
+func (iv Interval) CoverOver(hostCol, startRow, endRow int) cell.Range {
+	r0 := fpMin(iv.FromRow.At(startRow), iv.ToRow.At(startRow))
+	r1 := fpMax(iv.FromRow.At(endRow), iv.ToRow.At(endRow))
+	c0 := fpMin(iv.FromCol.At(hostCol), iv.ToCol.At(hostCol))
+	c1 := fpMax(iv.FromCol.At(hostCol), iv.ToCol.At(hostCol))
+	return cell.Range{
+		Start: cell.Addr{Row: r0, Col: c0},
+		End:   cell.Addr{Row: r1, Col: c1},
+	}
+}
+
+// Footprint is the static read set of one compiled formula relative to its
+// authored origin.
+type Footprint struct {
+	// Reads holds one interval per reference, single refs and ranges alike,
+	// in PrecedentRanges order (single refs in source order, then ranges).
+	Reads []Interval
+	// Unanalyzable marks a formula whose true read set cannot be bounded
+	// statically: volatile functions and the computed-reference forms
+	// (OFFSET, INDIRECT). The interference analysis must treat such a
+	// formula as conflicting with everything.
+	Unanalyzable bool
+	// Reason names the first function that made the footprint unanalyzable.
+	Reason string
+}
+
+// ReadFootprint derives the footprint of a compiled formula authored at
+// origin. Relative components become host offsets (ref minus origin, the
+// same arithmetic as the R1C1 normal form); absolute components become
+// anchored coordinates. Reads are still collected for an unanalyzable
+// formula — they are a lower bound, useful for display, never for proofs.
+func ReadFootprint(c *Compiled, origin cell.Addr) Footprint {
+	var fp Footprint
+	coord := func(idx int, abs bool, orgIdx int) Coord {
+		if abs {
+			return Coord{Abs: true, V: idx}
+		}
+		return Coord{V: idx - orgIdx}
+	}
+	for _, r := range c.Refs {
+		rr := coord(r.Addr.Row, r.AbsRow, origin.Row)
+		cc := coord(r.Addr.Col, r.AbsCol, origin.Col)
+		fp.Reads = append(fp.Reads, Interval{FromRow: rr, FromCol: cc, ToRow: rr, ToCol: cc})
+	}
+	walk(c.Root, func(n Node) {
+		switch t := n.(type) {
+		case RangeNode:
+			fp.Reads = append(fp.Reads, Interval{
+				FromRow: coord(t.From.Addr.Row, t.From.AbsRow, origin.Row),
+				FromCol: coord(t.From.Addr.Col, t.From.AbsCol, origin.Col),
+				ToRow:   coord(t.To.Addr.Row, t.To.AbsRow, origin.Row),
+				ToCol:   coord(t.To.Addr.Col, t.To.AbsCol, origin.Col),
+			})
+		case CallNode:
+			if volatileFuncs[t.Name] && !fp.Unanalyzable {
+				fp.Unanalyzable = true
+				fp.Reason = t.Name
+			}
+		}
+	})
+	return fp
+}
+
+// MaterializeAt resolves every read interval for a formula hosted at the
+// given cell. For a formula authored at origin and hosted at host, the
+// result equals Compiled.PrecedentRanges(host.Row-origin.Row,
+// host.Col-origin.Col) — the identity the footprint round-trip tests pin.
+func (fp Footprint) MaterializeAt(host cell.Addr) []cell.Range {
+	out := make([]cell.Range, 0, len(fp.Reads))
+	for _, iv := range fp.Reads {
+		out = append(out, iv.RangeAt(host))
+	}
+	return out
+}
+
+func fpMin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fpMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

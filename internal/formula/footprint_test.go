@@ -1,0 +1,136 @@
+package formula
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestFootprintRoundTripAllBuiltins pins the footprint identity for every
+// builtin: a footprint derived at an origin and materialized at a host must
+// equal PrecedentRanges under the same displacement. The argument menagerie
+// matches the R1C1 round-trip suite — relative, fully-absolute, both mixed
+// forms, and a range with a mixed endpoint.
+func TestFootprintRoundTripAllBuiltins(t *testing.T) {
+	names := FunctionNames()
+	if len(names) == 0 {
+		t.Fatal("no builtins registered")
+	}
+	origins := []cell.Addr{at("A1"), at("D7"), at("AA100")}
+	displacements := []struct{ dr, dc int }{{0, 0}, {3, 1}, {100, 0}}
+	for _, name := range names {
+		src := fmt.Sprintf(`=%s(G8,$B$2,C$3,$D4,E5:F$6,"x")`, name)
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %s: %v", src, err)
+		}
+		for _, origin := range origins {
+			fp := ReadFootprint(c, origin)
+			if want := len(c.Refs) + len(c.Ranges); len(fp.Reads) != want {
+				t.Fatalf("%s at %s: %d read intervals, want %d",
+					name, origin.A1(), len(fp.Reads), want)
+			}
+			for _, d := range displacements {
+				host := cell.Addr{Row: origin.Row + d.dr, Col: origin.Col + d.dc}
+				got := fp.MaterializeAt(host)
+				want := c.PrecedentRanges(d.dr, d.dc)
+				if len(got) != len(want) {
+					t.Fatalf("%s origin %s disp (%d,%d): %d ranges, want %d",
+						name, origin.A1(), d.dr, d.dc, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%s origin %s disp (%d,%d): range %d = %v, want %v",
+							name, origin.A1(), d.dr, d.dc, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFootprintUnanalyzable(t *testing.T) {
+	cases := []struct {
+		formula string
+		reason  string
+	}{
+		{"=NOW()", "NOW"},
+		{"=TODAY()", "TODAY"},
+		{"=RAND()", "RAND"},
+		{"=RANDBETWEEN(1,10)", "RANDBETWEEN"},
+		{"=OFFSET(A1,1,0)", "OFFSET"},
+		{"=INDIRECT(B1)", "INDIRECT"},
+		{"=SUM(A1:A10)+NOW()", "NOW"},
+	}
+	for _, tc := range cases {
+		fp := ReadFootprint(MustCompile(tc.formula), at("C3"))
+		if !fp.Unanalyzable {
+			t.Errorf("%s: footprint analyzable, want unanalyzable", tc.formula)
+		}
+		if fp.Reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q", tc.formula, fp.Reason, tc.reason)
+		}
+	}
+	for _, f := range []string{"=A1+B2", "=SUM(A1:A10)", "=IF(A1>0,B1,C1)", "=1+2"} {
+		if fp := ReadFootprint(MustCompile(f), at("C3")); fp.Unanalyzable {
+			t.Errorf("%s: footprint unanalyzable (%s), want analyzable", f, fp.Reason)
+		}
+	}
+}
+
+func TestFootprintCoordAt(t *testing.T) {
+	if got := (Coord{Abs: true, V: 7}).At(100); got != 7 {
+		t.Errorf("absolute coord resolved to %d, want 7", got)
+	}
+	if got := (Coord{V: -3}).At(100); got != 97 {
+		t.Errorf("relative coord resolved to %d, want 97", got)
+	}
+}
+
+func TestFootprintWriteInterval(t *testing.T) {
+	host := at("K50")
+	if got := WriteInterval().RangeAt(host); got != cell.SingleCell(host) {
+		t.Errorf("write footprint at %s = %v, want the host cell", host.A1(), got)
+	}
+}
+
+// TestFootprintCoverOver checks the whole-region coverage rectangle against
+// a brute-force union of per-host resolutions, including an anchored/sliding
+// mixed range whose corners invert partway down the region.
+func TestFootprintCoverOver(t *testing.T) {
+	cases := []string{
+		"=J2+1",                      // sliding single ref
+		"=SUM(J2:J11)",               // sliding range
+		"=SUM($B$2:B10)",             // anchored top, sliding bottom (running total)
+		"=SUM(B2:B$5)",               // sliding top, anchored bottom — corners invert
+		"=COUNTIF($A$1:$A10,C1)&B$3", // anchored col, mixed extras
+	}
+	origin := at("D5")
+	const hostCol, startRow, endRow = 3, 4, 40
+	for _, f := range cases {
+		fp := ReadFootprint(MustCompile(f), origin)
+		for i, iv := range fp.Reads {
+			got := iv.CoverOver(hostCol, startRow, endRow)
+			want := iv.RangeAt(cell.Addr{Row: startRow, Col: hostCol})
+			for h := startRow; h <= endRow; h++ {
+				r := iv.RangeAt(cell.Addr{Row: h, Col: hostCol})
+				if r.Start.Row < want.Start.Row {
+					want.Start.Row = r.Start.Row
+				}
+				if r.End.Row > want.End.Row {
+					want.End.Row = r.End.Row
+				}
+				if r.Start.Col < want.Start.Col {
+					want.Start.Col = r.Start.Col
+				}
+				if r.End.Col > want.End.Col {
+					want.End.Col = r.End.Col
+				}
+			}
+			if got != want {
+				t.Errorf("%s interval %d: CoverOver = %v, brute-force union %v", f, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package interfere
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+func at(s string) cell.Addr { return cell.MustParseAddr(s) }
+
+// fillDown attaches one compiled formula across a column run with a shared
+// origin — the workload's fill-down shape.
+func fillDown(s *sheet.Sheet, text string, col, start, end int) {
+	code := formula.MustCompile(text)
+	org := cell.Addr{Row: start, Col: col}
+	for r := start; r <= end; r++ {
+		s.AttachFormula(cell.Addr{Row: r, Col: col}, sheet.Formula{Code: code, Origin: org})
+	}
+}
+
+// The weather formula columns K..Q each COUNTIF a distinct data column:
+// no formula region reads another formula region, so the whole sheet
+// certifies as a single parallel stage.
+func TestAnalyzeWeatherSingleStage(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 200, Seed: 7, Formulas: true})
+	sr := regions.Infer(wb.First())
+	c := Analyze(sr)
+
+	if !c.OK {
+		t.Fatalf("cert not OK; blockers: %+v", c.Blockers)
+	}
+	if len(c.Stages) != 1 || len(c.Stages[0]) != 7 {
+		t.Fatalf("stages = %v, want one stage of 7 regions", c.Stages)
+	}
+	if len(c.Edges) != 0 {
+		t.Fatalf("edges = %v, want none", c.Edges)
+	}
+	if c.Widest() != 7 || c.StageCount() != 1 {
+		t.Fatalf("Widest=%d StageCount=%d, want 7/1", c.Widest(), c.StageCount())
+	}
+}
+
+// A three-column fill chain (B reads A data, C reads B, D reads C) must
+// stage the regions strictly in column order.
+func TestAnalyzeChainStages(t *testing.T) {
+	s := sheet.New("S", 50, 6)
+	fillDown(s, "=A1*2", 1, 0, 39)
+	fillDown(s, "=B1+1", 2, 0, 39)
+	fillDown(s, "=C1-1", 3, 0, 39)
+	c := Analyze(regions.Infer(s))
+
+	if !c.OK {
+		t.Fatalf("cert not OK; blockers: %+v", c.Blockers)
+	}
+	if want := [][]int{{0}, {1}, {2}}; !reflect.DeepEqual(c.Stages, want) {
+		t.Fatalf("stages = %v, want %v", c.Stages, want)
+	}
+	if want := []Edge{{0, 1}, {1, 2}}; !reflect.DeepEqual(c.Edges, want) {
+		t.Fatalf("edges = %v, want %v", c.Edges, want)
+	}
+}
+
+// A region reading its own column (the cell above, a running-sum shape)
+// keeps the self-read inside the region: intra-region ordering belongs to
+// the region graph, so no cross-region edge and no blocker. The anchored
+// running total over it still lands one stage later.
+func TestAnalyzeSelfReadNoCrossEdge(t *testing.T) {
+	s := sheet.New("S", 50, 6)
+	fillDown(s, "=B1+A2", 1, 1, 39)
+	fillDown(s, "=SUM($B$2:B2)", 2, 1, 39)
+	c := Analyze(regions.Infer(s))
+
+	if !c.OK {
+		t.Fatalf("cert not OK; blockers: %+v", c.Blockers)
+	}
+	if want := [][]int{{0}, {1}}; !reflect.DeepEqual(c.Stages, want) {
+		t.Fatalf("stages = %v, want %v", c.Stages, want)
+	}
+	if want := []Edge{{0, 1}}; !reflect.DeepEqual(c.Edges, want) {
+		t.Fatalf("edges = %v, want %v", c.Edges, want)
+	}
+}
+
+// The analysis summary block carries one of each blocker shape: a NOW()
+// cell (unanalyzable), a cell reading it (tainted), and the deliberate
+// S9/S10 cycle. All four must be reported; the clean summary rows must
+// still stage, with the S2 consumer a stage later.
+func TestAnalyzeWeatherAnalysisBlockers(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 200, Seed: 7, Formulas: true, Analysis: true})
+	sr := regions.Infer(wb.First())
+	c := Analyze(sr)
+
+	if c.OK {
+		t.Fatal("cert OK despite volatile and cyclic summary formulas")
+	}
+	byReason := map[string][]string{}
+	for _, b := range c.Blockers {
+		byReason[b.Reason] = append(byReason[b.Reason], b.Cell.A1())
+	}
+	if got := byReason["unanalyzable footprint (NOW)"]; !reflect.DeepEqual(got, []string{"S5"}) {
+		t.Errorf("NOW blocker cells = %v, want [S5]", got)
+	}
+	if got := byReason["reads an unanalyzable region"]; !reflect.DeepEqual(got, []string{"S6"}) {
+		t.Errorf("tainted blocker cells = %v, want [S6]", got)
+	}
+	if got := byReason["interference cycle"]; !reflect.DeepEqual(got, []string{"S9", "S10"}) {
+		t.Errorf("cycle blocker cells = %v, want [S9 S10]", got)
+	}
+	// The storm total (S2) feeds storm total/day (S8): strictly later stage.
+	s2 := sr.RegionFor(at("S2"))
+	s8 := sr.RegionFor(at("S8"))
+	if c.Stage[s2] < 0 || c.Stage[s8] < 0 || c.Stage[s2] >= c.Stage[s8] {
+		t.Errorf("S2 stage %d, S8 stage %d; want S2 staged strictly before S8",
+			c.Stage[s2], c.Stage[s8])
+	}
+}
+
+func TestAnalyzeBlockerText(t *testing.T) {
+	s := sheet.New("S", 20, 4)
+	fillDown(s, "=RAND()", 1, 0, 9)
+	c := Analyze(regions.Infer(s))
+	if c.OK || len(c.Blockers) != 1 {
+		t.Fatalf("blockers = %+v, want exactly one", c.Blockers)
+	}
+	b := c.Blockers[0]
+	if !strings.Contains(b.Text, "RAND") {
+		t.Errorf("blocker text %q does not name the formula", b.Text)
+	}
+	if b.Cell != at("B1") {
+		t.Errorf("blocker cell = %s, want B1", b.Cell.A1())
+	}
+}
+
+func TestCheckStages(t *testing.T) {
+	s := sheet.New("S", 50, 6)
+	fillDown(s, "=A1*2", 1, 0, 39)
+	fillDown(s, "=B1+1", 2, 0, 39)
+	fillDown(s, "=C1-1", 3, 0, 39)
+	c := Analyze(regions.Infer(s))
+
+	if bad := c.CheckStages([][2]int{{0, 1}, {0, 2}, {1, 2}}); bad != nil {
+		t.Fatalf("forward edges reported as violations: %v", bad)
+	}
+	if bad := c.CheckStages([][2]int{{2, 0}}); len(bad) != 1 {
+		t.Fatalf("backward edge not caught: %v", bad)
+	}
+	if bad := c.CheckStages([][2]int{{0, 7}}); len(bad) != 1 {
+		t.Fatalf("out-of-range edge not caught: %v", bad)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	wb := workload.Weather(workload.Spec{Rows: 120, Seed: 3, Formulas: true, Analysis: true})
+	sr := regions.Infer(wb.First())
+	a, b := Analyze(sr), Analyze(sr)
+	a.ResetOps()
+	b.ResetOps()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("analysis not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAnalyzeEmptySheet(t *testing.T) {
+	c := Analyze(regions.Infer(sheet.New("S", 10, 4)))
+	if !c.OK || len(c.Stages) != 0 || len(c.Edges) != 0 {
+		t.Fatalf("empty sheet: %+v, want trivially OK with no stages", c)
+	}
+}

@@ -1,0 +1,177 @@
+// The globalmut analyzer: direct writes to package-level mutable state
+// outside init functions. The engine's recalculation paths are headed for
+// region-sharded parallel execution (certified by internal/interfere), and
+// any package-level variable written from those paths is a data race
+// waiting for the first concurrent stage. Sanctioned shared state goes
+// through sync/atomic values or mutex-guarded structs — both of which
+// mutate via method calls, which this check deliberately does not flag.
+// Audited exceptions are named in globalMutAllow.
+//
+// Resolution is syntactic, like the rest of the framework: a write is
+// flagged only when its base identifier names a package-level var and no
+// binding of the same name occurs anywhere in the enclosing function, so
+// shadowing errs toward silence.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// GlobalMut is the package-level-mutation analyzer. Its default gate covers
+// the packages the parallel recalculation work executes through.
+var GlobalMut = &Analyzer{
+	Name:        "globalmut",
+	Doc:         "direct writes to package-level vars outside init",
+	DefaultDirs: []string{"internal/engine", "internal/regions", "internal/obs", "internal/interfere"},
+	Run:         runGlobalMut,
+}
+
+// globalMutAllow names package-level vars that are reviewed as safe to
+// write directly (e.g. set once before any concurrency starts).
+var globalMutAllow = map[string]bool{}
+
+func runGlobalMut(pkg *Package) []Diagnostic {
+	pkgVars := collectPackageVars(pkg.Files)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "init" {
+				continue
+			}
+			local := collectLocalBindings(fd)
+			flag := func(e ast.Expr, pos token.Pos, how string) {
+				name, ok := baseIdent(e)
+				if !ok || !pkgVars[name] || local[name] || globalMutAllow[name] {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Pos: pkg.Fset.Position(pos).String(),
+					Message: fmt.Sprintf(
+						"%s of package-level var %q outside init; use sync/atomic or a guarded struct, or allowlist after review", how, name),
+				})
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.AssignStmt:
+					if t.Tok == token.DEFINE {
+						return true
+					}
+					how := "write"
+					if t.Tok != token.ASSIGN {
+						how = "compound write"
+					}
+					for _, lhs := range t.Lhs {
+						flag(lhs, t.TokPos, how)
+					}
+				case *ast.IncDecStmt:
+					flag(t.X, t.TokPos, "increment")
+				}
+				return true
+			})
+		}
+	}
+	return sortDiags(diags)
+}
+
+// collectPackageVars gathers the names declared by top-level var blocks.
+func collectPackageVars(files []*ast.File) map[string]bool {
+	vars := make(map[string]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					vars[name.Name] = true
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// collectLocalBindings gathers every name a function binds anywhere —
+// receiver, parameters, results, :=, var declarations, range and type-
+// switch bindings, and function-literal parameters. Block scope is ignored:
+// a name bound anywhere in the function shadows for the whole function,
+// which errs toward silence.
+func collectLocalBindings(fd *ast.FuncDecl) map[string]bool {
+	local := make(map[string]bool)
+	addFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				local[name.Name] = true
+			}
+		}
+	}
+	addFieldList(fd.Recv)
+	addFieldList(fd.Type.Params)
+	addFieldList(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if t.Tok == token.DEFINE {
+				for _, lhs := range t.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range t.Names {
+				local[name.Name] = true
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{t.Key, t.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if as, ok := t.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			addFieldList(t.Type.Params)
+			addFieldList(t.Type.Results)
+		}
+		return true
+	})
+	return local
+}
+
+// baseIdent unwraps an assignable expression to its base identifier:
+// x, x.f, x[i], (x).f chains all resolve to x. Anything else — including
+// pointer dereferences, whose pointee this check cannot place — reports
+// not-ok and stays silent.
+func baseIdent(e ast.Expr) (string, bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t.Name, true
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return "", false
+		}
+	}
+}

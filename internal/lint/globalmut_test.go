@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGlobBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := GlobalMut.RunDir(filepath.Join("testdata", "src", "globbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per function in globbad.go.
+	const want = 7
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "globbad.go") {
+			t.Errorf("finding outside globbad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "package-level var") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}
+
+func TestGlobGoodPackageIsClean(t *testing.T) {
+	diags, err := GlobalMut.RunDir(filepath.Join("testdata", "src", "globgood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+func TestGlobalMutAllowlist(t *testing.T) {
+	globalMutAllow["reviewed"] = true
+	defer delete(globalMutAllow, "reviewed")
+	diags, err := GlobalMut.RunDir(filepath.Join("testdata", "src", "globbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// allowedWrite's finding is suppressed; the other six remain.
+	if len(diags) != 6 {
+		t.Fatalf("findings = %d, want 6:\n%s", len(diags), join(diags))
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, `"reviewed"`) {
+			t.Errorf("allowlisted var still flagged: %s", d)
+		}
+	}
+}
+
+// TestParallelPackagesAreGlobalMutClean is the real gate: the packages the
+// staged parallel recalculation runs through must not write package-level
+// state outside init.
+func TestParallelPackagesAreGlobalMutClean(t *testing.T) {
+	for _, dir := range GlobalMut.DefaultDirs {
+		diags, err := GlobalMut.RunDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}

@@ -58,7 +58,9 @@ func LoadDir(dir string) (*Package, error) {
 		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		// Comments are kept: lockcheck reads `guarded by <mu>` field
+		// annotations out of them.
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +84,7 @@ type Analyzer struct {
 
 // Analyzers returns every registered analyzer, in gate order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMap, FloatCmp, SortedOut}
+	return []*Analyzer{RangeMap, FloatCmp, SortedOut, GlobalMut, LockCheck}
 }
 
 // RunDir loads one directory and runs one analyzer over it.

@@ -1,0 +1,201 @@
+// The lockcheck analyzer: writes to mutex-guarded struct fields without the
+// guard held. Fields documented `// guarded by <mu>` form the package's
+// locking discipline; once region stages execute concurrently (see
+// internal/interfere), a single unguarded write to such a field is a data
+// race. A write to x.field is flagged unless x.<mu>.Lock() appears earlier
+// in the same function on the same base expression x.
+//
+// Matching is syntactic and errs toward silence: base expressions are
+// compared by rendered text (so `sh := &shards[i]; sh.mu.Lock(); sh.recs =
+// ...` certifies), guarded field names apply package-wide, index
+// subscripts are erased when rendering, and functions that legitimately
+// rely on a caller-held lock are named in lockCheckAllow.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// LockCheck is the guarded-field-write analyzer, gating the same packages
+// as globalmut: everything the staged parallel recalculation runs through.
+var LockCheck = &Analyzer{
+	Name:        "lockcheck",
+	Doc:         "writes to `guarded by mu` fields without the lock held",
+	DefaultDirs: []string{"internal/engine", "internal/regions", "internal/obs", "internal/interfere"},
+	Run:         runLockCheck,
+}
+
+// lockCheckAllow names functions audited as safe to write guarded fields
+// without locking locally — typically helpers documented as requiring the
+// caller to hold the lock.
+var lockCheckAllow = map[string]bool{}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockCheck(pkg *Package) []Diagnostic {
+	guards := collectGuardedFields(pkg.Files)
+	if len(guards) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lockCheckAllow[fd.Name.Name] {
+				continue
+			}
+			locks := collectLockCalls(fd.Body)
+			check := func(lhs ast.Expr, pos token.Pos, how string) {
+				field, base, ok := guardedWrite(lhs, guards)
+				if !ok {
+					return
+				}
+				mu := guards[field]
+				key := base + "." + mu
+				for _, lp := range locks[key] {
+					if lp < pos {
+						return
+					}
+				}
+				diags = append(diags, Diagnostic{
+					Pos: pkg.Fset.Position(pos).String(),
+					Message: fmt.Sprintf(
+						"%s to %s.%s (guarded by %s) without %s.Lock() earlier in %s; lock first or allowlist in lockCheckAllow",
+						how, base, field, mu, key, fd.Name.Name),
+				})
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.AssignStmt:
+					if t.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range t.Lhs {
+						check(lhs, t.TokPos, "write")
+					}
+				case *ast.IncDecStmt:
+					check(t.X, t.TokPos, "increment")
+				}
+				return true
+			})
+		}
+	}
+	return sortDiags(diags)
+}
+
+// collectGuardedFields maps struct field names annotated `guarded by <mu>`
+// (in the field's doc or trailing comment) to their mutex field name.
+// Guarded names are treated package-wide — the framework has no type
+// resolution to pin a selector to its struct.
+func collectGuardedFields(files []*ast.File) map[string]string {
+	guards := make(map[string]string)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					guards[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// collectLockCalls records, for each rendered receiver chain ending in a
+// .Lock() call (e.g. "r.mu", "sh.mu"), the positions of those calls.
+func collectLockCalls(body *ast.BlockStmt) map[string][]token.Pos {
+	locks := make(map[string][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if recv := renderExpr(sel.X); recv != "" {
+			locks[recv] = append(locks[recv], call.Pos())
+		}
+		return true
+	})
+	return locks
+}
+
+// guardedWrite reports whether lhs writes a guarded field — x.field, or an
+// element of it like x.field[k] — returning the field name and the
+// rendered base x.
+func guardedWrite(lhs ast.Expr, guards map[string]string) (field, base string, ok bool) {
+	for {
+		switch t := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = t.X
+		case *ast.IndexExpr:
+			lhs = t.X
+		case *ast.SelectorExpr:
+			if _, guarded := guards[t.Sel.Name]; !guarded {
+				return "", "", false
+			}
+			b := renderExpr(t.X)
+			if b == "" {
+				return "", "", false
+			}
+			return t.Sel.Name, b, true
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// renderExpr prints the identifier/selector chains this check compares.
+// Index subscripts are erased (shards[i] and shards[j] render alike — a
+// deliberate imprecision that errs toward silence); anything it cannot
+// render returns "" and the caller stays silent.
+func renderExpr(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		if b := renderExpr(t.X); b != "" {
+			return b + "." + t.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if b := renderExpr(t.X); b != "" {
+			return b + "[#]"
+		}
+	case *ast.ParenExpr:
+		return renderExpr(t.X)
+	case *ast.StarExpr:
+		if b := renderExpr(t.X); b != "" {
+			return "*" + b
+		}
+	case *ast.UnaryExpr:
+		if t.Op == token.AND {
+			if b := renderExpr(t.X); b != "" {
+				return "&" + b
+			}
+		}
+	}
+	return ""
+}

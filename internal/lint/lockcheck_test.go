@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLockBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := LockCheck.RunDir(filepath.Join("testdata", "src", "lockbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per function in lockbad.go.
+	const want = 6
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "lockbad.go") {
+			t.Errorf("finding outside lockbad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "guarded by mu") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}
+
+func TestLockGoodPackageIsClean(t *testing.T) {
+	diags, err := LockCheck.RunDir(filepath.Join("testdata", "src", "lockgood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+func TestLockCheckAllowlist(t *testing.T) {
+	lockCheckAllow["callerHeld"] = true
+	defer delete(lockCheckAllow, "callerHeld")
+	diags, err := LockCheck.RunDir(filepath.Join("testdata", "src", "lockbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// callerHeld's finding is suppressed; the other five remain.
+	if len(diags) != 5 {
+		t.Fatalf("findings = %d, want 5:\n%s", len(diags), join(diags))
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "callerHeld") {
+			t.Errorf("allowlisted function still flagged: %s", d)
+		}
+	}
+}
+
+// TestParallelPackagesAreLockCheckClean is the real gate: every write to a
+// `guarded by mu` field in the parallel-execution packages must hold the
+// guard.
+func TestParallelPackagesAreLockCheckClean(t *testing.T) {
+	for _, dir := range LockCheck.DefaultDirs {
+		diags, err := LockCheck.RunDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package globbad holds one flagged package-level write per function; the
+// globalmut test asserts the count.
+package globbad
+
+var counter int
+
+var registry = map[string]int{}
+
+type config struct{ n int }
+
+var state config
+
+// reviewed is written by allowedWrite; the allowlist subtest suppresses it.
+var reviewed int
+
+// plainWrite: direct assignment to a package var.
+func plainWrite() { counter = 1 }
+
+// compoundWrite: += still mutates the package var.
+func compoundWrite() { counter += 2 }
+
+// increment: ++ is a write too.
+func increment() { counter++ }
+
+// fieldWrite: mutating a field of a package-level struct var.
+func fieldWrite() { state.n = 3 }
+
+// mapWrite: writing an element of a package-level map.
+func mapWrite() { registry["k"] = 4 }
+
+// methodWrite: methods are not exempt.
+func (c *config) methodWrite() { counter = c.n }
+
+// allowedWrite: flagged by default, suppressed once reviewed is allowlisted.
+func allowedWrite() { reviewed = 5 }

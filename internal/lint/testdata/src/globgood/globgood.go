@@ -1,0 +1,67 @@
+// Package globgood holds the sanctioned patterns globalmut must stay
+// silent on.
+package globgood
+
+import "sync/atomic"
+
+var counter int
+
+var enabled atomic.Bool
+
+var hits atomic.Int64
+
+type config struct{ n int }
+
+var ptr = &config{}
+
+// init functions may set package state before anything runs.
+func init() { counter = 7 }
+
+// shadowParam: the parameter shadows the package var for the whole function.
+func shadowParam(counter int) int {
+	counter = 1
+	return counter
+}
+
+// shadowLocal: a := binding anywhere in the function suppresses.
+func shadowLocal() int {
+	counter := 2
+	counter++
+	return counter
+}
+
+// shadowVarDecl: a var declaration suppresses too.
+func shadowVarDecl() int {
+	var counter int
+	counter = 3
+	return counter
+}
+
+// shadowRange: range bindings count as local.
+func shadowRange(xs []int) int {
+	sum := 0
+	for counter := range xs {
+		sum += counter
+	}
+	return sum
+}
+
+// atomicUse: method calls on atomics are the sanctioned mutation path.
+func atomicUse() {
+	enabled.Store(true)
+	hits.Add(1)
+}
+
+// localStruct: writes to locally constructed values are fine.
+func localStruct() config {
+	var s config
+	s.n = 1
+	return s
+}
+
+// readOnly: reads never flag.
+func readOnly() int { return counter }
+
+// derefWrite: the pointee of a package-level pointer cannot be placed
+// syntactically, so the check deliberately stays silent.
+func derefWrite() { (*ptr).n = 9 }

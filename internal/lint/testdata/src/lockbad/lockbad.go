@@ -1,0 +1,47 @@
+// Package lockbad holds one flagged guarded-field write per function; the
+// lockcheck test asserts the count.
+package lockbad
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	count int            // guarded by mu
+}
+
+type rwbox struct {
+	mu   sync.RWMutex
+	vals []int // guarded by mu
+}
+
+// unlockedPut: method writes a guarded map element with no lock in sight.
+func (b *box) unlockedPut(k string, v int) { b.items[k] = v }
+
+// unlockedInc: ++ on a guarded field, via a parameter.
+func unlockedInc(b *box) { b.count++ }
+
+// lateLock: the lock comes after the write, which does not help.
+func (b *box) lateLock(k string) {
+	b.items[k] = 0
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// wrongBase: a's lock is held, but the write goes through b.
+func wrongBase(a, b *box) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.count = 0
+}
+
+// rlockOnly: a read lock does not license a write.
+func (r *rwbox) rlockOnly(v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.vals = append(r.vals, v)
+}
+
+// callerHeld: relies on the caller holding b.mu — flagged by default,
+// suppressed once the function is allowlisted.
+func callerHeld(b *box) { b.count = 1 }

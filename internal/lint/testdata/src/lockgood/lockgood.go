@@ -1,0 +1,49 @@
+// Package lockgood holds the locking patterns lockcheck must stay silent
+// on.
+package lockgood
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	count int            // guarded by mu
+	other int
+}
+
+var pool [4]box
+
+// lockedPut: the canonical lock/defer-unlock write.
+func (b *box) lockedPut(k string, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items[k] = v
+}
+
+// lockedViaLocal: locking through a local pointer into shared storage —
+// the base expression of the lock and the write match.
+func lockedViaLocal(i int, v int) {
+	sh := &pool[i]
+	sh.mu.Lock()
+	sh.items["x"] = v
+	sh.count++
+	sh.mu.Unlock()
+}
+
+// lockedParam: explicit lock/unlock around the write, via a parameter.
+func lockedParam(b *box) {
+	b.mu.Lock()
+	b.items = make(map[string]int)
+	b.mu.Unlock()
+}
+
+// construct: composite literals initialize, they do not write fields.
+func construct() *box {
+	return &box{items: map[string]int{}}
+}
+
+// unguarded: fields without a guarded-by annotation are out of scope.
+func (b *box) unguarded() { b.other = 1 }
+
+// readsOnly: reads of guarded fields are not this check's business.
+func (b *box) readsOnly(k string) int { return b.items[k] + b.count }

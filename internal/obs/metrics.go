@@ -16,9 +16,9 @@ type metricKey struct{ name, label string }
 // registration and snapshot time.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[metricKey]*Counter
-	hists    map[metricKey]*Histogram
-	aggs     map[metricKey]*Aggregate
+	counters map[metricKey]*Counter   // guarded by mu
+	hists    map[metricKey]*Histogram // guarded by mu
+	aggs     map[metricKey]*Aggregate // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -78,7 +78,7 @@ const shardCount = 32
 
 type shard struct {
 	mu   sync.Mutex
-	recs []*record
+	recs []*record // guarded by mu
 }
 
 var (

@@ -21,7 +21,7 @@ type SLO struct {
 	bound time.Duration
 
 	mu    sync.Mutex
-	stats map[string]*sloStat
+	stats map[string]*sloStat // guarded by mu
 }
 
 type sloStat struct {

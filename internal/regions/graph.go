@@ -49,7 +49,7 @@ type Graph struct {
 	// selfDown/selfUp: region i has a self-edge pushing dirt toward its
 	// end/start; dirty intervals extend there in O(1) instead of crawling.
 	selfDown, selfUp []bool
-	crossEdges       int
+	cross            [][2]int
 	ok               bool
 	ops              int64
 }
@@ -275,7 +275,7 @@ func (g *Graph) sequence() {
 			seen[key] = true
 			adj[pi] = append(adj[pi], rec.to)
 			indeg[rec.to]++
-			g.crossEdges++
+			g.cross = append(g.cross, key)
 		}
 	}
 	g.order = make([]int, 0, n)
@@ -313,7 +313,20 @@ func (g *Graph) Regions() *SheetRegions { return g.sr }
 
 // EdgeCount returns interval-edge counts: total depRecs and deduplicated
 // cross-region edges.
-func (g *Graph) EdgeCount() (deps, cross int) { return len(g.deps), g.crossEdges }
+func (g *Graph) EdgeCount() (deps, cross int) { return len(g.deps), len(g.cross) }
+
+// CrossEdges returns the deduplicated cross-region (from, to) edges the
+// sequencing pass discovered — an independent derivation of the dependency
+// relation the engine's certificate-checked scheduler validates parallel
+// stages against. Callers must not mutate the result.
+func (g *Graph) CrossEdges() [][2]int { return g.cross }
+
+// RegionCells appends region ri's cells in its required evaluation
+// direction — the per-stage work lists the certificate scheduler executes.
+func (g *Graph) RegionCells(out []cell.Addr, ri int) []cell.Addr {
+	r := g.sr.Regions[ri]
+	return g.appendRows(out, ri, r.Start, r.End)
+}
 
 // Ops returns the accumulated work counter (graph build plus any Order /
 // DirtyFrom calls since the last ResetOps).

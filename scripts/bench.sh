@@ -58,4 +58,4 @@ awk '
 ' "$raw" >"$out"
 
 echo "== obscheck =="
-go run ./internal/obs/cmd/obscheck -bench "$out"
+go run ./cmd/obscheck -bench "$out"

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 quality gate: formatting, vet, the repository's custom analyzers
-# (internal/lint/cmd/sheetlint: rangemap + floatcmp + sortedout), build, and
-# the full test suite under the race detector. CI and pre-commit both run
-# exactly this script.
+# (internal/lint/cmd/sheetlint: rangemap + floatcmp + sortedout + globalmut +
+# lockcheck), build, and the full test suite under the race detector. CI and
+# pre-commit both run exactly this script.
 #
 # Usage: check.sh [stage]
-#   lint   formatting, vet, sheetlint, build — the fast static half
-#   race   the full test suite under the race detector
-#   bench  bench-smoke: one-iteration benchmark subset into BENCH_engine.json
-#          plus a tiny traced runner pass, both validated with cmd/obscheck
-#   all    every stage (the default)
+#   lint       formatting, vet, sheetlint, build — the fast static half
+#   race       the full test suite under the race detector, plus a stress
+#              loop over the staged parallel scheduler
+#   bench      bench-smoke: one-iteration benchmark subset into
+#              BENCH_engine.json plus a tiny traced runner pass, both
+#              validated with cmd/obscheck
+#   interfere  parallel-safety surface: sheetcli interfere goldens plus the
+#              concurrency-readiness lints over the parallel packages
+#   all        every stage (the default)
 #
 # CI runs the stages as separate jobs so the static half reports in
 # seconds while the race suite grinds; with no argument this script is the
@@ -19,14 +23,14 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | bench | all) ;;
+lint | race | bench | interfere | all) ;;
 *)
-    echo "usage: $0 [lint|race|all]" >&2
+    echo "usage: $0 [lint|race|bench|interfere|all]" >&2
     exit 2
     ;;
 esac
 
-if [ "$stage" != "race" ]; then
+if [ "$stage" = "lint" ] || [ "$stage" = "all" ]; then
     echo "== gofmt =="
     unformatted=$(gofmt -l .)
     if [ -n "$unformatted" ]; then
@@ -38,7 +42,7 @@ if [ "$stage" != "race" ]; then
     echo "== go vet =="
     go vet ./...
 
-    echo "== sheetlint (rangemap + floatcmp + sortedout) =="
+    echo "== sheetlint (rangemap + floatcmp + sortedout + globalmut + lockcheck) =="
     go run ./internal/lint/cmd/sheetlint
 
     echo "== go build =="
@@ -48,12 +52,26 @@ fi
 if [ "$stage" = "race" ] || [ "$stage" = "all" ]; then
     echo "== go test -race =="
     go test -race ./...
+
+    echo "== staged-scheduler stress (-race, 5x) =="
+    go test -race -count=5 -run Parallel ./internal/engine
+fi
+
+if [ "$stage" = "interfere" ] || [ "$stage" = "all" ]; then
+    echo "== sheetcli interfere goldens =="
+    go test ./cmd/sheetcli -run Interfere
+
+    echo "== concurrency-readiness lints (globalmut + lockcheck) =="
+    go run ./internal/lint/cmd/sheetlint -only globalmut \
+        internal/engine internal/regions internal/obs internal/interfere
+    go run ./internal/lint/cmd/sheetlint -only lockcheck \
+        internal/engine internal/regions internal/obs internal/interfere
 fi
 
 if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
     echo "== bench smoke (BENCH_engine.json) =="
     ./scripts/bench.sh -quick \
-        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental'
+        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis'
 
     echo "== runner observability smoke (sidecar + trace) =="
     smokedir=$(mktemp -d)
@@ -62,7 +80,7 @@ if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
         -maxrows 300 -maxrows-web 300 -systems excel -quiet \
         -sidecar "$smokedir/smoke.obs.json" -trace "$smokedir/smoke.trace.json" \
         >/dev/null
-    go run ./internal/obs/cmd/obscheck \
+    go run ./cmd/obscheck \
         -sidecar "$smokedir/smoke.obs.json" -trace "$smokedir/smoke.trace.json"
 fi
 
