@@ -1,0 +1,63 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tracelang"
+)
+
+// FuzzTraceScript fuzzes the trace mini-language parser: any input must
+// either parse or fail with a positioned *tracelang.Error — never panic —
+// and everything that parses must round-trip through its canonical form
+// (the property the differential fuzzer's minimizer relies on when it
+// emits repro scripts for sheetcli replay). Seed corpus lives under
+// testdata/fuzz/FuzzTraceScript.
+func FuzzTraceScript(f *testing.F) {
+	for _, seed := range []string{
+		defaultTraceScript,
+		"sheet summary; set B2 42; formula D4 =SUM(A1:A9); recalc",
+		"paste A1:B3 D7; rowins 5 2; rowdel 9; filter off",
+		"sort B desc; pivot B D; find TX XT",
+		"set $A$1 -3.5e2; formula B$2 =VLOOKUP(C2,grades!A$2:B$6,2,TRUE)",
+		"",
+		";;; ;",
+		"bogus A1",
+		"rowins 0; rowdel -1",
+		"paste A1:B2:C3 D1",
+		"sort ZZZZZZZZZZZZ",
+		"set A99999999999999999999 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		stmts, err := tracelang.Parse(script)
+		if err != nil {
+			var pe *tracelang.Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q): non-positioned error %T: %v", script, err, err)
+			}
+			if pe.Index < 1 || pe.Pos < 1 || pe.Pos > len(script)+1 {
+				t.Fatalf("Parse(%q): error position out of range: %+v", script, pe)
+			}
+			return
+		}
+		ops := make([]tracelang.Op, len(stmts))
+		for i, st := range stmts {
+			ops[i] = st.Op
+		}
+		canon := tracelang.Format(ops)
+		again, err := tracelang.Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, script, err)
+		}
+		if len(again) != len(stmts) {
+			t.Fatalf("round trip of %q changed statement count %d -> %d", script, len(stmts), len(again))
+		}
+		for i := range again {
+			if again[i].Op != stmts[i].Op {
+				t.Fatalf("round trip of %q changed op %d: %v -> %v", script, i, stmts[i].Op, again[i].Op)
+			}
+		}
+	})
+}

@@ -45,7 +45,7 @@
 //	pivot <dim> <measure>     pivot table into a new sheet
 //	find <x> <y>              find-and-replace
 //	trace on|off|dump         record spans for later ops; dump the tree
-//	gen <rows> [F|V]          load a weather dataset
+//	gen <rows> [F|V] [w]      load a generated dataset (default weather)
 //	open <path>               open an SVF workbook
 //	save <path>               save the workbook
 //	help, quit
@@ -303,7 +303,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 
 	case "gen":
 		if len(args) < 2 {
-			fmt.Println("usage: gen <rows> [F|V]")
+			fmt.Println("usage: gen <rows> [F|V] [workload]")
 			return true
 		}
 		rows, err := strconv.Atoi(args[1])
@@ -312,11 +312,21 @@ func dispatch(eng *engine.Engine, line string) bool {
 			return true
 		}
 		formulas := len(args) > 2 && strings.EqualFold(args[2], "F")
-		wb := workload.Weather(workload.Spec{Rows: rows, Formulas: formulas})
+		name := "weather"
+		if len(args) > 3 {
+			name = strings.ToLower(args[3])
+		}
+		gen, ok := workload.ByName(name)
+		if !ok {
+			fmt.Printf("unknown workload %q; have %s\n", name, strings.Join(workload.Names(), ", "))
+			return true
+		}
+		wb := gen.Build(workload.Spec{Rows: rows, Formulas: formulas})
 		if err := eng.Install(wb); err != nil {
 			return fail(err)
 		}
-		fmt.Printf("loaded %d rows (%s)\n", rows, map[bool]string{true: "Formula-value", false: "Value-only"}[formulas])
+		fmt.Printf("loaded %d %s rows (%s)\n", rows, gen.Name,
+			map[bool]string{true: "Formula-value", false: "Value-only"}[formulas])
 
 	case "open":
 		if len(args) != 2 {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/sheet"
+	"repro/internal/tracelang"
+	"repro/internal/workload"
+)
+
+// End-to-end task scripts: each testdata/task_*.script is a realistic
+// import → clean → reorganize → report session in the trace mini-language,
+// run against a freshly generated workload. The final workbook state —
+// every sheet, every displayed value, hidden-row flags — is golden-checked,
+// and every system profile must land on byte-identical state, so each task
+// doubles as a CLI-level differential test.
+
+// dumpWorkbook renders the complete displayed state of a workbook.
+func dumpWorkbook(wb *sheet.Workbook) string {
+	var b strings.Builder
+	for _, s := range wb.Sheets() {
+		fmt.Fprintf(&b, "## sheet %s %dx%d formulas=%d\n", s.Name, s.Rows(), s.Cols(), s.FormulaCount())
+		for r := 0; r < s.Rows(); r++ {
+			if s.RowHidden(r) {
+				b.WriteString("H ")
+			}
+			cells := make([]string, s.Cols())
+			for c := 0; c < s.Cols(); c++ {
+				cells[c] = s.Value(cell.Addr{Row: r, Col: c}).AsString()
+			}
+			b.WriteString(strings.Join(cells, "|"))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestTaskScripts(t *testing.T) {
+	tasks := []struct {
+		name     string
+		workload string
+		rows     int
+	}{
+		{"task_ledger", "ledger", 40},
+		{"task_inventory", "inventory", 30},
+		{"task_gradebook", "gradebook", 25},
+	}
+	for _, tc := range tasks {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", tc.name+".script"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			script := strings.TrimSpace(string(raw))
+			gen, ok := workload.ByName(tc.workload)
+			if !ok {
+				t.Fatalf("workload %q not registered", tc.workload)
+			}
+			states := map[string]string{}
+			for name, prof := range engine.Profiles() {
+				eng := engine.New(prof)
+				wb := gen.Build(workload.Spec{Rows: tc.rows, Formulas: true,
+					Columnar: prof.Opt.ColumnarLayout})
+				if err := eng.Install(wb); err != nil {
+					t.Fatalf("%s: install: %v", name, err)
+				}
+				if err := tracelang.Run(eng, script); err != nil {
+					t.Fatalf("%s: script: %v", name, err)
+				}
+				states[name] = dumpWorkbook(eng.Workbook())
+			}
+			state := states["excel"]
+			for name, got := range states {
+				if got != state {
+					t.Errorf("%s final state diverges from excel:\n--- %s ---\n%s\n--- excel ---\n%s",
+						name, name, got, state)
+				}
+			}
+			path := filepath.Join("testdata", tc.name+"_state.txt")
+			if *update {
+				if err := os.WriteFile(path, []byte(state), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run `go test ./cmd/sheetcli -run TaskScripts -update`): %v", err)
+			}
+			if state != string(want) {
+				t.Errorf("final state differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, state, want)
+			}
+		})
+	}
+}

@@ -7,13 +7,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
-	"repro/internal/cell"
 	"repro/internal/engine"
 	"repro/internal/iolib"
 	"repro/internal/obs"
+	"repro/internal/tracelang"
 	"repro/internal/workload"
 )
 
@@ -27,16 +26,18 @@ const defaultTraceScript = "sort B; filter B TX; set J6 3; formula R2 =SUM(J2:J1
 // on, then renders the span tree and the 500 ms interactivity SLO verdicts.
 // Verdicts are judged on the simulated clock each op span carries
 // (obs.SimAttr), so the output is deterministic for a fixed workload; wall
-// durations appear only with -wall.
+// durations appear only with -wall. The script language is
+// internal/tracelang; -workload picks any registered dataset generator.
 //
-// Usage: sheetcli trace [-system excel] [-rows n] [-seed n] [-script ops]
+// Usage: sheetcli trace [-system excel] [-workload w] [-rows n] [-seed n]
 //
-//	[-json] [-wall] [-max n] [-out trace.json] [file.svf]
+//	[-script ops] [-json] [-wall] [-max n] [-out trace.json] [file.svf]
 func runTrace(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	system := fs.String("system", "excel", "system profile to trace")
-	rows := fs.Int("rows", 1000, "rows of the generated weather dataset (ignored with a file argument)")
+	wname := fs.String("workload", "weather", "generated dataset (ignored with a file argument): one of "+workloadNames())
+	rows := fs.Int("rows", 1000, "rows of the generated dataset (ignored with a file argument)")
 	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
 	script := fs.String("script", defaultTraceScript, "semicolon-separated operations to trace")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
@@ -44,7 +45,7 @@ func runTrace(args []string, out, errOut io.Writer) int {
 	maxSpans := fs.Int("max", 200, "max spans rendered in the tree; 0 removes the cap")
 	chromeOut := fs.String("out", "", "also write the trace as Chrome trace-event JSON to this path")
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: sheetcli trace [-system p] [-rows n] [-seed n] [-script ops] [-json] [-wall] [-max n] [-out f] [file.svf]")
+		fmt.Fprintln(errOut, "usage: sheetcli trace [-system p] [-workload w] [-rows n] [-seed n] [-script ops] [-json] [-wall] [-max n] [-out f] [file.svf]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +69,12 @@ func runTrace(args []string, out, errOut io.Writer) int {
 			return 1
 		}
 	} else {
-		wb := workload.Weather(workload.Spec{Rows: *rows, Formulas: true, Seed: *seed})
+		gen, ok := workload.ByName(*wname)
+		if !ok {
+			fmt.Fprintf(errOut, "sheetcli: unknown workload %q (have %s)\n", *wname, workloadNames())
+			return 2
+		}
+		wb := gen.Build(workload.Spec{Rows: *rows, Formulas: true, Seed: *seed})
 		if err := eng.Install(wb); err != nil {
 			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
 			return 1
@@ -78,7 +84,7 @@ func runTrace(args []string, out, errOut io.Writer) int {
 	// Trace only the scripted operations, not the fixture install.
 	obs.Reset()
 	obs.SetEnabled(true)
-	scriptErr := runTraceScript(eng, *script)
+	scriptErr := tracelang.Run(eng, *script)
 	obs.SetEnabled(false)
 	tr := obs.Take()
 	if scriptErr != nil {
@@ -127,93 +133,8 @@ func writeChromeFile(path string, tr *obs.Trace) (err error) {
 	return bw.Flush()
 }
 
-// runTraceScript executes a semicolon-separated operation sequence:
-//
-//	sort <col> [asc|desc]   filter <col> <value>   set A1 <value>
-//	formula A1 =TEXT        find <x> <y>           pivot <dim> <meas>
-//	recalc
-func runTraceScript(eng *engine.Engine, script string) error {
-	s := eng.Workbook().First()
-	for _, stmt := range strings.Split(script, ";") {
-		f := strings.Fields(strings.TrimSpace(stmt))
-		if len(f) == 0 {
-			continue
-		}
-		bad := func() error {
-			return fmt.Errorf("trace script: bad statement %q", strings.TrimSpace(stmt))
-		}
-		var err error
-		switch strings.ToLower(f[0]) {
-		case "sort":
-			if len(f) < 2 {
-				return bad()
-			}
-			col, cerr := cell.ParseColName(f[1])
-			if cerr != nil {
-				return cerr
-			}
-			asc := len(f) < 3 || !strings.EqualFold(f[2], "desc")
-			_, err = eng.Sort(s, col, asc, 1)
-		case "filter":
-			if len(f) != 3 {
-				return bad()
-			}
-			col, cerr := cell.ParseColName(f[1])
-			if cerr != nil {
-				return cerr
-			}
-			_, _, err = eng.Filter(s, col, cell.Str(f[2]), 1)
-		case "set":
-			if len(f) != 3 {
-				return bad()
-			}
-			a, cerr := cell.ParseAddr(f[1])
-			if cerr != nil {
-				return cerr
-			}
-			v := cell.Str(f[2])
-			if num, perr := strconv.ParseFloat(f[2], 64); perr == nil {
-				v = cell.Num(num)
-			}
-			_, err = eng.SetCell(s, a, v)
-		case "formula":
-			if len(f) < 3 {
-				return bad()
-			}
-			a, cerr := cell.ParseAddr(f[1])
-			if cerr != nil {
-				return cerr
-			}
-			_, _, err = eng.InsertFormula(s, a, strings.Join(f[2:], " "))
-		case "find":
-			if len(f) != 3 {
-				return bad()
-			}
-			_, _, err = eng.FindReplace(s, f[1], f[2])
-		case "pivot":
-			if len(f) != 3 {
-				return bad()
-			}
-			dim, cerr := cell.ParseColName(f[1])
-			if cerr != nil {
-				return cerr
-			}
-			meas, cerr := cell.ParseColName(f[2])
-			if cerr != nil {
-				return cerr
-			}
-			_, _, err = eng.PivotTable(s, dim, meas, 1)
-		case "recalc":
-			_, err = eng.Recalculate(s)
-		default:
-			return bad()
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// workloadNames lists the registered dataset generators for usage text.
+func workloadNames() string { return strings.Join(workload.Names(), "|") }
 
 // writeTraceText renders the span tree followed by the SLO verdict section —
 // the shared renderer behind the trace subcommand and the REPL's trace dump.

@@ -136,8 +136,16 @@ func TestTraceErrors(t *testing.T) {
 	if code := runTrace([]string{"-script", "frobnicate A1"}, &out, &errOut); code != 1 {
 		t.Errorf("bad script: exit = %d, want 1", code)
 	}
-	if !strings.Contains(errOut.String(), "bad statement") {
-		t.Errorf("bad-script error not surfaced: %q", errOut.String())
+	if !strings.Contains(errOut.String(), "statement 1") ||
+		!strings.Contains(errOut.String(), "frobnicate") {
+		t.Errorf("bad-script error not positioned: %q", errOut.String())
+	}
+	errOut.Reset()
+	if code := runTrace([]string{"-workload", "abacus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown workload: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "abacus") {
+		t.Errorf("unknown-workload error not surfaced: %q", errOut.String())
 	}
 	if obs.Enabled() {
 		t.Error("tracing must be off again after a failed run")

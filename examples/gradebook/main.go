@@ -18,17 +18,14 @@ import (
 	"time"
 
 	spreadbench "repro"
+	"repro/internal/workload"
 )
 
 const students = 2000
 
-// grade boundaries (score floor -> letter).
-var boundaries = []struct {
-	Floor float64
-	Grade string
-}{
-	{0, "F"}, {60, "D"}, {70, "C"}, {80, "B"}, {90, "A"},
-}
+// boundaries is the shared grade table (score floor -> letter) that the
+// gradebook workload also builds its worksheets from.
+var boundaries = workload.GradeBoundaries
 
 func main() {
 	for _, system := range []string{"calc", "excel", "optimized"} {
@@ -90,6 +87,9 @@ func runJoin(system string) (sim, wall time.Duration, sample string) {
 		fmt.Sprintf("=VLOOKUP(87,X1:Y%d,2,TRUE)", len(boundaries)))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if want := workload.GradeFor(87); v.AsString() != want {
+		log.Fatalf("%s: VLOOKUP(87) = %q, want %q", system, v.AsString(), want)
 	}
 	return sim, wall, v.AsString()
 }

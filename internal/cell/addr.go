@@ -54,6 +54,11 @@ func ParseColName(name string) (int, error) {
 	if name == "" {
 		return 0, fmt.Errorf("cell: empty column name")
 	}
+	if len(name) > 8 {
+		// 8 letters already name 2*10^11 columns; longer names only
+		// overflow the index arithmetic.
+		return 0, fmt.Errorf("cell: column name %q too long", name)
+	}
 	col := 0
 	for i := 0; i < len(name); i++ {
 		c := name[i]
@@ -146,6 +151,11 @@ func ParseRef(s string) (Ref, error) {
 	}
 	if j == i || j != len(s) {
 		return Ref{}, fmt.Errorf("cell: invalid reference %q", s)
+	}
+	if j-i > 9 {
+		// A row number past 10^9 is outside any system's grid and would
+		// overflow downstream arithmetic.
+		return Ref{}, fmt.Errorf("cell: row number in %q too large", s)
 	}
 	if row == 0 {
 		return Ref{}, fmt.Errorf("cell: row numbers start at 1 in %q", s)

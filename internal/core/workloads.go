@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// RunWorkloads sweeps the business-shaped workload suite (extension): for
+// each registered multi-sheet workload, the probe is a single-cell edit on
+// the main sheet whose change must propagate through the cross-sheet
+// formulas (ledger: an amount feeding the summary SUMIFs; inventory: a
+// quantity feeding the per-product aggregates; gradebook: a score feeding
+// its VLOOKUP grade). This measures the cost of the external-reference
+// refresh the way fig13 measures sheet-local incremental recomputation.
+func RunWorkloads(cfg *Config) (*Result, error) {
+	res := newResult("workloads", "Business workload suite: cross-sheet update propagation (extension)")
+	probes := []struct {
+		name string
+		col  int // edited column on the main sheet
+		val  cell.Value
+	}{
+		{"ledger", workload.LedgerColAmount, cell.Num(42)},
+		{"inventory", workload.InvColQty, cell.Num(3)},
+		{"gradebook", workload.GradeColScore, cell.Num(87)},
+	}
+	for _, probe := range probes {
+		gen, ok := workload.ByName(probe.name)
+		if !ok {
+			return nil, fmt.Errorf("core: workload %q not registered", probe.name)
+		}
+		for _, sys := range cfg.systems() {
+			var pts []report.Point
+			for _, m := range cfg.sizesFor(sys, 0) {
+				eng, err := newEngine(sys)
+				if err != nil {
+					return nil, err
+				}
+				wb := gen.Build(workload.Spec{
+					Rows:     m,
+					Formulas: true,
+					Seed:     cfg.seed(),
+					Columnar: eng.Profile().Opt.ColumnarLayout,
+				})
+				if err := eng.Install(wb); err != nil {
+					return nil, err
+				}
+				s := wb.First()
+				row := 1
+				pt, err := runTrials(cfg, m, nil, func() (trial, error) {
+					// Walk the edited row so every trial changes a value.
+					at := cell.Addr{Row: 1 + row%m, Col: probe.col}
+					row++
+					r, err := eng.SetCell(s, at, probe.val)
+					return asTrial(r), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(probe.name+"/"+sys, pts)
+			cfg.progress("workloads %s/%s done", probe.name, sys)
+		}
+	}
+	res.note("probe: SetCell on the main sheet + cross-sheet propagation (external-reference refresh)")
+	return res, nil
+}

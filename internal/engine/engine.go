@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cell"
@@ -130,6 +131,9 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 			csp.End()
 		}
 	}
+	// Sheets were evaluated in tab order; cross-sheet references into
+	// later sheets need the fixpoint pass to settle.
+	e.refreshExternals(&e.meter)
 	// Setup work is not part of any experiment: clear the meters.
 	e.meter.Reset()
 	e.recalcMeter.Reset()
@@ -257,7 +261,104 @@ func (e *Engine) env(s *sheet.Sheet, meter *costmodel.Meter, inner, recalc bool)
 		Meter:  meter,
 		Now:    e.nowFn,
 		Lookup: e.prof.Lookup,
+		// Cross-sheet references read the foreign sheet's cached values
+		// directly — no read-through re-evaluation — so a sheet!ref sees the
+		// same state in every profile; refreshExternals keeps those caches
+		// current after each value-mutating operation.
+		Ext: func(name string) formula.Source {
+			if fs := e.wb.Sheet(name); fs != nil {
+				return fs
+			}
+			return nil
+		},
 	}
+}
+
+// refreshExternals brings every cross-sheet formula cell up to date after a
+// value-mutating operation, then propagates any changes to sheet-local
+// dependents. Cross-sheet precedents are invisible to the per-sheet
+// dependency graphs (the footprint analyzer marks them unanalyzable), so
+// all profiles share this uniform refresh pass — a simplified form of the
+// whole-workbook recalculation real systems run across sheet boundaries.
+// Workbooks without cross-sheet formulae return immediately, keeping the
+// meters of every existing single-sheet operation untouched.
+func (e *Engine) refreshExternals(meter *costmodel.Meter) {
+	hasExt := false
+	for _, s := range e.wb.Sheets() {
+		if s.ExternalCount() > 0 {
+			hasExt = true
+			break
+		}
+	}
+	if !hasExt {
+		return
+	}
+	sp := obs.Start("engine.refresh_externals")
+	defer sp.End()
+	// A change propagates at most one sheet per round along an acyclic
+	// cross-sheet chain, so Len()+1 rounds reach a fixpoint; cyclic
+	// cross-sheet chains simply stop at the bound (deterministically, since
+	// sheet order and per-sheet address order are fixed).
+	rounds := e.wb.Len() + 1
+	for i := 0; i < rounds; i++ {
+		changedAny := false
+		for _, s := range e.wb.Sheets() {
+			ext := s.ExternalCells()
+			if len(ext) == 0 {
+				continue
+			}
+			sortAddrs(ext)
+			// Cells on a reference cycle stay pinned to #CYCLE! (the
+			// calc-chain pass wrote that); re-evaluating them here would
+			// overwrite the error with a history-dependent number.
+			_, cyclic := e.fullChain(s, meter)
+			onCycle := make(map[cell.Addr]bool, len(cyclic))
+			for _, a := range cyclic {
+				onCycle[a] = true
+			}
+			env := e.env(s, meter, false, true)
+			var changed []cell.Addr
+			for _, a := range ext {
+				fc, ok := s.Formula(a)
+				if !ok {
+					continue
+				}
+				if onCycle[a] {
+					continue
+				}
+				env.DR, env.DC = fc.DeltaAt(a)
+				v := formula.Eval(fc.Code, env)
+				old := s.Value(a)
+				// Exact (case-sensitive) equality: Value.Equal folds text
+				// case, which would mask real changes to string results.
+				if v == old {
+					continue
+				}
+				if st := e.opts[s]; st != nil {
+					st.noteCellChange(e, s, a, old, v)
+				}
+				s.SetCachedValue(a, v)
+				changed = append(changed, a)
+			}
+			if len(changed) > 0 {
+				changedAny = true
+				e.recalcDirty(s, changed, meter)
+			}
+		}
+		if !changedAny {
+			return
+		}
+	}
+}
+
+// sortAddrs orders addresses row-major for deterministic iteration.
+func sortAddrs(addrs []cell.Addr) {
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Row != addrs[j].Row {
+			return addrs[i].Row < addrs[j].Row
+		}
+		return addrs[i].Col < addrs[j].Col
+	})
 }
 
 // chainCache memoizes a sheet's full calculation order for the current
@@ -305,6 +406,20 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 
 // evalAll evaluates every formula on the sheet in dependency order,
 // charging the given meter. Cyclic cells get #CYCLE!.
+// setCached stores a formula's freshly evaluated result. The value change
+// is routed through the optimized profile's structure maintenance first:
+// formula results live in indexed columns like any other cell, and a raw
+// SetCachedValue would leave the inverted/hash/prefix structures serving
+// the stale result.
+func (e *Engine) setCached(s *sheet.Sheet, a cell.Addr, v cell.Value) {
+	if st := e.opts[s]; st != nil {
+		if old := s.Value(a); old != v {
+			st.noteCellChange(e, s, a, old, v)
+		}
+	}
+	s.SetCachedValue(a, v)
+}
+
 func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
 	sp := obs.Start("engine.eval_all")
 	order, cyclic := e.fullChain(s, meter)
@@ -315,10 +430,10 @@ func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
-		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+		e.setCached(s, a, formula.Eval(fc.Code, env))
 	}
 	for _, a := range cyclic {
-		s.SetCachedValue(a, cell.Errorf(cell.ErrCycle))
+		e.setCached(s, a, cell.Errorf(cell.ErrCycle))
 	}
 	e.met.cellsEvaluated.Add(int64(len(order) + len(cyclic)))
 	sp.Int("cells", int64(len(order)+len(cyclic))).End()
@@ -378,7 +493,7 @@ func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmod
 				continue
 			}
 			env.DR, env.DC = fc.DeltaAt(a)
-			s.SetCachedValue(a, formula.Eval(fc.Code, env))
+			e.setCached(s, a, formula.Eval(fc.Code, env))
 		}
 		changed = append(append([]cell.Addr(nil), changed...), vol...)
 	}
@@ -390,10 +505,10 @@ func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmod
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
-		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+		e.setCached(s, a, formula.Eval(fc.Code, env))
 	}
 	for _, a := range cyclic {
-		s.SetCachedValue(a, cell.Errorf(cell.ErrCycle))
+		e.setCached(s, a, cell.Errorf(cell.ErrCycle))
 	}
 	return len(order) + len(cyclic)
 }

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// extWorkbook builds a three-sheet workbook with a cross-sheet dependency
+// chain: summary reads accounts (SUMIF, VLOOKUP, direct refs) and report
+// reads summary, so changes must propagate across two sheet boundaries.
+func extWorkbook(t *testing.T) *sheet.Workbook {
+	t.Helper()
+	wb := sheet.NewWorkbook()
+
+	accounts := sheet.New("accounts", 6, 3)
+	accounts.SetValue(cell.MustParseAddr("A1"), cell.Str("name"))
+	accounts.SetValue(cell.MustParseAddr("B1"), cell.Str("kind"))
+	accounts.SetValue(cell.MustParseAddr("C1"), cell.Str("amount"))
+	rows := []struct {
+		name, kind string
+		amount     float64
+	}{
+		{"cash", "asset", 100},
+		{"inventory", "asset", 250},
+		{"loan", "debt", 400},
+		{"bonds", "debt", 50},
+		{"goodwill", "asset", 25},
+	}
+	for i, r := range rows {
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 0}, cell.Str(r.name))
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 1}, cell.Str(r.kind))
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 2}, cell.Num(r.amount))
+	}
+	if err := wb.Add(accounts); err != nil {
+		t.Fatal(err)
+	}
+
+	summary := sheet.New("summary", 4, 2)
+	mustFormula := func(s *sheet.Sheet, a1, text string) {
+		s.SetFormula(cell.MustParseAddr(a1), formula.MustCompile(text))
+	}
+	mustFormula(summary, "A1", `=SUMIF(accounts!B2:B6,"asset",accounts!C2:C6)`)
+	mustFormula(summary, "A2", `=SUMIF(accounts!B2:B6,"debt",accounts!C2:C6)`)
+	mustFormula(summary, "A3", `=VLOOKUP("loan",accounts!A2:C6,3,FALSE)`)
+	mustFormula(summary, "B1", "=A1+A2")
+	if err := wb.Add(summary); err != nil {
+		t.Fatal(err)
+	}
+
+	report := sheet.New("report", 2, 2)
+	mustFormula(report, "A1", "=summary!B1*2")
+	if err := wb.Add(report); err != nil {
+		t.Fatal(err)
+	}
+	return wb
+}
+
+// TestCrossSheetPropagation drives every profile through the same foreign
+// edits and checks both absolute correctness and cross-profile agreement.
+func TestCrossSheetPropagation(t *testing.T) {
+	for _, sys := range []string{"excel", "calc", "sheets", "optimized"} {
+		t.Run(sys, func(t *testing.T) {
+			eng := New(Profiles()[sys])
+			wb := extWorkbook(t)
+			if err := eng.Install(wb); err != nil {
+				t.Fatal(err)
+			}
+			accounts := wb.Sheet("accounts")
+			summary := wb.Sheet("summary")
+			report := wb.Sheet("report")
+
+			read := func(s *sheet.Sheet, a1 string) cell.Value {
+				return s.Value(cell.MustParseAddr(a1))
+			}
+			// Install settles the fixpoint: 100+250+25 assets, 400+50 debt.
+			if got := read(summary, "A1"); got != cell.Num(375) {
+				t.Fatalf("assets after install = %v, want 375", got)
+			}
+			if got := read(report, "A1"); got != cell.Num(1650) {
+				t.Fatalf("report after install = %v, want (375+450)*2", got)
+			}
+
+			// A foreign edit must ripple accounts -> summary -> report.
+			if _, err := eng.SetCell(accounts, cell.MustParseAddr("C2"), cell.Num(200)); err != nil {
+				t.Fatal(err)
+			}
+			if got := read(summary, "A1"); got != cell.Num(475) {
+				t.Fatalf("assets after edit = %v, want 475", got)
+			}
+			if got := read(summary, "B1"); got != cell.Num(925) {
+				t.Fatalf("total after edit = %v, want 925", got)
+			}
+			if got := read(report, "A1"); got != cell.Num(1850) {
+				t.Fatalf("report after edit = %v, want 1850", got)
+			}
+
+			// Re-keying a row changes the VLOOKUP result.
+			if _, _, err := eng.FindReplace(accounts, "loan", "mortgage"); err != nil {
+				t.Fatal(err)
+			}
+			if got := read(summary, "A3"); !got.IsError() {
+				t.Fatalf("lookup of renamed key = %v, want #N/A-class error", got)
+			}
+
+			// Sorting the foreign sheet permutes rows without changing the
+			// aggregate answers.
+			if _, err := eng.Sort(accounts, 2, true, 1); err != nil {
+				t.Fatal(err)
+			}
+			if got := read(summary, "A1"); got != cell.Num(475) {
+				t.Fatalf("assets after foreign sort = %v, want 475", got)
+			}
+		})
+	}
+}
+
+// TestCrossSheetProfilesAgree compares full workbook state across profiles
+// after a mixed op sequence touching both sides of the sheet boundary.
+func TestCrossSheetProfilesAgree(t *testing.T) {
+	systems := []string{"excel", "calc", "sheets", "optimized"}
+	books := make([]*sheet.Workbook, len(systems))
+	for i, sys := range systems {
+		eng := New(Profiles()[sys])
+		wb := extWorkbook(t)
+		if err := eng.Install(wb); err != nil {
+			t.Fatal(err)
+		}
+		accounts := wb.Sheet("accounts")
+		summary := wb.Sheet("summary")
+		if _, err := eng.SetCell(accounts, cell.MustParseAddr("C4"), cell.Num(999)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.InsertFormula(summary, cell.MustParseAddr("B2"),
+			`=COUNTIF(accounts!B2:B6,"debt")`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Sort(accounts, 2, false, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.SetCell(accounts, cell.MustParseAddr("B2"), cell.Str("debt")); err != nil {
+			t.Fatal(err)
+		}
+		books[i] = wb
+	}
+	ref := books[0]
+	for i := 1; i < len(books); i++ {
+		got := books[i]
+		for _, rs := range ref.Sheets() {
+			gs := got.Sheet(rs.Name)
+			if gs == nil {
+				t.Fatalf("%s: missing sheet %q", systems[i], rs.Name)
+			}
+			for r := 0; r < rs.Rows(); r++ {
+				for c := 0; c < rs.Cols(); c++ {
+					at := cell.Addr{Row: r, Col: c}
+					if rs.Value(at) != gs.Value(at) {
+						t.Errorf("%s: %s!%s = %+v, excel has %+v",
+							systems[i], rs.Name, at, gs.Value(at), rs.Value(at))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossSheetFingerprintCacheExcluded: under RedundantElimination a
+// cross-sheet formula must never be served from the fingerprint cache —
+// the foreign sheet can change without bumping the host's version.
+func TestCrossSheetFingerprintCacheExcluded(t *testing.T) {
+	eng := New(Profiles()["optimized"])
+	wb := extWorkbook(t)
+	if err := eng.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	accounts := wb.Sheet("accounts")
+	summary := wb.Sheet("summary")
+
+	const text = "=accounts!C2*10"
+	v1, _, err := eng.InsertFormula(summary, cell.MustParseAddr("B3"), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != cell.Num(1000) {
+		t.Fatalf("first insert = %v, want 1000", v1)
+	}
+	// Change the foreign precedent: the host sheet's own version is
+	// untouched, so a cached fingerprint would serve the stale 1000.
+	if _, err := eng.SetCell(accounts, cell.MustParseAddr("C2"), cell.Num(7)); err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := eng.InsertFormula(summary, cell.MustParseAddr("B4"), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != cell.Num(70) {
+		t.Fatalf("re-insert after foreign edit = %v, want 70 (stale cache hit?)", v2)
+	}
+}

@@ -106,6 +106,7 @@ func (e *Engine) Open(path string) (Result, error) {
 		}
 		osp.End()
 	}
+	e.refreshExternals(&e.meter)
 	return t.finish(), nil
 }
 
@@ -198,6 +199,7 @@ func (e *Engine) Sort(s *sheet.Sheet, col int, ascending bool, headerRows int) (
 		}
 		rsp.End()
 	}
+	e.refreshExternals(&e.meter)
 	return t.finish(), nil
 }
 
@@ -220,13 +222,18 @@ func (e *Engine) evalNonRowLocal(s *sheet.Sheet, meter *costmodel.Meter) {
 	// analysis must evaluate in dependency order, not discovery order.
 	order, cyclic := e.fullChain(s, meter)
 	env := e.env(s, meter, false, true)
+	var changed []cell.Addr
 	evalAt := func(a cell.Addr) {
 		fc, ok := s.Formula(a)
 		if !ok {
 			return
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
-		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+		v := formula.Eval(fc.Code, env)
+		if v != s.Value(a) {
+			changed = append(changed, a)
+		}
+		e.setCached(s, a, v)
 	}
 	for _, a := range order {
 		if recalc[a] {
@@ -235,8 +242,19 @@ func (e *Engine) evalNonRowLocal(s *sheet.Sheet, meter *costmodel.Meter) {
 	}
 	for _, a := range cyclic {
 		if recalc[a] {
-			evalAt(a)
+			// Match evalAll: cells on a reference cycle display #CYCLE!,
+			// they are never plainly re-evaluated (that would make their
+			// value depend on evaluation history).
+			e.setCached(s, a, cell.Errorf(cell.ErrCycle))
 		}
+	}
+	// The necessity analysis exempts row-local formulae because their
+	// same-row inputs move with them — but when a re-evaluated survivor
+	// (say a cross-sheet lookup) lands on a NEW value, its dependents'
+	// caches are stale no matter how local they are. Propagate exactly
+	// those changes.
+	if len(changed) > 0 {
+		e.recalcDirty(s, changed, meter)
 	}
 }
 
@@ -326,7 +344,7 @@ func (e *Engine) ConditionalFormat(s *sheet.Sheet, rng cell.Range, criterion cel
 			if hasFormulas && e.prof.Recalc.OnCondFormat {
 				if fc, ok := s.Formula(a); ok {
 					env.DR, env.DC = fc.DeltaAt(a)
-					s.SetCachedValue(a, formula.Eval(fc.Code, env))
+					e.setCached(s, a, formula.Eval(fc.Code, env))
 				}
 			}
 			v := s.Value(a)
@@ -352,6 +370,11 @@ func (e *Engine) ConditionalFormat(s *sheet.Sheet, rng cell.Range, criterion cel
 		if err := e.netCall(int64(matched) * 4); err != nil {
 			return matched, t.finish(), err
 		}
+	}
+	if hasFormulas && e.prof.Recalc.OnCondFormat {
+		// The in-range re-evaluation above rewrote formula caches; settle
+		// any cross-sheet readers of those cells.
+		e.refreshExternals(&e.meter)
 	}
 	return matched, t.finish(), nil
 }
@@ -418,6 +441,7 @@ func (e *Engine) PivotTable(s *sheet.Sheet, dimCol, measureCol, headerRows int) 
 		// not pivot machinery (see opTimer.finish).
 		e.evalAll(s, &e.recalcMeter)
 	}
+	e.refreshExternals(&e.meter)
 	return out, t.finish(), nil
 }
 
@@ -492,6 +516,9 @@ func (e *Engine) FindReplace(s *sheet.Sheet, find, replace string) (int, Result,
 	if len(changed) > 0 && s.FormulaCount() > 0 {
 		e.recalcDirty(s, changed, &e.meter)
 	}
+	if len(changed) > 0 {
+		e.refreshExternals(&e.meter)
+	}
 	return len(changed), t.finish(), nil
 }
 
@@ -515,8 +542,9 @@ func (e *Engine) CopyPaste(s *sheet.Sheet, src cell.Range, dst cell.Addr) (cell.
 		return src, t.finish(), nil
 	}
 	g := e.graph(s)
+	st := e.opts[s]
 	csp := obs.Start("paste.copy").Int("cells", int64(src.Cells()))
-	var pasted []cell.Addr
+	var pasted, changed []cell.Addr
 	for r := src.Start.Row; r <= src.End.Row; r++ {
 		for c := src.Start.Col; c <= src.End.Col; c++ {
 			from := cell.Addr{Row: r, Col: c}
@@ -530,7 +558,23 @@ func (e *Engine) CopyPaste(s *sheet.Sheet, src cell.Range, dst cell.Addr) (cell.
 				pasted = append(pasted, to)
 				continue
 			}
-			s.SetValue(to, s.Value(from))
+			// A literal lands on to: exactly the SetCell write path — an
+			// overwritten formula leaves the graph, and the optimized
+			// profile's maintained structures see the change (a raw
+			// SetValue would leave its indexes serving stale postings).
+			old := s.Value(to)
+			v := s.Value(from)
+			if _, wasFormula := s.Formula(to); wasFormula {
+				g.RemoveFormula(to)
+				e.noteFormulaRemoved(s, to, &e.meter)
+			}
+			if st != nil {
+				st.noteCellChange(e, s, to, old, v)
+			}
+			s.SetValue(to, v)
+			if old != v {
+				changed = append(changed, to)
+			}
 		}
 	}
 	e.meter.Add(costmodel.DepOp, g.Ops())
@@ -542,9 +586,20 @@ func (e *Engine) CopyPaste(s *sheet.Sheet, src cell.Range, dst cell.Addr) (cell.
 	for _, a := range pasted {
 		fc, _ := s.Formula(a)
 		env.DR, env.DC = fc.DeltaAt(a)
-		s.SetCachedValue(a, formula.Eval(fc.Code, env))
+		v := formula.Eval(fc.Code, env)
+		if old := s.Value(a); old != v {
+			if st != nil {
+				st.noteCellChange(e, s, a, old, v)
+			}
+			changed = append(changed, a)
+		}
+		s.SetCachedValue(a, v)
 	}
 	esp.End()
+	if len(changed) > 0 && s.FormulaCount() > 0 {
+		e.recalcDirty(s, changed, &e.meter)
+	}
+	e.refreshExternals(&e.meter)
 	out := cell.RangeOf(dst, cell.Addr{Row: src.End.Row + dr, Col: src.End.Col + dc})
 	if e.prof.Web {
 		if err := e.netCall(int64(out.Cells()) * bytesPerCell); err != nil {
@@ -599,10 +654,11 @@ func (e *Engine) InsertFormula(s *sheet.Sheet, a cell.Addr, text string) (cell.V
 		esp.Str("source", "eval")
 	}
 	esp.End()
-	s.SetCachedValue(a, v)
+	e.setCached(s, a, v)
 	if st := e.opts[s]; st != nil {
 		st.noteFormulaResult(e, s, a, compiled, v)
 	}
+	e.refreshExternals(&e.meter)
 	if e.prof.Web {
 		if err := e.netCall(64); err != nil {
 			return v, t.finish(), err
@@ -657,12 +713,13 @@ func (e *Engine) InsertFormulaBatch(s *sheet.Sheet, items []BatchItem) (Result, 
 		} else {
 			v = formula.Eval(compiled, env)
 		}
-		s.SetCachedValue(it.At, v)
+		e.setCached(s, it.At, v)
 		if st := e.opts[s]; st != nil {
 			st.noteFormulaResult(e, s, it.At, compiled, v)
 		}
 	}
 	bsp.End()
+	e.refreshExternals(&e.meter)
 	if e.prof.Web {
 		if err := e.netCall(int64(len(items)) * bytesPerCell); err != nil {
 			return t.finish(), err
@@ -703,11 +760,10 @@ func (e *Engine) SetCell(s *sheet.Sheet, a cell.Addr, v cell.Value) (Result, err
 		dsp := obs.Start("setcell.deltas")
 		st.applyDeltas(e, s, a, old, v)
 		dsp.End()
-		return t.finish(), nil
-	}
-	if s.FormulaCount() > 0 {
+	} else if s.FormulaCount() > 0 {
 		e.recalcDirty(s, []cell.Addr{a}, &e.meter)
 	}
+	e.refreshExternals(&e.meter)
 	return t.finish(), nil
 }
 
@@ -759,5 +815,6 @@ func (e *Engine) Recalculate(s *sheet.Sheet) (Result, error) {
 	}
 	t := e.begin(OpSetCell)
 	e.evalAll(s, &e.meter)
+	e.refreshExternals(&e.meter)
 	return t.finish(), nil
 }

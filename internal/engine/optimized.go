@@ -158,6 +158,7 @@ func (st *optState) prefixFor(e *Engine, s *sheet.Sheet, col int) *index.PrefixS
 	rows := s.Rows()
 	vals := make([]float64, rows)
 	present := make([]bool, rows)
+	errs := make([]bool, rows)
 	if st.typed[col] && rows > 0 {
 		// Certified all-numeric value column: fill the typed columnar
 		// storage without per-cell coercion checks. Row 0 is the header,
@@ -177,13 +178,14 @@ func (st *optState) prefixFor(e *Engine, s *sheet.Sheet, col int) *index.PrefixS
 				vals[r] = v.Num
 				present[r] = true
 			}
+			errs[r] = v.IsError()
 		}
 	}
 	// The metering is identical on both paths — the certificate removes
 	// per-cell branch work, not cell touches — so simulated costs do not
 	// depend on which fill ran.
 	e.meter.Add(costmodel.CellTouch, int64(rows))
-	p := index.NewPrefixSums(vals, present)
+	p := index.NewPrefixSums(vals, present, errs)
 	st.prefix[col] = p
 	return p
 }
@@ -284,6 +286,11 @@ func (st *optState) fastEval(e *Engine, s *sheet.Sheet, c *formula.Compiled) (ce
 			return cell.Value{}, false
 		}
 		p := st.prefixFor(e, s, col)
+		if p.Errors(r0, r1) > 0 {
+			// SUM/COUNT/AVERAGE propagate the range's first error value;
+			// the prefix arrays only hold numerics, so a real scan decides.
+			return cell.Value{}, false
+		}
 		e.meter.Add(costmodel.IndexProbe, 2)
 		e.meter.Add(costmodel.FormulaEval, 1)
 		switch call.Name {
@@ -380,7 +387,10 @@ func (st *optState) noteFormulaResult(e *Engine, s *sheet.Sheet, at cell.Addr, c
 	// caches directly (no per-cell notification), so the value-column
 	// certificate no longer holds.
 	delete(st.typed, at.Col)
-	if e.prof.Opt.RedundantElimination && !c.Volatile {
+	// External formulae are excluded alongside volatiles: a fingerprint hit
+	// would serve a value computed against another sheet's earlier state,
+	// and the version guard only tracks this sheet.
+	if e.prof.Opt.RedundantElimination && !c.Volatile && !c.External {
 		st.fpCache[c.Fingerprint] = fpEntry{
 			canonical: c.CanonicalText(),
 			val:       v,
@@ -422,6 +432,12 @@ func (st *optState) noteFormulaResult(e *Engine, s *sheet.Sheet, at cell.Addr, c
 			return
 		}
 		p := st.prefixFor(e, s, col)
+		if p.Errors(r0, r1) > 0 {
+			// The range's error cells make the aggregate an error value;
+			// running numeric state cannot represent that, so don't
+			// materialize (the formula recomputes through the dirty path).
+			return
+		}
 		m := &aggMat{rng: cell.ColRange(col, r0, r1)}
 		m.sum = p.Sum(r0, r1)
 		m.n = float64(p.Count(r0, r1))
@@ -480,6 +496,16 @@ func (st *optState) noteCellChange(e *Engine, s *sheet.Sheet, a cell.Addr, old, 
 		if !m.rng.Contains(a) {
 			continue
 		}
+		if m.kind != aggCountIf && (old.IsError() || new.IsError()) {
+			// An error value entering (or leaving) the range switches the
+			// aggregate between numeric and error results; the running
+			// numeric state cannot express that. Retire the
+			// materialization — the caller's recalc pass recomputes the
+			// formula for real. (COUNTIF keeps its delta: criteria treat
+			// error cells as ordinary non-matching values.)
+			delete(st.aggs, at)
+			continue
+		}
 		m.applyDelta(e, old, new)
 		s.SetCachedValue(at, m.value())
 		e.meter.Add(costmodel.CellWrite, 1)
@@ -514,7 +540,23 @@ func (m *aggMat) applyDelta(e *Engine, old, new cell.Value) {
 // were already updated by noteCellChange; any remaining (non-materialized)
 // dependent formulae recompute normally.
 func (st *optState) applyDeltas(e *Engine, s *sheet.Sheet, a cell.Addr, old, new cell.Value) {
-	order, cyclic := e.dirtyOrder(s, []cell.Addr{a}, &e.meter)
+	seeds := []cell.Addr{a}
+	// Volatile formulae refresh on every calculation pass, exactly as in
+	// recalcDirty; without this seeding the incremental path would diverge
+	// from the naive profiles on sheets hosting NOW/RAND formulae.
+	if vol := s.VolatileCells(); len(vol) > 0 {
+		venv := e.env(s, &e.meter, false, true)
+		for _, va := range vol {
+			fc, ok := s.Formula(va)
+			if !ok {
+				continue
+			}
+			venv.DR, venv.DC = fc.DeltaAt(va)
+			e.setCached(s, va, formula.Eval(fc.Code, venv))
+		}
+		seeds = append(seeds, vol...)
+	}
+	order, cyclic := e.dirtyOrder(s, seeds, &e.meter)
 	env := e.env(s, &e.meter, false, true)
 	for _, fa := range order {
 		if _, materialized := st.aggs[fa]; materialized {
@@ -525,10 +567,10 @@ func (st *optState) applyDeltas(e *Engine, s *sheet.Sheet, a cell.Addr, old, new
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(fa)
-		s.SetCachedValue(fa, formula.Eval(fc.Code, env))
+		e.setCached(s, fa, formula.Eval(fc.Code, env))
 	}
 	for _, fa := range cyclic {
-		s.SetCachedValue(fa, cell.Errorf(cell.ErrCycle))
+		e.setCached(s, fa, cell.Errorf(cell.ErrCycle))
 	}
 }
 

@@ -135,6 +135,7 @@ func (e *Engine) structEdit(s *sheet.Sheet, at, delta int, rowAxis bool) (Result
 		e.rebuildGraph(s, &e.meter)
 		e.evalAll(s, &e.meter)
 	}
+	e.refreshExternals(&e.meter)
 	if e.prof.Web {
 		if err := e.netCall(int64(e.prof.WindowRows) * int64(s.Cols()) * bytesPerCell); err != nil {
 			return t.finish(), err

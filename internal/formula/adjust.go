@@ -31,7 +31,7 @@ func AdjustForRowChange(c *Compiled, dr, dc int, boundary, delta int) string {
 		row, dead := shiftCoord(eff.Addr.Row, boundary, delta)
 		eff.Addr.Row = row
 		return eff, dead || !eff.Addr.Valid()
-	}, boundary, delta, true)
+	}, dr, dc, boundary, delta, true)
 }
 
 // AdjustForColChange is the column-axis counterpart of AdjustForRowChange.
@@ -41,7 +41,7 @@ func AdjustForColChange(c *Compiled, dr, dc int, boundary, delta int) string {
 		col, dead := shiftCoord(eff.Addr.Col, boundary, delta)
 		eff.Addr.Col = col
 		return eff, dead || !eff.Addr.Valid()
-	}, boundary, delta, false)
+	}, dr, dc, boundary, delta, false)
 }
 
 // EffectiveRef resolves a reference's displaced address — the relative-
@@ -84,14 +84,14 @@ func shiftCoord(x, boundary, delta int) (int, bool) {
 	return x, false
 }
 
-func adjustText(c *Compiled, adj refAdjuster, boundary, delta int, rowAxis bool) string {
+func adjustText(c *Compiled, adj refAdjuster, dr, dc, boundary, delta int, rowAxis bool) string {
 	var b strings.Builder
 	b.WriteByte('=')
-	writeAdjusted(&b, c.Root, adj, boundary, rowAxis)
+	writeAdjusted(&b, c.Root, adj, dr, dc, boundary, rowAxis)
 	return b.String()
 }
 
-func writeAdjusted(b *strings.Builder, n Node, adj refAdjuster, boundary int, rowAxis bool) {
+func writeAdjusted(b *strings.Builder, n Node, adj refAdjuster, dr, dc, boundary int, rowAxis bool) {
 	switch t := n.(type) {
 	case RefNode:
 		out, dead := adj(t.Ref)
@@ -137,25 +137,37 @@ func writeAdjusted(b *strings.Builder, n Node, adj refAdjuster, boundary int, ro
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			writeAdjusted(b, a, adj, boundary, rowAxis)
+			writeAdjusted(b, a, adj, dr, dc, boundary, rowAxis)
 		}
 		b.WriteByte(')')
+	case ExtRefNode:
+		// Structural edits on the host sheet do not move foreign-sheet
+		// cells: the displaced (effective) reference is pinned as-is, with
+		// no boundary shift, so the formula keeps reading the same foreign
+		// cells after its host row/column moves.
+		b.WriteString(t.Sheet)
+		b.WriteByte('!')
+		b.WriteString(effective(t.From, dr, dc).String())
+		if t.IsRange {
+			b.WriteByte(':')
+			b.WriteString(effective(t.To, dr, dc).String())
+		}
 	case BinaryNode:
 		b.WriteByte('(')
-		writeAdjusted(b, t.L, adj, boundary, rowAxis)
+		writeAdjusted(b, t.L, adj, dr, dc, boundary, rowAxis)
 		b.WriteString(t.Op.String())
-		writeAdjusted(b, t.R, adj, boundary, rowAxis)
+		writeAdjusted(b, t.R, adj, dr, dc, boundary, rowAxis)
 		b.WriteByte(')')
 	case UnaryNode:
 		if t.Op == "%" {
 			b.WriteByte('(')
-			writeAdjusted(b, t.X, adj, boundary, rowAxis)
+			writeAdjusted(b, t.X, adj, dr, dc, boundary, rowAxis)
 			b.WriteString("%)")
 			return
 		}
 		b.WriteByte('(')
 		b.WriteString(t.Op)
-		writeAdjusted(b, t.X, adj, boundary, rowAxis)
+		writeAdjusted(b, t.X, adj, dr, dc, boundary, rowAxis)
 		b.WriteByte(')')
 	default:
 		t.writeCanonical(b)

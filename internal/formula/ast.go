@@ -58,6 +58,26 @@ type RangeNode struct {
 // Range returns the canonical cell range covered by the node.
 func (r RangeNode) Range() cell.Range { return cell.RangeOf(r.From.Addr, r.To.Addr) }
 
+// ExtRefNode is a cross-sheet reference such as accounts!B2 or
+// ledger!A2:A500. The sheet name must be identifier-like (no quoting
+// dialect); the reference components may still be relative, in which case
+// they shift with the host cell's displacement like any local reference —
+// but only within the foreign sheet's coordinate space.
+type ExtRefNode struct {
+	Sheet    string // sheet name as written
+	From, To cell.Ref
+	IsRange  bool // false: single-cell reference (To unused)
+}
+
+// Range returns the canonical cell range covered by the node on the
+// foreign sheet (a single cell when IsRange is false).
+func (n ExtRefNode) Range() cell.Range {
+	if !n.IsRange {
+		return cell.SingleCell(n.From.Addr)
+	}
+	return cell.RangeOf(n.From.Addr, n.To.Addr)
+}
+
 // CallNode is a function invocation.
 type CallNode struct {
 	Name string // uppercase
@@ -132,6 +152,16 @@ func (n RangeNode) writeCanonical(b canonWriter) {
 	b.WriteString(n.To.String())
 }
 
+func (n ExtRefNode) writeCanonical(b canonWriter) {
+	b.WriteString(n.Sheet)
+	b.WriteByte('!')
+	b.WriteString(n.From.String())
+	if n.IsRange {
+		b.WriteByte(':')
+		b.WriteString(n.To.String())
+	}
+}
+
 func (n CallNode) writeCanonical(b canonWriter) {
 	b.WriteString(n.Name)
 	b.WriteByte('(')
@@ -198,6 +228,7 @@ var (
 	_ Node = ErrorLit("")
 	_ Node = RefNode{}
 	_ Node = RangeNode{}
+	_ Node = ExtRefNode{}
 	_ Node = CallNode{}
 	_ Node = BinaryNode{}
 	_ Node = UnaryNode{}

@@ -25,6 +25,11 @@ type Compiled struct {
 	Ranges []cell.Range
 	// Volatile marks formulae that must recompute on every pass.
 	Volatile bool
+	// External marks formulae containing a cross-sheet reference. Their
+	// precedents live outside the host sheet's dependency graph, so the
+	// engine refreshes them with a cross-sheet fixpoint after every
+	// value-mutating operation instead.
+	External bool
 	// HasAbsolute is true when any reference component is absolute ($).
 	HasAbsolute bool
 	// Fingerprint is a 64-bit FNV-1a hash of the canonical text. Equal
@@ -73,6 +78,8 @@ func Compile(text string) (*Compiled, error) {
 			if t.From.AbsRow || t.From.AbsCol || t.To.AbsRow || t.To.AbsCol {
 				c.HasAbsolute = true
 			}
+		case ExtRefNode:
+			c.External = true
 		case CallNode:
 			if volatileFuncs[t.Name] {
 				c.Volatile = true
@@ -158,6 +165,11 @@ func (c *Compiled) RowLocal(at cell.Addr) bool {
 	if c.Volatile {
 		return false
 	}
+	// Cross-sheet precedents do not travel with the host row under a sort,
+	// so an external formula is never row-local.
+	if c.External {
+		return false
+	}
 	for _, r := range c.Refs {
 		if r.AbsRow || r.AbsCol || r.Addr.Row != at.Row {
 			return false
@@ -199,6 +211,14 @@ func writeRewritten(b canonWriter, n Node, dr, dc int) {
 		writeShiftedRef(b, t.From, dr, dc)
 		b.WriteByte(':')
 		writeShiftedRef(b, t.To, dr, dc)
+	case ExtRefNode:
+		b.WriteString(t.Sheet)
+		b.WriteByte('!')
+		writeShiftedRef(b, t.From, dr, dc)
+		if t.IsRange {
+			b.WriteByte(':')
+			writeShiftedRef(b, t.To, dr, dc)
+		}
 	case CallNode:
 		b.WriteString(t.Name)
 		b.WriteByte('(')

@@ -39,6 +39,18 @@ type Env struct {
 	// formula that moved (sort, copy-paste) keeps relative semantics
 	// without text rewriting — the R1C1 trick real engines use.
 	DR, DC int
+	// Ext resolves a sheet name in a cross-sheet reference to that sheet's
+	// value source. When nil (or when it returns nil for an unknown name),
+	// cross-sheet references evaluate to #REF!.
+	Ext func(sheetName string) Source
+}
+
+// external resolves a cross-sheet name, nil when unresolvable.
+func (e *Env) external(name string) Source {
+	if e.Ext == nil {
+		return nil
+	}
+	return e.Ext(name)
 }
 
 // shift resolves a reference under the environment's displacement:
@@ -91,9 +103,15 @@ func (e *Env) rand() float64 {
 // value reads one cell, charging one reference resolution and one cell
 // touch — the cell-by-cell reference model of §5.3.
 func (e *Env) value(a cell.Addr) cell.Value {
+	return e.valueFrom(e.Src, a)
+}
+
+// valueFrom is value against an explicit source (the host sheet or a
+// foreign sheet resolved from a cross-sheet reference).
+func (e *Env) valueFrom(src Source, a cell.Addr) cell.Value {
 	e.add(costmodel.RefResolve, 1)
 	e.add(costmodel.CellTouch, 1)
-	return e.Src.Value(a)
+	return src.Value(a)
 }
 
 // rangeTouch charges the cost of scanning n cells of a range argument. The
@@ -102,14 +120,25 @@ func (e *Env) value(a cell.Addr) cell.Value {
 func (e *Env) rangeTouch(n int64) { e.add(costmodel.CellTouch, n) }
 
 // operand is an evaluated argument: either a scalar value or an unexpanded
-// range (ranges stay lazy so aggregate functions can stream them).
+// range (ranges stay lazy so aggregate functions can stream them). A range
+// operand carries the source it resolves against: nil means the host
+// sheet (env.Src); a cross-sheet range carries the foreign sheet.
 type operand struct {
 	val     cell.Value
 	rng     cell.Range
 	isRange bool
+	src     Source // nil = env.Src
 }
 
 func scalarOp(v cell.Value) operand { return operand{val: v} }
+
+// source returns the value source this operand's cells resolve against.
+func (o operand) source(e *Env) Source {
+	if o.src != nil {
+		return o.src
+	}
+	return e.Src
+}
 
 // scalar collapses the operand to a single value; a multi-cell range used in
 // scalar position is a #VALUE! error (the common dialect behavior outside
@@ -119,7 +148,7 @@ func (o operand) scalar(e *Env) cell.Value {
 		return o.val
 	}
 	if o.rng.Cells() == 1 {
-		return e.value(o.rng.Start)
+		return e.valueFrom(o.source(e), o.rng.Start)
 	}
 	return cell.Errorf(cell.ErrValue)
 }
@@ -132,10 +161,11 @@ func (o operand) eachCell(e *Env, f func(v cell.Value) bool) {
 		f(o.val)
 		return
 	}
+	src := o.source(e)
 	for r := o.rng.Start.Row; r <= o.rng.End.Row; r++ {
 		for c := o.rng.Start.Col; c <= o.rng.End.Col; c++ {
 			e.rangeTouch(1)
-			if !f(e.Src.Value(cell.Addr{Row: r, Col: c})) {
+			if !f(src.Value(cell.Addr{Row: r, Col: c})) {
 				return
 			}
 		}
@@ -171,6 +201,19 @@ func evalNode(n Node, env *Env) operand {
 		return scalarOp(env.value(env.shift(t.Ref)))
 	case RangeNode:
 		return operand{rng: env.shiftRange(t), isRange: true}
+	case ExtRefNode:
+		src := env.external(t.Sheet)
+		if src == nil {
+			return scalarOp(cell.Errorf(cell.ErrRef))
+		}
+		if !t.IsRange {
+			return scalarOp(env.valueFrom(src, env.shift(t.From)))
+		}
+		return operand{
+			rng:     cell.RangeOf(env.shift(t.From), env.shift(t.To)),
+			isRange: true,
+			src:     src,
+		}
 	case CallNode:
 		return evalCall(t, env)
 	case BinaryNode:

@@ -111,6 +111,14 @@ func ReadFootprint(c *Compiled, origin cell.Addr) Footprint {
 				ToRow:   coord(t.To.Addr.Row, t.To.AbsRow, origin.Row),
 				ToCol:   coord(t.To.Addr.Col, t.To.AbsCol, origin.Col),
 			})
+		case ExtRefNode:
+			// Cross-sheet reads live outside the host sheet's coordinate
+			// space; the single-sheet interference analysis cannot bound
+			// them, so the formula is conservatively unanalyzable.
+			if !fp.Unanalyzable {
+				fp.Unanalyzable = true
+				fp.Reason = "EXTREF:" + t.Sheet
+			}
 		case CallNode:
 			if volatileFuncs[t.Name] && !fp.Unanalyzable {
 				fp.Unanalyzable = true

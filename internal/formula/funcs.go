@@ -210,19 +210,20 @@ func fnCountIf(env *Env, args []operand) cell.Value {
 // sumIfRanges resolves the (range, criteria [, sum_range]) argument pattern
 // shared by SUMIF and AVERAGEIF: values are tested in the first range and
 // aggregated from the parallel cells of the sum range (or the test range
-// itself when absent).
-func sumIfRanges(env *Env, args []operand) (test, sum cell.Range, crit Criterion, errv cell.Value) {
+// itself when absent). The operands keep their sources, so the test range
+// may live on a foreign sheet while the sum range is local (or vice versa).
+func sumIfRanges(env *Env, args []operand) (test, sum operand, crit Criterion, errv cell.Value) {
 	if !args[0].isRange {
 		return test, sum, crit, cell.Errorf(cell.ErrValue)
 	}
-	test = args[0].rng
+	test = args[0]
 	crit = CompileCriterion(args[1].scalar(env))
 	sum = test
 	if len(args) == 3 {
 		if !args[2].isRange {
 			return test, sum, crit, cell.Errorf(cell.ErrValue)
 		}
-		sum = args[2].rng
+		sum = args[2]
 	}
 	return test, sum, crit, cell.Value{}
 }
@@ -253,17 +254,20 @@ func fnAverageIf(env *Env, args []operand) cell.Value {
 
 // foldIf walks the test range; for cells matching the criterion it feeds
 // the numeric value at the corresponding offset of the sum range to f.
-func foldIf(env *Env, test, sum cell.Range, crit Criterion, f func(x float64)) {
-	for dr := 0; dr <= test.End.Row-test.Start.Row; dr++ {
-		for dc := 0; dc <= test.End.Col-test.Start.Col; dc++ {
+// Each range reads from its own operand's source.
+func foldIf(env *Env, test, sum operand, crit Criterion, f func(x float64)) {
+	testSrc, sumSrc := test.source(env), sum.source(env)
+	tr, sr := test.rng, sum.rng
+	for dr := 0; dr <= tr.End.Row-tr.Start.Row; dr++ {
+		for dc := 0; dc <= tr.End.Col-tr.Start.Col; dc++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
-			tv := env.Src.Value(cell.Addr{Row: test.Start.Row + dr, Col: test.Start.Col + dc})
+			tv := testSrc.Value(cell.Addr{Row: tr.Start.Row + dr, Col: tr.Start.Col + dc})
 			if !crit.Match(tv) {
 				continue
 			}
 			env.rangeTouch(1)
-			sv := env.Src.Value(cell.Addr{Row: sum.Start.Row + dr, Col: sum.Start.Col + dc})
+			sv := sumSrc.Value(cell.Addr{Row: sr.Start.Row + dr, Col: sr.Start.Col + dc})
 			if sv.Kind == cell.Number {
 				f(sv.Num)
 			}

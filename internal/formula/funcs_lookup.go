@@ -60,6 +60,7 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 		return cell.Errorf(cell.ErrValue)
 	}
 	table := args[1].rng
+	tableSrc := args[1].source(env)
 	var idx int
 	if e := intArg(env, args[2], &idx); e.IsError() {
 		return e
@@ -98,7 +99,7 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 	var hit = -1
 	switch {
 	case approx && env.Lookup.ApproxBinarySearch:
-		hit = binarySearchLE(env, key, length, at)
+		hit = binarySearchLE(env, tableSrc, key, length, at)
 	case approx:
 		// Linear scan for the last key <= search key (sorted-data
 		// semantics without the sorted-data algorithm). Naive systems
@@ -106,14 +107,16 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
-			v := env.Src.Value(at(i))
+			v := tableSrc.Value(at(i))
 			if v.Compare(key) <= 0 && !v.IsEmpty() {
 				hit = i
 			}
 		}
 	default: // exact
 		if env.Lookup.Indexed {
-			if ix, ok := env.Src.(ColumnIndexer); ok && vertical {
+			// The index must belong to the sheet the table range actually
+			// reads from — a cross-sheet table falls back to the scan.
+			if ix, ok := tableSrc.(ColumnIndexer); ok && vertical {
 				lo := table.Start.Row
 				row, probes, found := ix.LookupRow(table.Start.Col, key, lo, table.End.Row)
 				env.add(costmodel.IndexProbe, int64(probes))
@@ -126,7 +129,7 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
-			v := env.Src.Value(at(i))
+			v := tableSrc.Value(at(i))
 			if v.Equal(key) && hit < 0 {
 				hit = i
 				if env.Lookup.ExactEarlyExit {
@@ -138,19 +141,19 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 	if hit < 0 {
 		return cell.Errorf(cell.ErrNA)
 	}
-	return env.value(result(hit))
+	return env.valueFrom(tableSrc, result(hit))
 }
 
 // binarySearchLE finds the last position whose value is <= key, assuming
 // ascending order, charging one compare + touch per probe. Returns -1 when
 // even the first value exceeds the key.
-func binarySearchLE(env *Env, key cell.Value, length int, at func(int) cell.Addr) int {
+func binarySearchLE(env *Env, src Source, key cell.Value, length int, at func(int) cell.Addr) int {
 	lo, hi, ans := 0, length-1, -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		env.rangeTouch(1)
 		env.add(costmodel.Compare, 1)
-		v := env.Src.Value(at(mid))
+		v := src.Value(at(mid))
 		if v.Compare(key) <= 0 {
 			ans = mid
 			lo = mid + 1
@@ -170,6 +173,7 @@ func fnMatch(env *Env, args []operand) cell.Value {
 		return cell.Errorf(cell.ErrValue)
 	}
 	rng := args[1].rng
+	rngSrc := args[1].source(env)
 	mode := 1
 	if len(args) == 3 {
 		if e := intArg(env, args[2], &mode); e.IsError() {
@@ -194,7 +198,7 @@ func fnMatch(env *Env, args []operand) cell.Value {
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
-			if env.Src.Value(at(i)).Equal(key) && hit < 0 {
+			if rngSrc.Value(at(i)).Equal(key) && hit < 0 {
 				hit = i
 				if env.Lookup.ExactEarlyExit {
 					break
@@ -203,12 +207,12 @@ func fnMatch(env *Env, args []operand) cell.Value {
 		}
 	case mode > 0: // largest value <= key, ascending data
 		if env.Lookup.ApproxBinarySearch {
-			hit = binarySearchLE(env, key, length, at)
+			hit = binarySearchLE(env, rngSrc, key, length, at)
 		} else {
 			for i := 0; i < length; i++ {
 				env.rangeTouch(1)
 				env.add(costmodel.Compare, 1)
-				v := env.Src.Value(at(i))
+				v := rngSrc.Value(at(i))
 				if !v.IsEmpty() && v.Compare(key) <= 0 {
 					hit = i
 				}
@@ -218,7 +222,7 @@ func fnMatch(env *Env, args []operand) cell.Value {
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
-			v := env.Src.Value(at(i))
+			v := rngSrc.Value(at(i))
 			if !v.IsEmpty() && v.Compare(key) >= 0 {
 				hit = i
 			} else {
@@ -254,7 +258,7 @@ func fnIndex(env *Env, args []operand) cell.Value {
 	if row < 1 || row > rng.Rows() || col < 1 || col > rng.Cols() {
 		return cell.Errorf(cell.ErrRef)
 	}
-	return env.value(cell.Addr{Row: rng.Start.Row + row - 1, Col: rng.Start.Col + col - 1})
+	return env.valueFrom(args[0].source(env), cell.Addr{Row: rng.Start.Row + row - 1, Col: rng.Start.Col + col - 1})
 }
 
 func fnChoose(env *Env, args []operand) cell.Value {

@@ -19,10 +19,12 @@ func init() {
 	register("SUMPRODUCT", 1, -1, fnSumProduct)
 }
 
-// critPair is one (range, criterion) clause of an *IFS call.
+// critPair is one (range, criterion) clause of an *IFS call; src is the
+// sheet the range reads from (nil = the host sheet).
 type critPair struct {
 	rng  cell.Range
 	crit Criterion
+	src  Source
 }
 
 // parseCritPairs validates and compiles the alternating range/criterion
@@ -43,6 +45,7 @@ func parseCritPairs(env *Env, args []operand, shape cell.Range) ([]critPair, cel
 		pairs = append(pairs, critPair{
 			rng:  r,
 			crit: CompileCriterion(args[i+1].scalar(env)),
+			src:  args[i].src,
 		})
 	}
 	return pairs, cell.Value{}
@@ -50,15 +53,21 @@ func parseCritPairs(env *Env, args []operand, shape cell.Range) ([]critPair, cel
 
 // foldIfs walks the shape range cell-parallel across all criteria ranges,
 // invoking f with the value from the fold range when every criterion holds.
-func foldIfs(env *Env, fold cell.Range, pairs []critPair, f func(v cell.Value)) {
-	rows, cols := fold.Rows(), fold.Cols()
+// Each range reads from its own source (cross-sheet clauses allowed).
+func foldIfs(env *Env, fold operand, pairs []critPair, f func(v cell.Value)) {
+	foldSrc := fold.source(env)
+	rows, cols := fold.rng.Rows(), fold.rng.Cols()
 	for dr := 0; dr < rows; dr++ {
 		for dc := 0; dc < cols; dc++ {
 			match := true
 			for _, p := range pairs {
 				env.rangeTouch(1)
 				env.add(costmodel.Compare, 1)
-				v := env.Src.Value(cell.Addr{Row: p.rng.Start.Row + dr, Col: p.rng.Start.Col + dc})
+				src := p.src
+				if src == nil {
+					src = env.Src
+				}
+				v := src.Value(cell.Addr{Row: p.rng.Start.Row + dr, Col: p.rng.Start.Col + dc})
 				if !p.crit.Match(v) {
 					match = false
 					break
@@ -68,7 +77,7 @@ func foldIfs(env *Env, fold cell.Range, pairs []critPair, f func(v cell.Value)) 
 				continue
 			}
 			env.rangeTouch(1)
-			f(env.Src.Value(cell.Addr{Row: fold.Start.Row + dr, Col: fold.Start.Col + dc}))
+			f(foldSrc.Value(cell.Addr{Row: fold.rng.Start.Row + dr, Col: fold.rng.Start.Col + dc}))
 		}
 	}
 }
@@ -82,7 +91,7 @@ func fnCountIfs(env *Env, args []operand) cell.Value {
 		return errv
 	}
 	n := 0
-	foldIfs(env, pairs[0].rng, pairs, func(cell.Value) { n++ })
+	foldIfs(env, args[0], pairs, func(cell.Value) { n++ })
 	return cell.Num(float64(n))
 }
 
@@ -92,12 +101,11 @@ func ifsFold(env *Env, args []operand, f func(v cell.Value)) cell.Value {
 	if !args[0].isRange {
 		return cell.Errorf(cell.ErrValue)
 	}
-	fold := args[0].rng
-	pairs, errv := parseCritPairs(env, args[1:], fold)
+	pairs, errv := parseCritPairs(env, args[1:], args[0].rng)
 	if errv.IsError() {
 		return errv
 	}
-	foldIfs(env, fold, pairs, f)
+	foldIfs(env, args[0], pairs, f)
 	return cell.Value{}
 }
 
@@ -205,7 +213,7 @@ func fnSumProduct(env *Env, args []operand) cell.Value {
 				var v cell.Value
 				if a.isRange {
 					env.rangeTouch(1)
-					v = env.Src.Value(cell.Addr{Row: a.rng.Start.Row + dr, Col: a.rng.Start.Col + dc})
+					v = a.source(env).Value(cell.Addr{Row: a.rng.Start.Row + dr, Col: a.rng.Start.Col + dc})
 				} else {
 					v = a.scalar(env)
 				}

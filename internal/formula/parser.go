@@ -221,6 +221,9 @@ func (p *parser) parseIdent() (Node, error) {
 	if next.kind == tokLParen {
 		return p.parseCall(strings.ToUpper(name))
 	}
+	if next.kind == tokBang {
+		return p.parseExtRef(name, pos)
+	}
 
 	switch strings.ToUpper(name) {
 	case "TRUE":
@@ -259,6 +262,46 @@ func (p *parser) parseIdent() (Node, error) {
 		return RangeNode{From: ref, To: to}, nil
 	}
 	return RefNode{Ref: ref}, nil
+}
+
+// parseExtRef parses a cross-sheet reference: name!ref or name!ref:ref.
+// The current token is the sheet name; the peeked token is '!'. Sheet
+// names are plain identifiers (the dialect has no quoting form), kept in
+// the case they were written.
+func (p *parser) parseExtRef(sheetName string, pos int) (Node, error) {
+	if err := p.advance(); err != nil { // onto '!'
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // past '!'
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, errParse(p.src, p.tok.pos, "expected cell reference after %q!, found %s", sheetName, p.tok.kind)
+	}
+	from, err := cell.ParseRef(p.tok.text)
+	if err != nil {
+		return nil, errParse(p.src, p.tok.pos, "bad cell reference %q after %q!", p.tok.text, sheetName)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokColon {
+		return ExtRefNode{Sheet: sheetName, From: from}, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, errParse(p.src, p.tok.pos, "expected range end after ':'")
+	}
+	to, err := cell.ParseRef(p.tok.text)
+	if err != nil {
+		return nil, errParse(p.src, p.tok.pos, "bad range end %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return ExtRefNode{Sheet: sheetName, From: from, To: to, IsRange: true}, nil
 }
 
 func (p *parser) parseCall(name string) (Node, error) {

@@ -53,6 +53,17 @@ func writeR1C1(b canonWriter, n Node, dr, dc int, host cell.Addr) {
 		writeR1C1Ref(b, t.From, dr, dc, host)
 		b.WriteByte(':')
 		writeR1C1Ref(b, t.To, dr, dc, host)
+	case ExtRefNode:
+		// Cross-sheet references render their host-relative R1C1 form
+		// behind the sheet name: two hosts share an R1C1 text only when
+		// their effective foreign reads coincide under displacement.
+		b.WriteString(t.Sheet)
+		b.WriteByte('!')
+		writeR1C1Ref(b, t.From, dr, dc, host)
+		if t.IsRange {
+			b.WriteByte(':')
+			writeR1C1Ref(b, t.To, dr, dc, host)
+		}
 	case CallNode:
 		b.WriteString(t.Name)
 		b.WriteByte('(')

@@ -171,14 +171,37 @@ func TestR1C1RoundTripAllBuiltins(t *testing.T) {
 	}
 }
 
-// The dialect has no cross-sheet references: `Sheet2!A1` must not parse, so
-// the R1C1 normal form never needs to carry a sheet qualifier. This pins
-// the assumption; if `!` syntax is ever added, r1c1.go must learn it too.
-func TestR1C1NoCrossSheetRefs(t *testing.T) {
-	if _, err := Compile("=Sheet2!A1"); err == nil {
-		t.Fatal("cross-sheet reference compiled; R1C1 normal form assumes it cannot")
+// Cross-sheet references carry the sheet name through the R1C1 normal form
+// with host-relative components, and the A1 round trip reproduces the
+// displaced reference. The quoted-name dialect ('My Sheet'!A1) remains
+// unsupported.
+func TestR1C1CrossSheetRefs(t *testing.T) {
+	c, err := Compile("=Sheet2!A1+SUM(data!B2:B10)")
+	if err != nil {
+		t.Fatalf("cross-sheet reference failed to compile: %v", err)
 	}
+	if !c.External {
+		t.Fatal("External flag not set on a cross-sheet formula")
+	}
+	host := cell.MustParseAddr("C5")
+	got := R1C1Text(c.Root, 0, 0, host)
+	want := "(Sheet2!R[-4]C[-2]+SUM(data!R[-3]C[-1]:R[5]C[-1]))"
+	if got != want {
+		t.Errorf("R1C1Text = %q, want %q", got, want)
+	}
+	back, err := A1FromR1C1(got, host)
+	if err != nil {
+		t.Fatalf("A1FromR1C1: %v", err)
+	}
+	rec, err := Compile(back)
+	if err != nil {
+		t.Fatalf("recompile %q: %v", back, err)
+	}
+	if !rec.EquivalentTo(c) {
+		t.Errorf("round trip %q != original %q", rec.CanonicalText(), c.CanonicalText())
+	}
+
 	if _, err := Compile("='My Sheet'!A1"); err == nil {
-		t.Fatal("quoted cross-sheet reference compiled; R1C1 normal form assumes it cannot")
+		t.Fatal("quoted cross-sheet reference compiled; the dialect has no quoting form")
 	}
 }

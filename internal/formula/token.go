@@ -37,6 +37,7 @@ const (
 	tokLE
 	tokGT
 	tokGE
+	tokBang // '!' sheet-name separator in cross-sheet references
 )
 
 func (k tokKind) String() string {
@@ -85,6 +86,8 @@ func (k tokKind) String() string {
 		return "'>'"
 	case tokGE:
 		return "'>='"
+	case tokBang:
+		return "'!'"
 	default:
 		return fmt.Sprintf("tokKind(%d)", int(k))
 	}
@@ -138,6 +141,8 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokComma, text: ",", pos: start}, nil
 	case ':':
 		return one(tokColon)
+	case '!':
+		return one(tokBang)
 	case '+':
 		return one(tokPlus)
 	case '-':

@@ -1,0 +1,39 @@
+package fuzzdiff
+
+import "repro/internal/tracelang"
+
+// Minimize greedily shrinks a failing op sequence: it repeatedly tries to
+// delete chunks (halving the chunk size from len/2 down to 1) and keeps any
+// deletion after which the sequence still fails. The result is 1-minimal
+// with respect to single-op deletion — removing any one remaining op makes
+// the failure disappear — which in practice lands well under ten ops for
+// single-cause engine bugs.
+func Minimize(ops []tracelang.Op, fails func([]tracelang.Op) bool) []tracelang.Op {
+	cur := append([]tracelang.Op(nil), ops...)
+	for chunk := maxInt(len(cur)/2, 1); chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur); {
+			end := minInt(start+chunk, len(cur))
+			cand := make([]tracelang.Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && fails(cand) {
+				cur = cand // chunk removed; retry the same start offset
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// MinimizeFailure re-runs the differential harness to shrink a failing
+// sequence, returning the Failure for the minimized sequence (whose Ops
+// field, and therefore Script(), is the minimal repro trace). Returns nil
+// if the sequence does not actually fail under cfg.
+func MinimizeFailure(cfg Config, ops []tracelang.Op) *Failure {
+	fails := func(cand []tracelang.Op) bool { return Run(cfg, cand) != nil }
+	if !fails(ops) {
+		return nil
+	}
+	return Run(cfg, Minimize(ops, fails))
+}

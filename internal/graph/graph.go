@@ -262,6 +262,13 @@ func (g *Graph) Dirty(changed []cell.Addr) (order []cell.Addr, cyclic []cell.Add
 		indeg[b] += 0
 		for _, r := range g.precedents[b] {
 			g.ops++
+			// A formula that reads its own cell is a cycle of length one
+			// (sorts displace ranges onto their host). The permanent
+			// indegree keeps it — and everything downstream — off the
+			// ready queue, so the engine marks them #CYCLE!.
+			if r.Contains(b) {
+				indeg[b]++
+			}
 			// Walk the affected formulae that lie inside b's precedent
 			// ranges. For small ranges enumerate cells; for large ranges
 			// test each affected cell (affected sets are small relative
@@ -347,6 +354,10 @@ func (g *Graph) AllFormulas() (order []cell.Addr, cyclic []cell.Addr) {
 		indeg[b] += 0
 		for _, r := range g.precedents[b] {
 			g.ops++
+			// Self-reads are cycles of length one; see Dirty.
+			if r.Contains(b) {
+				indeg[b]++
+			}
 			if r.Cells() <= smallRangeMax {
 				for row := r.Start.Row; row <= r.End.Row; row++ {
 					for col := r.Start.Col; col <= r.End.Col; col++ {

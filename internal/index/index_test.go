@@ -300,9 +300,16 @@ func TestTokenize(t *testing.T) {
 func TestPrefixSums(t *testing.T) {
 	vals := []float64{1, 2, 0, 4, 5}
 	present := []bool{true, true, false, true, true}
-	p := NewPrefixSums(vals, present)
+	errs := []bool{false, false, true, false, false}
+	p := NewPrefixSums(vals, present, errs)
 	if p.Rows() != 5 {
 		t.Fatal("Rows")
+	}
+	if got := p.Errors(0, 4); got != 1 {
+		t.Errorf("Errors all = %v", got)
+	}
+	if got := p.Errors(3, 4); got != 0 {
+		t.Errorf("Errors(3,4) = %v", got)
 	}
 	if got := p.Sum(0, 4); got != 12 {
 		t.Errorf("Sum all = %v", got)
@@ -343,7 +350,7 @@ func TestPrefixSumsMatchNaive(t *testing.T) {
 			vals[i] = float64(x % 10)
 			present[i] = x%3 != 0
 		}
-		p := NewPrefixSums(vals, present)
+		p := NewPrefixSums(vals, present, nil)
 		lo := int(lo8) % (len(raw) + 1)
 		hi := int(hi8) % (len(raw) + 1)
 		var wantSum float64

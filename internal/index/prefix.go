@@ -8,23 +8,31 @@ package index
 type PrefixSums struct {
 	sum   []float64 // sum[i] = sum of numeric values in rows [0, i)
 	count []int32   // count[i] = numeric cells in rows [0, i)
+	errs  []int32   // errs[i] = error cells in rows [0, i)
 	dirty bool
 }
 
 // NewPrefixSums builds prefix aggregates from the numeric interpretation of
-// a column: vals[i] is row i's numeric value and present[i] whether the
-// cell held a number.
-func NewPrefixSums(vals []float64, present []bool) *PrefixSums {
+// a column: vals[i] is row i's numeric value, present[i] whether the cell
+// held a number, and errs[i] whether it held an error value. Error cells
+// are tracked because the aggregate functions propagate them — a consumer
+// must not serve an O(1) numeric answer for a range that contains one.
+func NewPrefixSums(vals []float64, present, errs []bool) *PrefixSums {
 	p := &PrefixSums{
 		sum:   make([]float64, len(vals)+1),
 		count: make([]int32, len(vals)+1),
+		errs:  make([]int32, len(vals)+1),
 	}
 	for i, v := range vals {
 		p.sum[i+1] = p.sum[i]
 		p.count[i+1] = p.count[i]
+		p.errs[i+1] = p.errs[i]
 		if present[i] {
 			p.sum[i+1] += v
 			p.count[i+1]++
+		}
+		if errs != nil && errs[i] {
+			p.errs[i+1]++
 		}
 	}
 	return p
@@ -50,6 +58,17 @@ func (p *PrefixSums) Count(lo, hi int) int {
 		return 0
 	}
 	return int(p.count[hi+1] - p.count[lo])
+}
+
+// Errors returns the number of error cells in rows [lo, hi]. A nonzero
+// result means an aggregate over the range must propagate an error, which
+// the prefix arrays cannot answer — callers fall back to a real scan.
+func (p *PrefixSums) Errors(lo, hi int) int {
+	lo, hi = p.clamp(lo, hi)
+	if lo > hi {
+		return 0
+	}
+	return int(p.errs[hi+1] - p.errs[lo])
 }
 
 // Average returns the mean of numeric cells in rows [lo, hi]; ok is false

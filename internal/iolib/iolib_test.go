@@ -2,6 +2,7 @@ package iolib
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -189,5 +190,120 @@ func TestCSVRoundTrip(t *testing.T) {
 func TestImportCSVFileMissing(t *testing.T) {
 	if _, err := ImportCSVFile("/nonexistent/x.csv", "x"); err == nil {
 		t.Error("expected error")
+	}
+}
+
+// TestSVFWorkloadRoundTrip serializes every registered workload family at
+// two sizes, in both Formula-value and Value-only variants, and checks the
+// decoded workbook sheet-by-sheet: names, dimensions, formula counts,
+// formula text, and every non-formula cell value.
+func TestSVFWorkloadRoundTrip(t *testing.T) {
+	for _, gen := range workload.Generators() {
+		for _, rows := range []int{8, 40} {
+			for _, formulas := range []bool{true, false} {
+				gen, rows, formulas := gen, rows, formulas
+				name := gen.Name
+				if formulas {
+					name += "/F"
+				} else {
+					name += "/V"
+				}
+				t.Run(fmt.Sprintf("%s/rows=%d", name, rows), func(t *testing.T) {
+					t.Parallel()
+					in := gen.Build(workload.Spec{Rows: rows, Formulas: formulas, Seed: 7})
+					var buf bytes.Buffer
+					if err := WriteWorkbook(&buf, in); err != nil {
+						t.Fatal(err)
+					}
+					res, err := ReadWorkbook(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					out := res.Workbook
+					if out.Len() != in.Len() {
+						t.Fatalf("sheets = %d, want %d", out.Len(), in.Len())
+					}
+					for _, is := range in.Sheets() {
+						os := out.Sheet(is.Name)
+						if os == nil {
+							t.Fatalf("sheet %q missing after round trip", is.Name)
+						}
+						if os.Rows() != is.Rows() || os.Cols() != is.Cols() {
+							t.Fatalf("%s: %dx%d, want %dx%d",
+								is.Name, os.Rows(), os.Cols(), is.Rows(), is.Cols())
+						}
+						if os.FormulaCount() != is.FormulaCount() {
+							t.Fatalf("%s: formulas = %d, want %d",
+								is.Name, os.FormulaCount(), is.FormulaCount())
+						}
+						for r := 0; r < is.Rows(); r++ {
+							for c := 0; c < is.Cols(); c++ {
+								a := cell.Addr{Row: r, Col: c}
+								ifc, isF := is.Formula(a)
+								ofc, osF := os.Formula(a)
+								if isF != osF {
+									t.Fatalf("%s!%s: formula presence %v != %v",
+										is.Name, a.A1(), osF, isF)
+								}
+								if isF {
+									// Formula cells round-trip code, not the
+									// evaluated cache. Fill regions share one
+									// Formula (origin row 2) in memory but decode
+									// as per-cell copies, so compare the text as
+									// displayed AT the host cell on both sides.
+									idr, idc := ifc.DeltaAt(a)
+									odr, odc := ofc.DeltaAt(a)
+									got := ofc.Code.RewriteRelative(odr, odc)
+									want := ifc.Code.RewriteRelative(idr, idc)
+									if got != want {
+										t.Fatalf("%s!%s: formula %q != %q", is.Name, a.A1(), got, want)
+									}
+									continue
+								}
+								if !is.Value(a).Equal(os.Value(a)) {
+									t.Fatalf("%s!%s: %+v != %+v",
+										is.Name, a.A1(), os.Value(a), is.Value(a))
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSVFWorkloadCorruptedHeader writes each workload then damages the
+// file's first line; every corruption must surface as a decode error, not
+// a silently wrong workbook.
+func TestSVFWorkloadCorruptedHeader(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"bad-magic", func(s string) string { return "XVF1" + s[4:] }},
+		{"empty", func(string) string { return "" }},
+		{"sheet-count-garbage", func(s string) string {
+			nl := strings.IndexByte(s, '\n')
+			return "SVF1\tnot-a-number" + s[nl:]
+		}},
+		{"truncated-mid-sheet", func(s string) string {
+			// Keep the header and first sheet line only: remaining sheet
+			// headers are missing.
+			lines := strings.SplitAfterN(s, "\n", 3)
+			return lines[0] + lines[1]
+		}},
+	}
+	for _, gen := range workload.Generators() {
+		in := gen.Build(workload.Spec{Rows: 6, Formulas: true, Seed: 3})
+		var buf bytes.Buffer
+		if err := WriteWorkbook(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range corruptions {
+			if _, err := ReadWorkbook(strings.NewReader(c.mut(buf.String()))); err == nil {
+				t.Errorf("%s/%s: corrupted SVF decoded without error", gen.Name, c.name)
+			}
+		}
 	}
 }

@@ -144,9 +144,12 @@ func (g *ColGrid) Rows() int { return g.rows }
 func (g *ColGrid) Cols() int { return len(g.cols) }
 
 // ApplyRowPerm implements Grid; every column is permuted, O(m·n) moves.
+// Columns can be ragged (SetValue grows only the column it writes), so each
+// output column is sized by the permutation, not by the column's own length:
+// rows the column never materialized read as empty values.
 func (g *ColGrid) ApplyRowPerm(perm []int) {
 	for c, col := range g.cols {
-		out := make([]cell.Value, len(col))
+		out := make([]cell.Value, len(perm))
 		for i, p := range perm {
 			if p < len(col) {
 				out[i] = col[p]

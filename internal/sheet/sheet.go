@@ -19,6 +19,7 @@ type Sheet struct {
 	grid      Grid
 	formulas  map[cell.Addr]Formula
 	volatiles map[cell.Addr]bool // formula cells that recompute every pass
+	externals map[cell.Addr]bool // formula cells with cross-sheet references
 	styles    map[cell.Addr]cell.Style
 	hidden    []bool // hidden[r] == true when row r is filtered out
 }
@@ -51,6 +52,7 @@ func NewWithGrid(name string, g Grid) *Sheet {
 		grid:      g,
 		formulas:  make(map[cell.Addr]Formula),
 		volatiles: make(map[cell.Addr]bool),
+		externals: make(map[cell.Addr]bool),
 		styles:    make(map[cell.Addr]cell.Style),
 	}
 }
@@ -71,6 +73,7 @@ func (s *Sheet) Value(a cell.Addr) cell.Value { return s.grid.Value(a) }
 func (s *Sheet) SetValue(a cell.Addr, v cell.Value) {
 	delete(s.formulas, a)
 	delete(s.volatiles, a)
+	delete(s.externals, a)
 	s.grid.SetValue(a, v)
 }
 
@@ -89,6 +92,11 @@ func (s *Sheet) AttachFormula(a cell.Addr, f Formula) {
 		s.volatiles[a] = true
 	} else {
 		delete(s.volatiles, a)
+	}
+	if f.Code.External {
+		s.externals[a] = true
+	} else {
+		delete(s.externals, a)
 	}
 	if s.grid.Value(a).IsEmpty() {
 		s.grid.SetValue(a, cell.Value{}) // materialize the cell
@@ -122,6 +130,7 @@ func (s *Sheet) EachFormula(f func(a cell.Addr, fc Formula) bool) {
 func (s *Sheet) ClearFormula(a cell.Addr) {
 	delete(s.formulas, a)
 	delete(s.volatiles, a)
+	delete(s.externals, a)
 }
 
 // VolatileCells returns the formula cells containing volatile functions
@@ -132,6 +141,24 @@ func (s *Sheet) VolatileCells() []cell.Addr {
 	}
 	out := make([]cell.Addr, 0, len(s.volatiles))
 	for a := range s.volatiles {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ExternalCount returns the number of formula cells with cross-sheet
+// references — the allocation-free guard for the post-operation refresh.
+func (s *Sheet) ExternalCount() int { return len(s.externals) }
+
+// ExternalCells returns the formula cells containing cross-sheet
+// references, which the engine refreshes after every value-mutating
+// operation (their precedents are invisible to the sheet-local graph).
+func (s *Sheet) ExternalCells() []cell.Addr {
+	if len(s.externals) == 0 {
+		return nil
+	}
+	out := make([]cell.Addr, 0, len(s.externals))
+	for a := range s.externals {
 		out = append(out, a)
 	}
 	return out
@@ -210,6 +237,13 @@ func (s *Sheet) ApplyRowPerm(perm []int) {
 		}
 		s.volatiles = nv
 	}
+	if len(s.externals) > 0 {
+		ne := make(map[cell.Addr]bool, len(s.externals))
+		for a := range s.externals {
+			ne[move(a)] = true
+		}
+		s.externals = ne
+	}
 	if len(s.styles) > 0 {
 		ns := make(map[cell.Addr]cell.Style, len(s.styles))
 		for a, st := range s.styles {
@@ -218,7 +252,10 @@ func (s *Sheet) ApplyRowPerm(perm []int) {
 		s.styles = ns
 	}
 	if len(s.hidden) > 0 {
-		nh := make([]bool, len(s.hidden))
+		// The hidden array is ragged — only as long as the highest row a
+		// filter ever marked — but a flag can move to any permuted index,
+		// so the reordered array spans the whole permutation.
+		nh := make([]bool, len(perm))
 		for r, h := range s.hidden {
 			if r < len(inv) {
 				nh[inv[r]] = h

@@ -225,6 +225,15 @@ func (s *Sheet) remapCells(shift func(cell.Addr) (cell.Addr, bool)) {
 		}
 		s.volatiles = nv
 	}
+	if len(s.externals) > 0 {
+		ne := make(map[cell.Addr]bool, len(s.externals))
+		for a := range s.externals {
+			if to, keep := shift(a); keep {
+				ne[to] = true
+			}
+		}
+		s.externals = ne
+	}
 	if len(s.styles) > 0 {
 		ns := make(map[cell.Addr]cell.Style, len(s.styles))
 		for a, st := range s.styles {

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Gradebook is the paper's motivating lookup scenario (§4.3.4): "a popular
+// usage of VLOOKUP is to look up grades from a grade table for a collection
+// of scores". The main sheet ("scores") holds one approximate-match VLOOKUP
+// per student into a sorted boundary table on a second sheet ("grades") —
+// a foreign-key join expressed cell by cell.
+
+// Gradebook column layout (main sheet).
+const (
+	GradeColID    = 0 // "A": ascending student id
+	GradeColName  = 1 // "B": student name text
+	GradeColScore = 2 // "C": whole-number score 0..100
+	GradeColGrade = 3 // "D": =VLOOKUP(C, grades!A:B, 2, TRUE)
+	GradeNumCols  = 4
+)
+
+// GradeBound is one row of the grade boundary table: scores at or above
+// Floor (up to the next boundary) earn Grade.
+type GradeBound struct {
+	Floor float64
+	Grade string
+}
+
+// GradeBoundaries is the boundary table written to grades!A2:B6, sorted
+// ascending by floor as approximate-match VLOOKUP requires.
+var GradeBoundaries = []GradeBound{
+	{0, "F"}, {60, "D"}, {70, "C"}, {80, "B"}, {90, "A"},
+}
+
+// GradeFor returns the letter grade for a score — the largest boundary
+// floor not exceeding it, mirroring approximate-match VLOOKUP semantics.
+func GradeFor(score float64) string {
+	grade := GradeBoundaries[0].Grade
+	for _, b := range GradeBoundaries {
+		if score < b.Floor {
+			break
+		}
+		grade = b.Grade
+	}
+	return grade
+}
+
+// GradeScoreAt returns the whole-number score of the given data row.
+func GradeScoreAt(seed uint64, dataRow int) float64 {
+	return float64(rowRand(seed, dataRow, GradeColScore) % 101)
+}
+
+// Gradebook generates the two-sheet gradebook workbook per the spec.
+// Spec.Rows counts student rows; the grades sheet has fixed shape. With
+// Spec.Formulas off, the grade column carries the looked-up letters as
+// plain text.
+func Gradebook(spec Spec) *sheet.Workbook {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	n := spec.Rows
+	rows := n + 1
+	var g sheet.Grid
+	if spec.Columnar {
+		g = sheet.NewColGrid(rows, GradeNumCols)
+	} else {
+		g = sheet.NewRowGrid(rows, GradeNumCols)
+	}
+	scores := sheet.NewWithGrid("scores", g)
+	for c, t := range []string{"id", "name", "score", "grade"} {
+		scores.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+
+	var gradeF *formula.Compiled
+	if spec.Formulas {
+		gradeF = formula.MustCompile(fmt.Sprintf(
+			"=VLOOKUP(C2,grades!A$2:B$%d,2,TRUE)", len(GradeBoundaries)+1))
+	}
+	for dr := 1; dr <= n; dr++ {
+		score := GradeScoreAt(seed, dr)
+		scores.SetValue(cell.Addr{Row: dr, Col: GradeColID}, cell.Num(float64(dr)))
+		scores.SetValue(cell.Addr{Row: dr, Col: GradeColName}, cell.Str(fmt.Sprintf("s%04d", dr)))
+		scores.SetValue(cell.Addr{Row: dr, Col: GradeColScore}, cell.Num(score))
+		if spec.Formulas {
+			scores.AttachFormula(cell.Addr{Row: dr, Col: GradeColGrade},
+				sheet.Formula{Code: gradeF, Origin: cell.Addr{Row: 1, Col: GradeColGrade}})
+		} else {
+			scores.SetValue(cell.Addr{Row: dr, Col: GradeColGrade}, cell.Str(GradeFor(score)))
+		}
+	}
+
+	grades := sheet.New("grades", len(GradeBoundaries)+1, 2)
+	grades.SetValue(cell.Addr{Row: 0, Col: 0}, cell.Str("floor"))
+	grades.SetValue(cell.Addr{Row: 0, Col: 1}, cell.Str("grade"))
+	for i, b := range GradeBoundaries {
+		grades.SetValue(cell.Addr{Row: i + 1, Col: 0}, cell.Num(b.Floor))
+		grades.SetValue(cell.Addr{Row: i + 1, Col: 1}, cell.Str(b.Grade))
+	}
+
+	wb := sheet.NewWorkbook()
+	for _, s := range []*sheet.Sheet{scores, grades} {
+		if err := wb.Add(s); err != nil {
+			panic(err) // fresh workbook; cannot collide
+		}
+	}
+	return wb
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Inventory is a two-sheet stock-keeping workload: an item register
+// ("inventory", the main sheet) whose rows each look their unit price up in
+// a product catalog ("products"), and per-product conditional aggregates on
+// the catalog that read back across the boundary in the other direction.
+// The two-way cross-sheet dependency chain (products!value reads
+// inventory!total, which reads products!price) needs more than one round of
+// the engine's external-reference fixpoint to settle — the deepest
+// propagation any bundled workload exercises.
+
+// Inventory column layout (main sheet).
+const (
+	InvColSKU     = 0 // "A": ascending stock-keeping id
+	InvColProduct = 1 // "B": product name, FK into products!A
+	InvColQty     = 2 // "C": whole-number quantity on hand
+	InvColPrice   = 3 // "D": =VLOOKUP(B, products!A:C, 3, FALSE)
+	InvColTotal   = 4 // "E": =C*D, the line value
+	InvNumCols    = 5
+)
+
+// InventoryProducts is the product catalog written to products!A2:C11:
+// name, category, and whole-number unit price.
+var InventoryProducts = []struct {
+	Name, Category string
+	Price          float64
+}{
+	{"widget", "hardware", 25},
+	{"gadget", "hardware", 60},
+	{"gizmo", "hardware", 95},
+	{"sprocket", "parts", 12},
+	{"cog", "parts", 7},
+	{"bracket", "parts", 18},
+	{"clamp", "parts", 31},
+	{"wrench", "tools", 42},
+	{"plier", "tools", 23},
+	{"hammer", "tools", 55},
+}
+
+// InventoryProductAt returns the product name of the given data row.
+func InventoryProductAt(seed uint64, dataRow int) string {
+	return InventoryProducts[rowRand(seed, dataRow, InvColProduct)%uint64(len(InventoryProducts))].Name
+}
+
+// InventoryQtyAt returns the whole-number quantity of the given data row.
+func InventoryQtyAt(seed uint64, dataRow int) float64 {
+	return float64(1 + rowRand(seed, dataRow, InvColQty)%20)
+}
+
+// inventoryPrice returns the unit price of the named product.
+func inventoryPrice(name string) float64 {
+	for _, p := range InventoryProducts {
+		if p.Name == name {
+			return p.Price
+		}
+	}
+	return 0
+}
+
+// Inventory generates the two-sheet inventory workbook per the spec.
+// Spec.Rows counts item rows; the products sheet has fixed shape. With
+// Spec.Formulas off, every formula cell carries its evaluated value.
+func Inventory(spec Spec) *sheet.Workbook {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	n := spec.Rows
+	rows := n + 1
+	var g sheet.Grid
+	if spec.Columnar {
+		g = sheet.NewColGrid(rows, InvNumCols)
+	} else {
+		g = sheet.NewRowGrid(rows, InvNumCols)
+	}
+	inv := sheet.NewWithGrid("inventory", g)
+	for c, t := range []string{"sku", "product", "qty", "price", "total"} {
+		inv.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+
+	var priceF, totalF *formula.Compiled
+	if spec.Formulas {
+		priceF = formula.MustCompile(fmt.Sprintf(
+			"=VLOOKUP(B2,products!A$2:C$%d,3,FALSE)", len(InventoryProducts)+1))
+		totalF = formula.MustCompile("=C2*D2")
+	}
+
+	// Per-product running aggregates for the Value-only catalog columns.
+	prodCount := make(map[string]float64, len(InventoryProducts))
+	prodValue := make(map[string]float64, len(InventoryProducts))
+	for dr := 1; dr <= n; dr++ {
+		product := InventoryProductAt(seed, dr)
+		qty := InventoryQtyAt(seed, dr)
+		price := inventoryPrice(product)
+		inv.SetValue(cell.Addr{Row: dr, Col: InvColSKU}, cell.Num(float64(dr)))
+		inv.SetValue(cell.Addr{Row: dr, Col: InvColProduct}, cell.Str(product))
+		inv.SetValue(cell.Addr{Row: dr, Col: InvColQty}, cell.Num(qty))
+		if spec.Formulas {
+			inv.AttachFormula(cell.Addr{Row: dr, Col: InvColPrice},
+				sheet.Formula{Code: priceF, Origin: cell.Addr{Row: 1, Col: InvColPrice}})
+			inv.AttachFormula(cell.Addr{Row: dr, Col: InvColTotal},
+				sheet.Formula{Code: totalF, Origin: cell.Addr{Row: 1, Col: InvColTotal}})
+		} else {
+			inv.SetValue(cell.Addr{Row: dr, Col: InvColPrice}, cell.Num(price))
+			inv.SetValue(cell.Addr{Row: dr, Col: InvColTotal}, cell.Num(qty*price))
+		}
+		prodCount[product]++
+		prodValue[product] += qty * price
+	}
+
+	products := sheet.New("products", len(InventoryProducts)+1, 5)
+	for c, t := range []string{"name", "category", "price", "stocked", "value"} {
+		products.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+	lastA1 := n + 1 // last data row of the inventory in A1 numbering
+	for i, p := range InventoryProducts {
+		r := i + 1
+		products.SetValue(cell.Addr{Row: r, Col: 0}, cell.Str(p.Name))
+		products.SetValue(cell.Addr{Row: r, Col: 1}, cell.Str(p.Category))
+		products.SetValue(cell.Addr{Row: r, Col: 2}, cell.Num(p.Price))
+		if spec.Formulas {
+			products.SetFormula(cell.Addr{Row: r, Col: 3}, formula.MustCompile(fmt.Sprintf(
+				"=COUNTIF(inventory!B2:B%d,A%d)", lastA1, r+1)))
+			products.SetFormula(cell.Addr{Row: r, Col: 4}, formula.MustCompile(fmt.Sprintf(
+				"=SUMIF(inventory!B2:B%d,A%d,inventory!E2:E%d)", lastA1, r+1, lastA1)))
+		} else {
+			products.SetValue(cell.Addr{Row: r, Col: 3}, cell.Num(prodCount[p.Name]))
+			products.SetValue(cell.Addr{Row: r, Col: 4}, cell.Num(prodValue[p.Name]))
+		}
+	}
+
+	wb := sheet.NewWorkbook()
+	for _, s := range []*sheet.Sheet{inv, products} {
+		if err := wb.Add(s); err != nil {
+			panic(err) // fresh workbook; cannot collide
+		}
+	}
+	return wb
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+)
+
+// Ledger is a three-sheet business workload: a transaction register
+// ("ledger", the main sheet), an account reference table ("accounts"), and
+// a category roll-up ("summary") built entirely from cross-sheet SUMIF /
+// COUNTIF / VLOOKUP formulas. It is the multi-sheet counterpart of the
+// weather dataset: the summary's precedents live on another worksheet, so
+// every engine profile must propagate foreign edits through the external-
+// reference refresh rather than the sheet-local dependency graph.
+
+// Ledger column layout (main sheet).
+const (
+	LedgerColID       = 0 // "A": ascending transaction id
+	LedgerColAccount  = 1 // "B": account name, FK into accounts!A
+	LedgerColCategory = 2 // "C": spending category, the SUMIF dimension
+	LedgerColAmount   = 3 // "D": whole-number amount
+	LedgerColBudget   = 4 // "E": =VLOOKUP(B, accounts!A:C, 3, FALSE)
+	LedgerColShare    = 5 // "F": =D*100/E
+	LedgerNumCols     = 6
+)
+
+// LedgerAccounts is the account reference table written to accounts!A2:C9:
+// name, kind, and whole-number budget.
+var LedgerAccounts = []struct {
+	Name, Kind string
+	Budget     float64
+}{
+	{"checking", "asset", 1200},
+	{"savings", "asset", 800},
+	{"credit", "liability", 600},
+	{"brokerage", "asset", 1500},
+	{"payroll", "income", 3000},
+	{"rent", "expense", 900},
+	{"food", "expense", 450},
+	{"travel", "expense", 300},
+}
+
+// LedgerCategories are the summary's roll-up dimension values.
+var LedgerCategories = []string{"rent", "food", "travel", "payroll", "misc"}
+
+// LedgerAccountAt returns the account name of the given data row.
+func LedgerAccountAt(seed uint64, dataRow int) string {
+	return LedgerAccounts[rowRand(seed, dataRow, LedgerColAccount)%uint64(len(LedgerAccounts))].Name
+}
+
+// LedgerCategoryAt returns the category of the given data row.
+func LedgerCategoryAt(seed uint64, dataRow int) string {
+	return LedgerCategories[rowRand(seed, dataRow, LedgerColCategory)%uint64(len(LedgerCategories))]
+}
+
+// LedgerAmountAt returns the whole-number amount of the given data row.
+// Integral amounts keep every aggregate exact in float64, so the
+// Value-only variant can reproduce the Formula-value results bit for bit.
+func LedgerAmountAt(seed uint64, dataRow int) float64 {
+	return float64(1 + rowRand(seed, dataRow, LedgerColAmount)%500)
+}
+
+// ledgerBudget returns the budget of the named account.
+func ledgerBudget(name string) float64 {
+	for _, a := range LedgerAccounts {
+		if a.Name == name {
+			return a.Budget
+		}
+	}
+	return 0
+}
+
+// Ledger generates the three-sheet ledger workbook per the spec. Spec.Rows
+// counts transaction rows; the accounts and summary sheets have fixed
+// shape. With Spec.Formulas off, every formula cell is replaced by its
+// evaluated value (same displayed state, no code).
+func Ledger(spec Spec) *sheet.Workbook {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	n := spec.Rows
+	rows := n + 1
+	var g sheet.Grid
+	if spec.Columnar {
+		g = sheet.NewColGrid(rows, LedgerNumCols)
+	} else {
+		g = sheet.NewRowGrid(rows, LedgerNumCols)
+	}
+	led := sheet.NewWithGrid("ledger", g)
+	for c, t := range []string{"id", "account", "category", "amount", "budget", "share"} {
+		led.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+
+	var budgetF, shareF *formula.Compiled
+	if spec.Formulas {
+		budgetF = formula.MustCompile(fmt.Sprintf(
+			"=VLOOKUP(B2,accounts!A$2:C$%d,3,FALSE)", len(LedgerAccounts)+1))
+		shareF = formula.MustCompile("=D2*100/E2")
+	}
+	origin := func(col int) cell.Addr { return cell.Addr{Row: 1, Col: col} }
+
+	// Per-category running totals for the Value-only summary.
+	catSum := make(map[string]float64, len(LedgerCategories))
+	catCount := make(map[string]float64, len(LedgerCategories))
+	for dr := 1; dr <= n; dr++ {
+		account := LedgerAccountAt(seed, dr)
+		category := LedgerCategoryAt(seed, dr)
+		amount := LedgerAmountAt(seed, dr)
+		budget := ledgerBudget(account)
+		led.SetValue(cell.Addr{Row: dr, Col: LedgerColID}, cell.Num(float64(dr)))
+		led.SetValue(cell.Addr{Row: dr, Col: LedgerColAccount}, cell.Str(account))
+		led.SetValue(cell.Addr{Row: dr, Col: LedgerColCategory}, cell.Str(category))
+		led.SetValue(cell.Addr{Row: dr, Col: LedgerColAmount}, cell.Num(amount))
+		if spec.Formulas {
+			led.AttachFormula(cell.Addr{Row: dr, Col: LedgerColBudget},
+				sheet.Formula{Code: budgetF, Origin: origin(LedgerColBudget)})
+			led.AttachFormula(cell.Addr{Row: dr, Col: LedgerColShare},
+				sheet.Formula{Code: shareF, Origin: origin(LedgerColShare)})
+		} else {
+			led.SetValue(cell.Addr{Row: dr, Col: LedgerColBudget}, cell.Num(budget))
+			led.SetValue(cell.Addr{Row: dr, Col: LedgerColShare}, cell.Num(amount*100/budget))
+		}
+		catSum[category] += amount
+		catCount[category]++
+	}
+
+	accounts := sheet.New("accounts", len(LedgerAccounts)+1, 3)
+	for c, t := range []string{"name", "kind", "budget"} {
+		accounts.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+	for i, a := range LedgerAccounts {
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 0}, cell.Str(a.Name))
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 1}, cell.Str(a.Kind))
+		accounts.SetValue(cell.Addr{Row: i + 1, Col: 2}, cell.Num(a.Budget))
+	}
+
+	summary := sheet.New("summary", len(LedgerCategories)+2, 3)
+	for c, t := range []string{"category", "total", "txns"} {
+		summary.SetValue(cell.Addr{Row: 0, Col: c}, cell.Str(t))
+	}
+	lastA1 := n + 1 // last data row of the ledger in A1 numbering
+	total, count := 0.0, 0.0
+	for i, cat := range LedgerCategories {
+		r := i + 1
+		summary.SetValue(cell.Addr{Row: r, Col: 0}, cell.Str(cat))
+		if spec.Formulas {
+			summary.SetFormula(cell.Addr{Row: r, Col: 1}, formula.MustCompile(fmt.Sprintf(
+				"=SUMIF(ledger!C2:C%d,A%d,ledger!D2:D%d)", lastA1, r+1, lastA1)))
+			summary.SetFormula(cell.Addr{Row: r, Col: 2}, formula.MustCompile(fmt.Sprintf(
+				"=COUNTIF(ledger!C2:C%d,A%d)", lastA1, r+1)))
+		} else {
+			summary.SetValue(cell.Addr{Row: r, Col: 1}, cell.Num(catSum[cat]))
+			summary.SetValue(cell.Addr{Row: r, Col: 2}, cell.Num(catCount[cat]))
+		}
+		total += catSum[cat]
+		count += catCount[cat]
+	}
+	allRow := len(LedgerCategories) + 1
+	summary.SetValue(cell.Addr{Row: allRow, Col: 0}, cell.Str("all"))
+	if spec.Formulas {
+		summary.SetFormula(cell.Addr{Row: allRow, Col: 1}, formula.MustCompile(fmt.Sprintf(
+			"=SUM(B2:B%d)", allRow)))
+		summary.SetFormula(cell.Addr{Row: allRow, Col: 2}, formula.MustCompile(fmt.Sprintf(
+			"=SUM(C2:C%d)", allRow)))
+	} else {
+		summary.SetValue(cell.Addr{Row: allRow, Col: 1}, cell.Num(total))
+		summary.SetValue(cell.Addr{Row: allRow, Col: 2}, cell.Num(count))
+	}
+
+	wb := sheet.NewWorkbook()
+	for _, s := range []*sheet.Sheet{led, accounts, summary} {
+		if err := wb.Add(s); err != nil {
+			panic(err) // fresh workbook; cannot collide
+		}
+	}
+	return wb
+}

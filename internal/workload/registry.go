@@ -1,0 +1,70 @@
+package workload
+
+import "repro/internal/sheet"
+
+// Generator describes one registered workload family: a named,
+// size-parameterized dataset builder. All generators accept the same Spec —
+// Rows scales the main data sheet, Formulas toggles the Formula-value /
+// Value-only pairing (§3.2), Seed drives the deterministic row streams, and
+// Columnar selects column-major storage for the main sheet.
+type Generator struct {
+	// Name is the registry key ("weather", "ledger", ...).
+	Name string
+	// Title is a one-line description for listings.
+	Title string
+	// Sheets names the worksheets the generator emits, main sheet first.
+	Sheets []string
+	// Build constructs a workbook per the spec.
+	Build func(Spec) *sheet.Workbook
+}
+
+// Generators returns the registered workload families in stable order. The
+// slice is freshly allocated; callers may reorder it.
+func Generators() []Generator {
+	return []Generator{
+		{
+			Name:   "weather",
+			Title:  "§3.2 weather dataset: 17 columns, embedded COUNTIF columns",
+			Sheets: []string{"weather"},
+			Build:  Weather,
+		},
+		{
+			Name:   "ledger",
+			Title:  "multi-sheet ledger: transactions + accounts + cross-sheet SUMIF/VLOOKUP summary",
+			Sheets: []string{"ledger", "accounts", "summary"},
+			Build:  Ledger,
+		},
+		{
+			Name:   "inventory",
+			Title:  "inventory: per-row cross-sheet price lookups + per-product conditional aggregates",
+			Sheets: []string{"inventory", "products"},
+			Build:  Inventory,
+		},
+		{
+			Name:   "gradebook",
+			Title:  "gradebook: approximate-match VLOOKUP of letter grades from a boundary table",
+			Sheets: []string{"scores", "grades"},
+			Build:  Gradebook,
+		},
+	}
+}
+
+// ByName returns the named generator.
+func ByName(name string) (Generator, bool) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// Names returns the registered workload names in registry order.
+func Names() []string {
+	gens := Generators()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.Name
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// TestRegistry checks the generator registry's shape.
+func TestRegistry(t *testing.T) {
+	names := workload.Names()
+	want := []string{"weather", "ledger", "inventory", "gradebook"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if _, ok := workload.ByName("ledger"); !ok {
+		t.Error("ByName(ledger) not found")
+	}
+	if _, ok := workload.ByName("nope"); ok {
+		t.Error("ByName(nope) unexpectedly found")
+	}
+}
+
+// TestFormulaValueVariantsAgree is the §3.2 pairing property for every
+// registered workload: evaluating the Formula-value variant must produce
+// exactly the Value-only variant's displayed state. This also pins the
+// generators' Go-side value computation to real formula semantics.
+func TestFormulaValueVariantsAgree(t *testing.T) {
+	for _, gen := range workload.Generators() {
+		for _, rows := range []int{23, 117} {
+			fwb := gen.Build(workload.Spec{Rows: rows, Formulas: true})
+			vwb := gen.Build(workload.Spec{Rows: rows, Formulas: false})
+			eng := engine.New(engine.Profiles()["excel"])
+			if err := eng.Install(fwb); err != nil {
+				t.Fatalf("%s/%d: install: %v", gen.Name, rows, err)
+			}
+			if got := len(fwb.Sheets()); got != len(gen.Sheets) {
+				t.Fatalf("%s: %d sheets, registry says %v", gen.Name, got, gen.Sheets)
+			}
+			for i, name := range gen.Sheets {
+				if fwb.Sheets()[i].Name != name {
+					t.Fatalf("%s: sheet %d named %q, registry says %q",
+						gen.Name, i, fwb.Sheets()[i].Name, name)
+				}
+			}
+			for _, fs := range fwb.Sheets() {
+				vs := vwb.Sheet(fs.Name)
+				if vs == nil {
+					t.Fatalf("%s/%d: value-only variant lacks sheet %q", gen.Name, rows, fs.Name)
+				}
+				if fs.Rows() != vs.Rows() || fs.Cols() != vs.Cols() {
+					t.Fatalf("%s/%d: sheet %q dims differ", gen.Name, rows, fs.Name)
+				}
+				if vs.FormulaCount() != 0 {
+					t.Fatalf("%s/%d: value-only sheet %q has formulas", gen.Name, rows, fs.Name)
+				}
+				for r := 0; r < fs.Rows(); r++ {
+					for c := 0; c < fs.Cols(); c++ {
+						at := cell.Addr{Row: r, Col: c}
+						if fv, vv := fs.Value(at), vs.Value(at); fv != vv {
+							t.Fatalf("%s/%d: %s!%s: formula variant %+v, value variant %+v",
+								gen.Name, rows, fs.Name, at, fv, vv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixProperty: a smaller dataset is an exact prefix of a larger one
+// (the paper's stratified-sampling equivalent), for every workload family.
+func TestPrefixProperty(t *testing.T) {
+	for _, gen := range workload.Generators() {
+		small := gen.Build(workload.Spec{Rows: 40, Formulas: false}).First()
+		large := gen.Build(workload.Spec{Rows: 200, Formulas: false}).First()
+		for r := 0; r < small.Rows(); r++ {
+			for c := 0; c < small.Cols(); c++ {
+				at := cell.Addr{Row: r, Col: c}
+				sv, lv := small.Value(at), large.Value(at)
+				// Aggregate-bearing cells may legitimately differ with size;
+				// main-sheet data cells must not. The main sheets hold only
+				// per-row data and per-row formulas, so full equality holds.
+				if sv != lv {
+					t.Fatalf("%s: %s differs between sizes: %+v vs %+v", gen.Name, at, sv, lv)
+				}
+			}
+		}
+	}
+}

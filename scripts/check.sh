@@ -13,6 +13,11 @@
 #              validated with cmd/obscheck
 #   interfere  parallel-safety surface: sheetcli interfere goldens plus the
 #              concurrency-readiness lints over the parallel packages
+#   fuzz       differential fuzz smoke: the fuzzdiff suite (every workload
+#              x2 sizes, the mutation-catch test, and the checked-in
+#              regression seed corpus) plus the trace-language parser
+#              seeds, all replayed deterministically — no -fuzz
+#              exploration; the nightly workflow owns the time budget
 #   all        every stage (the default)
 #
 # CI runs the stages as separate jobs so the static half reports in
@@ -23,9 +28,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | bench | interfere | all) ;;
+lint | race | bench | interfere | fuzz | all) ;;
 *)
-    echo "usage: $0 [lint|race|bench|interfere|all]" >&2
+    echo "usage: $0 [lint|race|bench|interfere|fuzz|all]" >&2
     exit 2
     ;;
 esac
@@ -66,6 +71,14 @@ if [ "$stage" = "interfere" ] || [ "$stage" = "all" ]; then
         internal/engine internal/regions internal/obs internal/interfere
     go run ./internal/lint/cmd/sheetlint -only lockcheck \
         internal/engine internal/regions internal/obs internal/interfere
+fi
+
+if [ "$stage" = "fuzz" ] || [ "$stage" = "all" ]; then
+    echo "== fuzzdiff differential suite + regression seed corpus =="
+    go test -count=1 ./internal/fuzzdiff
+
+    echo "== trace-language parser fuzz seeds =="
+    go test -count=1 -run 'FuzzTraceScript' ./cmd/sheetcli
 fi
 
 if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then

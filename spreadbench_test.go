@@ -52,10 +52,10 @@ func TestFacadeQuickFlow(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("ids = %v", ids)
 	}
-	if ids[0] != "fig2-open" || ids[len(ids)-1] != "ablation" {
+	if ids[0] != "fig2-open" || ids[len(ids)-1] != "workloads" {
 		t.Errorf("order: %v", ids)
 	}
 }
