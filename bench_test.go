@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/absint"
 	"repro/internal/analyze"
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/iolib"
 	"repro/internal/regions"
 	"repro/internal/report"
+	"repro/internal/sheet"
 	"repro/internal/typecheck"
 	"repro/internal/workload"
 )
@@ -644,6 +646,83 @@ func BenchmarkInterferenceAnalysis(b *testing.B) {
 		cert := interfere.Analyze(sr)
 		if !cert.OK || cert.StageCount() != 1 {
 			b.Fatalf("cert: OK=%v stages=%d, want one certified stage", cert.OK, cert.StageCount())
+		}
+	}
+}
+
+// BenchmarkAbsintWorkbook measures the abstract interpreter's full
+// pipeline — topological fixpoint over the interval/kind/error lattice,
+// constant folding through the concrete mirror, certificate distillation —
+// on the 50k-row weather workbook. Like typecheck, it never evaluates a
+// formula; the optimized engine pays exactly this once per Install when
+// ValueCerts is on.
+func BenchmarkAbsintWorkbook(b *testing.B) {
+	wb := workload.Weather(workload.Spec{Rows: 50_000, Formulas: true, Analysis: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range wb.Sheets() {
+			cert := absint.InferSheet(s).Certify()
+			if cert.Formulas == 0 || len(cert.Columns) == 0 {
+				b.Fatal("empty certificate set")
+			}
+		}
+	}
+}
+
+// certifiedLookupWorkbook builds the certified-lookup benchmark sheet: an
+// ascending numeric key column of n rows plus a block of exact MATCHes
+// over it, half of them guaranteed misses (an exact miss defeats the
+// early-exit scan, so the naive cost is the full column).
+func certifiedLookupWorkbook(b *testing.B, rows, lookups int) *sheet.Workbook {
+	b.Helper()
+	s := sheet.New("lookup", rows+lookups, 4)
+	for r := 0; r < rows; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64(r*2)))
+	}
+	for i := 0; i < lookups; i++ {
+		key := (i * 61 * 2) % (rows * 2)
+		if i%2 == 1 {
+			key++ // odd: between stored even keys, a guaranteed miss
+		}
+		text := fmt.Sprintf("=MATCH(%d,A1:A%d,0)", key, rows)
+		c, err := formula.Compile(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetFormula(cell.Addr{Row: rows + i, Col: 2}, c)
+	}
+	wb := sheet.NewWorkbook()
+	if err := wb.Add(s); err != nil {
+		b.Fatal(err)
+	}
+	return wb
+}
+
+// BenchmarkCertifiedLookupMatch pins the tentpole speedup of the value
+// analysis: recalculating exact MATCHes over an ascending key column. The
+// excel profile scans linearly (early exit on hits, full column on
+// misses); the optimized profile holds an ascending certificate
+// (internal/absint) and binary-searches. The gap must grow with the
+// column: ~n/log2(n) per miss.
+func BenchmarkCertifiedLookupMatch(b *testing.B) {
+	const lookups = 32
+	for _, rows := range []int{50_000, 200_000, 500_000} {
+		for _, sys := range []string{"excel", "optimized"} {
+			b.Run(fmt.Sprintf("rows=%d/%s", rows, sys), func(b *testing.B) {
+				eng := engine.New(engine.Profiles()[sys])
+				wb := certifiedLookupWorkbook(b, rows, lookups)
+				if err := eng.Install(wb); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Recalculate(wb.First()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

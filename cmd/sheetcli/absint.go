@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/absint"
+	"repro/internal/cell"
+	"repro/internal/iolib"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// runAbsint implements the `sheetcli absint` subcommand: it runs the
+// abstract-interpretation value analysis (internal/absint) over a workbook
+// and reports the certificates the optimized engine consumes — per-column
+// abstract kinds, numeric intervals, error-freedom, sortedness direction,
+// and the certified-constant formula cells — without evaluating a single
+// formula.
+//
+// Usage: sheetcli absint [-json] [-rows n] [-seed n] [-max n] [file.svf]
+func runAbsint(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("absint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rows := fs.Int("rows", 5000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	maxList := fs.Int("max", 20, "max columns and constants listed per sheet; -1 removes the cap")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli absint [-json] [-rows n] [-seed n] [-max n] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 0 {
+		fmt.Fprintln(errOut, "sheetcli: -rows must be non-negative")
+		return 2
+	}
+
+	var wb *sheet.Workbook
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		wb = res.Workbook
+	} else {
+		wb = workload.Weather(workload.Spec{
+			Rows: *rows, Formulas: true, Seed: *seed, Analysis: true,
+		})
+	}
+
+	rep := absintReportFor(wb)
+	var err error
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = rep.writeText(out, *maxList)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// absintColumnEntry is one column certificate in the report.
+type absintColumnEntry struct {
+	// Range is the column's used span in A1 notation.
+	Range string `json:"range"`
+	Cells int    `json:"cells"`
+	// Kinds is the abstract possibility set over the span.
+	Kinds string `json:"kinds"`
+	// Interval is the numeric interval join over the span.
+	Interval string `json:"interval"`
+	// Dir is "asc"/"desc" when the numeric run's order is statically
+	// certified, empty otherwise.
+	Dir string `json:"dir,omitempty"`
+	// ErrorFree reports no cell of the span can evaluate to an error.
+	ErrorFree bool `json:"error_free"`
+	// NumericRun is the trailing certainly-Number error-free run in A1
+	// notation, empty when no cell qualifies.
+	NumericRun string `json:"numeric_run,omitempty"`
+	// HasFormula reports the span contains formula cells.
+	HasFormula bool `json:"has_formula"`
+}
+
+// absintConstEntry is one certified-constant formula cell.
+type absintConstEntry struct {
+	Cell  string `json:"cell"`
+	Value string `json:"value"`
+}
+
+// sheetAbsintReport is the value-analysis summary for one worksheet.
+type sheetAbsintReport struct {
+	Sheet    string `json:"sheet"`
+	Formulas int    `json:"formulas"`
+	Cyclic   int    `json:"cyclic"`
+	// Consts counts certified-constant formula cells; ConstDropped counts
+	// constants discarded because the formula is volatile.
+	Consts       int `json:"consts"`
+	ConstDropped int `json:"const_dropped"`
+	// AscColumns counts statically certified ascending columns — the ones
+	// that unlock binary-search lookups with no verification rescan.
+	AscColumns int `json:"asc_columns"`
+	// ErrorFreeColumns counts columns whose whole used span is certified
+	// error-free.
+	ErrorFreeColumns int                 `json:"error_free_columns"`
+	Columns          []absintColumnEntry `json:"columns"`
+	ConstList        []absintConstEntry  `json:"const_list"`
+}
+
+// absintReport is the workbook-level report.
+type absintReport struct {
+	Sheets   []*sheetAbsintReport `json:"sheets"`
+	Formulas int                  `json:"formulas"`
+	Consts   int                  `json:"consts"`
+}
+
+func absintReportFor(wb *sheet.Workbook) *absintReport {
+	rep := &absintReport{}
+	for _, s := range wb.Sheets() {
+		cert := absint.InferSheet(s).Certify()
+		out := &sheetAbsintReport{
+			Sheet:        s.Name,
+			Formulas:     cert.Formulas,
+			Cyclic:       cert.Cyclic,
+			Consts:       len(cert.Consts),
+			ConstDropped: cert.ConstDropped,
+		}
+		for i := range cert.Columns {
+			cc := &cert.Columns[i]
+			en := absintColumnEntry{
+				Range:      spanA1(cc.Col, cc.R0, cc.R1),
+				Cells:      cc.R1 - cc.R0 + 1,
+				Kinds:      cc.Ab.String(),
+				Interval:   cc.Num.String(),
+				Dir:        cc.Dir.String(),
+				ErrorFree:  cc.ErrorFree,
+				HasFormula: cc.HasFormula,
+			}
+			if cc.NumericFrom <= cc.R1 {
+				en.NumericRun = spanA1(cc.Col, cc.NumericFrom, cc.R1)
+			}
+			out.Columns = append(out.Columns, en)
+			if cc.Dir == absint.DirAsc {
+				out.AscColumns++
+			}
+			if cc.ErrorFree {
+				out.ErrorFreeColumns++
+			}
+		}
+		addrs := make([]cell.Addr, 0, len(cert.Consts))
+		for a := range cert.Consts {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool {
+			if addrs[i].Row != addrs[j].Row {
+				return addrs[i].Row < addrs[j].Row
+			}
+			return addrs[i].Col < addrs[j].Col
+		})
+		for _, a := range addrs {
+			out.ConstList = append(out.ConstList, absintConstEntry{Cell: a.A1(), Value: cert.Consts[a].AsString()})
+		}
+		rep.Sheets = append(rep.Sheets, out)
+		rep.Formulas += out.Formulas
+		rep.Consts += out.Consts
+	}
+	return rep
+}
+
+// spanA1 renders a single-column row span in A1 notation; a single row
+// renders as its single cell.
+func spanA1(col, r0, r1 int) string {
+	from := cell.Addr{Row: r0, Col: col}.A1()
+	if r1 == r0 {
+		return from
+	}
+	return from + ":" + cell.Addr{Row: r1, Col: col}.A1()
+}
+
+func (rep *absintReport) writeText(w io.Writer, maxList int) error {
+	if _, err := fmt.Fprintf(w, "workbook: %d sheet(s), %d formula(s), %d certified constant(s)\n",
+		len(rep.Sheets), rep.Formulas, rep.Consts); err != nil {
+		return err
+	}
+	for _, sr := range rep.Sheets {
+		if err := sr.writeText(w, maxList); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sr *sheetAbsintReport) writeText(w io.Writer, maxList int) error {
+	_, err := fmt.Fprintf(w, "\nsheet %q: %d formula(s), %d cyclic, %d constant(s) (%d dropped volatile)\n",
+		sr.Sheet, sr.Formulas, sr.Cyclic, sr.Consts, sr.ConstDropped)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  certificates: %d column(s), %d ascending, %d error-free\n",
+		len(sr.Columns), sr.AscColumns, sr.ErrorFreeColumns); err != nil {
+		return err
+	}
+	shown := sr.Columns
+	if maxList >= 0 && len(shown) > maxList {
+		shown = shown[:maxList]
+	}
+	for _, en := range shown {
+		flags := ""
+		if en.Dir != "" {
+			flags += " " + en.Dir
+		}
+		if en.ErrorFree {
+			flags += " error-free"
+		}
+		if en.HasFormula {
+			flags += " formulas"
+		}
+		if en.NumericRun != "" && en.NumericRun != en.Range {
+			flags += " numeric:" + en.NumericRun
+		}
+		kinds := en.Kinds
+		if len(kinds) > 28 {
+			kinds = kinds[:25] + "..."
+		}
+		if _, err := fmt.Fprintf(w, "    %-14s %6d cell(s)  %-28s %-18s%s\n",
+			en.Range, en.Cells, kinds, en.Interval, flags); err != nil {
+			return err
+		}
+	}
+	if dropped := len(sr.Columns) - len(shown); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "    ... %d more not shown\n", dropped); err != nil {
+			return err
+		}
+	}
+	if len(sr.ConstList) > 0 {
+		if _, err := fmt.Fprintln(w, "  constants:"); err != nil {
+			return err
+		}
+		shownC := sr.ConstList
+		if maxList >= 0 && len(shownC) > maxList {
+			shownC = shownC[:maxList]
+		}
+		for _, c := range shownC {
+			if _, err := fmt.Fprintf(w, "    %-6s = %s\n", c.Cell, c.Value); err != nil {
+				return err
+			}
+		}
+		if dropped := len(sr.ConstList) - len(shownC); dropped > 0 {
+			if _, err := fmt.Fprintf(w, "    ... %d more not shown\n", dropped); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -26,6 +26,13 @@
 // runs the parallel-safety certification (internal/interfere) over a
 // workbook and reports certified stages and blockers; see interfere.go.
 //
+//	sheetcli absint [-json] [-rows n] [file.svf]
+//
+// runs the abstract-interpretation value analysis (internal/absint) over a
+// workbook and reports the per-column interval/sortedness/error-freedom
+// certificates and certified constants the optimized engine consumes; see
+// absint.go.
+//
 //	sheetcli trace [-system p] [-rows n] [-script ops] [-json] [file.svf]
 //
 // runs a scripted operation sequence with the observability layer on and
@@ -40,6 +47,7 @@
 //	typecheck                 run the static type & error-flow inference
 //	regions                   run the fill-region inference
 //	interfere                 run the parallel-safety certification
+//	absint                    run the abstract value analysis
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -81,6 +89,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "interfere" {
 		os.Exit(runInterfere(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "absint" {
+		os.Exit(runAbsint(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
@@ -138,7 +149,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze typecheck regions interfere sort filter pivot find trace gen open save quit")
+		fmt.Println("set get show analyze typecheck regions interfere absint sort filter pivot find trace gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
@@ -159,6 +170,11 @@ func dispatch(eng *engine.Engine, line string) bool {
 
 	case "interfere":
 		if err := interfereReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
+			return fail(err)
+		}
+
+	case "absint":
+		if err := absintReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
 			return fail(err)
 		}
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/absint"
 	"repro/internal/cell"
 	"repro/internal/iolib"
 	"repro/internal/regions"
@@ -80,6 +81,11 @@ type regionEntry struct {
 	Class int `json:"class"`
 	// Text is the class's relative R1C1 canonical form.
 	Text string `json:"text"`
+	// ErrorFree reports the value analysis (internal/absint) certifies no
+	// cell of the region can evaluate to an error.
+	ErrorFree bool `json:"error_free"`
+	// Consts counts the region's certified-constant formula cells.
+	Consts int `json:"consts"`
 }
 
 // sheetRegionsReport is the inference summary for one worksheet.
@@ -101,6 +107,10 @@ type sheetRegionsReport struct {
 	// Outliers holds the height-1 regions — the cells that break up
 	// otherwise-uniform columns.
 	Outliers []regionEntry `json:"outliers"`
+	// ErrorFreeRegions and ConstCells summarize the value certificates
+	// (internal/absint) over the region set.
+	ErrorFreeRegions int `json:"error_free_regions"`
+	ConstCells       int `json:"const_cells"`
 }
 
 // regionsReport is the workbook-level report.
@@ -116,6 +126,16 @@ func regionsReportFor(wb *sheet.Workbook) *regionsReport {
 		sr := regions.Infer(s)
 		g := regions.Build(sr)
 		deps, cross := g.EdgeCount()
+		// Overlay the value analysis: which regions are certified
+		// error-free, and how many certified constants each contains.
+		inf := absint.InferSheet(s)
+		consts := inf.Certify().Consts
+		constByRegion := make(map[int]int)
+		for a := range consts {
+			if ri := sr.RegionFor(a); ri >= 0 {
+				constByRegion[ri]++
+			}
+		}
 		out := &sheetRegionsReport{
 			Sheet:            s.Name,
 			Formulas:         sr.Formulas,
@@ -126,8 +146,15 @@ func regionsReportFor(wb *sheet.Workbook) *regionsReport {
 			IntervalEdges:    deps,
 			CrossEdges:       cross,
 		}
-		for _, r := range sr.Regions {
-			out.RegionList = append(out.RegionList, entryFor(r, sr))
+		for i, r := range sr.Regions {
+			en := entryFor(r, sr)
+			en.ErrorFree = !inf.JoinSpan(r.Col, r.Start, r.End).Ab.MayError()
+			en.Consts = constByRegion[i]
+			if en.ErrorFree {
+				out.ErrorFreeRegions++
+			}
+			out.ConstCells += en.Consts
+			out.RegionList = append(out.RegionList, en)
 		}
 		// Largest regions first; ties keep (col, row) inference order.
 		sortStable(out.RegionList)
@@ -191,6 +218,10 @@ func (sr *sheetRegionsReport) writeText(w io.Writer, maxList int) error {
 		sr.IntervalEdges, sr.CrossEdges, seq); err != nil {
 		return err
 	}
+	if _, err := fmt.Fprintf(w, "  value certs: %d error-free region(s), %d certified constant cell(s)\n",
+		sr.ErrorFreeRegions, sr.ConstCells); err != nil {
+		return err
+	}
 	if err := writeEntries(w, "regions", sr.RegionList, maxList); err != nil {
 		return err
 	}
@@ -213,8 +244,15 @@ func writeEntries(w io.Writer, label string, entries []regionEntry, maxList int)
 		if len(text) > 60 {
 			text = text[:57] + "..."
 		}
-		if _, err := fmt.Fprintf(w, "    %-12s %6d cell(s)  class %-3d %s\n",
-			en.Range, en.Cells, en.Class, text); err != nil {
+		flags := ""
+		if en.ErrorFree {
+			flags += "  error-free"
+		}
+		if en.Consts > 0 {
+			flags += fmt.Sprintf("  const(%d)", en.Consts)
+		}
+		if _, err := fmt.Fprintf(w, "    %-12s %6d cell(s)  class %-3d %s%s\n",
+			en.Range, en.Cells, en.Class, text, flags); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,118 @@
+package absint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/typecheck"
+)
+
+func TestIntervalArithmeticEdges(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{"add", Span(1, 2).Add(Span(10, 20)), Span(11, 22)},
+		{"sub", Span(1, 2).Sub(Span(10, 20)), Span(-19, -8)},
+		{"mul corners", Span(-2, 3).Mul(Span(-5, 7)), Span(-15, 21)},
+		{"div excludes zero", Span(1, 4).Div(Span(2, 4)), Span(0.25, 2)},
+		{"neg", Span(-1, 5).Neg(), Span(-5, 1)},
+		{"abs straddling zero", Span(-3, 2).Abs(), Span(0, 3)},
+		{"abs negative", Span(-3, -2).Abs(), Span(2, 3)},
+		{"scale percent", Span(50, 200).Scale(1.0 / 100), Span(0.5, 2)},
+		{"empty absorbs add", EmptyInterval().Add(Span(1, 2)), EmptyInterval()},
+		{"union with empty", EmptyInterval().Union(Span(1, 2)), Span(1, 2)},
+		{"hull", Span(1, 2).Hull(-4), Span(-4, 2)},
+		// Inf-Inf and 0*Inf corners collapse to Full, never to NaN bounds.
+		{"nan corner mul", Span(0, 0).Mul(Full()), Full()},
+		{"nan span", Span(math.NaN(), 2), Full()},
+		{"inf sub inf", Span(-inf, inf).Add(Span(-inf, inf)), Full()},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestIntervalWidening(t *testing.T) {
+	// A bound that moved between passes jumps to its infinity; stable
+	// bounds stay exact, so the chain terminates in one widening step.
+	w := Span(0, 10).WidenTo(Span(0, 11))
+	if want := Span(0, math.Inf(1)); w != want {
+		t.Errorf("hi widening: got %v, want %v", w, want)
+	}
+	w = Span(0, 10).WidenTo(Span(-1, 10))
+	if want := Span(math.Inf(-1), 10); w != want {
+		t.Errorf("lo widening: got %v, want %v", w, want)
+	}
+	if w := Span(0, 10).WidenTo(Span(0, 10)); w != Span(0, 10) {
+		t.Errorf("stable interval widened: %v", w)
+	}
+	// Widening an already-widened interval is a fixed point.
+	once := Span(0, 10).WidenTo(Span(0, 11))
+	if again := once.WidenTo(once.Union(Span(0, 12))); again != once {
+		t.Errorf("widening not idempotent at +Inf: %v", again)
+	}
+}
+
+func TestIntervalContainsNaN(t *testing.T) {
+	if Span(1, 2).Contains(math.NaN()) {
+		t.Error("finite interval admits NaN")
+	}
+	if !Full().Contains(math.NaN()) {
+		t.Error("full interval must admit NaN")
+	}
+}
+
+func TestValueNormMasksBottomInterval(t *testing.T) {
+	// The zero Value's interval is the point [0,0]; norm must keep it from
+	// polluting joins through non-numeric (and bottom) values.
+	var bottom Value
+	j := bottom.Join(Exactly(cell.Num(5)))
+	if j.Num != Point(5) {
+		t.Errorf("bottom join injected spurious 0: %v", j.Num)
+	}
+	text := Value{Ab: typecheck.Abstract{Kinds: typecheck.KText}, Num: Point(3)}
+	if got := text.norm().Num; !got.IsEmpty() {
+		t.Errorf("non-numeric value kept interval %v", got)
+	}
+}
+
+func TestValueAdmits(t *testing.T) {
+	five := Exactly(cell.Num(5))
+	if !five.Admits(cell.Num(5)) {
+		t.Error("Exactly(5) must admit 5")
+	}
+	if five.Admits(cell.Num(6)) {
+		t.Error("Exactly(5) admits 6")
+	}
+	num := Value{Ab: typecheck.Abstract{Kinds: typecheck.KNumber}, Num: Span(0, 10)}
+	if !num.Admits(cell.Num(10)) || num.Admits(cell.Num(11)) {
+		t.Error("interval membership broken")
+	}
+	if num.Admits(cell.Str("x")) {
+		t.Error("kind check broken")
+	}
+	if !TopValue().Admits(cell.Errorf(cell.ErrDiv0)) {
+		t.Error("top must admit everything")
+	}
+}
+
+func TestValueJoinConstSurvival(t *testing.T) {
+	a, b := Exactly(cell.Num(5)), Exactly(cell.Num(5))
+	if j := a.Join(b); j.Const == nil || *j.Const != cell.Num(5) {
+		t.Errorf("equal constants must survive a join: %v", j)
+	}
+	c := Exactly(cell.Num(6))
+	j := a.Join(c)
+	if j.Const != nil {
+		t.Errorf("diverging constants must drop: %v", j)
+	}
+	if j.Num != Span(5, 6) {
+		t.Errorf("join interval: got %v, want [5,6]", j.Num)
+	}
+}

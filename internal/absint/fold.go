@@ -1,0 +1,101 @@
+package absint
+
+import (
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+)
+
+// Checked constant folding: when every operand of an operator is a
+// certified constant, the transfer runs a concrete mirror of the
+// evaluator (evalUnary / evalBinary / compareValues in
+// internal/formula/eval.go) and certifies the exact result. The mirror
+// must agree with the evaluator bit for bit — the soundness differential
+// and the fuzzdiff invariant compare certified constants against computed
+// values, and the engine's consumption guard (internal/engine) refuses
+// any constant that disagrees with the cached value, so a divergence here
+// can cost performance but never correctness.
+
+// foldUnary folds a unary operator over a constant operand; ok is false
+// when the fold declines (unknown operator, NaN result).
+func foldUnary(op string, v cell.Value) (cell.Value, bool) {
+	if v.IsError() {
+		return v, true
+	}
+	f, ok := v.AsNumber()
+	if !ok {
+		return cell.Errorf(cell.ErrValue), true
+	}
+	switch op {
+	case "-":
+		return foldNum(-f)
+	case "+":
+		return foldNum(f)
+	case "%":
+		return foldNum(f / 100)
+	default:
+		return cell.Value{}, false
+	}
+}
+
+// foldBinary folds a binary operator over two constant operands,
+// mirroring evalBinary's error short-circuit order (left first).
+func foldBinary(op formula.BinOp, l, r cell.Value) (cell.Value, bool) {
+	if l.IsError() {
+		return l, true
+	}
+	if r.IsError() {
+		return r, true
+	}
+	switch op {
+	case formula.OpConcat:
+		return cell.Str(l.AsString() + r.AsString()), true
+	case formula.OpEQ:
+		return cell.Boolean(l.Equal(r)), true
+	case formula.OpNE:
+		return cell.Boolean(!l.Equal(r)), true
+	case formula.OpLT:
+		return cell.Boolean(l.Compare(r) < 0), true
+	case formula.OpLE:
+		return cell.Boolean(l.Compare(r) <= 0), true
+	case formula.OpGT:
+		return cell.Boolean(l.Compare(r) > 0), true
+	case formula.OpGE:
+		return cell.Boolean(l.Compare(r) >= 0), true
+	default:
+	}
+	lf, lok := l.AsNumber()
+	rf, rok := r.AsNumber()
+	if !lok || !rok {
+		return cell.Errorf(cell.ErrValue), true
+	}
+	switch op {
+	case formula.OpAdd:
+		return foldNum(lf + rf)
+	case formula.OpSub:
+		return foldNum(lf - rf)
+	case formula.OpMul:
+		return foldNum(lf * rf)
+	case formula.OpDiv:
+		if rf == 0 {
+			return cell.Errorf(cell.ErrDiv0), true
+		}
+		return foldNum(lf / rf)
+	case formula.OpPow:
+		return foldNum(math.Pow(lf, rf))
+	default:
+		return cell.Value{}, false
+	}
+}
+
+// foldNum wraps a numeric fold result, declining on NaN: NaN breaks the
+// exact-equality semantics a constant certificate promises (NaN != NaN),
+// so the abstract path — whose Span constructor widens NaN to Full —
+// handles it instead.
+func foldNum(f float64) (cell.Value, bool) {
+	if math.IsNaN(f) {
+		return cell.Value{}, false
+	}
+	return cell.Num(f), true
+}

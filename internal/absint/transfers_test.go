@@ -1,0 +1,297 @@
+package absint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/formula"
+	"repro/internal/sheet"
+	"repro/internal/typecheck"
+)
+
+// TestEveryBuiltinHasTransfer pins table totality: every registered
+// builtin must have an explicit transfer. evalCall's top default keeps a
+// missing entry sound, but a new builtin should land with a deliberate
+// transfer (even if that transfer is just top), not an accidental one.
+func TestEveryBuiltinHasTransfer(t *testing.T) {
+	for _, name := range formula.FunctionNames() {
+		if _, ok := transfers[name]; !ok {
+			t.Errorf("builtin %s has no transfer function", name)
+		}
+	}
+	for name := range transfers {
+		if _, _, ok := formula.FunctionArity(name); !ok {
+			t.Errorf("transfer %s has no registered builtin", name)
+		}
+	}
+}
+
+func mkSheet(t *testing.T, values map[string]cell.Value, formulas map[string]string) *sheet.Sheet {
+	t.Helper()
+	s := sheet.New("test", 12, 8)
+	for a1, v := range values {
+		s.SetValue(cell.MustParseAddr(a1), v)
+	}
+	for a1, text := range formulas {
+		c, err := formula.Compile(text)
+		if err != nil {
+			t.Fatalf("compile %q: %v", text, err)
+		}
+		s.SetFormula(cell.MustParseAddr(a1), c)
+	}
+	return s
+}
+
+// inferOne infers a sheet holding the formula at D1 over the given inputs
+// and returns D1's abstract value.
+func inferOne(t *testing.T, values map[string]cell.Value, text string) Value {
+	t.Helper()
+	s := mkSheet(t, values, map[string]string{"D1": text})
+	return InferSheet(s).At(cell.MustParseAddr("D1"))
+}
+
+func TestTransferIntervals(t *testing.T) {
+	pinf := math.Inf(1)
+	nums := map[string]cell.Value{"A1": cell.Num(1), "A2": cell.Num(2), "A3": cell.Num(4)}
+	cases := []struct {
+		name    string
+		values  map[string]cell.Value
+		formula string
+		kinds   typecheck.Kinds
+		errs    typecheck.Errs
+		num     Interval
+	}{
+		// Aggregate folds over a pure-number range [1,4], n=3.
+		{"SUM bound", nums, "=SUM(A1:A3)", typecheck.KNumber, 0, Span(0, 12)},
+		{"COUNT bound", nums, "=COUNT(A1:A3)", typecheck.KNumber, 0, Span(0, 3)},
+		{"AVERAGE within hull", nums, "=AVERAGE(A1:A3)", typecheck.KNumber, typecheck.EDiv0, Span(1, 4)},
+		{"MIN pure numbers sharp", nums, "=MIN(A1:A3)", typecheck.KNumber, 0, Span(1, 4)},
+		{"MEDIAN within hull", nums, "=MEDIAN(A1:A3)", typecheck.KNumber, typecheck.EValue, Span(1, 4)},
+		{"STDEV non-negative", nums, "=STDEV(A1:A3)", typecheck.KNumber,
+			typecheck.EDiv0 | typecheck.EValue, Span(0, pinf)},
+		// MIN over a range with an empty cell can fall back to 0.
+		{"MIN mixed hulls zero",
+			map[string]cell.Value{"A1": cell.Num(3)}, "=MIN(A1:A2)",
+			typecheck.KNumber, 0, Span(0, 3)},
+		// Division: a divisor interval containing 0 keeps #DIV/0! and goes
+		// unbounded; one excluding 0 discharges the error and divides.
+		{"div by interval containing zero", nil, "=1/(RAND()-0.5)",
+			typecheck.KNumber, typecheck.EDiv0, Full()},
+		{"div by interval excluding zero", nil, "=1/(RAND()+1)",
+			typecheck.KNumber, 0, Span(0.5, 1)},
+		{"MOD nonzero literal divisor", nums, "=MOD(A1,3)", typecheck.KNumber, 0, Full()},
+		{"MOD zero-spanning divisor", nums, "=MOD(A1,RAND())", typecheck.KNumber, typecheck.EDiv0, Full()},
+		// Monotone function folds.
+		{"ABS", nil, "=ABS(RAND()-0.5)", typecheck.KNumber, 0, Span(0, 0.5)},
+		{"EXP", nil, "=EXP(RAND())", typecheck.KNumber, 0, Span(1, math.E)},
+		{"SQRT of negative is empty", nil, "=SQRT(0-RAND()-1)",
+			typecheck.KNumber, typecheck.EValue, EmptyInterval()},
+		{"SIGN", nums, "=SIGN(A1)", typecheck.KNumber, 0, Span(-1, 1)},
+		{"unary percent", nums, "=RAND()%", typecheck.KNumber, 0, Span(0, 0.01)},
+		// Lookups.
+		{"MATCH position bound", nums, "=MATCH(A1,A1:A3,0)",
+			typecheck.KNumber, typecheck.ENA | typecheck.EValue, Span(1, 3)},
+		{"RAND unit interval", nil, "=RAND()", typecheck.KNumber, 0, Span(0, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := inferOne(t, tc.values, tc.formula).norm()
+			want := Value{Ab: typecheck.Abstract{Kinds: tc.kinds, Errs: tc.errs}, Num: tc.num}
+			if v.Ab != want.Ab || v.Num != want.Num {
+				t.Errorf("inferred %v, want %v", v, want)
+			}
+		})
+	}
+}
+
+func TestTransferConstFolding(t *testing.T) {
+	cases := []struct {
+		name    string
+		formula string
+		want    cell.Value
+	}{
+		{"arithmetic", "=1+2*3", cell.Num(7)},
+		{"comparison", "=2>1", cell.Boolean(true)},
+		{"concat", `="a"&"b"`, cell.Str("ab")},
+		{"division by zero literal", "=1/0", cell.Errorf(cell.ErrDiv0)},
+		{"error short-circuits left first", "=(1/0)+(2%)", cell.Errorf(cell.ErrDiv0)},
+		{"IF const condition takes branch", "=IF(TRUE,5,1/0)", cell.Num(5)},
+		{"IF const false two-arg", "=IF(1>2,5)", cell.Boolean(false)},
+		{"PI", "=PI()", cell.Num(math.Pi)},
+		{"const through reference", "=D2+1", cell.Num(1)}, // D2 empty coerces to 0
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := inferOne(t, nil, tc.formula)
+			if v.Const == nil {
+				t.Fatalf("no constant certified: %v", v)
+			}
+			if *v.Const != tc.want {
+				t.Errorf("certified %v, want %v", *v.Const, tc.want)
+			}
+			if !v.Admits(tc.want) {
+				t.Errorf("certified constant not admitted by own abstraction %v", v)
+			}
+		})
+	}
+}
+
+func TestFoldDeclinesOnNaN(t *testing.T) {
+	// (-1)^0.5 is NaN: the fold must decline (a NaN constant breaks exact
+	// equality) and the abstract path must stay sound at Full.
+	v := inferOne(t, nil, "=(0-1)^0.5")
+	if v.Const != nil {
+		t.Errorf("NaN result certified as constant %v", *v.Const)
+	}
+	if !v.Num.IsFull() {
+		t.Errorf("NaN-producing power not widened to Full: %v", v.Num)
+	}
+}
+
+func TestIFTransfer(t *testing.T) {
+	// Unknown (volatile) condition: branches join. Both branches text
+	// keeps the numeric interval empty even though no number is possible.
+	v := inferOne(t, nil, `=IF(RAND()>0.5,"hot","cold")`)
+	if v.Ab.Kinds != typecheck.KText || !v.norm().Num.IsEmpty() {
+		t.Errorf("text-branch IF: %v", v)
+	}
+	// Mixed branches: interval is the union of the reachable numbers.
+	v = inferOne(t, nil, "=IF(RAND()>0.5,2,9)")
+	if v.Num != Span(2, 9) {
+		t.Errorf("numeric IF join: %v", v.Num)
+	}
+	// Two-arg IF can yield FALSE.
+	v = inferOne(t, nil, "=IF(RAND()>0.5,2)")
+	if v.Ab.Kinds != typecheck.KNumber|typecheck.KBool {
+		t.Errorf("two-arg IF kinds: %v", v.Ab)
+	}
+	// Error condition passes through.
+	v = inferOne(t, nil, "=IF(1/0,2,3)")
+	if v.Const == nil || *v.Const != cell.Errorf(cell.ErrDiv0) {
+		t.Errorf("error condition: %v", v)
+	}
+}
+
+func TestIFERRORTransfer(t *testing.T) {
+	// Clean argument passes through whole, constant included.
+	v := inferOne(t, nil, "=IFERROR(1+1,99)")
+	if v.Const == nil || *v.Const != cell.Num(2) {
+		t.Errorf("clean IFERROR lost the constant: %v", v)
+	}
+	// Possible error: the error set is absorbed and the fallback joins.
+	v = inferOne(t, map[string]cell.Value{"A1": cell.Num(0)}, "=IFERROR(1/A1,99)")
+	if v.Ab.Errs != 0 {
+		t.Errorf("IFERROR leaked errors: %v", v.Ab)
+	}
+	if !v.Num.Contains(99) {
+		t.Errorf("fallback not joined: %v", v.Num)
+	}
+}
+
+func TestLookupTransfers(t *testing.T) {
+	table := map[string]cell.Value{
+		"A1": cell.Num(1), "B1": cell.Num(10),
+		"A2": cell.Num(2), "B2": cell.Num(20),
+		"A3": cell.Num(3), "B3": cell.Num(30),
+	}
+	v := inferOne(t, table, "=VLOOKUP(2,A1:B3,2,FALSE)")
+	if v.Ab.Kinds != typecheck.KNumber {
+		t.Errorf("VLOOKUP kinds: %v", v.Ab)
+	}
+	if v.Num != Span(1, 30) {
+		t.Errorf("VLOOKUP interval not the table hull: %v", v.Num)
+	}
+	for _, e := range []typecheck.Errs{typecheck.ENA, typecheck.ERef, typecheck.EValue} {
+		if v.Ab.Errs&e == 0 {
+			t.Errorf("VLOOKUP missing failure mode %v", e)
+		}
+	}
+	v = inferOne(t, table, "=INDEX(B1:B3,2)")
+	if v.Num != Span(10, 30) || v.Ab.Errs&typecheck.ERef == 0 {
+		t.Errorf("INDEX: %v", v)
+	}
+	v = inferOne(t, table, "=CHOOSE(2,A1,B1,B2)")
+	if v.Num != Span(1, 20) {
+		t.Errorf("CHOOSE join: %v", v)
+	}
+	v = inferOne(t, table, `=SWITCH(A1,1,B1,B2)`)
+	if v.Ab.Errs&typecheck.ENA == 0 {
+		t.Errorf("SWITCH must keep the no-match #N/A: %v", v.Ab)
+	}
+}
+
+func TestCertifyColumns(t *testing.T) {
+	s := sheet.New("t", 8, 3)
+	// Column 0: text header then ascending numbers.
+	s.SetValue(cell.Addr{Row: 0, Col: 0}, cell.Str("id"))
+	for r := 1; r < 6; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64(r*10)))
+	}
+	// Column 1: descending numbers, no header.
+	for r := 0; r < 6; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 1}, cell.Num(float64(100-r)))
+	}
+	// Column 2: numbers with an error in the middle.
+	for r := 0; r < 6; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 2}, cell.Num(float64(r)))
+	}
+	s.SetValue(cell.Addr{Row: 3, Col: 2}, cell.Errorf(cell.ErrNA))
+
+	sc := InferSheet(s).Certify()
+	c0 := sc.Column(0)
+	if c0 == nil || c0.R0 != 0 || c0.R1 != 5 {
+		t.Fatalf("column 0 span: %+v", c0)
+	}
+	if c0.NumericOnly || c0.NumericFrom != 1 || c0.Dir != DirAsc {
+		t.Errorf("column 0 must certify the post-header ascending run: %+v", c0)
+	}
+	if !c0.CoversAsc(1, 5) || c0.CoversAsc(0, 5) {
+		t.Errorf("CoversAsc must track the numeric run: %+v", c0)
+	}
+	if c1 := sc.Column(1); c1.Dir != DirDesc || !c1.NumericOnly {
+		t.Errorf("column 1: %+v", c1)
+	}
+	c2 := sc.Column(2)
+	if c2.ErrorFree {
+		t.Errorf("column 2 contains an error value: %+v", c2)
+	}
+	if c2.NumericFrom != 4 {
+		t.Errorf("column 2 numeric run must start after the error: %+v", c2)
+	}
+	if !SortedAscRun(s, 0, 1, 5) || SortedAscRun(s, 0, 0, 5) || SortedAscRun(s, 1, 0, 5) {
+		t.Error("SortedAscRun disagrees with the certificates")
+	}
+}
+
+func TestCertifyConsts(t *testing.T) {
+	s := mkSheet(t, map[string]cell.Value{"A1": cell.Num(5)}, map[string]string{
+		"B1": "=A1*2",     // constant: inputs are known values
+		"B2": "=RAND()+1", // volatile: interval only, never constant
+		"B3": "=B1+1",     // constant through a formula reference
+	})
+	sc := InferSheet(s).Certify()
+	if got := sc.Consts[cell.MustParseAddr("B1")]; got != cell.Num(10) {
+		t.Errorf("B1 const = %v, want 10", got)
+	}
+	if got := sc.Consts[cell.MustParseAddr("B3")]; got != cell.Num(11) {
+		t.Errorf("B3 const = %v, want 11", got)
+	}
+	if _, ok := sc.Consts[cell.MustParseAddr("B2")]; ok {
+		t.Error("volatile formula certified as constant")
+	}
+}
+
+func TestCyclicPinnedToCycleError(t *testing.T) {
+	s := mkSheet(t, nil, map[string]string{"A1": "=A2+1", "A2": "=A1+1", "A3": "=A1"})
+	inf := InferSheet(s)
+	if len(inf.Cyclic()) == 0 {
+		t.Fatal("cycle not detected")
+	}
+	for _, a1 := range []string{"A1", "A2", "A3"} {
+		v := inf.At(cell.MustParseAddr(a1))
+		if v.Ab.Errs != typecheck.ECycle || v.Ab.Kinds != 0 {
+			t.Errorf("%s: cyclic cell inferred %v, want exactly #CYCLE!", a1, v)
+		}
+	}
+}

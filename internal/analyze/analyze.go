@@ -41,6 +41,10 @@ const (
 	// RuleParallelBlocker flags the cells whose formulas keep the sheet's
 	// parallel-safety certificate (internal/interfere) from staging.
 	RuleParallelBlocker = "parallel-blocker"
+	// RuleUnsortedLookup flags lookups that scan a numeric key column
+	// linearly when sorting it would certify binary search
+	// (internal/absint).
+	RuleUnsortedLookup = "unsorted-lookup"
 )
 
 // Severity ranks findings. High findings change results or dominate recalc
@@ -115,6 +119,9 @@ type Options struct {
 	// BrokenFillMin is the formula count a column needs before its fill
 	// uniformity is judged by RuleBrokenFill (default 16).
 	BrokenFillMin int
+	// UnsortedLookupMin is the key-span size from which an unsorted linear
+	// lookup becomes a RuleUnsortedLookup finding (default 64).
+	UnsortedLookupMin int
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +149,9 @@ func (o Options) withDefaults() Options {
 	if o.BrokenFillMin == 0 {
 		o.BrokenFillMin = 16
 	}
+	if o.UnsortedLookupMin == 0 {
+		o.UnsortedLookupMin = 64
+	}
 	return o
 }
 
@@ -155,8 +165,12 @@ type SheetReport struct {
 	// maintenance ops a full recalculation's sequencing pass costs; see
 	// EstimateRecalcOps for the model it mirrors.
 	EstRecalcOps int64 `json:"est_recalc_ops"`
-	// EstEvalCells is the total precedent-cell cardinality of all
-	// formulas: how many cell reads one full evaluation pass performs.
+	// EstEvalCells estimates how many cell reads one full evaluation pass
+	// performs. It is the total precedent-cell cardinality of all
+	// formulas, except that lookups served sub-linearly by the optimized
+	// engine (hash-indexed exact VLOOKUP, binary search over
+	// ascending-certified key columns — see internal/absint) are charged
+	// their probe count instead of a linear table scan.
 	EstEvalCells int64 `json:"est_eval_cells"`
 	// Regions is the number of uniform fill regions the formulas collapse
 	// to (internal/regions); equal-shape fill columns count once.
@@ -234,16 +248,22 @@ func analyzeSheet(s *sheet.Sheet, opt Options) *SheetReport {
 	// error-flow rules; like the graph above it is private to the analyzer.
 	inf := typecheck.InferSheet(s)
 
+	// The lookup view (value analysis + sortedness rescans) materializes
+	// lazily on the first classifiable lookup call, so lookup-free sheets
+	// skip the absint pass entirely.
+	lv := newLookupView(s)
+
 	for _, f := range sites {
 		checkVolatile(emit, s, g, f)
 		checkWideRange(emit, s, f, opt)
 		checkConstFold(emit, s, f)
 		checkTypes(emit, s, f, opt)
-		checkHotFormula(emit, s, g, f, opt)
+		checkHotFormula(emit, s, g, f, opt, lv)
 		checkErrorBlast(emit, s, g, inf, f, opt)
 		checkCoercion(emit, s, inf, f, opt)
+		checkUnsortedLookup(emit, s, f, lv, opt)
 		shared.add(f)
-		sr.EstEvalCells += int64(f.code.PrecedentCells())
+		sr.EstEvalCells += lv.estEvalCells(f)
 	}
 
 	shared.report(emit, opt)

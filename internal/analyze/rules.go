@@ -312,11 +312,14 @@ func kindNames(ks kindSet) string {
 }
 
 // checkHotFormula implements RuleHotFormula: the static recalculation cost
-// of one formula is its precedent-cell cardinality times (1 + its dependent
+// of one formula is its per-evaluation read count times (1 + its dependent
 // fan-out) — how much scanning one edit to any of its inputs triggers,
-// directly and through recomputation of everything downstream.
-func checkHotFormula(e *emitter, s *sheet.Sheet, g *graph.Graph, f formulaSite, opt Options) {
-	evalCost := int64(f.code.PrecedentCells())
+// directly and through recomputation of everything downstream. The read
+// count is lookup-aware (lookupView.estEvalCells): an indexed or
+// sortedness-certified lookup is charged its probes, not the table scan it
+// never performs.
+func checkHotFormula(e *emitter, s *sheet.Sheet, g *graph.Graph, f formulaSite, opt Options, lv *lookupView) {
+	evalCost := lv.estEvalCells(f)
 	if evalCost == 0 {
 		return
 	}

@@ -280,6 +280,7 @@ func OptimizedProfile() Profile {
 		LazyOpen:              true,
 		TypedColumns:          true,
 		RegionGraph:           true,
+		ValueCerts:            true,
 	}
 	p.Multiplier = [numOpKinds]float64{}
 	return p

@@ -41,6 +41,7 @@ type Engine struct {
 	opts    map[*sheet.Sheet]*optState
 	regions map[*sheet.Sheet]*regionChain
 	certs   map[*sheet.Sheet]*certEntry
+	vcerts  map[*sheet.Sheet]*valueCertEntry
 
 	meter       costmodel.Meter // operation-attributed work
 	recalcMeter costmodel.Meter // unmultiplied recalculation work (pivot)
@@ -62,6 +63,7 @@ func New(prof Profile) *Engine {
 		opts:    make(map[*sheet.Sheet]*optState),
 		regions: make(map[*sheet.Sheet]*regionChain),
 		certs:   make(map[*sheet.Sheet]*certEntry),
+		vcerts:  make(map[*sheet.Sheet]*valueCertEntry),
 		nowFn:   time.Now,
 		met:     newEngineMetrics(prof.Name),
 	}
@@ -107,6 +109,7 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	e.opts = make(map[*sheet.Sheet]*optState)
 	e.regions = make(map[*sheet.Sheet]*regionChain)
 	e.certs = make(map[*sheet.Sheet]*certEntry)
+	e.vcerts = make(map[*sheet.Sheet]*valueCertEntry)
 	for _, s := range wb.Sheets() {
 		g := e.graph(s)
 		gsp := obs.Start("install.graph")
@@ -134,6 +137,14 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	// Sheets were evaluated in tab order; cross-sheet references into
 	// later sheets need the fixpoint pass to settle.
 	e.refreshExternals(&e.meter)
+	if e.prof.Opt.ValueCerts {
+		// Value-certificate pre-flight: issue after the external fixpoint,
+		// when every cached value is settled, so the per-constant issuance
+		// guard compares against the state calc passes will actually see.
+		for _, s := range wb.Sheets() {
+			e.issueValueCert(s)
+		}
+	}
 	// Setup work is not part of any experiment: clear the meters.
 	e.meter.Reset()
 	e.recalcMeter.Reset()
@@ -256,6 +267,16 @@ func (e *Engine) env(s *sheet.Sheet, meter *costmodel.Meter, inner, recalc bool)
 	if st := e.opts[s]; st != nil && e.prof.Lookup.Indexed {
 		src = indexedSrc{Source: src, e: e, s: s, st: st}
 	}
+	var sortedAsc func(formula.Source, int, int, int) bool
+	if e.prof.Opt.ValueCerts && !e.prof.Recalc.ReevalOnRead {
+		// Certified-ascending lookups read cached values, which under
+		// read-through re-evaluation could change while being read; the
+		// optimized profile never re-evaluates on read, so the rescan and
+		// the linear scan observe identical state.
+		sortedAsc = func(lookupSrc formula.Source, col, r0, r1 int) bool {
+			return e.certSortedAsc(lookupSrc, meter, col, r0, r1)
+		}
+	}
 	return &formula.Env{
 		Src:    src,
 		Meter:  meter,
@@ -271,6 +292,7 @@ func (e *Engine) env(s *sheet.Sheet, meter *costmodel.Meter, inner, recalc bool)
 			}
 			return nil
 		},
+		SortedAsc: sortedAsc,
 	}
 }
 
@@ -429,6 +451,15 @@ func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
 		if !ok {
 			continue
 		}
+		// Certified-constant fold: the inference proved the formula always
+		// evaluates to this exact value under the installed formula set
+		// and inputs, both still version-current; the cached-value guard
+		// is the per-use soundness check on top. Skipping is charged like
+		// the staleness check it amounts to.
+		if cv, isConst := e.certConst(s, a); isConst && s.Value(a) == cv {
+			meter.Add(costmodel.StaleCheck, 1)
+			continue
+		}
 		env.DR, env.DC = fc.DeltaAt(a)
 		e.setCached(s, a, formula.Eval(fc.Code, env))
 	}
@@ -502,6 +533,14 @@ func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmod
 	for _, a := range order {
 		fc, ok := s.Formula(a)
 		if !ok {
+			continue
+		}
+		// Certified-constant fold under the per-use value guard; see
+		// evalAll. A dirty constant implies a precedent changed, which
+		// already invalidated the certificate, so this only fires for
+		// cells dirtied en masse (volatile co-seeding) whose claims hold.
+		if cv, isConst := e.certConst(s, a); isConst && s.Value(a) == cv {
+			meter.Add(costmodel.StaleCheck, 1)
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(a)

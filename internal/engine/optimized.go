@@ -30,6 +30,15 @@ type optState struct {
 	// or formula insert could break them (noteCellChange,
 	// noteFormulaResult, rebuildAfterReorder).
 	typed map[int]bool
+	// colVer records, per column, the optState version of the column's
+	// last value change; sorted caches ascending-run checks keyed by that
+	// version. sortedEpoch bumps on row reorders, which move values
+	// between rows without routing each cell through noteCellChange (a
+	// never-written column keeps colVer 0 across a sort, so the epoch is
+	// what retires its cached entry). See valuecert.go.
+	colVer      map[int]int64
+	sorted      map[int]sortedCert
+	sortedEpoch int64
 }
 
 // fpEntry caches one computed formula result by fingerprint (§5.4
@@ -90,6 +99,8 @@ func (e *Engine) buildOptState(s *sheet.Sheet) *optState {
 		fpCache: make(map[uint64]fpEntry),
 		aggs:    make(map[cell.Addr]*aggMat),
 		typed:   make(map[int]bool),
+		colVer:  make(map[int]int64),
+		sorted:  make(map[int]sortedCert),
 	}
 	e.opts[s] = st
 	if e.prof.Opt.TypedColumns {
@@ -159,10 +170,12 @@ func (st *optState) prefixFor(e *Engine, s *sheet.Sheet, col int) *index.PrefixS
 	vals := make([]float64, rows)
 	present := make([]bool, rows)
 	errs := make([]bool, rows)
-	if st.typed[col] && rows > 0 {
-		// Certified all-numeric value column: fill the typed columnar
-		// storage without per-cell coercion checks. Row 0 is the header,
-		// outside the certificate, and keeps the generic dispatch.
+	if (st.typed[col] || e.certNumericCol(s, col)) && rows > 0 {
+		// Certified all-numeric value column — by the static type checker
+		// or by the abstract interpreter's error-free numeric-run
+		// certificate: fill the typed columnar storage without per-cell
+		// coercion checks. Row 0 is the header, outside the certificate,
+		// and keeps the generic dispatch.
 		if v := s.Value(cell.Addr{Row: 0, Col: col}); v.Kind == cell.Number {
 			vals[0] = v.Num
 			present[0] = true
@@ -458,6 +471,7 @@ func (st *optState) noteFormulaResult(e *Engine, s *sheet.Sheet, at cell.Addr, c
 // it. Called before the sheet is updated (old is still in place).
 func (st *optState) noteCellChange(e *Engine, s *sheet.Sheet, a cell.Addr, old, new cell.Value) {
 	st.version++
+	st.colVer[a.Col] = st.version
 	// Writing over a cell that hosted a materialized aggregate retires the
 	// materialization (the formula itself is being replaced by a value).
 	delete(st.aggs, a)
@@ -590,4 +604,7 @@ func (st *optState) rebuildAfterReorder(e *Engine, s *sheet.Sheet) {
 	// but inserts/deletes do not); drop the certificates rather than reason
 	// about which survive. They are not rebuilt until the next install.
 	st.typed = make(map[int]bool)
+	st.sortedEpoch++
+	st.colVer = make(map[int]int64)
+	st.sorted = make(map[int]sortedCert)
 }

@@ -132,6 +132,13 @@ type Optimizations struct {
 	// as a static pre-flight. Falls back to the per-cell graph whenever
 	// the sheet's regions cannot be ordered.
 	RegionGraph bool
+	// ValueCerts consumes the abstract interpreter's value certificates
+	// (internal/absint): certified ascending lookup columns switch
+	// VLOOKUP/MATCH from linear scan to binary search, certified
+	// error-free numeric columns extend the typed columnar fills, and
+	// certified-constant formula cells are skipped by calc passes under a
+	// per-use value guard (internal/engine/valuecert.go).
+	ValueCerts bool
 }
 
 // Any reports whether any optimization is enabled.

@@ -43,6 +43,20 @@ type Env struct {
 	// value source. When nil (or when it returns nil for an unknown name),
 	// cross-sheet references evaluate to #REF!.
 	Ext func(sheetName string) Source
+	// SortedAsc, when non-nil, reports whether rows [r0, r1] of the given
+	// column on the given source are certified — under the current sheet
+	// state — to be an ascending all-Number run. The engine backs it with
+	// version-keyed value certificates (internal/engine/valuecert.go);
+	// under that precondition exact VLOOKUP/MATCH switch from linear scan
+	// to binary search with identical results, and approximate matches
+	// may binary-search even without ApproxBinarySearch.
+	SortedAsc func(src Source, col, r0, r1 int) bool
+}
+
+// certifiedAsc reports whether the column run is certified ascending
+// all-Number under the current state (false without a certifier).
+func (e *Env) certifiedAsc(src Source, col, r0, r1 int) bool {
+	return e.SortedAsc != nil && e.SortedAsc(src, col, r0, r1)
 }
 
 // external resolves a cross-sheet name, nil when unresolvable.

@@ -101,6 +101,14 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 	case approx && env.Lookup.ApproxBinarySearch:
 		hit = binarySearchLE(env, tableSrc, key, length, at)
 	case approx:
+		// A certified ascending all-Number key column makes the sorted-data
+		// binary search observably identical to the full scan (the hits of
+		// "last value <= key" form a prefix and no cell is empty), so a
+		// certificate upgrades even naive-policy approximate matches.
+		if vertical && env.certifiedAsc(tableSrc, table.Start.Col, table.Start.Row, table.End.Row) {
+			hit = binarySearchLE(env, tableSrc, key, length, at)
+			break
+		}
 		// Linear scan for the last key <= search key (sorted-data
 		// semantics without the sorted-data algorithm). Naive systems
 		// scan the full range (§4.3.4).
@@ -125,6 +133,14 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 				}
 				break
 			}
+		}
+		// No index serves this table (cross-sheet, or indexing off): a
+		// sortedness certificate still replaces the scan with a
+		// leftmost-equal binary search, which returns the first hit —
+		// exactly what the scan (early-exit or not) reports.
+		if vertical && env.certifiedAsc(tableSrc, table.Start.Col, table.Start.Row, table.End.Row) {
+			hit = binarySearchEQ(env, tableSrc, key, length, at)
+			break
 		}
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
@@ -164,6 +180,35 @@ func binarySearchLE(env *Env, src Source, key cell.Value, length int, at func(in
 	return ans
 }
 
+// binarySearchEQ finds the FIRST position whose value equals key over a
+// certified ascending all-Number run, charging one compare + touch per
+// probe like binarySearchLE. Only Number and Bool keys can equal a Number
+// cell (Equal compares those two kinds numerically); any other key kind
+// misses without probing, exactly as the scan would.
+func binarySearchEQ(env *Env, src Source, key cell.Value, length int, at func(int) cell.Addr) int {
+	if key.Kind != cell.Number && key.Kind != cell.Bool {
+		return -1
+	}
+	k := key.Num
+	lo, hi, ans := 0, length-1, -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		env.rangeTouch(1)
+		env.add(costmodel.Compare, 1)
+		v := src.Value(at(mid))
+		switch {
+		case v.Num < k:
+			lo = mid + 1
+		case v.Num > k:
+			hi = mid - 1
+		default:
+			ans = mid
+			hi = mid - 1 // continue left: leftmost equal wins, like the scan
+		}
+	}
+	return ans
+}
+
 func fnMatch(env *Env, args []operand) cell.Value {
 	key := args[0].scalar(env)
 	if key.IsError() {
@@ -193,8 +238,15 @@ func fnMatch(env *Env, args []operand) cell.Value {
 	}
 
 	hit := -1
+	certAsc := func() bool {
+		return vertical && env.certifiedAsc(rngSrc, rng.Start.Col, rng.Start.Row, rng.End.Row)
+	}
 	switch {
 	case mode == 0: // exact; the first hit wins, but naive systems keep scanning
+		if certAsc() {
+			hit = binarySearchEQ(env, rngSrc, key, length, at)
+			break
+		}
 		for i := 0; i < length; i++ {
 			env.rangeTouch(1)
 			env.add(costmodel.Compare, 1)
@@ -206,7 +258,7 @@ func fnMatch(env *Env, args []operand) cell.Value {
 			}
 		}
 	case mode > 0: // largest value <= key, ascending data
-		if env.Lookup.ApproxBinarySearch {
+		if env.Lookup.ApproxBinarySearch || certAsc() {
 			hit = binarySearchLE(env, rngSrc, key, length, at)
 		} else {
 			for i := 0; i < length; i++ {

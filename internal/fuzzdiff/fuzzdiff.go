@@ -14,9 +14,10 @@
 // sheets ≡ calc), no matter what indexes or caches served the values.
 //
 // On top of the cross-profile comparison the harness cross-checks the
-// static analyses on the baseline engine: type inference must admit every
-// computed value, and the parallel-safety certificate's stages must respect
-// an independently rebuilt dependency graph. A failing sequence shrinks
+// static analyses on the baseline engine: type inference and the abstract
+// interpreter's value inference must admit every computed value, and the
+// parallel-safety certificate's stages must respect an independently
+// rebuilt dependency graph. A failing sequence shrinks
 // (minimize.go) to a minimal trace script replayable with
 // `sheetcli trace -script`.
 package fuzzdiff
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/absint"
 	"repro/internal/cell"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -73,7 +75,7 @@ func (c Config) profiles() []string {
 type Failure struct {
 	OpIndex int // 0-based index of the op after which the divergence appeared; -1 = post-install
 	Op      tracelang.Op
-	Kind    string // "config", "install", "state", "error", "typecheck", "stagecert"
+	Kind    string // "config", "install", "state", "error", "typecheck", "absint", "stagecert"
 	Detail  string
 	Ops     []tracelang.Op // the executed ops through OpIndex
 }
@@ -235,6 +237,16 @@ func checkAnalyses(x *tracelang.Exec) (kind, detail string) {
 	for _, a := range inf.FormulaCells() {
 		if v := s.Value(a); !inf.At(a).Admits(v) {
 			return "typecheck", fmt.Sprintf("%s!%s: inferred %v does not admit computed %+v", s.Name, a.A1(), inf.At(a), v)
+		}
+	}
+
+	// The abstract interpreter refines the same promise with intervals,
+	// error bits, and constants; every computed value must lie inside its
+	// abstract value no matter what edits the fuzzer applied.
+	vinf := absint.InferSheet(s)
+	for _, a := range vinf.FormulaCells() {
+		if v := s.Value(a); !vinf.At(a).Admits(v) {
+			return "absint", fmt.Sprintf("%s!%s: inferred %s does not admit computed %+v", s.Name, a.A1(), vinf.At(a), v)
 		}
 	}
 

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLatticeCheckBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := LatticeCheck.RunDir(filepath.Join("testdata", "src", "latticebad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per function in latticebad.go: the type switch plus the
+	// .Op, .Kind, and .Name switches.
+	const want = 4
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "latticebad.go") {
+			t.Errorf("finding outside latticebad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "default") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+	typeSwitches := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "type switch") {
+			typeSwitches++
+		}
+	}
+	if typeSwitches != 1 {
+		t.Errorf("type-switch findings = %d, want 1:\n%s", typeSwitches, join(diags))
+	}
+}
+
+func TestLatticeCheckGoodPackageIsClean(t *testing.T) {
+	diags, err := LatticeCheck.RunDir(filepath.Join("testdata", "src", "latticegood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+// TestLatticeCheckGateIsClean runs the analyzer over the abstract-domain
+// packages it gates by default: every transfer switch there must already
+// carry its conservative default arm.
+func TestLatticeCheckGateIsClean(t *testing.T) {
+	for _, dir := range LatticeCheck.DefaultDirs {
+		diags, err := LatticeCheck.RunDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package latticebad holds the shapes latticecheck must flag: domain
+// dispatch with no default clause.
+package latticebad
+
+type node interface{ isNode() }
+
+type numLit float64
+
+func (numLit) isNode() {}
+
+type refNode struct{ Row, Col int }
+
+func (refNode) isNode() {}
+
+type binary struct {
+	Op   int
+	L, R node
+}
+
+func (binary) isNode() {}
+
+type value struct {
+	Kind int
+	Num  float64
+}
+
+type call struct {
+	Name string
+	Args []node
+}
+
+func (call) isNode() {}
+
+// typeSwitchNoDefault: an AST dispatch that silently drops unknown nodes.
+func typeSwitchNoDefault(n node) int {
+	switch n.(type) { // want: type switch without default
+	case numLit:
+		return 1
+	case refNode:
+		return 2
+	}
+	return 0
+}
+
+// opSwitchNoDefault: operator dispatch that bottoms out on new operators.
+func opSwitchNoDefault(b binary) int {
+	switch b.Op { // want: .Op switch without default
+	case 0:
+		return 1
+	case 1:
+		return 2
+	}
+	return 0
+}
+
+// kindSwitchNoDefault: value-kind dispatch without the conservative arm.
+func kindSwitchNoDefault(v value) bool {
+	switch v.Kind { // want: .Kind switch without default
+	case 0:
+		return true
+	}
+	return false
+}
+
+// nameSwitchNoDefault: builtin dispatch that ignores unmodeled functions.
+func nameSwitchNoDefault(c call) int {
+	switch c.Name { // want: .Name switch without default
+	case "SUM":
+		return 1
+	case "COUNT":
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+// Package latticegood holds the shapes latticecheck must accept: every
+// domain dispatch carries a default, and non-domain switches are exempt.
+package latticegood
+
+type node interface{ isNode() }
+
+type numLit float64
+
+func (numLit) isNode() {}
+
+type binary struct {
+	Op   int
+	L, R node
+}
+
+func (binary) isNode() {}
+
+type value struct {
+	Kind int
+	Num  float64
+}
+
+// typeSwitchWithDefault is the required shape: unknowns go to top.
+func typeSwitchWithDefault(n node) int {
+	switch n.(type) {
+	case numLit:
+		return 1
+	case binary:
+		return 2
+	default:
+		return -1 // top: no claim about nodes added later
+	}
+}
+
+// opSwitchWithDefault dispatches exhaustively by construction.
+func opSwitchWithDefault(b binary) int {
+	switch b.Op {
+	case 0:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// kindSwitchWithDefault carries the conservative arm.
+func kindSwitchWithDefault(v value) bool {
+	switch v.Kind {
+	case 0:
+		return true
+	default:
+		return false
+	}
+}
+
+// taglessSwitch is a condition chain, not domain dispatch; never flagged.
+func taglessSwitch(x int) int {
+	switch {
+	case x > 10:
+		return 1
+	case x > 0:
+		return 2
+	}
+	return 0
+}
+
+// nonDomainSelector switches over a selector outside the lattice set.
+func nonDomainSelector(v struct{ Count int }) int {
+	switch v.Count {
+	case 0:
+		return 1
+	}
+	return 0
+}

@@ -13,6 +13,10 @@
 #              validated with cmd/obscheck
 #   interfere  parallel-safety surface: sheetcli interfere goldens plus the
 #              concurrency-readiness lints over the parallel packages
+#   absint     value-analysis surface: the abstract interpreter's soundness
+#              and certificate suites, the engine's certificate-consumption
+#              differential, the sheetcli absint goldens, and the
+#              latticecheck exhaustiveness lint over the domain packages
 #   fuzz       differential fuzz smoke: the fuzzdiff suite (every workload
 #              x2 sizes, the mutation-catch test, and the checked-in
 #              regression seed corpus) plus the trace-language parser
@@ -28,9 +32,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | bench | interfere | fuzz | all) ;;
+lint | race | bench | interfere | absint | fuzz | all) ;;
 *)
-    echo "usage: $0 [lint|race|bench|interfere|fuzz|all]" >&2
+    echo "usage: $0 [lint|race|bench|interfere|absint|fuzz|all]" >&2
     exit 2
     ;;
 esac
@@ -47,7 +51,7 @@ if [ "$stage" = "lint" ] || [ "$stage" = "all" ]; then
     echo "== go vet =="
     go vet ./...
 
-    echo "== sheetlint (rangemap + floatcmp + sortedout + globalmut + lockcheck) =="
+    echo "== sheetlint (rangemap + floatcmp + sortedout + globalmut + lockcheck + latticecheck) =="
     go run ./internal/lint/cmd/sheetlint
 
     echo "== go build =="
@@ -73,6 +77,22 @@ if [ "$stage" = "interfere" ] || [ "$stage" = "all" ]; then
         internal/engine internal/regions internal/obs internal/interfere
 fi
 
+if [ "$stage" = "absint" ] || [ "$stage" = "all" ]; then
+    echo "== abstract-interpretation soundness + certificates =="
+    go test -count=1 ./internal/absint
+
+    echo "== engine certificate consumption (differential + meters) =="
+    go test -count=1 -run ValueCert ./internal/engine
+
+    echo "== sheetcli absint goldens + lookup-aware analyze cost model =="
+    go test ./cmd/sheetcli -run Absint
+    go test ./internal/analyze -run 'Lookup|EstEval'
+
+    echo "== latticecheck exhaustiveness lint (domain packages) =="
+    go run ./internal/lint/cmd/sheetlint -only latticecheck \
+        internal/absint internal/typecheck
+fi
+
 if [ "$stage" = "fuzz" ] || [ "$stage" = "all" ]; then
     echo "== fuzzdiff differential suite + regression seed corpus =="
     go test -count=1 ./internal/fuzzdiff
@@ -84,7 +104,7 @@ fi
 if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
     echo "== bench smoke (BENCH_engine.json) =="
     ./scripts/bench.sh -quick \
-        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis'
+        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis|BenchmarkCertifiedLookupMatch'
 
     echo "== runner observability smoke (sidecar + trace) =="
     smokedir=$(mktemp -d)
