@@ -21,6 +21,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/interfere"
 	"repro/internal/iolib"
+	"repro/internal/plan"
 	"repro/internal/regions"
 	"repro/internal/report"
 	"repro/internal/sheet"
@@ -719,6 +720,58 @@ func BenchmarkCertifiedLookupMatch(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := eng.Recalculate(wb.First()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanSelection measures the cost-based planner itself: statistics
+// collection, candidate pricing, and strategy selection over each workload
+// family (internal/plan). This is the latency the planned profile pays on
+// the first operation after a plan-invalidating change, so it must stay
+// far below the recalculation work it optimizes.
+func BenchmarkPlanSelection(b *testing.B) {
+	for _, gen := range workload.Generators() {
+		b.Run(gen.Name, func(b *testing.B) {
+			wb := gen.Build(workload.Spec{Rows: benchRows, Formulas: true})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := plan.Build(wb, plan.Options{})
+				if len(p.Sheets) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerVsFixed is the plan-quality series: steady-state
+// recalculation under the planned profile against both fixed strategies
+// (always-index optimized, scan-only). The planned series must track the
+// better fixed strategy per workload; the EXPERIMENTS.md plan-quality
+// table is the full matrix, this benchmark is its perf-trajectory record.
+func BenchmarkPlannerVsFixed(b *testing.B) {
+	scan := engine.OptimizedProfile()
+	scan.Name = "scan-only"
+	scan.Opt = engine.Optimizations{}
+	profiles := []engine.Profile{engine.PlannedProfile(), engine.OptimizedProfile(), scan}
+	for _, gen := range workload.Generators() {
+		for _, prof := range profiles {
+			b.Run(gen.Name+"/"+prof.Name, func(b *testing.B) {
+				wb := gen.Build(workload.Spec{Rows: benchRows, Formulas: true})
+				eng := engine.New(prof)
+				if err := eng.Install(wb); err != nil {
+					b.Fatal(err)
+				}
+				main := wb.First()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Recalculate(main); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -41,8 +41,10 @@ func run(sidecar, trace, bench string, out *os.File) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sidecar, err)
 		}
-		fmt.Fprintf(out, "%s: ok (%s, %d span(s), %d SLO op(s), %d violation(s))\n",
-			sidecar, sc.Kind, sc.Spans, len(sc.SLO.Ops), sc.SLO.Violations)
+		if _, err := fmt.Fprintf(out, "%s: ok (%s, %d span(s), %d SLO op(s), %d violation(s))\n",
+			sidecar, sc.Kind, sc.Spans, len(sc.SLO.Ops), sc.SLO.Violations); err != nil {
+			return err
+		}
 	}
 	if trace != "" {
 		data, err := os.ReadFile(trace)
@@ -53,7 +55,9 @@ func run(sidecar, trace, bench string, out *os.File) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", trace, err)
 		}
-		fmt.Fprintf(out, "%s: ok (%d trace event(s))\n", trace, n)
+		if _, err := fmt.Fprintf(out, "%s: ok (%d trace event(s))\n", trace, n); err != nil {
+			return err
+		}
 	}
 	if bench != "" {
 		data, err := os.ReadFile(bench)
@@ -64,7 +68,9 @@ func run(sidecar, trace, bench string, out *os.File) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", bench, err)
 		}
-		fmt.Fprintf(out, "%s: ok (%d benchmark(s))\n", bench, len(bf.Benchmarks))
+		if _, err := fmt.Fprintf(out, "%s: ok (%d benchmark(s))\n", bench, len(bf.Benchmarks)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -33,6 +33,13 @@
 // certificates and certified constants the optimized engine consumes; see
 // absint.go.
 //
+//	sheetcli plan [-json] [-rows n] [-max n] [file.svf]
+//
+// runs the cost-based recalculation planner (internal/plan) over a workbook
+// and reports per-column statistics, the chosen strategy at every operation
+// site with the alternatives it beat, the predicted steady-state recalc
+// work, and the plan certificate; see plan.go.
+//
 //	sheetcli trace [-system p] [-rows n] [-script ops] [-json] [file.svf]
 //
 // runs a scripted operation sequence with the observability layer on and
@@ -48,6 +55,7 @@
 //	regions                   run the fill-region inference
 //	interfere                 run the parallel-safety certification
 //	absint                    run the abstract value analysis
+//	plan                      run the cost-based recalc planner
 //	sort <col> [asc|desc]     sort by column
 //	filter <col> <value>      filter rows; "filter off" clears
 //	pivot <dim> <measure>     pivot table into a new sheet
@@ -92,6 +100,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "absint" {
 		os.Exit(runAbsint(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		os.Exit(runPlan(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
@@ -149,7 +160,7 @@ func dispatch(eng *engine.Engine, line string) bool {
 		return false
 
 	case "help":
-		fmt.Println("set get show analyze typecheck regions interfere absint sort filter pivot find trace gen open save quit")
+		fmt.Println("set get show analyze typecheck regions interfere absint plan sort filter pivot find trace gen open save quit")
 
 	case "analyze":
 		rep := analyze.Workbook(eng.Workbook(), analyze.Options{})
@@ -175,6 +186,11 @@ func dispatch(eng *engine.Engine, line string) bool {
 
 	case "absint":
 		if err := absintReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
+			return fail(err)
+		}
+
+	case "plan":
+		if err := planReportFor(eng.Workbook()).writeText(os.Stdout, 20); err != nil {
 			return fail(err)
 		}
 

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/iolib"
+	"repro/internal/plan"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// runPlan implements the `sheetcli plan` subcommand: it derives the
+// cost-based recalculation plan (internal/plan) for a workbook — per-column
+// statistics, priced strategy candidates per operation site, the chosen
+// strategies with predicted steady-state work — and runs the certifier,
+// printing every choice with the alternatives it beat.
+//
+// Usage: sheetcli plan [-json] [-rows n] [-seed n] [-max n] [file.svf]
+func runPlan(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	rows := fs.Int("rows", 5000, "rows of the generated weather dataset (ignored with a file argument)")
+	seed := fs.Uint64("seed", 0, "generator seed; 0 means the default")
+	maxList := fs.Int("max", 20, "max choices and statistics listed per sheet; -1 removes the cap")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: sheetcli plan [-json] [-rows n] [-seed n] [-max n] [file.svf]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 0 {
+		fmt.Fprintln(errOut, "sheetcli: -rows must be non-negative")
+		return 2
+	}
+
+	var wb *sheet.Workbook
+	if fs.NArg() > 0 {
+		res, err := iolib.LoadWorkbook(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+			return 1
+		}
+		wb = res.Workbook
+	} else {
+		wb = workload.Weather(workload.Spec{
+			Rows: *rows, Formulas: true, Seed: *seed, Analysis: true,
+		})
+	}
+
+	rep := planReportFor(wb)
+	var err error
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = rep.writeText(out, *maxList)
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "sheetcli: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// planPredictedEntry is one sheet's predicted steady-state recalculation
+// work (the meters are excluded from the plan's own JSON form).
+type planPredictedEntry struct {
+	Sheet string `json:"sheet"`
+	// CellTouch and FormulaEval are the dominant predicted counts.
+	CellTouch   int64 `json:"cell_touch"`
+	FormulaEval int64 `json:"formula_eval"`
+	// ExtCellTouch is the cross-sheet subset re-evaluated per settled
+	// refresh round.
+	ExtCellTouch int64 `json:"ext_cell_touch"`
+	// SimNS is the predicted work scalarized by the planning coefficients.
+	SimNS time.Duration `json:"sim_ns"`
+}
+
+// planReport is the workbook-level report: the full explainable plan, its
+// certificate, and the per-sheet predictions.
+type planReport struct {
+	Plan      *plan.Plan           `json:"plan"`
+	Predicted []planPredictedEntry `json:"predicted"`
+	// MainRecalc is PredictedRecalc of the first sheet in CellTouch units.
+	MainRecalc int64 `json:"main_recalc_cell_touch"`
+}
+
+func planReportFor(wb *sheet.Workbook) *planReport {
+	p := plan.Build(wb, plan.Options{})
+	plan.Certify(p, wb)
+	rep := &planReport{Plan: p}
+	coeff := plan.DefaultCoefficients()
+	for _, sp := range p.Sheets {
+		pm := sp.Predicted
+		ext := sp.PredictedExt
+		rep.Predicted = append(rep.Predicted, planPredictedEntry{
+			Sheet:        sp.Sheet,
+			CellTouch:    pm.Count(costmodel.CellTouch),
+			FormulaEval:  pm.Count(costmodel.FormulaEval),
+			ExtCellTouch: ext.Count(costmodel.CellTouch),
+			SimNS:        coeff.Time(&pm),
+		})
+	}
+	if first := wb.First(); first != nil {
+		m := p.PredictedRecalc(first.Name)
+		rep.MainRecalc = m.Count(costmodel.CellTouch)
+	}
+	return rep
+}
+
+func (rep *planReport) writeText(w io.Writer, maxList int) error {
+	cert := rep.Plan.Certificate
+	status := "valid"
+	if cert != nil && !cert.Valid {
+		status = fmt.Sprintf("INVALID (%d violation(s))", len(cert.Violations))
+	}
+	checked := 0
+	if cert != nil {
+		checked = cert.Checked
+	}
+	if _, err := fmt.Fprintf(w, "plan: %d sheet(s), %d choice(s); certificate %s (%d checks)\n",
+		len(rep.Plan.Sheets), len(rep.Plan.Choices()), status, checked); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "predicted main-sheet recalc: %d cell touch(es)\n", rep.MainRecalc); err != nil {
+		return err
+	}
+	for i, sp := range rep.Plan.Sheets {
+		if err := writeSheetPlanText(w, sp, rep.Predicted[i], maxList); err != nil {
+			return err
+		}
+	}
+	if cert != nil && len(cert.Violations) > 0 {
+		if _, err := fmt.Fprintln(w, "\nviolations:"); err != nil {
+			return err
+		}
+		for _, v := range cert.Violations {
+			if _, err := fmt.Fprintf(w, "  %s\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSheetPlanText(w io.Writer, sp *plan.SheetPlan, pred planPredictedEntry, maxList int) error {
+	if _, err := fmt.Fprintf(w, "\nsheet %q: %d rows x %d cols, %d formula(s), %d external, %d region(s)\n",
+		sp.Sheet, sp.Stats.Rows, sp.Stats.Cols, sp.Stats.Formulas, sp.Stats.External, sp.Stats.Regions); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  predicted: %d cell touch(es), %d eval(s), %d external touch(es), sim %v\n",
+		pred.CellTouch, pred.FormulaEval, pred.ExtCellTouch, pred.SimNS); err != nil {
+		return err
+	}
+	if len(sp.Stats.Columns) > 0 {
+		if _, err := fmt.Fprintln(w, "  statistics:"); err != nil {
+			return err
+		}
+		shown := sp.Stats.Columns
+		if maxList >= 0 && len(shown) > maxList {
+			shown = shown[:maxList]
+		}
+		for _, cs := range shown {
+			if _, err := fmt.Fprintf(w, "    col %-3d rows=%-7d nonempty=%-7d numeric=%-7d distinct≈%-6d sampled=%d\n",
+				cs.Col, cs.Rows, cs.NonEmpty, cs.Numeric, cs.Distinct, cs.Sampled); err != nil {
+				return err
+			}
+		}
+		if dropped := len(sp.Stats.Columns) - len(shown); dropped > 0 {
+			if _, err := fmt.Fprintf(w, "    ... %d more not shown\n", dropped); err != nil {
+				return err
+			}
+		}
+	}
+	if len(sp.Choices) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "  choices:"); err != nil {
+		return err
+	}
+	shown := sp.Choices
+	if maxList >= 0 && len(shown) > maxList {
+		shown = shown[:maxList]
+	}
+	for _, c := range shown {
+		line := fmt.Sprintf("    %-11s %-8s -> %-17s", c.Kind, c.Fn, string(c.Chosen))
+		if alt, ok := c.Alternative(); ok {
+			if chosen, okc := chosenSim(c); okc && chosen > 0 {
+				line += fmt.Sprintf(" (vs %s %.2fx)", alt.Strategy, float64(alt.Sim)/float64(chosen))
+			}
+		}
+		line += "  " + c.Basis
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if dropped := len(sp.Choices) - len(shown); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "    ... %d more not shown\n", dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chosenSim returns the chosen candidate's simulated cost.
+func chosenSim(c *plan.Choice) (time.Duration, bool) {
+	for _, cand := range c.Candidates {
+		if cand.Strategy == c.Chosen {
+			return cand.Sim, true
+		}
+	}
+	return 0, false
+}

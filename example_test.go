@@ -29,7 +29,7 @@ func Example() {
 	// interactive: true
 }
 
-// ExampleNewSystem shows the four available system profiles.
+// ExampleNewSystem shows the five available system profiles.
 func ExampleNewSystem() {
 	for _, name := range spreadbench.SystemNames() {
 		sys, err := spreadbench.NewSystem(name)
@@ -42,6 +42,7 @@ func ExampleNewSystem() {
 	// calc
 	// excel
 	// optimized
+	// planned
 	// sheets
 }
 

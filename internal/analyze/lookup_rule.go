@@ -106,6 +106,96 @@ func lookupSitesIn(f formulaSite) []lookupSite {
 	return out
 }
 
+// extLookupCells estimates the cells the optimized engine reads to serve
+// one formula's cross-sheet references, which PrecedentCells never counts
+// (they live outside the host sheet's dependency graph). Classifiable
+// cross-sheet lookups are charged their algorithm's bound — approximate
+// matches binary-search under the optimized profile's policy (no
+// certificate needed), exact matches scan the foreign key column with
+// early exit (no hash index serves a foreign table), expected half the
+// span plus the result read. Every other cross-sheet range is charged its
+// full cardinality, the aggregate-scan cost.
+func extLookupCells(f formulaSite) int64 {
+	var est int64
+	lookupTables := make(map[formula.ExtRefNode]bool)
+	formula.Walk(f.code.Root, func(n formula.Node) {
+		call, ok := n.(formula.CallNode)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		en, ok := call.Args[1].(formula.ExtRefNode)
+		if !ok || !en.IsRange {
+			return
+		}
+		span := int64(en.To.Addr.Row - en.From.Addr.Row + 1)
+		if span < 1 {
+			return
+		}
+		switch call.Name {
+		case "MATCH":
+			mode := 1
+			if len(call.Args) >= 3 {
+				lit, ok := call.Args[2].(formula.NumberLit)
+				if !ok {
+					return // dynamic mode: charged as a plain range below
+				}
+				switch {
+				case float64(lit) == 0:
+					mode = 0
+				case float64(lit) < 0:
+					mode = -1
+				}
+			}
+			lookupTables[en] = true
+			switch {
+			case mode > 0:
+				est += ceilLog2(span) + 1 // policy binary search
+			case mode == 0:
+				est += (span + 1) / 2 // early-exit scan, expected half
+			default:
+				est += span // descending scan
+			}
+		case "VLOOKUP":
+			if len(call.Args) < 3 {
+				return
+			}
+			mode := 1
+			if len(call.Args) >= 4 {
+				switch lit := call.Args[3].(type) {
+				case formula.BoolLit:
+					if !bool(lit) {
+						mode = 0
+					}
+				case formula.NumberLit:
+					if float64(lit) == 0 {
+						mode = 0
+					}
+				default:
+					return
+				}
+			}
+			lookupTables[en] = true
+			if mode > 0 {
+				est += ceilLog2(span) + 2 // binary search + result read
+			} else {
+				est += (span+1)/2 + 1 // early-exit key scan + result read
+			}
+		}
+	})
+	formula.Walk(f.code.Root, func(n formula.Node) {
+		en, ok := n.(formula.ExtRefNode)
+		if !ok || lookupTables[en] {
+			return
+		}
+		if !en.IsRange {
+			est++
+			return
+		}
+		est += int64(en.Range().Cells())
+	})
+	return est
+}
+
 // lookupView lazily derives the sheet facts the lookup rules need. The
 // value analysis and the concrete sortedness rescans only run when the
 // sheet actually contains a classifiable lookup, so lookup-free sheets pay
@@ -161,6 +251,22 @@ func (lv *lookupView) servedSubLinear(ls lookupSite) bool {
 	return lv.sortedAsc(ls.col, ls.r0, ls.r1)
 }
 
+// sortednessUnknown reports whether the span's concrete ascending-run check
+// is uninformative: some cell is a formula whose result is not cached yet
+// (the workbook has never been evaluated — the normal state for a static
+// analysis run). The engine evaluates before it rescans, so a certificate
+// the rescan would issue post-evaluation is invisible here; an unknown run
+// is not evidence of unsortedness.
+func (lv *lookupView) sortednessUnknown(col, r0, r1 int) bool {
+	for row := r0; row <= r1; row++ {
+		a := cell.Addr{Row: row, Col: col}
+		if _, isFormula := lv.s.Formula(a); isFormula && lv.s.Value(a).IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
 // estEvalCells is the lookup-aware replacement for PrecedentCells in the
 // per-formula cost model: sub-linearly served lookups are charged their
 // probe count (ceil(log2 n) key comparisons plus the result read) instead
@@ -176,6 +282,7 @@ func (lv *lookupView) estEvalCells(f formulaSite) int64 {
 		est -= int64(ls.tableCells)
 		est += ceilLog2(ls.span()) + 2
 	}
+	est += extLookupCells(f)
 	if est < 1 && f.code.PrecedentCells() > 0 {
 		est = 1
 	}
@@ -207,6 +314,14 @@ func checkUnsortedLookup(e *emitter, s *sheet.Sheet, f formulaSite, lv *lookupVi
 		// column would not unlock the binary-search path.
 		cc := lv.certFor().Column(ls.col)
 		if cc == nil || cc.NumericFrom > ls.r0 || cc.R1 < ls.r1 {
+			continue
+		}
+		// A formula key column with uncached results cannot be called
+		// unsorted: once evaluated, the engine's rescan may well certify it
+		// ascending and serve this very lookup by binary search (it would
+		// then carry a SortedAsc certificate the static pass cannot see).
+		// Advising a sort there double-reports an already-fast lookup.
+		if cc.HasFormula && lv.sortednessUnknown(ls.col, ls.r0, ls.r1) {
 			continue
 		}
 		e.emit(Finding{

@@ -108,6 +108,38 @@ func TestRuleUnsortedLookupSpanThreshold(t *testing.T) {
 	}
 }
 
+// TestRuleUnsortedLookupSkipsUnevaluatedFormulaKeys reproduces the
+// double-report: a formula key column whose static certificate is numeric
+// but cannot order (no constant folding for ROUND), analyzed before any
+// evaluation — cached values empty, concrete rescan uninformative. The
+// engine evaluates at install, rescans the (ascending) results, and serves
+// both MATCHes by binary search; the rule must stay silent.
+func TestRuleUnsortedLookupSkipsUnevaluatedFormulaKeys(t *testing.T) {
+	s := sheet.New("lk", 210, 8)
+	for r := 0; r < 200; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 1}, cell.Num(float64(r*3)))
+	}
+	for r := 0; r < 200; r++ {
+		lkFormula(t, s, fmt.Sprintf("A%d", r+1), fmt.Sprintf("=ROUND(B%d,0)", r+1))
+	}
+	lkFormula(t, s, "D1", "=MATCH(99,A1:A200,0)")
+	lkFormula(t, s, "D2", "=MATCH(99,A1:A200,1)")
+	sr := SheetReportFor(s, Options{})
+	if n := sr.RuleCounts[RuleUnsortedLookup]; n != 0 {
+		t.Errorf("unsorted-lookup fired %d time(s) on an unevaluated formula key column", n)
+	}
+
+	// Once evaluated values are present and genuinely unsorted, the rule
+	// fires again: the silence is about unknown order, not formula columns.
+	for r := 0; r < 200; r++ {
+		s.SetCachedValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64((r*37)%200)*3))
+	}
+	sr = SheetReportFor(s, Options{})
+	if n := sr.RuleCounts[RuleUnsortedLookup]; n != 2 {
+		t.Errorf("unsorted-lookup fired %d time(s) on a concretely shuffled formula column, want 2", n)
+	}
+}
+
 func TestHotFormulaLookupAware(t *testing.T) {
 	build := func(asc bool) *SheetReport {
 		s := lkSheet(t, asc)

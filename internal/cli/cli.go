@@ -147,10 +147,14 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 		if !ok {
 			continue
 		}
-		report.WriteFigure(out, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...)
+		if err := report.WriteFigure(out, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...); err != nil {
+			return err
+		}
 	}
 	if _, haveOpen := results["fig2-open"]; haveOpen && *expID == "" {
-		report.WriteTable2(out, core.Table2(results, cfg.Systems), cfg.Systems)
+		if err := report.WriteTable2(out, core.Table2(results, cfg.Systems), cfg.Systems); err != nil {
+			return err
+		}
 	}
 
 	if *csvDir != "" {

@@ -280,6 +280,7 @@ func Experiments() []Experiment {
 		{ID: "fig13-incremental", Title: "Recompute after single-cell update (Figure 13)", Kind: "oot", Run: withShapes(RunIncremental)},
 		{ID: "fig14-multi", Title: "N formulae after single-cell update (Figure 14)", Kind: "oot", Run: withShapes(RunMultiFormula)},
 		{ID: "ablation", Title: "§6 optimization ablations (extension)", Kind: "ext", Run: RunAblation},
+		{ID: "plan-quality", Title: "Cost-based planner vs fixed strategies (extension)", Kind: "ext", Run: RunPlanQuality},
 		{ID: "workloads", Title: "Business workload suite: cross-sheet update propagation (extension)", Kind: "ext", Run: RunWorkloads},
 	}
 }

@@ -62,8 +62,8 @@ func TestSizesForCapsWeb(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("experiments = %d, want 15 (Figures 2-14 + ablation + workloads)", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16 (Figures 2-14 + ablation + plan-quality + workloads)", len(exps))
 	}
 	seen := map[string]bool{}
 	bct, oot, ext := 0, 0, 0
@@ -86,8 +86,8 @@ func TestExperimentsRegistry(t *testing.T) {
 			t.Errorf("%s: nil runner", e.ID)
 		}
 	}
-	if bct != 7 || oot != 6 || ext != 2 {
-		t.Errorf("bct=%d oot=%d ext=%d, want 7, 6, 2", bct, oot, ext)
+	if bct != 7 || oot != 6 || ext != 3 {
+		t.Errorf("bct=%d oot=%d ext=%d, want 7, 6, 3", bct, oot, ext)
 	}
 	if _, ok := FindExperiment("fig7-countif"); !ok {
 		t.Error("FindExperiment")

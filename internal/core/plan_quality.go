@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// RunPlanQuality compares the cost-based planner (§6 extension,
+// internal/plan) against both fixed strategies — the always-index optimized
+// profile and a scan-only variant with every optimization structure
+// disabled — on the offline operation matrix: steady recalculations, an
+// edit burst, and duplicate-aggregate inserts. One series per
+// workload/profile pair, points over dataset sizes. The notes record the
+// plan's predicted-vs-measured recalculation work, the calibration the
+// planner tests assert to a factor of two.
+func RunPlanQuality(cfg *Config) (*Result, error) {
+	res := newResult("plan-quality",
+		"Cost-based planner vs fixed strategies (extension)")
+
+	sizes := []int{2_000, 10_000}
+	if cfg.MaxRows > 0 {
+		capped := sizes[:0]
+		for _, n := range sizes {
+			if n <= cfg.MaxRows {
+				capped = append(capped, n)
+			}
+		}
+		if len(capped) == 0 {
+			capped = append(capped, cfg.MaxRows)
+		}
+		sizes = capped
+	}
+
+	scan := engine.OptimizedProfile()
+	scan.Name = "scan-only"
+	scan.Opt = engine.Optimizations{}
+	profiles := []engine.Profile{engine.PlannedProfile(), engine.OptimizedProfile(), scan}
+
+	for _, gen := range workload.Generators() {
+		for _, prof := range profiles {
+			var pts []report.Point
+			for _, rows := range sizes {
+				pt, err := runTrials(cfg, rows, nil, func() (trial, error) {
+					return planScenario(cfg, prof, gen, rows)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("plan-quality %s/%s@%d: %w",
+						gen.Name, prof.Name, rows, err)
+				}
+				pts = append(pts, pt)
+			}
+			res.addSeries(gen.Name+"/"+prof.Name, pts)
+		}
+		cfg.progress("plan-quality %s done", gen.Name)
+	}
+
+	// Prediction calibration at the largest size: the plan's predicted
+	// steady-state recalc vs what the planned engine actually meters.
+	rows := sizes[len(sizes)-1]
+	for _, gen := range workload.Generators() {
+		ratio, predicted, measured, err := planCalibration(cfg, gen, rows)
+		if err != nil {
+			return nil, err
+		}
+		res.note("calibration %-10s rows=%-6d predicted=%-8d measured=%-8d ratio=%.3f",
+			gen.Name+":", rows, predicted, measured, ratio)
+	}
+	res.note("scenario per point: 2 recalcs + 20 edits + 10 duplicate-aggregate inserts")
+	return res, nil
+}
+
+// planScenario runs the offline op matrix once and returns its total cost.
+func planScenario(cfg *Config, prof engine.Profile, gen workload.Generator, rows int) (trial, error) {
+	wb := gen.Build(workload.Spec{Rows: rows, Formulas: true, Seed: cfg.seed()})
+	eng := engine.New(prof)
+	if err := eng.Install(wb); err != nil {
+		return trial{}, err
+	}
+	main := wb.First()
+	var t trial
+	add := func(r engine.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		t.sim += r.Sim
+		t.wall += r.Wall
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		r, err := eng.Recalculate(main)
+		if err := add(r, err); err != nil {
+			return trial{}, err
+		}
+	}
+	for i := 0; i < 20; i++ {
+		row := 1 + (i*97)%rows
+		r, err := eng.SetCell(main, cell.Addr{Row: row, Col: 0}, cell.Num(float64(1_000_000+i)))
+		if err := add(r, err); err != nil {
+			return trial{}, err
+		}
+	}
+	freeCol := main.Cols() + 2
+	for i := 0; i < 10; i++ {
+		text := fmt.Sprintf("=COUNT(A2:A%d)", rows+1)
+		_, r, err := eng.InsertFormula(main, cell.Addr{Row: 1 + i, Col: freeCol}, text)
+		if err := add(r, err); err != nil {
+			return trial{}, err
+		}
+	}
+	return t, nil
+}
+
+// planCalibration installs the workload on the planned engine and compares
+// the plan's predicted steady-state recalc cell touches to a measured one.
+func planCalibration(cfg *Config, gen workload.Generator, rows int) (ratio float64, predicted, measured int64, err error) {
+	wb := gen.Build(workload.Spec{Rows: rows, Formulas: true, Seed: cfg.seed()})
+	eng := engine.New(engine.PlannedProfile())
+	if err = eng.Install(wb); err != nil {
+		return
+	}
+	main := wb.First()
+	if _, err = eng.Recalculate(main); err != nil {
+		return
+	}
+	var r engine.Result
+	if r, err = eng.Recalculate(main); err != nil {
+		return
+	}
+	measured = r.Work.Count(costmodel.CellTouch)
+	p := eng.Plan()
+	if p == nil {
+		err = fmt.Errorf("plan-quality: planned engine produced no plan for %s", gen.Name)
+		return
+	}
+	pm := p.PredictedRecalc(main.Name)
+	predicted = pm.Count(costmodel.CellTouch)
+	if measured > 0 {
+		ratio = float64(predicted) / float64(measured)
+	}
+	return
+}
+
+// plannedAdvantage is a report helper: the planner's margin over the best
+// fixed profile for a workload series pair, as a fraction (positive means
+// the planner is cheaper). Used by the plan-quality analysis in
+// EXPERIMENTS.md.
+func plannedAdvantage(res *Result, workloadName string) (float64, bool) {
+	planned := res.findSeries(workloadName + "/planned")
+	opt := res.findSeries(workloadName + "/optimized")
+	scan := res.findSeries(workloadName + "/scan-only")
+	if planned == nil || opt == nil || scan == nil ||
+		len(planned.Points) == 0 || len(opt.Points) == 0 || len(scan.Points) == 0 {
+		return 0, false
+	}
+	last := func(s *report.Series) time.Duration { return s.Points[len(s.Points)-1].Sim }
+	best := last(opt)
+	if b := last(scan); b < best {
+		best = b
+	}
+	p := last(planned)
+	if p <= 0 {
+		return 0, false
+	}
+	return float64(best-p) / float64(p), true
+}

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestRunPlanQuality exercises the extension experiment end to end at a
+// tiny size: every workload/profile series must be present with positive
+// points, the planner series must not lose to the best fixed strategy by
+// more than 10%, and the calibration notes must be recorded.
+func TestRunPlanQuality(t *testing.T) {
+	cfg := &Config{Trials: 1, MaxRows: 500, MaxRowsWeb: 500}
+	res, err := RunPlanQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "plan-quality" {
+		t.Errorf("id = %q", res.ID)
+	}
+	// 4 workloads x 3 profiles.
+	if len(res.Series) != 12 {
+		t.Fatalf("series = %d, want 12", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("series %s has no points", s.Label)
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Sim <= 0 {
+				t.Errorf("series %s point %d has sim %v", s.Label, p.Size, p.Sim)
+			}
+		}
+	}
+	for _, name := range []string{"weather", "ledger", "inventory", "gradebook"} {
+		adv, ok := plannedAdvantage(res, name)
+		if !ok {
+			t.Errorf("%s: missing series for advantage computation", name)
+			continue
+		}
+		// adv is (best-fixed - planned)/planned; below -0.10 the planner
+		// lost by more than the 10% bound the planner tests enforce.
+		if adv < -0.10 {
+			t.Errorf("%s: planner loses to best fixed strategy by %.1f%%", name, -adv*100)
+		}
+	}
+	if len(res.Notes) < 5 {
+		t.Errorf("notes = %v", res.Notes)
+	}
+}

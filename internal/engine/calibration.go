@@ -286,12 +286,27 @@ func OptimizedProfile() Profile {
 	return p
 }
 
-// Profiles returns the four standard profiles keyed by name.
+// PlannedProfile is the optimized engine driven by the cost-based planner
+// (internal/plan) instead of its hard-wired strategy choices: the same
+// optimization inventory, but each site's access path, index-build
+// schedule, recalculation sequencing, and maintenance policy comes from
+// priced candidates over collected column statistics. It is a separate
+// profile so "optimized" stays byte-stable for meter-sensitive tests and
+// ablations compare planner against fixed strategies directly.
+func PlannedProfile() Profile {
+	p := OptimizedProfile()
+	p.Name = "planned"
+	p.Opt.CostPlanner = true
+	return p
+}
+
+// Profiles returns the standard profiles keyed by name.
 func Profiles() map[string]Profile {
 	return map[string]Profile{
 		"excel":     ExcelProfile(),
 		"calc":      CalcProfile(),
 		"sheets":    SheetsProfile(),
 		"optimized": OptimizedProfile(),
+		"planned":   PlannedProfile(),
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sheet"
 )
 
@@ -48,6 +49,13 @@ type Engine struct {
 	net         *netsim.Network
 	netTime     time.Duration // simulated network time, cumulative
 	netErr      error         // sticky quota error
+
+	// Cost-based planner state (planner.go): the current plan entry with
+	// its validity versions, the cross-rebuild statistics cache, and the
+	// operation sequence number bounding rebuilds to one per operation.
+	planEntry *planEntry
+	planCache *plan.Cache
+	opSeq     int64
 
 	nowFn func() time.Time
 	met   engineMetrics
@@ -110,6 +118,8 @@ func (e *Engine) Install(wb *sheet.Workbook) error {
 	e.regions = make(map[*sheet.Sheet]*regionChain)
 	e.certs = make(map[*sheet.Sheet]*certEntry)
 	e.vcerts = make(map[*sheet.Sheet]*valueCertEntry)
+	e.planEntry = nil
+	e.planCache = nil
 	for _, s := range wb.Sheets() {
 		g := e.graph(s)
 		gsp := obs.Start("install.graph")
@@ -168,6 +178,7 @@ type opTimer struct {
 }
 
 func (e *Engine) begin(kind OpKind) opTimer {
+	e.opSeq++
 	return opTimer{
 		e:          e,
 		kind:       kind,
@@ -406,16 +417,19 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 	}
 	// Region-level sequencing: O(#regions log #regions) ordering plus one
 	// op per emitted cell, instead of per-cell Kahn with its sort-like
-	// comparison cost. Valid only while the regions order cleanly; the
-	// fallback below is authoritative for everything else (cycles included).
-	if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
-		rc.g.ResetOps()
-		order = rc.g.Order()
-		meter.Add(costmodel.DepOp, rc.g.Ops())
-		rc.g.ResetOps()
-		e.chains[s] = &chainCache{version: g.Version(), order: order}
-		sp.Str("source", "region").Int("cells", int64(len(order))).End()
-		return order, nil
+	// comparison cost. Valid only while the regions order cleanly (and, under
+	// the planned profile, while the cost plan prefers it); the fallback
+	// below is authoritative for everything else (cycles included).
+	if e.plannedRegionChain(s) {
+		if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
+			rc.g.ResetOps()
+			order = rc.g.Order()
+			meter.Add(costmodel.DepOp, rc.g.Ops())
+			rc.g.ResetOps()
+			e.chains[s] = &chainCache{version: g.Version(), order: order}
+			sp.Str("source", "region").Int("cells", int64(len(order))).End()
+			return order, nil
+		}
 	}
 	g.ResetOps()
 	order, cyclic = g.AllFormulas()

@@ -25,6 +25,9 @@ type engineMetrics struct {
 	// chainCacheHits counts full-recalc sequencing requests served by the
 	// memoized calculation chain.
 	chainCacheHits *obs.Counter
+	// planBuilds counts cost-based plan derivations (internal/plan); the
+	// once-per-operation rebuild guard keeps this near the operation count.
+	planBuilds *obs.Counter
 }
 
 func newEngineMetrics(label string) engineMetrics {
@@ -35,5 +38,6 @@ func newEngineMetrics(label string) engineMetrics {
 		regionsSplit:   obs.Default.Counter("engine_regions_split", label),
 		regionReinfer:  obs.Default.Counter("engine_region_reinfer", label),
 		chainCacheHits: obs.Default.Counter("engine_chain_cache_hits", label),
+		planBuilds:     obs.Default.Counter("engine_plan_builds", label),
 	}
 }

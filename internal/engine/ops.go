@@ -756,7 +756,7 @@ func (e *Engine) SetCell(s *sheet.Sheet, a cell.Addr, v cell.Value) (Result, err
 		}
 	}
 
-	if st != nil && e.prof.Opt.IncrementalAggregates {
+	if st != nil && e.prof.Opt.IncrementalAggregates && e.plannedDeltas(s) {
 		dsp := obs.Start("setcell.deltas")
 		st.applyDeltas(e, s, a, old, v)
 		dsp.End()

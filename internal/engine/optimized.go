@@ -115,7 +115,13 @@ func (e *Engine) buildOptState(s *sheet.Sheet) *optState {
 		// Like the rest of setup (§6 builds asynchronously), the eager
 		// build is not charged: snapshot and restore the meter around it.
 		saved := e.meter
-		for _, col := range analyze.SharedColumnAggregates(s, sharedAggMin) {
+		cols := analyze.SharedColumnAggregates(s, sharedAggMin)
+		if e.prof.Opt.CostPlanner {
+			// The cost plan prices eager vs lazy per column and replaces
+			// the hard-wired shared-use threshold.
+			cols = e.plannedEagerCols(s)
+		}
+		for _, col := range cols {
 			st.prefixFor(e, s, col)
 		}
 		e.meter = saved
@@ -242,6 +248,14 @@ func (ix indexedSrc) LookupRow(col int, v cell.Value, lo, hi int) (int, int, boo
 	return h.FirstRow(v, lo, hi)
 }
 
+// IndexWorthwhile implements formula.IndexAdvisor: under the planned
+// profile an exact lookup probes the hash index only where the cost plan
+// chose it. The veto decides before the probe because a probe miss is an
+// authoritative #N/A that never falls back to the scan.
+func (ix indexedSrc) IndexWorthwhile(col, lo, hi int) bool {
+	return ix.e.plannedHashProbe(ix.s, col, lo, hi)
+}
+
 // singleColumnRange extracts (col, r0, r1) when the node is a rectangular
 // single-column range; the fast paths apply only then.
 func singleColumnRange(n formula.Node) (col, r0, r1 int, ok bool) {
@@ -298,6 +312,11 @@ func (st *optState) fastEval(e *Engine, s *sheet.Sheet, c *formula.Compiled) (ce
 		if !ok {
 			return cell.Value{}, false
 		}
+		if !e.plannedPrefix(s, col) {
+			// The cost plan priced a plain scan under the prefix build's
+			// amortized cost for this column's aggregate load.
+			return cell.Value{}, false
+		}
 		p := st.prefixFor(e, s, col)
 		if p.Errors(r0, r1) > 0 {
 			// SUM/COUNT/AVERAGE propagate the range's first error value;
@@ -329,6 +348,10 @@ func (st *optState) fastEval(e *Engine, s *sheet.Sheet, c *formula.Compiled) (ce
 		}
 		lit, ok := literalValue(call.Args[1])
 		if !ok {
+			return cell.Value{}, false
+		}
+		if !e.plannedCountIfIndex(s, col) {
+			// Vetoed by the cost plan: too few uses to amortize the index.
 			return cell.Value{}, false
 		}
 		return st.countIfIndexed(e, s, col, r0, r1, lit)

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sheet"
+)
+
+// This file is the consumption side of the cost-based planner
+// (internal/plan). Plans follow the same lifecycle as the value
+// certificates (valuecert.go): derived uncharged (planning is static
+// analysis over stored values and formula ASTs — the same work a real
+// engine's optimizer does off the metered path), keyed by the versions
+// they were derived under, and refreshed once they go stale.
+//
+// Two guards bound the refresh cost:
+//
+//   - Validity is keyed on per-sheet GRAPH versions plus the versions of
+//     exactly the columns whose statistics the plan consulted — NOT the raw
+//     optState version, which bumps on every cached write a recalculation
+//     makes and would force O(n) rebuilds per pass.
+//   - A plan is rebuilt at most once per engine operation (opSeq): the
+//     first consult after an edit re-plans against fresh statistics, and
+//     every later consult in the same operation reuses that plan even if
+//     the operation keeps mutating. A stale plan is safe — it is advisory
+//     for cost only; every fast path keeps its own soundness guard.
+
+// planEntry is one derived plan plus the versions it was built under.
+type planEntry struct {
+	plan *plan.Plan
+	// graphVers invalidates on formula-set edits per sheet.
+	graphVers map[*sheet.Sheet]int64
+	// statVers invalidates on changes to the columns whose statistics the
+	// plan consulted (colVer closed over the reorder epoch).
+	statVers []plan.StatColumn
+	// builtAt is the operation sequence number the plan was built during;
+	// rebuilds are suppressed until the next operation.
+	builtAt int64
+	// validatedAt memoizes a successful (or suppressed) validity check per
+	// operation, so per-lookup consults don't re-walk the version lists.
+	validatedAt int64
+}
+
+// colVersion is the statistics invalidation key for one column: the
+// optState column version closed over the reorder epoch (a sort moves
+// values between rows without routing them through noteCellChange, so the
+// epoch is what retires a never-written column's statistics).
+func (e *Engine) colVersion(name string, col int) int64 {
+	s := e.wb.Sheet(name)
+	if s == nil {
+		return 0
+	}
+	st := e.opts[s]
+	if st == nil {
+		return 0
+	}
+	return st.sortedEpoch<<32 | (st.colVer[col] & 0xffffffff)
+}
+
+// currentPlan returns a plan entry to consult, validating the cached one
+// and rebuilding it when stale — at most once per operation.
+func (e *Engine) currentPlan() *planEntry {
+	if !e.prof.Opt.CostPlanner {
+		return nil
+	}
+	pe := e.planEntry
+	if pe != nil {
+		if pe.validatedAt == e.opSeq {
+			return pe
+		}
+		if e.planEntryValid(pe) || pe.builtAt == e.opSeq {
+			pe.validatedAt = e.opSeq
+			return pe
+		}
+	}
+	return e.rebuildPlan()
+}
+
+// planEntryValid re-checks the versions a plan entry was derived under.
+func (e *Engine) planEntryValid(pe *planEntry) bool {
+	for s, v := range pe.graphVers {
+		if e.graph(s).Version() != v {
+			return false
+		}
+	}
+	for _, sc := range pe.statVers {
+		if e.colVersion(sc.Sheet, sc.Col) != sc.Version {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildPlan derives a fresh plan from current statistics. The statistics
+// cache persists across rebuilds, so only columns whose version moved are
+// recollected.
+func (e *Engine) rebuildPlan() *planEntry {
+	sp := obs.Start("engine.plan_build")
+	defer sp.End()
+	if e.planCache == nil {
+		e.planCache = plan.NewCache()
+	}
+	p := plan.Build(e.wb, plan.Options{
+		Coeff:      e.prof.Coeff,
+		Cache:      e.planCache,
+		ColVersion: e.colVersion,
+	})
+	pe := &planEntry{
+		plan:        p,
+		graphVers:   make(map[*sheet.Sheet]int64, e.wb.Len()),
+		statVers:    p.StatColumns(),
+		builtAt:     e.opSeq,
+		validatedAt: e.opSeq,
+	}
+	for _, s := range e.wb.Sheets() {
+		pe.graphVers[s] = e.graph(s).Version()
+	}
+	e.planEntry = pe
+	e.met.planBuilds.Add(1)
+	sp.Int("choices", int64(len(p.Choices())))
+	return pe
+}
+
+// plannedSheet returns the sheet's plan section, or nil when the profile
+// has no planner (callers then keep the hard-wired behavior).
+func (e *Engine) plannedSheet(s *sheet.Sheet) *plan.SheetPlan {
+	pe := e.currentPlan()
+	if pe == nil {
+		return nil
+	}
+	return pe.plan.SheetPlan(s.Name)
+}
+
+// Plan returns the engine's current cost-based plan, deriving or
+// refreshing it as needed; nil when the profile has no planner. The CLI's
+// plan command and tests read it.
+func (e *Engine) Plan() *plan.Plan {
+	pe := e.currentPlan()
+	if pe == nil {
+		return nil
+	}
+	return pe.plan
+}
+
+// plannedBinarySearch gates the sortedness-certificate fast path: when the
+// planner chose a different strategy for this exact-lookup site, the
+// binary search is vetoed and the lookup falls through to the scan. Sites
+// the plan doesn't cover keep the hard-wired behavior. (Under the planned
+// profile approximate lookups never reach the certificate — the
+// ApproxBinarySearch policy short-circuits first — so the site is keyed
+// exact.)
+func (e *Engine) plannedBinarySearch(s *sheet.Sheet, col, r0, r1 int) bool {
+	sp := e.plannedSheet(s)
+	if sp == nil {
+		return true
+	}
+	strat, ok := sp.LookupStrategy(col, r0, r1, true)
+	return !ok || strat == plan.BinarySearch
+}
+
+// plannedHashProbe gates the column-index probe for an exact lookup site
+// (formula.IndexAdvisor): a veto must land before the probe, because a
+// probe miss is authoritative (#N/A) and never falls back to the scan.
+func (e *Engine) plannedHashProbe(s *sheet.Sheet, col, r0, r1 int) bool {
+	sp := e.plannedSheet(s)
+	if sp == nil {
+		return true
+	}
+	strat, ok := sp.LookupStrategy(col, r0, r1, true)
+	return !ok || strat == plan.HashProbe
+}
+
+// plannedCountIfIndex gates COUNTIF's index service for one column.
+func (e *Engine) plannedCountIfIndex(s *sheet.Sheet, col int) bool {
+	sp := e.plannedSheet(s)
+	return sp == nil || sp.CountIfIndexed(col)
+}
+
+// plannedPrefix gates the prefix-sum aggregate service for one column.
+func (e *Engine) plannedPrefix(s *sheet.Sheet, col int) bool {
+	sp := e.plannedSheet(s)
+	return sp == nil || sp.PrefixServe(col)
+}
+
+// plannedRegionChain gates region-level recalculation sequencing.
+func (e *Engine) plannedRegionChain(s *sheet.Sheet) bool {
+	sp := e.plannedSheet(s)
+	return sp == nil || sp.UseRegionChain()
+}
+
+// plannedDeltas gates O(1) aggregate maintenance on edits.
+func (e *Engine) plannedDeltas(s *sheet.Sheet) bool {
+	sp := e.plannedSheet(s)
+	return sp == nil || sp.UseDeltas()
+}
+
+// plannedEagerCols returns the prefix-index columns the plan schedules for
+// the install-time build (replacing the hard-wired shared-aggregate
+// threshold).
+func (e *Engine) plannedEagerCols(s *sheet.Sheet) []int {
+	sp := e.plannedSheet(s)
+	if sp == nil {
+		return nil
+	}
+	return sp.EagerIndexCols()
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/sheet"
+	"repro/internal/workload"
+)
+
+// TestPlanPredictionWithinFactorTwo is the plan-cost validation gate: on
+// every workload family the plan's predicted steady-state recalculation
+// work must be within 2x of what the planned engine actually meters for a
+// Recalculate. 50k rows runs always; the 200k/500k points of the ISSUE
+// matrix run when PLAN_VALIDATE_LARGE is set (same gating convention as the
+// 500k attribution runs).
+func TestPlanPredictionWithinFactorTwo(t *testing.T) {
+	sizes := []int{50_000}
+	if os.Getenv("PLAN_VALIDATE_LARGE") != "" {
+		sizes = append(sizes, 200_000, 500_000)
+	} else if testing.Short() {
+		sizes = []int{5_000}
+	}
+	for _, rows := range sizes {
+		for _, gen := range workload.Generators() {
+			gen := gen
+			t.Run(fmt.Sprintf("%s-%d", gen.Name, rows), func(t *testing.T) {
+				wb := gen.Build(workload.Spec{Rows: rows, Formulas: true})
+				e := New(PlannedProfile())
+				if err := e.Install(wb); err != nil {
+					t.Fatal(err)
+				}
+				main := wb.First()
+				// First pass settles any post-install state; the second is
+				// the steady-state measurement the plan predicts.
+				if _, err := e.Recalculate(main); err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Recalculate(main)
+				if err != nil {
+					t.Fatal(err)
+				}
+				measured := res.Work.Count(costmodel.CellTouch)
+				p := e.Plan()
+				if p == nil {
+					t.Fatal("planned engine returned no plan")
+				}
+				pm := p.PredictedRecalc(main.Name)
+				predicted := pm.Count(costmodel.CellTouch)
+				if predicted <= 0 || measured <= 0 {
+					t.Fatalf("degenerate counts: predicted=%d measured=%d", predicted, measured)
+				}
+				ratio := float64(predicted) / float64(measured)
+				t.Logf("%s rows=%d predicted=%d measured=%d ratio=%.3f",
+					gen.Name, rows, predicted, measured, ratio)
+				if ratio < 0.5 || ratio > 2.0 {
+					t.Errorf("prediction outside 2x: predicted=%d measured=%d ratio=%.3f",
+						predicted, measured, ratio)
+				}
+			})
+		}
+	}
+}
+
+// plannerScenarioSim runs the offline op matrix — steady recalculations, an
+// edit burst, and formula inserts that duplicate existing aggregate sites —
+// and returns the total simulated time. The matrix is offline by design:
+// every strategy choice is made against a pre-installed formula population,
+// where plan selection is a pure argmin; online insert sequences have an
+// irreducible ski-rental regret no planner can bound below the build cost
+// ratio, and are exercised (not asserted) by the cold-lookup test below.
+func plannerScenarioSim(t *testing.T, prof Profile, gen workload.Generator, rows int) time.Duration {
+	t.Helper()
+	wb := gen.Build(workload.Spec{Rows: rows, Formulas: true})
+	e := New(prof)
+	if err := e.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	main := wb.First()
+	var total time.Duration
+	for i := 0; i < 2; i++ {
+		res, err := e.Recalculate(main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Sim
+	}
+	for i := 0; i < 20; i++ {
+		r := 1 + (i*97)%rows
+		res, err := e.SetCell(main, cell.Addr{Row: r, Col: 0}, cell.Num(float64(1_000_000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Sim
+	}
+	// Duplicate-site inserts: repeated full-extent aggregates over the id
+	// column, landing in an empty column past the data.
+	freeCol := main.Cols() + 2
+	for i := 0; i < 10; i++ {
+		text := fmt.Sprintf("=COUNT(A2:A%d)", rows+1)
+		_, res, err := e.InsertFormula(main, cell.Addr{Row: 1 + i, Col: freeCol}, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Sim
+	}
+	return total
+}
+
+// TestPlannerNeverLosesToFixedStrategies is the plan-quality gate: across
+// the workload matrix the planned profile's total simulated cost must stay
+// within 10% of the better of the two fixed strategies — the hard-wired
+// always-index optimized profile and a scan-only variant with every
+// optimization structure disabled. All three share the optimized profile's
+// coefficients and fixed costs, so the comparison isolates strategy choice.
+func TestPlannerNeverLosesToFixedStrategies(t *testing.T) {
+	rows := 10_000
+	if testing.Short() {
+		rows = 2_000
+	}
+	naive := OptimizedProfile()
+	naive.Name = "scan-only"
+	naive.Opt = Optimizations{}
+	for _, gen := range workload.Generators() {
+		gen := gen
+		t.Run(gen.Name, func(t *testing.T) {
+			planned := plannerScenarioSim(t, PlannedProfile(), gen, rows)
+			aggressive := plannerScenarioSim(t, OptimizedProfile(), gen, rows)
+			scan := plannerScenarioSim(t, naive, gen, rows)
+			best := aggressive
+			if scan < best {
+				best = scan
+			}
+			t.Logf("%s rows=%d planned=%v optimized=%v scan-only=%v",
+				gen.Name, rows, planned, aggressive, scan)
+			if float64(planned) > 1.10*float64(best) {
+				t.Errorf("planner loses by >10%%: planned=%v best-fixed=%v (%.2fx)",
+					planned, best, float64(planned)/float64(best))
+			}
+		})
+	}
+}
+
+// TestPlannerColdLookupAvoidsEagerIndex pins the scenario where the fixed
+// always-index strategy overpays: a single fresh exact VLOOKUP against an
+// unsorted key column. The planner prices the one-use hash build above the
+// expected half-column scan and vetoes the probe; the optimized profile
+// builds the index for one query.
+func TestPlannerColdLookupAvoidsEagerIndex(t *testing.T) {
+	const rows = 10_000
+	run := func(prof Profile) time.Duration {
+		wb := workloadSheet(t, rows)
+		e := New(prof)
+		if err := e.Install(wb); err != nil {
+			t.Fatal(err)
+		}
+		s := wb.First()
+		text := fmt.Sprintf("=VLOOKUP(4321,A1:B%d,2,FALSE)", rows)
+		_, res, err := e.InsertFormula(s, cell.Addr{Row: 0, Col: 3}, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sim
+	}
+	planned := run(PlannedProfile())
+	aggressive := run(OptimizedProfile())
+	naive := OptimizedProfile()
+	naive.Name = "scan-only"
+	naive.Opt = Optimizations{}
+	scan := run(naive)
+	t.Logf("cold lookup: planned=%v optimized=%v scan-only=%v", planned, aggressive, scan)
+	best := aggressive
+	if scan < best {
+		best = scan
+	}
+	if float64(planned) > 1.10*float64(best) {
+		t.Errorf("planner loses cold lookup by >10%%: planned=%v best=%v", planned, best)
+	}
+	if planned >= aggressive {
+		t.Errorf("planner should beat the eager index on a one-use lookup: planned=%v optimized=%v",
+			planned, aggressive)
+	}
+}
+
+// TestPlanRebuildOncePerOperation pins the invalidation discipline: a valid
+// plan is reused across reads, an edit retires it, and the rebuilt plan is
+// stable until the next change.
+func TestPlanRebuildOncePerOperation(t *testing.T) {
+	// The analysis block adds a full-extent COUNTIF over column B, so the
+	// plan consults that column's statistics and an edit there must retire
+	// it. (A plan consults no statistics about columns without sites and
+	// correctly survives edits to them.)
+	wb := workload.Weather(workload.Spec{Rows: 200, Formulas: true, Analysis: true})
+	e := New(PlannedProfile())
+	if err := e.Install(wb); err != nil {
+		t.Fatal(err)
+	}
+	s := wb.First()
+	p1 := e.Plan()
+	if p1 == nil {
+		t.Fatal("no plan after install")
+	}
+	if p2 := e.Plan(); p2 != p1 {
+		t.Error("valid plan must be reused across reads")
+	}
+	if _, err := e.SetCell(s, cell.Addr{Row: 5, Col: 1}, cell.Num(99)); err != nil {
+		t.Fatal(err)
+	}
+	p3 := e.Plan()
+	if p3 == p1 {
+		t.Error("edit to a planned column must retire the plan")
+	}
+	if p4 := e.Plan(); p4 != p3 {
+		t.Error("rebuilt plan must be stable until the next change")
+	}
+}
+
+// TestEnginePlanCertifies runs the certifier against a live engine's plan:
+// every chosen strategy must be the argmin of its feasible candidates and
+// every static precondition must re-verify against the workbook.
+func TestEnginePlanCertifies(t *testing.T) {
+	for _, gen := range workload.Generators() {
+		gen := gen
+		t.Run(gen.Name, func(t *testing.T) {
+			wb := gen.Build(workload.Spec{Rows: 2_000, Formulas: true})
+			e := New(PlannedProfile())
+			if err := e.Install(wb); err != nil {
+				t.Fatal(err)
+			}
+			p := e.Plan()
+			if p == nil {
+				t.Fatal("no plan")
+			}
+			cert := plan.Certify(p, e.Workbook())
+			if !cert.Valid {
+				t.Fatalf("plan failed certification: %v", cert.Violations)
+			}
+			if cert.Checked == 0 {
+				t.Error("certifier checked nothing")
+			}
+		})
+	}
+}
+
+// workloadSheet builds a single-sheet workbook with an unsorted numeric key
+// column A (a permutation, so exact probes hit) and a payload column B.
+func workloadSheet(t *testing.T, rows int) *sheet.Workbook {
+	t.Helper()
+	wb := sheet.NewWorkbook()
+	s := sheet.New("data", rows, 3)
+	for r := 0; r < rows; r++ {
+		s.SetValue(cell.Addr{Row: r, Col: 0}, cell.Num(float64((r*37)%rows)))
+		s.SetValue(cell.Addr{Row: r, Col: 1}, cell.Num(float64(r)))
+	}
+	if err := wb.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	return wb
+}

@@ -139,6 +139,16 @@ type Optimizations struct {
 	// certified-constant formula cells are skipped by calc passes under a
 	// per-use value guard (internal/engine/valuecert.go).
 	ValueCerts bool
+	// CostPlanner replaces the hard-wired strategy choices above with a
+	// cost-based plan (internal/plan): per-column statistics and priced
+	// candidates decide per site whether lookups probe an index, binary
+	// search, or scan; whether COUNTIF and shared aggregates use their
+	// index services; which prefix indexes build eagerly; whether
+	// recalculation sequences by region or per cell; and whether edits
+	// maintain aggregates by deltas. Plans are advisory for cost only —
+	// every fast path keeps its own soundness guard
+	// (internal/engine/planner.go).
+	CostPlanner bool
 }
 
 // Any reports whether any optimization is enabled.

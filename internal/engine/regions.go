@@ -91,12 +91,16 @@ func (e *Engine) noteFormulaRemoved(s *sheet.Sheet, a cell.Addr, meter *costmode
 // value) and never reports cyclic cells — region sequencing succeeds only
 // on sheets whose per-cell graph is acyclic.
 func (e *Engine) dirtyOrder(s *sheet.Sheet, changed []cell.Addr, meter *costmodel.Meter) (order, cyclic []cell.Addr) {
-	if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
-		rc.g.ResetOps()
-		order = rc.g.DirtyFrom(changed)
-		meter.Add(costmodel.DepOp, rc.g.Ops())
-		rc.g.ResetOps()
-		return order, nil
+	// The planner veto runs before regionChainFor so a vetoed path is not
+	// charged for (re)inferring a chain it will not use.
+	if e.plannedRegionChain(s) {
+		if rc := e.regionChainFor(s, meter); rc != nil && rc.g.OK() {
+			rc.g.ResetOps()
+			order = rc.g.DirtyFrom(changed)
+			meter.Add(costmodel.DepOp, rc.g.Ops())
+			rc.g.ResetOps()
+			return order, nil
+		}
 	}
 	g := e.graph(s)
 	g.ResetOps()

@@ -169,6 +169,12 @@ func (e *Engine) certSortedAsc(src formula.Source, meter *costmodel.Meter, col, 
 	if st == nil {
 		return false
 	}
+	if !e.plannedBinarySearch(s, col, r0, r1) {
+		// The cost plan priced the scan cheaper for this site (planner.go);
+		// answering "not certified" here is sound — the lookup falls back to
+		// the linear scan, never to a wrong answer.
+		return false
+	}
 	return st.sortedAsc(s, meter, col, r0, r1)
 }
 

@@ -30,6 +30,25 @@ type ColumnIndexer interface {
 	LookupRow(col int, v cell.Value, lo, hi int) (row int, probes int, ok bool)
 }
 
+// IndexAdvisor is optionally implemented alongside ColumnIndexer by sources
+// that can veto an index probe per lookup site — the cost planner's hook.
+// IndexWorthwhile reports whether probing the column's index over rows
+// [lo, hi] is expected to beat the alternatives; the veto must be decided
+// BEFORE the probe, because a completed probe's miss is authoritative
+// (#N/A) and never falls back to a scan. Sources without an opinion always
+// probe.
+type IndexAdvisor interface {
+	IndexWorthwhile(col, lo, hi int) bool
+}
+
+// indexAdvised consults the source's optional IndexAdvisor.
+func indexAdvised(src Source, col, lo, hi int) bool {
+	if adv, ok := src.(IndexAdvisor); ok {
+		return adv.IndexWorthwhile(col, lo, hi)
+	}
+	return true
+}
+
 func init() {
 	register("VLOOKUP", 3, 4, fnVlookup)
 	register("HLOOKUP", 3, 4, fnHlookup)
@@ -123,8 +142,11 @@ func lookup(env *Env, args []operand, vertical bool) cell.Value {
 	default: // exact
 		if env.Lookup.Indexed {
 			// The index must belong to the sheet the table range actually
-			// reads from — a cross-sheet table falls back to the scan.
-			if ix, ok := tableSrc.(ColumnIndexer); ok && vertical {
+			// reads from — a cross-sheet table falls back to the scan — and
+			// the source's advisor (the cost planner) may veto the probe for
+			// sites where a scan or binary search prices cheaper.
+			if ix, ok := tableSrc.(ColumnIndexer); ok && vertical &&
+				indexAdvised(tableSrc, table.Start.Col, table.Start.Row, table.End.Row) {
 				lo := table.Start.Row
 				row, probes, found := ix.LookupRow(table.Start.Col, key, lo, table.End.Row)
 				env.add(costmodel.IndexProbe, int64(probes))

@@ -84,7 +84,7 @@ type Analyzer struct {
 
 // Analyzers returns every registered analyzer, in gate order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMap, FloatCmp, SortedOut, GlobalMut, LockCheck, LatticeCheck}
+	return []*Analyzer{RangeMap, FloatCmp, SortedOut, GlobalMut, LockCheck, LatticeCheck, ReturnCheck}
 }
 
 // RunDir loads one directory and runs one analyzer over it.

@@ -1,0 +1,253 @@
+// The returncheck analyzer: discarded write errors. Report and result
+// files land on real disks that fill up, and an fmt.Fprintf whose error is
+// dropped turns a full disk into a silently truncated benchmark report. The
+// check flags expression statements that discard the error of a write
+// directed at a real sink:
+//
+//	fmt.Fprintf(w, ...)      // w an io.Writer parameter — FLAGGED
+//	f.WriteString(...)       // f a *os.File — FLAGGED
+//	bw.Flush()               // bw a *bufio.Writer — FLAGGED (the one
+//	                         // place bufio's sticky error surfaces)
+//
+// Writers that cannot meaningfully fail are exempt: os.Stdout/os.Stderr
+// (diagnostic streams whose failure has no recovery), bytes.Buffer and
+// strings.Builder (in-memory, error-free by contract), and *bufio.Writer
+// writes (the sticky error is checked once, at Flush — which is why a
+// discarded Flush IS flagged). Identifiers conventionally naming a
+// diagnostic stream (errOut, errw, stderr, stdout) are exempt for the same
+// reason as os.Stderr. An explicit `_, _ =` assignment documents intent and
+// is not an expression statement, so it never triggers. As everywhere in
+// this package, expressions the syntactic resolver cannot classify are
+// skipped: the check errs toward silence.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ReturnCheck is the discarded-write-error analyzer. Its gate covers the
+// packages that write files and reports users keep: the workbook/CSV codec,
+// the figure renderer, and every command-line driver.
+var ReturnCheck = &Analyzer{
+	Name: "returncheck",
+	Doc:  "write errors to files and io.Writer sinks must not be discarded",
+	DefaultDirs: []string{
+		"internal/iolib", "internal/report",
+		"cmd/bct", "cmd/datagen", "cmd/formula2sql", "cmd/obscheck",
+		"cmd/oot", "cmd/sheetcli",
+	},
+	Run: func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, checkReturns(pkg, fd)...)
+			}
+		}
+		return sortDiags(diags)
+	},
+}
+
+// writerClass is the syntactic classification of an identifier used as a
+// write destination.
+type writerClass int
+
+const (
+	classUnknown  writerClass = iota
+	classSink                 // io.Writer param, *os.File: errors matter
+	classBuffered             // *bufio.Writer: errors surface at Flush
+	classBuffer               // bytes.Buffer, strings.Builder: error-free
+)
+
+// diagStreamNames are identifiers conventionally bound to a diagnostic
+// stream; a failed write there has no recovery, matching the os.Stderr
+// exemption.
+var diagStreamNames = map[string]bool{
+	"errOut": true, "errw": true, "stderr": true, "stdout": true,
+}
+
+// checkReturns analyzes one function body.
+func checkReturns(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	classes := collectWriterClasses(fd)
+	var diags []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(n.Pos()).String(),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// fmt.Fprint* / io.WriteString: the sink is the first argument.
+		if pkgName, ok := sel.X.(*ast.Ident); ok && len(call.Args) > 0 {
+			fn := pkgName.Name + "." + sel.Sel.Name
+			switch fn {
+			case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+				if id, cls := sinkIdent(call.Args[0], classes); cls == classSink {
+					flag(es, "%s error discarded; writer %q is a real sink — check or return it", fn, id)
+				}
+				return true
+			}
+		}
+		// Method writes: w.Write / w.WriteString on a classified sink, and
+		// bw.Flush on a bufio writer.
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Write", "WriteString":
+			if classes[recv.Name] == classSink && !diagStreamNames[recv.Name] {
+				flag(es, "%s.%s error discarded; check or return it", recv.Name, sel.Sel.Name)
+			}
+		case "Flush":
+			if classes[recv.Name] == classBuffered {
+				flag(es, "%s.Flush error discarded; Flush is where bufio's sticky write error surfaces", recv.Name)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// sinkIdent classifies a write destination expression. Selector
+// destinations (os.Stdout, os.Stderr, cfg.Out) and anything else the
+// resolver cannot pin to a local identifier return classUnknown.
+func sinkIdent(e ast.Expr, classes map[string]writerClass) (string, writerClass) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		if diagStreamNames[t.Name] {
+			return t.Name, classUnknown
+		}
+		return t.Name, classes[t.Name]
+	case *ast.UnaryExpr:
+		// &buf passed to fmt.Fprintf: classify the operand.
+		return sinkIdent(t.X, classes)
+	}
+	return "", classUnknown
+}
+
+// collectWriterClasses resolves the function's identifiers to writer
+// classes: io.Writer/io.StringWriter/*os.File parameters and os.Create
+// results are sinks, bufio.NewWriter results are buffered, bytes.Buffer and
+// strings.Builder declarations are in-memory buffers.
+func collectWriterClasses(fd *ast.FuncDecl) map[string]writerClass {
+	classes := make(map[string]writerClass)
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			cls := typeWriterClass(f.Type)
+			for _, name := range f.Names {
+				if cls != classUnknown {
+					classes[name.Name] = cls
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range t.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				// For w, err := os.Create(p) the call is the single RHS.
+				var rhs ast.Expr
+				if len(t.Rhs) == len(t.Lhs) {
+					rhs = t.Rhs[i]
+				} else if len(t.Rhs) == 1 && i == 0 {
+					rhs = t.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if cls := valueWriterClass(rhs); cls != classUnknown {
+					classes[id.Name] = cls
+				}
+			}
+		case *ast.ValueSpec:
+			cls := typeWriterClass(t.Type)
+			for i, name := range t.Names {
+				if cls != classUnknown {
+					classes[name.Name] = cls
+				} else if i < len(t.Values) {
+					if v := valueWriterClass(t.Values[i]); v != classUnknown {
+						classes[name.Name] = v
+					}
+				}
+			}
+		}
+		return true
+	})
+	return classes
+}
+
+// typeWriterClass classifies a declared type expression.
+func typeWriterClass(e ast.Expr) writerClass {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if pkg, ok := t.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + t.Sel.Name {
+			case "io.Writer", "io.StringWriter", "io.WriteCloser":
+				return classSink
+			case "bytes.Buffer", "strings.Builder":
+				return classBuffer
+			}
+		}
+	case *ast.StarExpr:
+		if sel, ok := t.X.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok {
+				switch pkg.Name + "." + sel.Sel.Name {
+				case "os.File":
+					return classSink
+				case "bufio.Writer":
+					return classBuffered
+				case "bytes.Buffer", "strings.Builder":
+					return classBuffer
+				}
+			}
+		}
+	}
+	return classUnknown
+}
+
+// valueWriterClass classifies a bound value expression.
+func valueWriterClass(e ast.Expr) writerClass {
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := t.Fun.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok {
+				switch pkg.Name + "." + sel.Sel.Name {
+				case "os.Create", "os.OpenFile":
+					return classSink
+				case "bufio.NewWriter", "bufio.NewWriterSize":
+					return classBuffered
+				}
+			}
+		}
+		if id, ok := t.Fun.(*ast.Ident); ok && id.Name == "new" && len(t.Args) == 1 {
+			return typeWriterClass(t.Args[0])
+		}
+	case *ast.UnaryExpr:
+		return valueWriterClass(t.X)
+	case *ast.CompositeLit:
+		return typeWriterClass(t.Type)
+	}
+	return classUnknown
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReturnBadPackageIsFullyFlagged(t *testing.T) {
+	diags, err := ReturnCheck.RunDir(filepath.Join("testdata", "src", "returnbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding per `// want:` comment in returnbad.go.
+	const want = 6
+	if len(diags) != want {
+		t.Fatalf("findings = %d, want %d:\n%s", len(diags), want, join(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos, "returnbad.go") {
+			t.Errorf("finding outside returnbad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "discarded") {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}
+
+func TestReturnGoodPackageIsClean(t *testing.T) {
+	diags, err := ReturnCheck.RunDir(filepath.Join("testdata", "src", "returngood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("false positives:\n%s", join(diags))
+	}
+}
+
+// TestWritersAreReturnCheckClean is the real gate: the codec, the report
+// renderer, and every command driver must check their write errors.
+func TestWritersAreReturnCheckClean(t *testing.T) {
+	for _, dir := range ReturnCheck.DefaultDirs {
+		diags, err := ReturnCheck.RunDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s has findings:\n%s", dir, join(diags))
+		}
+	}
+}

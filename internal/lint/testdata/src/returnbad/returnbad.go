@@ -1,0 +1,40 @@
+// Package returnbad discards write errors in every way returncheck flags.
+package returnbad
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteHeader drops the Fprintf error to a real io.Writer parameter.
+func WriteHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title) // want: Fprintf error discarded
+}
+
+// WriteLines drops Fprintln and io.WriteString errors.
+func WriteLines(w io.Writer, lines []string) {
+	for _, l := range lines {
+		fmt.Fprintln(w, l)      // want: Fprintln error discarded
+		io.WriteString(w, "\n") // want: WriteString error discarded
+	}
+}
+
+// SaveFile drops the error of a direct file write.
+func SaveFile(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write(data)           // want: Write error discarded
+	f.WriteString("done\n") // want: WriteString error discarded
+}
+
+// FlushDropped buffers writes but never checks the sticky error.
+func FlushDropped(w io.Writer, data []byte) {
+	bw := bufio.NewWriter(w)
+	bw.Write(data) // buffered: not flagged here...
+	bw.Flush()     // want: ...but the discarded Flush is
+}

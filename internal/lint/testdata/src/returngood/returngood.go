@@ -1,0 +1,58 @@
+// Package returngood writes through every exempt channel: checked errors,
+// explicit discards, in-memory buffers, diagnostic streams, and bufio with
+// a checked Flush.
+package returngood
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteHeader propagates the write error.
+func WriteHeader(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BuildReport writes to in-memory buffers, which cannot fail.
+func BuildReport(rows []string) string {
+	var b strings.Builder
+	buf := &bytes.Buffer{}
+	for _, r := range rows {
+		b.WriteString(r)
+		fmt.Fprintln(buf, r)
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String() + buf.String()
+}
+
+// Progress writes diagnostics; a failed stderr write has no recovery.
+func Progress(errOut io.Writer, msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	fmt.Fprintf(os.Stdout, "%s\n", msg)
+	fmt.Fprintf(errOut, "%s\n", msg)
+}
+
+// SaveFile checks every file write and the buffered flush.
+func SaveFile(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	bw.Write(data)
+	bw.WriteString("done\n")
+	return bw.Flush()
+}
+
+// ExplicitDiscard documents intent with a blank assignment.
+func ExplicitDiscard(w io.Writer) {
+	_, _ = fmt.Fprintln(w, "best effort")
+}

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/absint"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// Certificate is the result of re-checking a plan against the concrete
+// workbook: every choice re-derived (argmin over its feasible candidates)
+// and every load-bearing precondition re-verified, with one witness line
+// per check. A plan with violations is still executable — engine fast
+// paths keep their own soundness guards — but its cost claims are suspect
+// and a consumer should re-plan.
+type Certificate struct {
+	Checked    int      `json:"checked"`
+	Witnesses  []string `json:"witnesses,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+	Valid      bool     `json:"valid"`
+}
+
+// Certify re-checks the plan against the workbook it was built from. Two
+// families of checks run per choice:
+//
+//  1. Selection: the chosen strategy is the feasible candidate with the
+//     minimum simulated cost — the plan's argmin claim, re-derived from
+//     the recorded candidate list rather than trusted.
+//  2. Preconditions: the facts a sub-linear strategy depends on hold on
+//     the concrete sheet — binary-search sites re-verified as ascending
+//     numeric runs (by the abstract interpreter's concrete fallback, not
+//     the statistics that proposed them), region sequencing re-verified
+//     orderable, and statistics row counts spot-checked against the grid.
+func Certify(p *Plan, wb *sheet.Workbook) *Certificate {
+	cert := &Certificate{}
+	witness := func(format string, a ...interface{}) {
+		cert.Witnesses = append(cert.Witnesses, fmt.Sprintf(format, a...))
+	}
+	violate := func(format string, a ...interface{}) {
+		cert.Violations = append(cert.Violations, fmt.Sprintf(format, a...))
+	}
+
+	for _, sp := range p.Sheets {
+		s := wb.Sheet(sp.Sheet)
+		if s == nil {
+			violate("sheet %q: missing from workbook", sp.Sheet)
+			continue
+		}
+		for _, cs := range sp.Stats.Columns {
+			cert.Checked++
+			if cs.Rows != s.Rows() {
+				violate("%s col %d: statistics collected at %d rows, sheet has %d",
+					sp.Sheet, cs.Col, cs.Rows, s.Rows())
+			} else if cs.NonEmpty > cs.Rows || cs.Distinct > cs.NonEmpty {
+				violate("%s col %d: inconsistent statistics (%d non-empty of %d, %d distinct)",
+					sp.Sheet, cs.Col, cs.NonEmpty, cs.Rows, cs.Distinct)
+			} else {
+				witness("%s col %d: stats consistent (rows=%d distinct≈%d)",
+					sp.Sheet, cs.Col, cs.Rows, cs.Distinct)
+			}
+		}
+		for _, c := range sp.Choices {
+			cert.Checked++
+			checkSelection(c, witness, violate)
+			checkPrecondition(c, s, witness, violate)
+		}
+	}
+	cert.Valid = len(cert.Violations) == 0
+	p.Certificate = cert
+	return cert
+}
+
+// checkSelection re-derives the argmin over the choice's feasible
+// candidates.
+func checkSelection(c *Choice, witness, violate func(string, ...interface{})) {
+	best, ok := minFeasible(c.Candidates)
+	if !ok {
+		if c.Chosen == "" {
+			witness("%s %s: no feasible candidate, choice empty", c.Kind, c.Basis)
+			return
+		}
+		violate("%s %s: chose %s with no feasible candidate", c.Kind, c.Basis, c.Chosen)
+		return
+	}
+	chosen, ok := c.chosenCandidate()
+	if !ok || !chosen.Feasible {
+		violate("%s %s: chosen %s not among feasible candidates", c.Kind, c.Basis, c.Chosen)
+		return
+	}
+	if chosen.Sim > best.Sim {
+		violate("%s %s: chose %s (%v) over cheaper %s (%v)",
+			c.Kind, c.Basis, c.Chosen, chosen.Sim, best.Strategy, best.Sim)
+		return
+	}
+	witness("%s %s: %s is argmin (%v)", c.Kind, c.Basis, c.Chosen, chosen.Sim)
+}
+
+func minFeasible(cands []Candidate) (Candidate, bool) {
+	var best Candidate
+	found := false
+	for _, cand := range cands {
+		if !cand.Feasible {
+			continue
+		}
+		if !found || cand.Sim < best.Sim {
+			best = cand
+			found = true
+		}
+	}
+	return best, found
+}
+
+// checkPrecondition re-verifies the concrete fact a sub-linear chosen
+// strategy depends on. Scan choices have no precondition; index-probe
+// choices rely on the engine's own guarded build (the index is constructed
+// from the grid at use time, so there is nothing static to falsify).
+func checkPrecondition(c *Choice, s *sheet.Sheet, witness, violate func(string, ...interface{})) {
+	switch c.Chosen {
+	case BinarySearch:
+		if absint.SortedAscRun(s, c.Site.Col, c.Site.R0, c.Site.R1) {
+			witness("%s %s: ascending numeric run re-verified", c.Kind, c.Basis)
+		} else {
+			violate("%s %s: key span not an ascending numeric run", c.Kind, c.Basis)
+		}
+	case RegionChain:
+		g := regions.Build(regions.Infer(s))
+		if g.OK() {
+			witness("%s %s: region graph orderable", c.Kind, c.Basis)
+		} else {
+			violate("%s %s: region graph not orderable", c.Kind, c.Basis)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/regions"
+	"repro/internal/sheet"
+)
+
+// Options configures a plan build.
+type Options struct {
+	// Coeff scalarizes candidate meters to simulated time for comparison.
+	// The zero value selects DefaultCoefficients.
+	Coeff costmodel.Coefficients
+	// SampleCap bounds the per-column distinct-count sample (default 256).
+	SampleCap int
+	// Cache, when non-nil, carries column statistics across plan builds,
+	// invalidated per column by ColVersion.
+	Cache *Cache
+	// ColVersion supplies the current version of a column, keying cached
+	// statistics the way the engine keys its sortedness certificates. Nil
+	// means version 0 everywhere (immutable one-shot analysis).
+	ColVersion func(sheetName string, col int) int64
+}
+
+// DefaultCoefficients is the planning coefficient set used when Options
+// leaves Coeff zero: the Excel-scale per-op times from the engine's
+// calibration (engine profiles pass their own coefficients instead, so this
+// only backs standalone static analysis and the CLI).
+func DefaultCoefficients() costmodel.Coefficients {
+	var c costmodel.Coefficients
+	c[costmodel.CellTouch] = 120
+	c[costmodel.CellWrite] = 300
+	c[costmodel.Compare] = 50
+	c[costmodel.DepOp] = 1400
+	c[costmodel.StaleCheck] = 40
+	c[costmodel.FormulaEval] = 1000
+	c[costmodel.IndexProbe] = 50
+	return c
+}
+
+// lookupSite is one globally merged lookup site: every use across the
+// workbook that probes the same (sheet, column, span, match kind).
+type lookupSite struct {
+	key      SiteKey
+	fn       string
+	mode     int
+	count    int
+	allLocal bool // every use hosted on the probed sheet (host index usable)
+}
+
+// Build derives a plan for the workbook: statistics for every column an
+// operation site consults, priced candidates per site, and the chosen
+// strategies with their predicted steady-state recalculation work.
+func Build(wb *sheet.Workbook, opt Options) *Plan {
+	if opt.Coeff == (costmodel.Coefficients{}) {
+		opt.Coeff = DefaultCoefficients()
+	}
+	pr := pricer{coeff: opt.Coeff}
+
+	type sheetCtx struct {
+		s    *sheet.Sheet
+		set  *siteSet
+		coll *Collector
+		sp   *SheetPlan
+	}
+	var ctxs []*sheetCtx
+	// Globally merged lookup sites, keyed by the sheet whose column they
+	// probe (where the engine consults the plan).
+	sites := make(map[string]map[SiteKey]*lookupSite)
+
+	for _, s := range wb.Sheets() {
+		ver := func(col int) int64 { return 0 }
+		if opt.ColVersion != nil {
+			name := s.Name
+			ver = func(col int) int64 { return opt.ColVersion(name, col) }
+		}
+		var sc *sheetCache
+		if opt.Cache != nil {
+			sc = opt.Cache.sheet(s.Name)
+		}
+		ctx := &sheetCtx{
+			s:    s,
+			set:  collectSites(s),
+			coll: newCollector(s, ver, sc, opt.SampleCap),
+		}
+		ctxs = append(ctxs, ctx)
+		for target, bySite := range ctx.set.lookups {
+			local := target == ""
+			if local {
+				target = s.Name
+			}
+			reg, ok := sites[target]
+			if !ok {
+				reg = make(map[SiteKey]*lookupSite)
+				sites[target] = reg
+			}
+			for key, agg := range bySite {
+				site, ok := reg[key]
+				if !ok {
+					site = &lookupSite{key: key, fn: agg.fn, mode: agg.mode, allLocal: true}
+					reg[key] = site
+				}
+				site.count += agg.count
+				site.allLocal = site.allLocal && local
+			}
+		}
+	}
+
+	p := &Plan{}
+	plans := make(map[string]*SheetPlan)
+	for _, ctx := range ctxs {
+		ctx.sp = buildSheetPlan(ctx.s, ctx.set, ctx.coll, sites[ctx.s.Name], pr)
+		p.Sheets = append(p.Sheets, ctx.sp)
+		plans[ctx.s.Name] = ctx.sp
+	}
+
+	// Second pass: predict each sheet's steady-state recalculation work
+	// under the chosen strategies. Lookup choices may live on other sheets,
+	// so this runs only after every sheet plan exists.
+	for _, ctx := range ctxs {
+		predictSheet(ctx.sp, ctx.s.Name, ctx.set, plans)
+	}
+
+	// Record the statistics the plan rests on, with their versions — the
+	// consumer's invalidation key.
+	for _, ctx := range ctxs {
+		var cols []int
+		for col := range ctx.coll.cols {
+			cols = append(cols, col)
+		}
+		sortInts(cols)
+		for _, col := range cols {
+			cs := ctx.coll.cols[col]
+			ctx.sp.Stats.Columns = append(ctx.sp.Stats.Columns, *cs)
+			p.statCols = append(p.statCols, StatColumn{Sheet: ctx.s.Name, Col: col, Version: cs.Version})
+		}
+	}
+	return p
+}
+
+// buildSheetPlan makes every choice that executes against one sheet.
+func buildSheetPlan(s *sheet.Sheet, set *siteSet, coll *Collector, lookups map[SiteKey]*lookupSite, pr pricer) *SheetPlan {
+	sp := &SheetPlan{
+		Sheet: s.Name,
+		Stats: SheetSummary{
+			Rows:     s.Rows(),
+			Cols:     s.Cols(),
+			Formulas: s.FormulaCount(),
+			External: s.ExternalCount(),
+		},
+		lookups: make(map[SiteKey]*Choice),
+		countIf: make(map[int]*Choice),
+		aggs:    make(map[int]*Choice),
+		builds:  make(map[int]*Choice),
+	}
+
+	var keys []SiteKey
+	for key := range lookups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.R0 != b.R0 {
+			return a.R0 < b.R0
+		}
+		if a.R1 != b.R1 {
+			return a.R1 < b.R1
+		}
+		return !a.Exact && b.Exact
+	})
+	for _, key := range keys {
+		c := planLookup(sp.Sheet, lookups[key], coll, pr)
+		sp.lookups[key] = c
+		sp.Choices = append(sp.Choices, c)
+	}
+
+	for _, col := range sortedCols(set.countIf) {
+		c := planCountIf(sp.Sheet, col, set.countIf[col], coll, pr)
+		sp.countIf[col] = c
+		sp.Choices = append(sp.Choices, c)
+	}
+	for _, col := range sortedCols(set.aggs) {
+		c := planAggregate(sp.Sheet, col, set.aggs[col], pr)
+		sp.aggs[col] = c
+		sp.Choices = append(sp.Choices, c)
+		if c.Chosen == PrefixSum {
+			b := planBuild(sp.Sheet, col, set.aggs[col], pr)
+			sp.builds[col] = b
+			sp.Choices = append(sp.Choices, b)
+		}
+	}
+
+	if s.FormulaCount() > 0 {
+		c, regionCount := planRecalc(s, pr)
+		sp.recalc = c
+		sp.Stats.Regions = regionCount
+		sp.Choices = append(sp.Choices, c)
+	}
+	if c := planMaintenance(sp.Sheet, set, pr); c != nil {
+		sp.maint = c
+		sp.Choices = append(sp.Choices, c)
+	}
+	return sp
+}
+
+// planLookup prices scan vs binary search vs hash probe for one lookup
+// site on the sheet holding the key column.
+func planLookup(sheetName string, site *lookupSite, coll *Collector, pr pricer) *Choice {
+	n := site.key.Span()
+	cs := coll.Column(site.key.Col)
+	sorted, static := coll.SortedAsc(site.key.Col, site.key.R0, site.key.R1)
+	count := int64(site.count)
+
+	cands := []Candidate{{
+		Strategy: Scan,
+		Work:     scanLookupWork(site.fn, site.mode, n),
+		Feasible: true,
+	}}
+
+	bs := Candidate{Strategy: BinarySearch}
+	switch {
+	case site.mode < 0:
+		bs.Note = "descending match order"
+	case !sorted:
+		bs.Note = "key column not an ascending numeric run"
+	default:
+		bs.Feasible = true
+		bs.Work = binSearchLookupWork(site.fn, n, static, count)
+		if !static {
+			bs.Note = "first use pays a certification rescan (amortized)"
+		}
+	}
+	cands = append(cands, bs)
+
+	hp := Candidate{Strategy: HashProbe}
+	switch {
+	case !site.key.Exact:
+		hp.Note = "approximate match needs ordered access"
+	case !site.allLocal:
+		hp.Note = "cross-sheet table: no host-sheet index"
+	default:
+		hp.Feasible = true
+		hp.Work = hashLookupWork(n, cs.ExpectedMatches(n), count)
+	}
+	cands = append(cands, hp)
+
+	c := choose(KindLookup, sheetName, site.fn, cands, pr)
+	c.Site = site.key
+	c.Count = site.count
+	c.Basis = fmt.Sprintf("%s n=%d uses=%d distinct≈%d sorted=%v static=%v",
+		siteID(sheetName, site.key), n, site.count, cs.Distinct, sorted, static)
+	return c
+}
+
+// planCountIf prices full scan vs index probes for COUNTIF over one
+// column.
+func planCountIf(sheetName string, col int, agg *colSiteAgg, coll *Collector, pr pricer) *Choice {
+	n := int64(agg.r1 - agg.r0 + 1)
+	cs := coll.Column(col)
+	count := int64(agg.count)
+
+	cands := []Candidate{{Strategy: Scan, Work: scanCountWork(n), Feasible: true}}
+	if agg.equality {
+		cands = append(cands, Candidate{
+			Strategy: HashProbe,
+			Work:     hashCountWork(n, cs.ExpectedMatches(n), count),
+			Feasible: true,
+		})
+	} else {
+		cands = append(cands, Candidate{
+			Strategy: BTreeCount,
+			Work:     btreeCountWork(n, count),
+			Feasible: true,
+		})
+	}
+
+	c := choose(KindCountIf, sheetName, agg.fn, cands, pr)
+	c.Site = SiteKey{Col: col, R0: agg.r0, R1: agg.r1, Exact: agg.equality}
+	c.Count = agg.count
+	c.Basis = fmt.Sprintf("%s n=%d uses=%d distinct≈%d equality=%v",
+		siteID(sheetName, c.Site), n, agg.count, cs.Distinct, agg.equality)
+	return c
+}
+
+// planAggregate prices full scan vs prefix-sum service for SUM/COUNT/
+// AVERAGE over one column. The prefix candidate is priced with a lazy
+// (amortized) fill; the separate build choice then schedules it eagerly.
+func planAggregate(sheetName string, col int, agg *colSiteAgg, pr pricer) *Choice {
+	n := int64(agg.r1 - agg.r0 + 1)
+	count := int64(agg.count)
+	cands := []Candidate{
+		{Strategy: Scan, Work: scanAggWork(n), Feasible: true},
+		{Strategy: PrefixSum, Work: prefixAggWork(n, count, false), Feasible: true},
+	}
+	c := choose(KindAggregate, sheetName, agg.fn, cands, pr)
+	c.Site = SiteKey{Col: col, R0: agg.r0, R1: agg.r1}
+	c.Count = agg.count
+	c.Basis = fmt.Sprintf("%s n=%d uses=%d", siteID(sheetName, c.Site), n, agg.count)
+	return c
+}
+
+// planBuild schedules a chosen prefix-sum index eagerly (install time,
+// uncharged by the engine's accounting) or lazily (first use pays the
+// fill). With even one instance the eager build dominates.
+func planBuild(sheetName string, col int, agg *colSiteAgg, pr pricer) *Choice {
+	n := int64(agg.r1 - agg.r0 + 1)
+	count := int64(agg.count)
+	cands := []Candidate{
+		{Strategy: EagerBuild, Work: prefixAggWork(n, count, true), Feasible: true,
+			Note: "install-time build, uncharged"},
+		{Strategy: LazyBuild, Work: prefixAggWork(n, count, false), Feasible: true},
+	}
+	c := choose(KindIndexBuild, sheetName, agg.fn, cands, pr)
+	c.Site = SiteKey{Col: col, R0: agg.r0, R1: agg.r1}
+	c.Count = agg.count
+	c.Basis = fmt.Sprintf("%s n=%d uses=%d", siteID(sheetName, c.Site), n, agg.count)
+	return c
+}
+
+// planRecalc prices region-level vs per-cell recalculation sequencing for
+// one sheet, running the real region inference (planning is uncharged
+// static analysis, so the measured op counts are free to consult).
+func planRecalc(s *sheet.Sheet, pr pricer) (*Choice, int) {
+	f := int64(s.FormulaCount())
+	sr := regions.Infer(s)
+	g := regions.Build(sr)
+	inferOps := sr.Ops() + g.Ops()
+
+	cands := []Candidate{{Strategy: PerCell, Work: perCellSequenceWork(f), Feasible: true}}
+	rc := Candidate{Strategy: RegionChain}
+	if g.OK() {
+		rc.Feasible = true
+		rc.Work = regionSequenceWork(inferOps, f)
+	} else {
+		rc.Note = "region graph not orderable (irregular dependencies)"
+	}
+	cands = append(cands, rc)
+
+	c := choose(KindRecalc, s.Name, "", cands, pr)
+	c.Count = int(f)
+	c.Basis = fmt.Sprintf("%s formulas=%d regions=%d inferOps=%d ok=%v",
+		s.Name, f, len(sr.Regions), inferOps, g.OK())
+	return c, len(sr.Regions)
+}
+
+// planMaintenance prices delta vs recompute maintenance of materialized
+// aggregates through a cell edit, using the worst (most covered) column as
+// the representative edit site. Sheets with no aggregate sites skip the
+// choice (nothing to maintain either way).
+func planMaintenance(sheetName string, set *siteSet, pr pricer) *Choice {
+	type colLoad struct {
+		aggs  int64
+		cells int64
+	}
+	loads := make(map[int]*colLoad)
+	note := func(col int, agg *colSiteAgg) {
+		l, ok := loads[col]
+		if !ok {
+			l = &colLoad{}
+			loads[col] = l
+		}
+		l.aggs += int64(agg.count)
+		l.cells += int64(agg.count) * int64(agg.r1-agg.r0+1)
+	}
+	for col, agg := range set.countIf {
+		note(col, agg)
+	}
+	for col, agg := range set.aggs {
+		note(col, agg)
+	}
+	if len(loads) == 0 {
+		return nil
+	}
+	worstCol, worst := -1, &colLoad{}
+	for col, l := range loads {
+		if l.cells > worst.cells || (l.cells == worst.cells && (worstCol < 0 || col < worstCol)) {
+			worstCol, worst = col, l
+		}
+	}
+
+	cands := []Candidate{
+		{Strategy: Delta, Work: deltaMaintWork(worst.aggs), Feasible: true},
+		{Strategy: Recompute, Work: recomputeMaintWork(worst.cells), Feasible: true},
+	}
+	c := choose(KindMaint, sheetName, "", cands, pr)
+	c.Site = SiteKey{Col: worstCol}
+	c.Count = int(worst.aggs)
+	c.Basis = fmt.Sprintf("%s worst col=%d aggregates=%d covered cells=%d",
+		sheetName, worstCol, worst.aggs, worst.cells)
+	return c
+}
+
+// choose scalarizes the candidates, orders feasible ones by ascending
+// simulated time (infeasible ones trail), and picks the cheapest feasible.
+func choose(kind, sheetName, fn string, cands []Candidate, pr pricer) *Choice {
+	for i := range cands {
+		if cands[i].Feasible {
+			cands[i].Sim = pr.sim(cands[i].Work)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Feasible != cands[j].Feasible {
+			return cands[i].Feasible
+		}
+		if !cands[i].Feasible {
+			return false
+		}
+		return cands[i].Sim < cands[j].Sim
+	})
+	c := &Choice{Kind: kind, Sheet: sheetName, Fn: fn, Candidates: cands}
+	if len(cands) > 0 && cands[0].Feasible {
+		c.Chosen = cands[0].Strategy
+	}
+	return c
+}
+
+// predictSheet computes the sheet's Predicted and PredictedExt meters: one
+// evaluation of every hosted formula under the chosen strategies. COUNTIF
+// and aggregate sites are charged as scans here — the engine's index and
+// prefix services answer formula *insertion*, while full recalculation
+// always re-scans (the plan's countif/aggregate choices are priced against
+// insert-time work in the bench matrix instead).
+func predictSheet(sp *SheetPlan, hostName string, set *siteSet, plans map[string]*SheetPlan) {
+	var pm, ext costmodel.Meter
+	for _, fi := range set.formulas {
+		var fm costmodel.Meter
+		fm.Add(costmodel.FormulaEval, 1)
+		fm.Add(costmodel.CellTouch, fi.refCells+fi.plainLocalCells+fi.extPlainCells)
+		for _, use := range fi.lookups {
+			target := use.target
+			if target == "" {
+				target = hostName
+			}
+			work := scanLookupWork(use.fn, use.mode, use.key.Span())
+			if tp := plans[target]; tp != nil {
+				if c, ok := tp.lookups[use.key]; ok {
+					if cand, ok := c.chosenCandidate(); ok {
+						work = cand.Work
+					}
+				}
+			}
+			addMeter(&fm, work)
+		}
+		for _, cu := range fi.colUses {
+			span := int64(cu.r1 - cu.r0 + 1)
+			if cu.kind == KindCountIf {
+				addMeter(&fm, scanCountWork(span))
+			} else {
+				addMeter(&fm, scanAggWork(span))
+			}
+		}
+		addMeter(&pm, fm)
+		if fi.external {
+			addMeter(&ext, fm)
+		}
+	}
+	sp.Predicted = pm
+	sp.PredictedExt = ext
+}
+
+// sortedCols returns the map's keys ascending.
+func sortedCols(m map[int]*colSiteAgg) []int {
+	cols := make([]int, 0, len(m))
+	for col := range m {
+		cols = append(cols, col)
+	}
+	sortInts(cols)
+	return cols
+}

@@ -1,0 +1,256 @@
+package plan
+
+import (
+	"repro/internal/absint"
+	"repro/internal/cell"
+	"repro/internal/sheet"
+)
+
+// ColumnStats is the planner's statistics record for one column: exact
+// row-kind counts, a sampled distinct-count estimate, and the sortedness
+// facts the sub-linear lookup strategies depend on. Version is the column
+// version the statistics were collected under (from Options.ColVersion);
+// the consuming engine treats a version mismatch as invalidation, exactly
+// like its colVer-keyed sortedness certificates.
+type ColumnStats struct {
+	Col      int   `json:"col"`
+	Rows     int   `json:"rows"`
+	NonEmpty int   `json:"non_empty"`
+	Numeric  int   `json:"numeric"`
+	Formulas int   `json:"formulas"`
+	Distinct int   `json:"distinct_est"`
+	Sampled  int   `json:"sampled"`
+	Version  int64 `json:"-"`
+}
+
+// Selectivity estimates the fraction of non-empty cells matching one
+// equality probe value — 1/distinct under a uniform-duplication model.
+func (cs *ColumnStats) Selectivity() float64 {
+	if cs.Distinct == 0 {
+		return 0
+	}
+	return 1 / float64(cs.Distinct)
+}
+
+// ExpectedMatches estimates how many of the span's n cells one equality
+// probe matches (at least 1: the planner prices the found case, which is
+// also the conservative one for early-exit scans).
+func (cs *ColumnStats) ExpectedMatches(n int64) int64 {
+	if cs.Distinct == 0 {
+		return 1
+	}
+	m := n / int64(cs.Distinct)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// sampleCap is the default number of cells stride-sampled per column for
+// the distinct-count estimate. Sampling is deterministic (fixed stride
+// from row 1), so two collections over unchanged data always agree — a
+// prerequisite for version-keyed caching.
+const sampleCap = 256
+
+// Collector derives and caches per-column statistics for one sheet.
+// Collection is lazy — only columns a planning decision actually consults
+// are scanned — and cached across plan builds through an optional Cache,
+// invalidated per column by version.
+type Collector struct {
+	s      *sheet.Sheet
+	ver    func(col int) int64
+	cache  *sheetCache
+	cap    int
+	cert   *absint.SheetCert
+	cols   map[int]*ColumnStats
+	sorted map[[3]int]sortedFact
+}
+
+type sortedFact struct {
+	ok     bool
+	static bool // proven by the static certificate, no rescan needed
+}
+
+// newCollector builds a collector; ver may be nil (statistics then carry
+// version 0 and cache entries never invalidate — correct for one-shot
+// static analysis over an immutable sheet).
+func newCollector(s *sheet.Sheet, ver func(col int) int64, cache *sheetCache, capHint int) *Collector {
+	if capHint <= 0 {
+		capHint = sampleCap
+	}
+	return &Collector{
+		s:      s,
+		ver:    ver,
+		cache:  cache,
+		cap:    capHint,
+		cols:   make(map[int]*ColumnStats),
+		sorted: make(map[[3]int]sortedFact),
+	}
+}
+
+func (c *Collector) version(col int) int64 {
+	if c.ver == nil {
+		return 0
+	}
+	return c.ver(col)
+}
+
+func (c *Collector) certFor() *absint.SheetCert {
+	if c.cert == nil {
+		c.cert = absint.InferSheet(c.s).Certify()
+	}
+	return c.cert
+}
+
+// Column returns the column's statistics, collecting on first use and
+// reusing cached results whose version still matches.
+func (c *Collector) Column(col int) *ColumnStats {
+	if cs, ok := c.cols[col]; ok {
+		return cs
+	}
+	v := c.version(col)
+	if c.cache != nil {
+		if cs, ok := c.cache.get(col, v); ok {
+			c.cols[col] = cs
+			return cs
+		}
+	}
+	cs := c.collect(col, v)
+	c.cols[col] = cs
+	if c.cache != nil {
+		c.cache.put(col, cs)
+	}
+	return cs
+}
+
+// collect scans the column once for exact kind counts and stride-samples
+// it for the distinct estimate. The estimator is deliberately simple and
+// documented: with d distinct values among k samples of an n-row column,
+// a saturated sample (d <= k/2, most values repeating) is taken at face
+// value (d distinct — low-cardinality key/category columns), while an
+// unsaturated one scales linearly (d*n/k — high-cardinality data columns).
+// Both cases clamp to [d, nonEmpty].
+func (c *Collector) collect(col int, ver int64) *ColumnStats {
+	rows := c.s.Rows()
+	cs := &ColumnStats{Col: col, Rows: rows, Version: ver}
+	for r := 0; r < rows; r++ {
+		a := cell.Addr{Row: r, Col: col}
+		v := c.s.Value(a)
+		if !v.IsEmpty() {
+			cs.NonEmpty++
+		}
+		if v.Kind == cell.Number {
+			cs.Numeric++
+		}
+		if _, isF := c.s.Formula(a); isF {
+			cs.Formulas++
+		}
+	}
+	// Deterministic stride sample over the data rows (row 0 is typically a
+	// header and excluded, matching the absint certificates' NumericFrom).
+	n := rows - 1
+	if n < 1 {
+		cs.Distinct = cs.NonEmpty
+		return cs
+	}
+	k := c.cap
+	if k > n {
+		k = n
+	}
+	stride := n / k
+	if stride < 1 {
+		stride = 1
+	}
+	seen := make(map[cell.Value]struct{}, k)
+	sampled := 0
+	for r := 1; r < rows && sampled < k; r += stride {
+		v := c.s.Value(cell.Addr{Row: r, Col: col})
+		if v.IsEmpty() {
+			continue
+		}
+		sampled++
+		seen[v] = struct{}{}
+	}
+	cs.Sampled = sampled
+	d := len(seen)
+	switch {
+	case sampled == 0:
+		cs.Distinct = 0
+	case sampled >= n || d <= sampled/2:
+		cs.Distinct = d
+	default:
+		cs.Distinct = d * cs.NonEmpty / sampled
+	}
+	if cs.Distinct < d {
+		cs.Distinct = d
+	}
+	if cs.Distinct > cs.NonEmpty {
+		cs.Distinct = cs.NonEmpty
+	}
+	return cs
+}
+
+// SortedAsc reports whether rows [r0, r1] of the column form an ascending
+// all-Number run, and whether that fact is statically certified (the
+// engine then pays no verification rescan on first use). Static coverage
+// comes from the abstract interpreter's column certificates; everything
+// else falls back to the same concrete rescan the engine's lazy
+// certification performs, memoized per span.
+func (c *Collector) SortedAsc(col, r0, r1 int) (ok, static bool) {
+	if r0 > r1 || r0 < 0 || r1 >= c.s.Rows() {
+		return false, false
+	}
+	k := [3]int{col, r0, r1}
+	if f, hit := c.sorted[k]; hit {
+		return f.ok, f.static
+	}
+	f := sortedFact{}
+	if cc := c.certFor().Column(col); cc != nil && cc.CoversAsc(r0, r1) {
+		f = sortedFact{ok: true, static: true}
+	} else {
+		f.ok = absint.SortedAscRun(c.s, col, r0, r1)
+	}
+	c.sorted[k] = f
+	return f.ok, f.static
+}
+
+// NumericRun reports whether rows [r0, r1] are certified all-numeric
+// (header-exclusive spans of typed data columns).
+func (c *Collector) NumericRun(col, r0, r1 int) bool {
+	cc := c.certFor().Column(col)
+	return cc != nil && cc.NumericFrom <= r0 && cc.R1 >= r1 && r0 <= r1
+}
+
+// Cache carries column statistics across plan builds. Entries are keyed
+// (sheet name, column) and validated by column version, mirroring the
+// engine's valuecert lifecycle: a stale version is never consulted, it is
+// silently recollected.
+type Cache struct {
+	sheets map[string]*sheetCache
+}
+
+type sheetCache struct {
+	cols map[int]*ColumnStats
+}
+
+// NewCache returns an empty statistics cache.
+func NewCache() *Cache { return &Cache{sheets: make(map[string]*sheetCache)} }
+
+func (c *Cache) sheet(name string) *sheetCache {
+	sc, ok := c.sheets[name]
+	if !ok {
+		sc = &sheetCache{cols: make(map[int]*ColumnStats)}
+		c.sheets[name] = sc
+	}
+	return sc
+}
+
+func (sc *sheetCache) get(col int, ver int64) (*ColumnStats, bool) {
+	cs, ok := sc.cols[col]
+	if !ok || cs.Version != ver {
+		return nil, false
+	}
+	return cs, true
+}
+
+func (sc *sheetCache) put(col int, cs *ColumnStats) { sc.cols[col] = cs }

@@ -63,10 +63,14 @@ func FormatSize(n int) string {
 
 // WriteFigure renders a figure: one row per x-value, one column per series,
 // simulated latencies. A title and optional note lines precede the table.
-func WriteFigure(w io.Writer, title string, series []Series, notes ...string) {
-	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+func WriteFigure(w io.Writer, title string, series []Series, notes ...string) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title))); err != nil {
+		return err
+	}
 	for _, n := range notes {
-		fmt.Fprintf(w, "# %s\n", n)
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
 	}
 
 	sizes := unionSizes(series)
@@ -86,8 +90,11 @@ func WriteFigure(w io.Writer, title string, series []Series, notes ...string) {
 		}
 		rows = append(rows, row)
 	}
-	writeAligned(w, header, rows)
-	fmt.Fprintln(w)
+	if err := writeAligned(w, header, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // WriteCSV emits the series as tidy CSV (label,size,sim_ns,wall_ns,std_ns)
@@ -132,7 +139,7 @@ func unionSizes(series []Series) []int {
 }
 
 // writeAligned prints a header and rows with column alignment.
-func writeAligned(w io.Writer, header []string, rows [][]string) {
+func writeAligned(w io.Writer, header []string, rows [][]string) error {
 	widths := make([]int, len(header))
 	for i, h := range header {
 		widths[i] = len(h)
@@ -144,7 +151,7 @@ func writeAligned(w io.Writer, header []string, rows [][]string) {
 			}
 		}
 	}
-	line := func(cells []string) {
+	line := func(cells []string) error {
 		var b strings.Builder
 		for i, cell := range cells {
 			if i > 0 {
@@ -153,17 +160,25 @@ func writeAligned(w io.Writer, header []string, rows [][]string) {
 			b.WriteString(cell)
 			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
 	}
-	line(header)
+	if err := line(header); err != nil {
+		return err
+	}
 	dashes := make([]string, len(header))
 	for i := range dashes {
 		dashes[i] = strings.Repeat("-", widths[i])
 	}
-	line(dashes)
-	for _, row := range rows {
-		line(row)
+	if err := line(dashes); err != nil {
+		return err
 	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table2Row is one experiment row of the interactivity summary (Table 2):
@@ -179,9 +194,11 @@ type Table2Row struct {
 
 // WriteTable2 renders the summary in the paper's layout: F columns then V
 // columns for each system.
-func WriteTable2(w io.Writer, rows []Table2Row, systems []string) {
+func WriteTable2(w io.Writer, rows []Table2Row, systems []string) error {
 	title := "Table 2: % of scalability limit at first interactivity violation"
-	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title))); err != nil {
+		return err
+	}
 	header := []string{"Experiment"}
 	for _, variant := range []string{"F", "V"} {
 		for _, sys := range systems {
@@ -202,8 +219,11 @@ func WriteTable2(w io.Writer, rows []Table2Row, systems []string) {
 		}
 		out = append(out, row)
 	}
-	writeAligned(w, header, out)
-	fmt.Fprintln(w)
+	if err := writeAligned(w, header, out); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // FormatLimitPercent formats a violation row count as a percentage of the

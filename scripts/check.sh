@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 quality gate: formatting, vet, the repository's custom analyzers
 # (internal/lint/cmd/sheetlint: rangemap + floatcmp + sortedout + globalmut +
-# lockcheck), build, and the full test suite under the race detector. CI and
-# pre-commit both run exactly this script.
+# lockcheck + latticecheck + returncheck), build, and the full test suite
+# under the race detector. CI and pre-commit both run exactly this script.
 #
 # Usage: check.sh [stage]
 #   lint       formatting, vet, sheetlint, build — the fast static half
@@ -17,6 +17,12 @@
 #              and certificate suites, the engine's certificate-consumption
 #              differential, the sheetcli absint goldens, and the
 #              latticecheck exhaustiveness lint over the domain packages
+#   plan       cost-based planner surface: the plan package suite, the
+#              engine's plan-consumption gates (prediction-within-2x,
+#              never-loses-to-fixed, rebuild discipline, certification),
+#              the sheetcli plan goldens, the plan-quality experiment at a
+#              smoke size, and the returncheck write-error lint over the
+#              writer packages
 #   fuzz       differential fuzz smoke: the fuzzdiff suite (every workload
 #              x2 sizes, the mutation-catch test, and the checked-in
 #              regression seed corpus) plus the trace-language parser
@@ -32,9 +38,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | bench | interfere | absint | fuzz | all) ;;
+lint | race | bench | interfere | absint | plan | fuzz | all) ;;
 *)
-    echo "usage: $0 [lint|race|bench|interfere|absint|fuzz|all]" >&2
+    echo "usage: $0 [lint|race|bench|interfere|absint|plan|fuzz|all]" >&2
     exit 2
     ;;
 esac
@@ -51,7 +57,7 @@ if [ "$stage" = "lint" ] || [ "$stage" = "all" ]; then
     echo "== go vet =="
     go vet ./...
 
-    echo "== sheetlint (rangemap + floatcmp + sortedout + globalmut + lockcheck + latticecheck) =="
+    echo "== sheetlint (rangemap + floatcmp + sortedout + globalmut + lockcheck + latticecheck + returncheck) =="
     go run ./internal/lint/cmd/sheetlint
 
     echo "== go build =="
@@ -93,6 +99,23 @@ if [ "$stage" = "absint" ] || [ "$stage" = "all" ]; then
         internal/absint internal/typecheck
 fi
 
+if [ "$stage" = "plan" ] || [ "$stage" = "all" ]; then
+    echo "== plan package (statistics + cost model + certification) =="
+    go test -count=1 ./internal/plan
+
+    echo "== engine plan consumption (prediction, plan-quality, rebuild) =="
+    go test -count=1 -short -run 'Plan' ./internal/engine
+
+    echo "== sheetcli plan goldens =="
+    go test ./cmd/sheetcli -run Plan
+
+    echo "== plan-quality experiment (smoke size) =="
+    go test -count=1 -run RunPlanQuality ./internal/core
+
+    echo "== returncheck write-error lint (writer packages) =="
+    go run ./internal/lint/cmd/sheetlint -only returncheck
+fi
+
 if [ "$stage" = "fuzz" ] || [ "$stage" = "all" ]; then
     echo "== fuzzdiff differential suite + regression seed corpus =="
     go test -count=1 ./internal/fuzzdiff
@@ -104,7 +127,7 @@ fi
 if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
     echo "== bench smoke (BENCH_engine.json) =="
     ./scripts/bench.sh -quick \
-        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis|BenchmarkCertifiedLookupMatch'
+        -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis|BenchmarkCertifiedLookupMatch|BenchmarkPlanSelection'
 
     echo "== runner observability smoke (sidecar + trace) =="
     smokedir=$(mktemp -d)

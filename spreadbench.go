@@ -139,23 +139,27 @@ func Run(cfg *Config, ids []string) (map[string]*ExperimentResult, error) {
 }
 
 // WriteReport renders experiment results as the paper's figures, in paper
-// order, followed by Table 2 when the BCT experiments are present.
-func WriteReport(w io.Writer, results map[string]*ExperimentResult, cfg *Config) {
+// order, followed by Table 2 when the BCT experiments are present. The
+// first write error aborts the report and is returned.
+func WriteReport(w io.Writer, results map[string]*ExperimentResult, cfg *Config) error {
 	core.WriteTaxonomy(w)
 	for _, exp := range core.Experiments() {
 		res, ok := results[exp.ID]
 		if !ok {
 			continue
 		}
-		report.WriteFigure(w, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...)
+		if err := report.WriteFigure(w, fmt.Sprintf("%s: %s", res.ID, res.Title), res.Series, res.Notes...); err != nil {
+			return err
+		}
 	}
 	if _, haveBCT := results["fig2-open"]; haveBCT {
 		systems := cfg.Systems
 		if len(systems) == 0 {
 			systems = []string{"excel", "calc", "sheets"}
 		}
-		report.WriteTable2(w, core.Table2(results, systems), systems)
+		return report.WriteTable2(w, core.Table2(results, systems), systems)
 	}
+	return nil
 }
 
 // WriteCSV emits one experiment's curves as tidy CSV for plotting.

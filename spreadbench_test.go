@@ -7,7 +7,7 @@ import (
 )
 
 func TestNewSystem(t *testing.T) {
-	for _, name := range []string{"excel", "calc", "sheets", "optimized"} {
+	for _, name := range []string{"excel", "calc", "sheets", "optimized", "planned"} {
 		sys, err := NewSystem(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -20,7 +20,7 @@ func TestNewSystem(t *testing.T) {
 		t.Error("unknown system must error")
 	}
 	names := SystemNames()
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Errorf("SystemNames = %v", names)
 	}
 }
@@ -52,7 +52,7 @@ func TestFacadeQuickFlow(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("ids = %v", ids)
 	}
 	if ids[0] != "fig2-open" || ids[len(ids)-1] != "workloads" {
