@@ -1,37 +1,44 @@
 // Command obscheck validates the observability layer's machine-readable
 // artifacts: runner sidecar JSON (-sidecar), Chrome trace-event JSON
-// (-trace), and the BENCH_engine.json benchmark record (-bench). The
-// bench-smoke CI stage runs it so a schema regression fails the build
-// instead of silently corrupting the perf-trajectory record.
+// (-trace), the BENCH_engine.json benchmark record (-bench), and the
+// BENCH_history.jsonl perf-trajectory log (-history). The bench-smoke CI
+// stage runs it so a schema regression fails the build instead of
+// silently corrupting the perf-trajectory record. Superseded schema
+// versions and mixed-schema history files are rejected with errors that
+// name the version (and line) at fault.
 //
-// Usage: obscheck [-sidecar file] [-trace file] [-bench file]
+// Usage: obscheck [-sidecar file] [-trace file] [-bench file] [-history file]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/perfbase"
 )
 
 func main() {
 	sidecar := flag.String("sidecar", "", "validate a runner sidecar JSON file")
 	trace := flag.String("trace", "", "validate a Chrome trace-event JSON file")
 	bench := flag.String("bench", "", "validate a BENCH_engine.json file")
+	history := flag.String("history", "", "validate a BENCH_history.jsonl file")
 	flag.Parse()
-	if *sidecar == "" && *trace == "" && *bench == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -sidecar, -trace, or -bench")
+	if *sidecar == "" && *trace == "" && *bench == "" && *history == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -sidecar, -trace, -bench, or -history")
 		os.Exit(2)
 	}
-	if err := run(*sidecar, *trace, *bench, os.Stdout); err != nil {
+	if err := run(*sidecar, *trace, *bench, *history, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sidecar, trace, bench string, out *os.File) error {
+func run(sidecar, trace, bench, history string, out io.Writer) error {
 	if sidecar != "" {
 		data, err := os.ReadFile(sidecar)
 		if err != nil {
@@ -41,8 +48,12 @@ func run(sidecar, trace, bench string, out *os.File) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sidecar, err)
 		}
-		if _, err := fmt.Fprintf(out, "%s: ok (%s, %d span(s), %d SLO op(s), %d violation(s))\n",
-			sidecar, sc.Kind, sc.Spans, len(sc.SLO.Ops), sc.SLO.Violations); err != nil {
+		drift := 0
+		if sc.Drift != nil {
+			drift = len(sc.Drift.Gates)
+		}
+		if _, err := fmt.Fprintf(out, "%s: ok (%s, %d span(s), %d SLO op(s), %d violation(s), %d latency instrument(s), %d drift gate(s))\n",
+			sidecar, sc.Kind, sc.Spans, len(sc.SLO.Ops), sc.SLO.Violations, len(sc.Metrics.Latencies), drift); err != nil {
 			return err
 		}
 	}
@@ -69,6 +80,30 @@ func run(sidecar, trace, bench string, out *os.File) error {
 			return fmt.Errorf("%s: %w", bench, err)
 		}
 		if _, err := fmt.Fprintf(out, "%s: ok (%d benchmark(s))\n", bench, len(bf.Benchmarks)); err != nil {
+			return err
+		}
+	}
+	if history != "" {
+		data, err := os.ReadFile(history)
+		if err != nil {
+			return err
+		}
+		entries, err := perfbase.ReadHistory(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", history, err)
+		}
+		// Each entry embeds a full bench file; hold it to the same schema
+		// bar as a standalone -bench document.
+		for i, e := range entries {
+			raw, err := json.Marshal(e.Bench)
+			if err != nil {
+				return fmt.Errorf("%s: entry %d: %w", history, i+1, err)
+			}
+			if _, err := obs.ParseBenchFile(raw); err != nil {
+				return fmt.Errorf("%s: entry %d: %w", history, i+1, err)
+			}
+		}
+		if _, err := fmt.Fprintf(out, "%s: ok (%d history entr(ies))\n", history, len(entries)); err != nil {
 			return err
 		}
 	}

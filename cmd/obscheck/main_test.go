@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/perfbase"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchV2 = `{"schema":"spreadbench-bench/v2","benchmarks":[
+  {"name":"BenchmarkRecalc","iterations":10,"ns_per_op":1000,
+   "allocs_per_op":4,"bytes_per_op":128,"samples":3}]}`
+
+func TestObscheckBenchV2(t *testing.T) {
+	path := writeTemp(t, "bench.json", benchV2)
+	var out bytes.Buffer
+	if err := run("", "", path, "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 benchmark(s)") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestObscheckRejectsBenchV1(t *testing.T) {
+	path := writeTemp(t, "bench.json",
+		`{"schema":"spreadbench-bench/v1","benchmarks":[]}`)
+	var out bytes.Buffer
+	err := run("", "", path, "", &out)
+	if err == nil || !strings.Contains(err.Error(), "no longer supported") {
+		t.Fatalf("v1 bench file accepted: %v", err)
+	}
+}
+
+func TestObscheckHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.jsonl")
+	e := perfbase.HistoryEntry{UnixTime: 1754000000, Label: "seed",
+		Bench: obs.BenchFile{Schema: obs.BenchSchema, Benchmarks: []obs.BenchResult{
+			{Name: "BenchmarkRecalc", Iterations: 10, NsPerOp: 1000, Samples: 3},
+		}}}
+	if err := perfbase.AppendHistory(path, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := perfbase.AppendHistory(path, e); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run("", "", "", path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 history entr(ies)") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestObscheckRejectsMixedHistory(t *testing.T) {
+	good := `{"schema":"spreadbench-perfbase/v1","unix_time":1,"bench":{"schema":"spreadbench-bench/v2","benchmarks":[]}}`
+	bad := `{"schema":"spreadbench-perfbase/v0","unix_time":2,"bench":{"schema":"spreadbench-bench/v2","benchmarks":[]}}`
+	path := writeTemp(t, "history.jsonl", good+"\n"+bad+"\n")
+	var out bytes.Buffer
+	err := run("", "", "", path, &out)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("mixed-schema history accepted: %v", err)
+	}
+}
+
+func TestObscheckTrace(t *testing.T) {
+	path := writeTemp(t, "trace.json",
+		`{"traceEvents":[{"name":"op","ph":"X","ts":0,"dur":5}]}`)
+	var out bytes.Buffer
+	if err := run("", path, "", "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 trace event(s)") {
+		t.Fatalf("output: %s", out.String())
+	}
+}

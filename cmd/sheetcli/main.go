@@ -45,6 +45,12 @@
 // runs a scripted operation sequence with the observability layer on and
 // prints the span tree plus 500 ms interactivity SLO verdicts; see trace.go.
 //
+//	sheetcli drift [-system planned] [-rows n] [-script ops] [-json] [file.svf]
+//
+// runs a scripted operation sequence under a cost-planned profile and
+// reports predicted-versus-measured work at every planner gate — the
+// plan-drift monitor's calibration verdict; see drift.go.
+//
 // Commands (addresses in A1 notation, columns as letters):
 //
 //	set A1 <value|=FORMULA>   write a cell
@@ -106,6 +112,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "drift" {
+		os.Exit(runDrift(os.Args[2:], os.Stdout, os.Stderr))
 	}
 
 	system := flag.String("system", "excel", "system profile")

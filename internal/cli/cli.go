@@ -63,6 +63,7 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
 		sidecar    = fs.String("sidecar", "", "write an observability sidecar JSON (metrics + SLO verdicts) to this path")
 		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof and an OpenMetrics /metrics endpoint on this address for the run (off by default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,8 +105,20 @@ func Run(kind string, args []string, out, errw io.Writer) error {
 	if observing {
 		obs.Reset()
 		obs.Default.ResetValues()
+		obs.DefaultDrift.Reset()
 		obs.SetEnabled(true)
 		defer obs.SetEnabled(false)
+	}
+
+	if *debugAddr != "" {
+		bound, stop, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer stop()
+		if !*quiet {
+			fmt.Fprintf(errw, "debug server on http://%s (pprof under /debug/pprof/, OpenMetrics at /metrics)\n", bound)
+		}
 	}
 
 	results := make(map[string]*core.Result)
@@ -210,6 +223,11 @@ func writeObservability(kind string, systems []string, sidecarPath, tracePath st
 			Spans:        tr.Spans,
 			SpansDropped: tr.Dropped,
 			TraceFile:    tracePath,
+		}
+		// The plan-drift section appears only when some planner gate
+		// actually observed a prediction (a cost-planned profile ran).
+		if drift := obs.DefaultDrift.Report(); len(drift.Gates) > 0 {
+			sc.Drift = drift
 		}
 		if err := writeFile(sidecarPath, func(w io.Writer) error {
 			return obs.WriteSidecar(w, sc)

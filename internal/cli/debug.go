@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// startDebugServer serves net/http/pprof and an OpenMetrics rendering of
+// the obs registry on addr, for profiling and scraping a live benchmark
+// run. It binds eagerly (so a bad address fails the run up front, and
+// ":0" reports the picked port) and returns the bound address with a stop
+// function. The server lives on its own mux — nothing here touches
+// http.DefaultServeMux, and no handler is registered at all unless the
+// -debug-addr flag opted in.
+func startDebugServer(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		// A scrape hitting a write error has nowhere to surface it; the
+		// client sees the truncated body.
+		_ = obs.WriteOpenMetrics(w, obs.Default.Snapshot())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns http.ErrServerClosed on stop; anything else means
+		// the debug listener died, which must not take the benchmark down.
+		_ = srv.Serve(ln)
+	}()
+	stop := func() { _ = srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

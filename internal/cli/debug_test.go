@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	obs.Default.ResetValues()
+	obs.SetEnabled(true)
+	obs.Default.Counter("cli_debug_test_events", "t").Add(3)
+	obs.SetEnabled(false)
+
+	addr, stop, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "openmetrics-text") {
+		t.Errorf("metrics content type %q, want openmetrics-text", ctype)
+	}
+	if !strings.Contains(body, "cli_debug_test_events_total") {
+		t.Errorf("metrics body missing the test counter:\n%s", body)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Errorf("metrics body missing the # EOF terminator:\n%s", body)
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("pprof index looks wrong:\n%.200s", body)
+	}
+}
+
+func TestDebugServerBadAddrFails(t *testing.T) {
+	if _, stop, err := startDebugServer("256.0.0.1:bad"); err == nil {
+		stop()
+		t.Fatal("bad address accepted")
+	}
+}

@@ -57,6 +57,10 @@ type Engine struct {
 	planCache *plan.Cache
 	opSeq     int64
 
+	// driftPend is the plan-drift monitor's armed lookup observation
+	// (drift.go); single-threaded like the engine itself.
+	driftPend driftPending
+
 	nowFn func() time.Time
 	met   engineMetrics
 }
@@ -204,6 +208,7 @@ func (t opTimer) finish() Result {
 		total.Add(m, recalc.Count(m))
 	}
 	e.met.opSimMS.ObserveDuration(sim)
+	e.met.opLatency[t.kind].Observe(int64(sim))
 	if t.span.Active() {
 		// The simulated latency rides along as an attribute so SLO verdicts
 		// can be judged on the modeled system's clock, deterministically.
@@ -276,7 +281,7 @@ func (src evalSource) Value(a cell.Addr) cell.Value {
 func (e *Engine) env(s *sheet.Sheet, meter *costmodel.Meter, inner, recalc bool) *formula.Env {
 	var src formula.Source = evalSource{e: e, s: s, meter: meter, inner: inner, recalc: recalc}
 	if st := e.opts[s]; st != nil && e.prof.Lookup.Indexed {
-		src = indexedSrc{Source: src, e: e, s: s, st: st}
+		src = indexedSrc{Source: src, e: e, s: s, st: st, meter: meter}
 	}
 	var sortedAsc func(formula.Source, int, int, int) bool
 	if e.prof.Opt.ValueCerts && !e.prof.Recalc.ReevalOnRead {
@@ -415,6 +420,25 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 		sp.Str("source", "cache").Int("cells", int64(len(c.order))).End()
 		return c.order, c.cyclic
 	}
+	// Plan-drift: cache misses pay the sequencing work the plan's recalc
+	// choice priced (region inference + emission, or per-cell Kahn); hits
+	// cost one staleness check the plan never modeled, so only misses are
+	// comparable observations.
+	driftRec := false
+	var driftPred, driftSnap costmodel.Meter
+	if e.driftOn() {
+		if sheetPlan := e.plannedSheet(s); sheetPlan != nil {
+			if w, b, ok := sheetPlan.RecalcWork(); ok {
+				driftPred, driftRec = w, true
+				// Inference is paid only when the region cache is stale —
+				// mirror regionChainFor's cache acceptance.
+				if rc := e.regions[s]; rc == nil || rc.version != g.Version() {
+					addWork(&driftPred, b)
+				}
+				driftSnap = meter.Snapshot()
+			}
+		}
+	}
 	// Region-level sequencing: O(#regions log #regions) ordering plus one
 	// op per emitted cell, instead of per-cell Kahn with its sort-like
 	// comparison cost. Valid only while the regions order cleanly (and, under
@@ -427,6 +451,9 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 			meter.Add(costmodel.DepOp, rc.g.Ops())
 			rc.g.ResetOps()
 			e.chains[s] = &chainCache{version: g.Version(), order: order}
+			if driftRec {
+				e.driftRecord(gateRecalcSeq, driftPred, meter.Sub(driftSnap))
+			}
 			sp.Str("source", "region").Int("cells", int64(len(order))).End()
 			return order, nil
 		}
@@ -436,6 +463,9 @@ func (e *Engine) fullChain(s *sheet.Sheet, meter *costmodel.Meter) (order, cycli
 	meter.Add(costmodel.DepOp, g.Ops())
 	g.ResetOps()
 	e.chains[s] = &chainCache{version: g.Version(), order: order, cyclic: cyclic}
+	if driftRec {
+		e.driftRecord(gateRecalcSeq, driftPred, meter.Sub(driftSnap))
+	}
 	sp.Str("source", "cell").Int("cells", int64(len(order))).End()
 	return order, cyclic
 }
@@ -475,7 +505,13 @@ func (e *Engine) evalAll(s *sheet.Sheet, meter *costmodel.Meter) {
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
-		e.setCached(s, a, formula.Eval(fc.Code, env))
+		// Arm/close the drift window around the evaluation, before setCached:
+		// the structure maintenance a changed result triggers is maintenance
+		// work, not part of the lookup the gate priced.
+		e.driftArm()
+		v := formula.Eval(fc.Code, env)
+		e.driftClose()
+		e.setCached(s, a, v)
 	}
 	for _, a := range cyclic {
 		e.setCached(s, a, cell.Errorf(cell.ErrCycle))
@@ -558,7 +594,10 @@ func (e *Engine) recalcDirty(s *sheet.Sheet, changed []cell.Addr, meter *costmod
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(a)
-		e.setCached(s, a, formula.Eval(fc.Code, env))
+		e.driftArm()
+		v := formula.Eval(fc.Code, env)
+		e.driftClose()
+		e.setCached(s, a, v)
 	}
 	for _, a := range cyclic {
 		e.setCached(s, a, cell.Errorf(cell.ErrCycle))

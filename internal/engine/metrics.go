@@ -28,10 +28,20 @@ type engineMetrics struct {
 	// planBuilds counts cost-based plan derivations (internal/plan); the
 	// once-per-operation rebuild guard keeps this near the operation count.
 	planBuilds *obs.Counter
+	// opLatency holds one log-bucketed latency histogram per operation kind,
+	// recording the simulated nanoseconds of every finished operation —
+	// the percentile-SLO substrate, labeled "<profile>/<kind>". Registration
+	// covers all kinds; snapshots export only instruments that observed
+	// something.
+	opLatency [numOpKinds]*obs.Latency
+	// planDrift buckets per-observation measured/predicted ratios from the
+	// drift monitor's gates against obs.DriftRatioBounds (the bounds are
+	// dimensionless ratios, not milliseconds).
+	planDrift *obs.Histogram
 }
 
 func newEngineMetrics(label string) engineMetrics {
-	return engineMetrics{
+	m := engineMetrics{
 		cellsEvaluated: obs.Default.Counter("engine_cells_evaluated", label),
 		opSimMS:        obs.Default.Histogram("engine_op_sim_ms", label, nil),
 		fastEvalHits:   obs.Default.Counter("engine_fast_eval_hits", label),
@@ -39,5 +49,10 @@ func newEngineMetrics(label string) engineMetrics {
 		regionReinfer:  obs.Default.Counter("engine_region_reinfer", label),
 		chainCacheHits: obs.Default.Counter("engine_chain_cache_hits", label),
 		planBuilds:     obs.Default.Counter("engine_plan_builds", label),
+		planDrift:      obs.Default.Histogram("engine_plan_drift", label, obs.DriftRatioBounds),
 	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		m.opLatency[k] = obs.Default.Latency("engine_op_latency", label+"/"+k.String())
+	}
+	return m
 }

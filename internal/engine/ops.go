@@ -650,7 +650,9 @@ func (e *Engine) InsertFormula(s *sheet.Sheet, a cell.Addr, text string) (cell.V
 		esp.Str("source", "fast_path")
 	} else {
 		env := e.env(s, &e.meter, false, false)
+		e.driftArm()
 		v = formula.Eval(compiled, env)
+		e.driftClose()
 		esp.Str("source", "eval")
 	}
 	esp.End()
@@ -711,7 +713,9 @@ func (e *Engine) InsertFormulaBatch(s *sheet.Sheet, items []BatchItem) (Result, 
 		if computed {
 			e.met.fastEvalHits.Add(1)
 		} else {
+			e.driftArm()
 			v = formula.Eval(compiled, env)
+			e.driftClose()
 		}
 		e.setCached(s, it.At, v)
 		if st := e.opts[s]; st != nil {
@@ -746,7 +750,14 @@ func (e *Engine) SetCell(s *sheet.Sheet, a cell.Addr, v cell.Value) (Result, err
 	}
 	st := e.opts[s]
 	if st != nil {
+		// Plan-drift: noteCellChange is the edit's maintenance work — index
+		// replacements plus the O(1) aggregate deltas the plan's maintenance
+		// choice priced per column.
+		rec, pred, snap := e.driftMaintBegin(s, a.Col)
 		st.noteCellChange(e, s, a, old, v)
+		if rec {
+			e.driftRecord(gateDeltaMaint, pred, e.meter.Sub(snap))
+		}
 	}
 	s.SetValue(a, v)
 	e.meter.Add(costmodel.CellWrite, 1)

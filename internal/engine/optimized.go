@@ -240,6 +240,9 @@ type indexedSrc struct {
 	e  *Engine
 	s  *sheet.Sheet
 	st *optState
+	// meter is the evaluation meter, carried so the drift monitor can
+	// snapshot it at gate consults.
+	meter *costmodel.Meter
 }
 
 // LookupRow implements formula.ColumnIndexer.
@@ -253,6 +256,7 @@ func (ix indexedSrc) LookupRow(col int, v cell.Value, lo, hi int) (int, int, boo
 // chose it. The veto decides before the probe because a probe miss is an
 // authoritative #N/A that never falls back to the scan.
 func (ix indexedSrc) IndexWorthwhile(col, lo, hi int) bool {
+	ix.e.driftNoteLookup(ix.s, ix.st, ix.meter, col, lo, hi, gateLookupHash)
 	return ix.e.plannedHashProbe(ix.s, col, lo, hi)
 }
 
@@ -317,6 +321,9 @@ func (st *optState) fastEval(e *Engine, s *sheet.Sheet, c *formula.Compiled) (ce
 			// amortized cost for this column's aggregate load.
 			return cell.Value{}, false
 		}
+		// Plan-drift: the snapshot precedes prefixFor so a lazy fill lands in
+		// the measured window exactly when the prediction charges the build.
+		rec, pred, snap := e.driftAggBegin(s, st, col)
 		p := st.prefixFor(e, s, col)
 		if p.Errors(r0, r1) > 0 {
 			// SUM/COUNT/AVERAGE propagate the range's first error value;
@@ -325,6 +332,9 @@ func (st *optState) fastEval(e *Engine, s *sheet.Sheet, c *formula.Compiled) (ce
 		}
 		e.meter.Add(costmodel.IndexProbe, 2)
 		e.meter.Add(costmodel.FormulaEval, 1)
+		if rec {
+			e.driftRecord(gatePrefixAgg, pred, e.meter.Sub(snap))
+		}
 		switch call.Name {
 		case "SUM":
 			return cell.Num(p.Sum(r0, r1)), true
@@ -366,16 +376,21 @@ func (st *optState) countIfIndexed(e *Engine, s *sheet.Sheet, col, r0, r1 int, l
 	crit := formula.CompileCriterion(lit)
 	op, critVal, isEquality := crit.Shape()
 	if isEquality {
+		rec, pred, snap := e.driftCountIfBegin(s, st, col, true)
 		h := st.hashFor(e, s, col)
 		count, probes := h.Count(critVal, r0, r1)
 		e.meter.Add(costmodel.IndexProbe, int64(probes))
 		e.meter.Add(costmodel.FormulaEval, 1)
+		if rec {
+			e.driftRecord(gateCountIf, pred, e.meter.Sub(snap))
+		}
 		return cell.Num(float64(count)), true
 	}
 	// Inequalities need the ordered index over the full column extent.
 	if r0 > 1 || r1 < s.Rows()-1 {
 		return cell.Value{}, false
 	}
+	rec, pred, snap := e.driftCountIfBegin(s, st, col, false)
 	bt := st.btreeFor(e, s, col)
 	var count, probes int
 	// Relational criteria count NUMERIC cells only (Criterion semantics);
@@ -413,6 +428,9 @@ func (st *optState) countIfIndexed(e *Engine, s *sheet.Sheet, col, r0, r1 int, l
 	}
 	e.meter.Add(costmodel.IndexProbe, int64(probes))
 	e.meter.Add(costmodel.FormulaEval, 1)
+	if rec {
+		e.driftRecord(gateCountIf, pred, e.meter.Sub(snap))
+	}
 	return cell.Num(float64(count)), true
 }
 
@@ -604,7 +622,10 @@ func (st *optState) applyDeltas(e *Engine, s *sheet.Sheet, a cell.Addr, old, new
 			continue
 		}
 		env.DR, env.DC = fc.DeltaAt(fa)
-		e.setCached(s, fa, formula.Eval(fc.Code, env))
+		e.driftArm()
+		v := formula.Eval(fc.Code, env)
+		e.driftClose()
+		e.setCached(s, fa, v)
 	}
 	for _, fa := range cyclic {
 		e.setCached(s, fa, cell.Errorf(cell.ErrCycle))

@@ -1,0 +1,190 @@
+// Standing calibration gate for the plan-drift monitor: scripted operation
+// sequences over every registry workload must keep each fired planner
+// gate's aggregate measured/predicted ratio inside the calibrated band.
+// The tests live in an external package because they drive the engine
+// through internal/tracelang, which itself imports the engine.
+package engine_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/tracelang"
+	"repro/internal/workload"
+)
+
+// driftScenario mirrors the `sheetcli drift` default: a cold full recalc
+// (recalc-seq plus the serve gates behind the workload's formulas), shared
+// aggregates so incremental maintenance materializes them, edits inside the
+// aggregated range (delta-maint), and a warm second recalc.
+const driftScenario = "recalc; formula R2 =SUM(J2:J101); formula R3 =SUM(J2:J101); " +
+	"set J6 3; set J7 4; set J8 5; recalc"
+
+// runDriftScript executes script on a fresh cost-planned engine over the
+// named workload with only the drift monitor observing, and returns the
+// monitor's report. Ratios are computed on the simulated clock, so the
+// report is deterministic for a fixed workload and seed.
+func runDriftScript(t *testing.T, wname, script string) *obs.DriftReport {
+	t.Helper()
+	gen, ok := workload.ByName(wname)
+	if !ok {
+		t.Fatalf("unknown workload %q", wname)
+	}
+	eng := engine.New(engine.PlannedProfile())
+	if err := eng.Install(gen.Build(workload.Spec{Rows: 1000, Formulas: true})); err != nil {
+		t.Fatal(err)
+	}
+	obs.Reset()
+	obs.DefaultDrift.Reset()
+	obs.SetEnabled(true)
+	err := tracelang.Run(eng, script)
+	obs.SetEnabled(false)
+	obs.Reset()
+	if err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	return obs.DefaultDrift.Report()
+}
+
+// TestPlanDriftCalibratedAcrossWorkloads is the acceptance gate: under the
+// default drift scenario, every planner gate that fires on any registry
+// workload stays inside [obs.DriftCalibratedMin, obs.DriftCalibratedMax].
+func TestPlanDriftCalibratedAcrossWorkloads(t *testing.T) {
+	names := workload.Names()
+	sort.Strings(names)
+	for _, wname := range names {
+		t.Run(wname, func(t *testing.T) {
+			rep := runDriftScript(t, wname, driftScenario)
+			if len(rep.Gates) == 0 {
+				t.Fatal("no planner gate fired; the drift monitor saw nothing")
+			}
+			for _, g := range rep.Gates {
+				if !g.Calibrated {
+					t.Errorf("%s/%s: ratio %.3f outside [%.1f, %.1f] (pred %.3f ms, meas %.3f ms, %d obs)",
+						g.Profile, g.Gate, g.Ratio, obs.DriftCalibratedMin, obs.DriftCalibratedMax,
+						g.PredMS, g.MeasMS, g.Count)
+				}
+				if g.PredMS < 0 || g.MeasMS < 0 {
+					t.Errorf("%s/%s: negative work totals (pred %.3f, meas %.3f)",
+						g.Profile, g.Gate, g.PredMS, g.MeasMS)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanDriftFocusedGates drives each remaining planner gate with a
+// scenario shaped to make its strategy win, and requires both that the gate
+// actually fires and that it reads calibrated. Duplicate formulas keep the
+// shared-computation cache from absorbing the serves the plan priced.
+func TestPlanDriftFocusedGates(t *testing.T) {
+	cases := []struct {
+		gate   string
+		script string
+	}{
+		{"countif-index", "formula R2 =COUNTIF(J2:J1001,1); formula R3 =COUNTIF(J2:J1001,1); " +
+			"formula R4 =COUNTIF(J2:J1001,0); set J6 1; recalc"},
+		{"prefix-agg", "formula R2 =SUM(J2:J1001); formula R3 =SUM(J2:J1001); " +
+			"formula R4 =AVERAGE(J2:J1001); set J6 3; recalc"},
+		{"lookup-hash", "sort A desc; recalc; " +
+			"formula R2 =VLOOKUP(500,A2:B1001,2,FALSE); formula R3 =VLOOKUP(600,A2:B1001,2,FALSE); " +
+			"formula R4 =VLOOKUP(700,A2:B1001,2,FALSE); formula R5 =VLOOKUP(800,A2:B1001,2,FALSE); " +
+			"set J6 1; recalc"},
+	}
+	for _, c := range cases {
+		t.Run(c.gate, func(t *testing.T) {
+			rep := runDriftScript(t, "weather", c.script)
+			fired := false
+			for _, g := range rep.Gates {
+				if g.Gate == c.gate {
+					fired = true
+					if g.Count == 0 {
+						t.Errorf("%s fired with zero observations", c.gate)
+					}
+				}
+				if !g.Calibrated {
+					t.Errorf("%s/%s: ratio %.3f outside [%.1f, %.1f]",
+						g.Profile, g.Gate, g.Ratio, obs.DriftCalibratedMin, obs.DriftCalibratedMax)
+				}
+			}
+			if !fired {
+				gates := make([]string, 0, len(rep.Gates))
+				for _, g := range rep.Gates {
+					gates = append(gates, g.Gate)
+				}
+				t.Fatalf("gate %s never fired; saw %v", c.gate, gates)
+			}
+		})
+	}
+}
+
+// TestOpLatencyPercentilesMatchSpans pins the histogram acceptance
+// criterion: per op kind, the recorded p50/p95/p99 agree with the exact
+// percentiles of the root spans' simulated durations to within one
+// log-bucket width.
+func TestOpLatencyPercentilesMatchSpans(t *testing.T) {
+	gen, _ := workload.ByName("weather")
+	eng := engine.New(engine.PlannedProfile())
+	if err := eng.Install(gen.Build(workload.Spec{Rows: 1000, Formulas: true})); err != nil {
+		t.Fatal(err)
+	}
+	obs.Reset()
+	obs.Default.ResetValues()
+	obs.SetEnabled(true)
+	err := tracelang.Run(eng, driftScenario+"; sort B asc; filter J 1; filter off; rowins 10; rowdel 10; recalc")
+	obs.SetEnabled(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact sim durations per op kind, read back off the finished trace.
+	simByOp := map[string][]int64{}
+	tr := obs.Take()
+	for _, sp := range tr.Roots {
+		if sim, ok := sp.IntAttr(obs.SimAttr); ok {
+			simByOp[sp.Name] = append(simByOp[sp.Name], sim)
+		}
+	}
+	if len(simByOp) < 4 {
+		t.Fatalf("trace carried only %d op kinds: %v", len(simByOp), simByOp)
+	}
+
+	snap := obs.Default.Snapshot()
+	checked := 0
+	for _, l := range snap.Latencies {
+		if l.Name != "engine_op_latency" {
+			continue
+		}
+		// Labels are "<profile>/<kind>"; the span name is "op.<kind>".
+		kind := l.Label[len("planned/"):]
+		durs := simByOp["op."+kind]
+		if int64(len(durs)) != l.Count {
+			t.Fatalf("%s: %d histogram observations, %d root spans", l.Label, l.Count, len(durs))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		for _, pc := range []struct {
+			q   float64
+			got int64
+		}{{0.50, l.P50NS}, {0.95, l.P95NS}, {0.99, l.P99NS}} {
+			rank := int(math.Ceil(pc.q * float64(len(durs))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := durs[rank-1]
+			if pc.got < exact {
+				t.Errorf("%s p%.0f = %d below the exact span percentile %d", l.Label, pc.q*100, pc.got, exact)
+			}
+			if diff := pc.got - exact; diff >= obs.BucketWidthNS(exact) && diff >= 1 {
+				t.Errorf("%s p%.0f = %d: off exact %d by %d, more than one bucket width (%d)",
+					l.Label, pc.q*100, pc.got, exact, diff, obs.BucketWidthNS(exact))
+			}
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d op-kind histograms had observations", checked)
+	}
+}

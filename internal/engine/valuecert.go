@@ -169,6 +169,10 @@ func (e *Engine) certSortedAsc(src formula.Source, meter *costmodel.Meter, col, 
 	if st == nil {
 		return false
 	}
+	// Plan-drift: this consult is where the plan's lookup choice meets the
+	// actual work; arm the observation whatever the gate answers (a veto
+	// routes to the scan the plan priced for a scan-chosen site).
+	e.driftNoteLookup(s, st, meter, col, r0, r1, gateLookupBinary)
 	if !e.plannedBinarySearch(s, col, r0, r1) {
 		// The cost plan priced the scan cheaper for this site (planner.go);
 		// answering "not certified" here is sound — the lookup falls back to

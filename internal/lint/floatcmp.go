@@ -28,7 +28,7 @@ import (
 var FloatCmp = &Analyzer{
 	Name:        "floatcmp",
 	Doc:         "exact == / != on float64 outside allowlisted helpers",
-	DefaultDirs: []string{"internal/formula", "internal/stats", "internal/obs"},
+	DefaultDirs: []string{"internal/formula", "internal/stats", "internal/obs", "internal/perfbase"},
 	Run:         runFloatCmp,
 }
 

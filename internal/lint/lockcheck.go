@@ -25,7 +25,7 @@ import (
 var LockCheck = &Analyzer{
 	Name:        "lockcheck",
 	Doc:         "writes to `guarded by mu` fields without the lock held",
-	DefaultDirs: []string{"internal/engine", "internal/regions", "internal/obs", "internal/interfere"},
+	DefaultDirs: []string{"internal/engine", "internal/regions", "internal/obs", "internal/interfere", "internal/perfbase"},
 	Run:         runLockCheck,
 }
 

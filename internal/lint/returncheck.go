@@ -34,9 +34,9 @@ var ReturnCheck = &Analyzer{
 	Name: "returncheck",
 	Doc:  "write errors to files and io.Writer sinks must not be discarded",
 	DefaultDirs: []string{
-		"internal/iolib", "internal/report",
-		"cmd/bct", "cmd/datagen", "cmd/formula2sql", "cmd/obscheck",
-		"cmd/oot", "cmd/sheetcli",
+		"internal/iolib", "internal/report", "internal/perfbase",
+		"cmd/bct", "cmd/benchdiff", "cmd/datagen", "cmd/formula2sql",
+		"cmd/obscheck", "cmd/oot", "cmd/sheetcli",
 	},
 	Run: func(pkg *Package) []Diagnostic {
 		var diags []Diagnostic

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The plan-drift monitor compares, at each planner gate the engine
+// consults, the cost the plan predicted for the gated work against the
+// meter delta the engine actually charged while doing it. Both sides are
+// scalarized to simulated nanoseconds under the same profile coefficients,
+// so the per-gate ratio (measured / predicted) reads directly as a
+// calibration factor: 1.0 is a perfect cost model, and a ratio drifting
+// outside [DriftCalibratedMin, DriftCalibratedMax] flags miscalibration at
+// run time — the moment a workload shifts, not at the next offline
+// calibration pass.
+
+// DriftRatioBounds are the fixed per-observation ratio buckets; 0.5 and
+// 2.0 — the calibration band edges — are boundaries so the out-of-band
+// mass is readable off the histogram. The trailing implicit bucket holds
+// ratios above the last bound.
+var DriftRatioBounds = []float64{0.25, 0.5, 0.8, 1.0, 1.25, 2.0, 4.0}
+
+// The aggregate-ratio band inside which a gate counts as calibrated,
+// matching the plan package's prediction-within-2x validation target.
+const (
+	DriftCalibratedMin = 0.5
+	DriftCalibratedMax = 2.0
+)
+
+// Drift accumulates predicted-vs-measured observations per (profile, gate).
+// Like SLO it is constructed explicitly and never dropped by the package
+// gate on the read side; recording is gated so unobserved runs stay free.
+type Drift struct {
+	mu    sync.Mutex
+	stats map[driftKey]*driftStat // guarded by mu
+}
+
+type driftKey struct{ profile, gate string }
+
+type driftStat struct {
+	count    int64
+	predNS   int64
+	measNS   int64
+	minRatio float64
+	maxRatio float64
+	buckets  []int64 // len(DriftRatioBounds)+1, last is overflow
+}
+
+// NewDrift returns an empty monitor.
+func NewDrift() *Drift {
+	return &Drift{stats: make(map[driftKey]*driftStat)}
+}
+
+// DefaultDrift is the package-level monitor the engine's planner gates
+// record into.
+var DefaultDrift = NewDrift()
+
+// Observe records one gate observation when the layer is enabled. predNS
+// and measNS are the predicted and measured work scalarized to simulated
+// nanoseconds under the same coefficients.
+func (d *Drift) Observe(profile, gate string, predNS, measNS int64) {
+	if d == nil || !enabled.Load() {
+		return
+	}
+	ratio := 0.0
+	if predNS > 0 {
+		ratio = float64(measNS) / float64(predNS)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.stats[driftKey{profile, gate}]
+	if !ok {
+		st = &driftStat{buckets: make([]int64, len(DriftRatioBounds)+1)}
+		d.stats[driftKey{profile, gate}] = st
+	}
+	if st.count == 0 || ratio < st.minRatio {
+		st.minRatio = ratio
+	}
+	if st.count == 0 || ratio > st.maxRatio {
+		st.maxRatio = ratio
+	}
+	st.count++
+	st.predNS += predNS
+	st.measNS += measNS
+	st.buckets[sort.SearchFloat64s(DriftRatioBounds, ratio)]++
+}
+
+// Reset drops every accumulated observation.
+func (d *Drift) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = make(map[driftKey]*driftStat)
+}
+
+// DriftGate is one (profile, gate) row of a report. Ratio is the aggregate
+// sum(measured)/sum(predicted) — the amortization-aligned view, since
+// one-time build costs the plan spreads over a site's uses align on totals,
+// not on individual observations. MinRatio/MaxRatio and Buckets describe
+// the per-observation distribution.
+type DriftGate struct {
+	Profile    string  `json:"profile"`
+	Gate       string  `json:"gate"`
+	Count      int64   `json:"count"`
+	PredMS     float64 `json:"pred_ms"`
+	MeasMS     float64 `json:"meas_ms"`
+	Ratio      float64 `json:"ratio"`
+	MinRatio   float64 `json:"min_ratio"`
+	MaxRatio   float64 `json:"max_ratio"`
+	Calibrated bool    `json:"calibrated"`
+	// Buckets counts per-observation ratios against DriftRatioBounds, with
+	// one trailing overflow entry.
+	Buckets []int64 `json:"buckets"`
+}
+
+// DriftReport is a monitor's summary, rows sorted by (profile, gate).
+type DriftReport struct {
+	RatioBounds []float64   `json:"ratio_bounds"`
+	Gates       []DriftGate `json:"gates"`
+}
+
+// Calibrated reports whether every gate's aggregate ratio sits inside the
+// calibration band.
+func (r *DriftReport) Calibrated() bool {
+	for _, g := range r.Gates {
+		if !g.Calibrated {
+			return false
+		}
+	}
+	return true
+}
+
+// Report summarizes the monitor's observations.
+func (d *Drift) Report() *DriftReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := &DriftReport{RatioBounds: append([]float64(nil), DriftRatioBounds...)}
+	for k, st := range d.stats {
+		g := DriftGate{
+			Profile:  k.profile,
+			Gate:     k.gate,
+			Count:    st.count,
+			PredMS:   float64(st.predNS) / float64(time.Millisecond),
+			MeasMS:   float64(st.measNS) / float64(time.Millisecond),
+			MinRatio: st.minRatio,
+			MaxRatio: st.maxRatio,
+			Buckets:  append([]int64(nil), st.buckets...),
+		}
+		if st.predNS > 0 {
+			g.Ratio = float64(st.measNS) / float64(st.predNS)
+		}
+		g.Calibrated = g.Ratio >= DriftCalibratedMin && g.Ratio <= DriftCalibratedMax
+		rep.Gates = append(rep.Gates, g)
+	}
+	sort.Slice(rep.Gates, func(i, j int) bool {
+		return snapLess(rep.Gates[i].Profile, rep.Gates[i].Gate, rep.Gates[j].Profile, rep.Gates[j].Gate)
+	})
+	return rep
+}
+
+// WriteText renders the report as an aligned table.
+func (r *DriftReport) WriteText(w io.Writer) error {
+	verdict := "CALIBRATED"
+	if !r.Calibrated() {
+		verdict = "DRIFT"
+	}
+	if _, err := fmt.Fprintf(w, "Plan drift (band [%.1f, %.1f]): %s\n",
+		DriftCalibratedMin, DriftCalibratedMax, verdict); err != nil {
+		return err
+	}
+	for _, g := range r.Gates {
+		mark := "ok"
+		if !g.Calibrated {
+			mark = "DRIFT"
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s %-14s %5d obs  pred %10.3f ms  meas %10.3f ms  ratio %6.3f [%6.3f, %6.3f]  %s\n",
+			g.Profile, g.Gate, g.Count, g.PredMS, g.MeasMS, g.Ratio, g.MinRatio, g.MaxRatio, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

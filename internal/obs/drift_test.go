@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestDriftObserveGatedOff(t *testing.T) {
+	d := NewDrift()
+	SetEnabled(false)
+	d.Observe("planned", "lookup-binary", 100, 100)
+	if rep := d.Report(); len(rep.Gates) != 0 {
+		t.Fatalf("disabled Observe recorded: %+v", rep.Gates)
+	}
+}
+
+func TestDriftAggregateRatio(t *testing.T) {
+	d := NewDrift()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	// Individually off by 2x in both directions; the totals cancel, and the
+	// aggregate — the amortization-aligned statistic — reads calibrated.
+	d.Observe("planned", "countif-index", 100, 50)
+	d.Observe("planned", "countif-index", 100, 150)
+	rep := d.Report()
+	if len(rep.Gates) != 1 {
+		t.Fatalf("gates = %d, want 1", len(rep.Gates))
+	}
+	g := rep.Gates[0]
+	if g.Profile != "planned" || g.Gate != "countif-index" || g.Count != 2 {
+		t.Fatalf("gate row: %+v", g)
+	}
+	if g.Ratio != 1.0 || !g.Calibrated {
+		t.Fatalf("aggregate ratio %.3f calibrated=%v, want 1.0 calibrated", g.Ratio, g.Calibrated)
+	}
+	if g.MinRatio != 0.5 || g.MaxRatio != 1.5 {
+		t.Fatalf("ratio extremes [%.2f, %.2f], want [0.50, 1.50]", g.MinRatio, g.MaxRatio)
+	}
+	if !rep.Calibrated() {
+		t.Fatal("report should be calibrated")
+	}
+}
+
+func TestDriftCalibrationBandEdges(t *testing.T) {
+	cases := []struct {
+		meas       int64
+		calibrated bool
+	}{
+		{49, false}, {50, true}, {100, true}, {200, true}, {201, false},
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	for _, c := range cases {
+		d := NewDrift()
+		d.Observe("planned", "gate", 100, c.meas)
+		g := d.Report().Gates[0]
+		if g.Calibrated != c.calibrated {
+			t.Errorf("ratio %.2f: calibrated=%v, want %v", g.Ratio, g.Calibrated, c.calibrated)
+		}
+	}
+}
+
+func TestDriftZeroPredictionMiscalibrated(t *testing.T) {
+	d := NewDrift()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	d.Observe("planned", "gate", 0, 500)
+	g := d.Report().Gates[0]
+	if g.Ratio != 0 || g.Calibrated {
+		t.Fatalf("zero-prediction gate: ratio %.3f calibrated=%v, want 0 and DRIFT", g.Ratio, g.Calibrated)
+	}
+}
+
+func TestDriftBucketPlacement(t *testing.T) {
+	d := NewDrift()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	// One observation per region of the fixed bounds, including both band
+	// edges (boundaries belong to the lower bucket via SearchFloat64s) and
+	// the overflow bucket past the last bound.
+	ratios := []struct {
+		meas int64
+		want int // index into buckets
+	}{
+		{20, 0},   // 0.20 <= 0.25
+		{50, 1},   // 0.50, the lower band edge, lands on its boundary bucket
+		{100, 3},  // 1.00
+		{200, 5},  // 2.00, the upper band edge
+		{300, 6},  // 3.00 <= 4.0
+		{1000, 7}, // 10.0 — overflow
+	}
+	for _, r := range ratios {
+		d.Observe("planned", "gate", 100, r.meas)
+	}
+	g := d.Report().Gates[0]
+	if len(g.Buckets) != len(DriftRatioBounds)+1 {
+		t.Fatalf("bucket count %d, want %d", len(g.Buckets), len(DriftRatioBounds)+1)
+	}
+	for _, r := range ratios {
+		ratio := float64(r.meas) / 100
+		if got := sort.SearchFloat64s(DriftRatioBounds, ratio); got != r.want {
+			t.Fatalf("ratio %.2f indexed to bucket %d, test expects %d", ratio, got, r.want)
+		}
+		if g.Buckets[r.want] < 1 {
+			t.Errorf("bucket %d empty, expected the %.2f observation", r.want, ratio)
+		}
+	}
+	var total int64
+	for _, c := range g.Buckets {
+		total += c
+	}
+	if total != g.Count {
+		t.Fatalf("bucket mass %d, count %d", total, g.Count)
+	}
+}
+
+func TestDriftReportOrderAndText(t *testing.T) {
+	d := NewDrift()
+	SetEnabled(true)
+	d.Observe("planned", "recalc-seq", 100, 100)
+	d.Observe("optimized", "lookup-hash", 100, 500)
+	d.Observe("planned", "delta-maint", 100, 90)
+	SetEnabled(false)
+
+	rep := d.Report()
+	var keys []string
+	for _, g := range rep.Gates {
+		keys = append(keys, g.Profile+"/"+g.Gate)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("gate rows not sorted: %v", keys)
+	}
+	if rep.Calibrated() {
+		t.Fatal("5x gate should mark the report DRIFT")
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "DRIFT") || !strings.Contains(out, "lookup-hash") {
+		t.Fatalf("text report missing verdict or gate:\n%s", out)
+	}
+
+	d.Reset()
+	if len(d.Report().Gates) != 0 {
+		t.Fatal("Reset left gates behind")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// LatencyHist is an HDR-style log-bucketed histogram over int64 nanosecond
+// values. Buckets follow a base-2 layout with latSub subdivisions per
+// octave, so the relative quantization error of any reported percentile is
+// bounded by one bucket width (at most 1/latSub = 25% of the value). The
+// bucket boundaries are fixed — output derived from one is deterministic
+// for deterministic inputs (the engine records simulated nanoseconds).
+//
+// Unlike the Registry instruments, LatencyHist does NOT consult the package
+// enable gate: the SLO checker rebuilds percentile state from a finished
+// trace after the gate has been switched off, so the structure must stay a
+// pure data type. Gated recording lives in the Latency wrapper (metrics.go).
+type LatencyHist struct {
+	counts [latBuckets]atomic.Int64
+	count  atomic.Int64
+}
+
+const (
+	// latSubBits subdivides each power-of-two octave into 1<<latSubBits
+	// buckets.
+	latSubBits = 2
+	latSub     = 1 << latSubBits
+	// latBuckets covers the full non-negative int64 range: values below
+	// latSub map to their own index; above, index = 4*exp + (v>>exp) with
+	// exp <= 60, so the maximum index is 247.
+	latBuckets = 256
+)
+
+// latIndex maps a non-negative value to its bucket index.
+func latIndex(v int64) int {
+	if v < latSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - latSubBits
+	return exp<<latSubBits + int(v>>uint(exp))
+}
+
+// latUpper returns the bucket's inclusive upper bound.
+func latUpper(idx int) int64 {
+	if idx < latSub {
+		return int64(idx)
+	}
+	exp := idx>>latSubBits - 1
+	sub := int64(idx) - int64(exp)<<latSubBits
+	return (sub+1)<<uint(exp) - 1
+}
+
+// BucketWidthNS returns the width of the histogram bucket containing v —
+// the quantization bound a reported percentile carries at that magnitude.
+func BucketWidthNS(v int64) int64 {
+	if v < latSub {
+		return 1
+	}
+	exp := bits.Len64(uint64(v)) - 1 - latSubBits
+	return 1 << uint(exp)
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *LatencyHist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[latIndex(ns)].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() int64 { return h.count.Load() }
+
+// Percentile returns the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket holding the rank-⌈q·count⌉ observation; zero when empty. The true
+// order statistic lies within one bucket width below the returned value.
+func (h *LatencyHist) Percentile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < latBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			return latUpper(i)
+		}
+	}
+	return latUpper(latBuckets - 1)
+}
+
+// Reset zeroes the histogram.
+func (h *LatencyHist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+}
+
+// LatencyBucket is one non-empty bucket of an exported histogram.
+type LatencyBucket struct {
+	// UpperNS is the bucket's inclusive upper bound in nanoseconds.
+	UpperNS int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// LatencyHistSnap is the sparse exported form of a LatencyHist: only
+// non-empty buckets, in ascending bound order.
+type LatencyHistSnap struct {
+	Count   int64           `json:"count"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// Snap exports the histogram's non-empty buckets.
+func (h *LatencyHist) Snap() LatencyHistSnap {
+	s := LatencyHistSnap{Count: h.count.Load()}
+	for i := 0; i < latBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, LatencyBucket{UpperNS: latUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Quantile computes a percentile from the exported sparse form, with the
+// same bucket-upper-bound semantics as LatencyHist.Percentile.
+func (s LatencyHistSnap) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.UpperNS
+		}
+	}
+	if n := len(s.Buckets); n > 0 {
+		return s.Buckets[n-1].UpperNS
+	}
+	return 0
+}

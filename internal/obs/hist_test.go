@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// latProbeValues sweeps every magnitude the histogram covers: small values
+// with dedicated buckets, the neighborhood of every power of two, and the
+// int64 extremes.
+func latProbeValues() []int64 {
+	vs := []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, math.MaxInt64 - 1, math.MaxInt64}
+	for shift := uint(2); shift < 63; shift++ {
+		p := int64(1) << shift
+		vs = append(vs, p-1, p, p+1)
+	}
+	return vs
+}
+
+func TestLatIndexUpperRoundTrip(t *testing.T) {
+	for _, v := range latProbeValues() {
+		idx := latIndex(v)
+		if idx < 0 || idx >= latBuckets {
+			t.Fatalf("latIndex(%d) = %d, outside [0, %d)", v, idx, latBuckets)
+		}
+		if up := latUpper(idx); up < v {
+			t.Errorf("latUpper(latIndex(%d)) = %d, below the value", v, up)
+		}
+		if idx > 0 {
+			if prev := latUpper(idx - 1); prev >= v {
+				t.Errorf("latUpper(%d) = %d >= %d: value not in its own bucket", idx-1, prev, v)
+			}
+		}
+	}
+}
+
+// TestLatIndexMonotone: bucket index never decreases as values grow, so
+// percentile scans read ranks off in value order.
+func TestLatIndexMonotone(t *testing.T) {
+	vs := latProbeValues()
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	prev := -1
+	for _, v := range vs {
+		idx := latIndex(v)
+		if idx < prev {
+			t.Fatalf("latIndex(%d) = %d < previous index %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestBucketWidthRelativeError pins the quantization guarantee the doc
+// comment states: above the dedicated small-value buckets, a bucket is at
+// most 1/latSub = 25%% of any value it contains.
+func TestBucketWidthRelativeError(t *testing.T) {
+	for _, v := range latProbeValues() {
+		w := BucketWidthNS(v)
+		if v < latSub {
+			if w != 1 {
+				t.Errorf("BucketWidthNS(%d) = %d, want 1", v, w)
+			}
+			continue
+		}
+		if w > v/latSub {
+			t.Errorf("BucketWidthNS(%d) = %d, above the %d%% bound (%d)", v, w, 100/latSub, v/latSub)
+		}
+		// The bound must also be the actual bucket extent.
+		idx := latIndex(v)
+		lo := int64(0)
+		if idx > 0 {
+			lo = latUpper(idx-1) + 1
+		}
+		if got := latUpper(idx) - lo + 1; got != w {
+			t.Errorf("bucket %d spans %d values, BucketWidthNS(%d) says %d", idx, got, v, w)
+		}
+	}
+}
+
+// driftLCG is a tiny deterministic generator so the percentile tests draw
+// the same skewed sample on every run.
+func driftLCG(state *uint64) uint64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return *state
+}
+
+func TestPercentileWithinOneBucketOfExact(t *testing.T) {
+	var h LatencyHist
+	state := uint64(42)
+	vals := make([]int64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		// Exponentially distributed magnitudes: spreads observations across
+		// ~9 octaves the way op latencies do.
+		v := int64(driftLCG(&state) % (1 << (8 + i%10)))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		exact := vals[rank-1]
+		got := h.Percentile(q)
+		if got < exact {
+			t.Errorf("Percentile(%.2f) = %d below the exact order statistic %d", q, got, exact)
+		}
+		if got-exact >= BucketWidthNS(exact) && got-exact >= 1 {
+			t.Errorf("Percentile(%.2f) = %d: off the exact %d by %d, more than one bucket width (%d)",
+				q, got, exact, got-exact, BucketWidthNS(exact))
+		}
+	}
+	if p50, p95, p99 := h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99); p50 > p95 || p95 > p99 {
+		t.Errorf("percentiles not monotone: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var h LatencyHist
+	if got := h.Percentile(0.5); got != 0 {
+		t.Fatalf("empty histogram Percentile = %d, want 0", got)
+	}
+	h.Record(1000)
+	for _, q := range []float64{0.0001, 0.5, 1.0} {
+		got := h.Percentile(q)
+		if got < 1000 || got-1000 >= BucketWidthNS(1000) {
+			t.Errorf("single-value Percentile(%.4f) = %d, want within one bucket of 1000", q, got)
+		}
+	}
+	h.Record(-5) // clamps to zero
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if got := h.Percentile(0.5); got != 0 {
+		t.Errorf("clamped negative should occupy bucket zero; p50 = %d", got)
+	}
+}
+
+func TestSnapQuantileMatchesPercentile(t *testing.T) {
+	var h LatencyHist
+	state := uint64(7)
+	for i := 0; i < 500; i++ {
+		h.Record(int64(driftLCG(&state) % 1_000_000))
+	}
+	snap := h.Snap()
+	if snap.Count != h.Count() {
+		t.Fatalf("snap count %d, histogram count %d", snap.Count, h.Count())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.99, 1.0} {
+		if a, b := h.Percentile(q), snap.Quantile(q); a != b {
+			t.Errorf("Quantile(%.2f): live %d, snapshot %d", q, a, b)
+		}
+	}
+	var prev int64 = -1
+	for _, b := range snap.Buckets {
+		if b.UpperNS <= prev {
+			t.Fatalf("snapshot buckets out of order at %d", b.UpperNS)
+		}
+		if b.Count <= 0 {
+			t.Fatalf("snapshot exported empty bucket at %d", b.UpperNS)
+		}
+		prev = b.UpperNS
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}
+
+// TestLatencyObserveGated: the Registry wrapper drops observations while
+// the layer is off but the histogram stays readable.
+func TestLatencyObserveGated(t *testing.T) {
+	Default.ResetValues()
+	l := Default.Latency("test_hist_gate", "x")
+	SetEnabled(false)
+	l.Observe(500)
+	if l.Hist().Count() != 0 {
+		t.Fatal("disabled Observe recorded")
+	}
+	SetEnabled(true)
+	l.Observe(500)
+	SetEnabled(false)
+	if l.Hist().Count() != 1 {
+		t.Fatal("enabled Observe dropped")
+	}
+	if got := l.Hist().Percentile(0.5); got < 500 || got-500 >= BucketWidthNS(500) {
+		t.Fatalf("p50 = %d, want within one bucket of 500", got)
+	}
+}
+
+// TestLatencyObserveZeroAllocs pins the hot-path cost: recording into a
+// latency histogram never allocates — disabled (dropped at the gate) or
+// enabled (fixed bucket array, atomic adds only).
+func TestLatencyObserveZeroAllocs(t *testing.T) {
+	Default.ResetValues()
+	l := Default.Latency("test_hist_allocs", "x")
+	SetEnabled(false)
+	if allocs := testing.AllocsPerRun(1000, func() { l.Observe(12345) }); allocs != 0 {
+		t.Fatalf("disabled Observe allocates %.1f times per call, want 0", allocs)
+	}
+	SetEnabled(true)
+	allocs := testing.AllocsPerRun(1000, func() { l.Observe(12345) })
+	SetEnabled(false)
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -19,6 +19,7 @@ type Registry struct {
 	counters map[metricKey]*Counter   // guarded by mu
 	hists    map[metricKey]*Histogram // guarded by mu
 	aggs     map[metricKey]*Aggregate // guarded by mu
+	lats     map[metricKey]*Latency   // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -27,6 +28,7 @@ func NewRegistry() *Registry {
 		counters: make(map[metricKey]*Counter),
 		hists:    make(map[metricKey]*Histogram),
 		aggs:     make(map[metricKey]*Aggregate),
+		lats:     make(map[metricKey]*Latency),
 	}
 }
 
@@ -116,6 +118,41 @@ func (r *Registry) Histogram(name, label string, boundsMS []float64) *Histogram 
 	return h
 }
 
+// Latency is the gated Registry wrapper over a log-bucketed LatencyHist:
+// observations are dropped while the package gate is off (so the engine's
+// hot paths stay zero-cost for unobserved runs), while the underlying
+// histogram stays readable at any time.
+type Latency struct{ h LatencyHist }
+
+// Observe records one latency in nanoseconds when the layer is enabled.
+func (l *Latency) Observe(ns int64) {
+	if l == nil || !enabled.Load() {
+		return
+	}
+	l.h.Record(ns)
+}
+
+// Hist exposes the underlying histogram for reading percentiles.
+func (l *Latency) Hist() *LatencyHist {
+	if l == nil {
+		return nil
+	}
+	return &l.h
+}
+
+// Latency returns (creating if needed) the named latency histogram.
+func (r *Registry) Latency(name, label string) *Latency {
+	k := metricKey{name, label}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.lats[k]
+	if !ok {
+		l = &Latency{}
+		r.lats[k] = l
+	}
+	return l
+}
+
 // Aggregate is a count + cumulative-duration pair — the cheap form of
 // timing for call sites too hot for spans (per-cell formula evaluation).
 type Aggregate struct {
@@ -189,6 +226,18 @@ type HistogramSnap struct {
 	SumMS    float64   `json:"sum_ms"`
 }
 
+// LatencySnap is one latency histogram's exported state: percentile
+// summaries plus the sparse bucket list they were computed from.
+type LatencySnap struct {
+	Name  string          `json:"name"`
+	Label string          `json:"label,omitempty"`
+	Count int64           `json:"count"`
+	P50NS int64           `json:"p50_ns"`
+	P95NS int64           `json:"p95_ns"`
+	P99NS int64           `json:"p99_ns"`
+	Hist  LatencyHistSnap `json:"hist"`
+}
+
 // AggregateSnap is one aggregate's exported state.
 type AggregateSnap struct {
 	Name    string `json:"name"`
@@ -203,6 +252,10 @@ type MetricsSnapshot struct {
 	Counters   []CounterSnap   `json:"counters"`
 	Histograms []HistogramSnap `json:"histograms"`
 	Aggregates []AggregateSnap `json:"aggregates"`
+	// Latencies holds only instruments with at least one observation — the
+	// per-profile/op-kind registration grid is wide and mostly idle in any
+	// single run.
+	Latencies []LatencySnap `json:"latencies,omitempty"`
 }
 
 // Snapshot exports every registered metric, including zero-valued ones, in
@@ -232,6 +285,20 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 			Name: k.name, Label: k.label, Count: a.Count(), TotalNS: int64(a.Total()),
 		})
 	}
+	for k, l := range r.lats {
+		h := l.Hist()
+		if h.Count() == 0 {
+			continue
+		}
+		snap.Latencies = append(snap.Latencies, LatencySnap{
+			Name: k.name, Label: k.label,
+			Count: h.Count(),
+			P50NS: h.Percentile(0.50),
+			P95NS: h.Percentile(0.95),
+			P99NS: h.Percentile(0.99),
+			Hist:  h.Snap(),
+		})
+	}
 	sort.Slice(snap.Counters, func(i, j int) bool {
 		return snapLess(snap.Counters[i].Name, snap.Counters[i].Label, snap.Counters[j].Name, snap.Counters[j].Label)
 	})
@@ -240,6 +307,9 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	})
 	sort.Slice(snap.Aggregates, func(i, j int) bool {
 		return snapLess(snap.Aggregates[i].Name, snap.Aggregates[i].Label, snap.Aggregates[j].Name, snap.Aggregates[j].Label)
+	})
+	sort.Slice(snap.Latencies, func(i, j int) bool {
+		return snapLess(snap.Latencies[i].Name, snap.Latencies[i].Label, snap.Latencies[j].Name, snap.Latencies[j].Label)
 	})
 	return snap
 }
@@ -269,5 +339,8 @@ func (r *Registry) ResetValues() {
 	for _, a := range r.aggs {
 		a.n.Store(0)
 		a.total.Store(0)
+	}
+	for _, l := range r.lats {
+		l.h.Reset()
 	}
 }

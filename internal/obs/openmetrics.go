@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOpenMetrics renders a metrics snapshot in the OpenMetrics text
+// exposition format (the Prometheus-compatible subset): counters as
+// *_total, fixed-bucket histograms with cumulative le= buckets, aggregates
+// as a count/sum pair, and latency instruments as summaries with quantile
+// labels. Output is deterministic because MetricsSnapshot is sorted.
+func WriteOpenMetrics(w io.Writer, snap MetricsSnapshot) error {
+	hdr := headerWriter{w: w}
+	for _, c := range snap.Counters {
+		name := sanitizeMetricName(c.Name) + "_total"
+		if err := hdr.write(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelPair(c.Label), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		name := sanitizeMetricName(h.Name)
+		if err := hdr.write(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.BoundsMS {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelPairs(h.Label, "le", fmt.Sprintf("%g", b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.BoundsMS)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelPairs(h.Label, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelPair(h.Label), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labelPair(h.Label), h.SumMS); err != nil {
+			return err
+		}
+	}
+	for _, a := range snap.Aggregates {
+		name := sanitizeMetricName(a.Name)
+		if err := hdr.write(name, "summary"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelPair(a.Label), a.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labelPair(a.Label), a.TotalNS); err != nil {
+			return err
+		}
+	}
+	for _, l := range snap.Latencies {
+		name := sanitizeMetricName(l.Name) + "_ns"
+		if err := hdr.write(name, "summary"); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", l.P50NS}, {"0.95", l.P95NS}, {"0.99", l.P99NS}} {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelPairs(l.Label, "quantile", q.label), q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelPair(l.Label), l.Count); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// headerWriter emits one # TYPE line per metric family. Snapshots sort by
+// (name, label), so same-family rows arrive consecutively and tracking the
+// previous name suffices.
+type headerWriter struct {
+	w    io.Writer
+	last string
+}
+
+func (h *headerWriter) write(name, typ string) error {
+	if name == h.last {
+		return nil
+	}
+	h.last = name
+	_, err := fmt.Fprintf(h.w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// sanitizeMetricName maps an internal metric name onto the OpenMetrics
+// charset [a-zA-Z0-9_:], replacing anything else with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// labelPair renders {label="v"} when the instrument has a label.
+func labelPair(label string) string {
+	if label == "" {
+		return ""
+	}
+	return `{label=` + quoteLabelValue(label) + `}`
+}
+
+// labelPairs renders the instrument label plus one extra key/value pair.
+func labelPairs(label, key, value string) string {
+	extra := key + `=` + quoteLabelValue(value)
+	if label == "" {
+		return "{" + extra + "}"
+	}
+	return `{label=` + quoteLabelValue(label) + `,` + extra + `}`
+}
+
+// quoteLabelValue escapes backslash, double-quote, and newline per the
+// exposition format.
+func quoteLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return `"` + v + `"`
+}

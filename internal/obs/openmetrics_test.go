@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteOpenMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	SetEnabled(true)
+	r.Counter("engine_cells_evaluated", "excel").Add(7)
+	h := r.Histogram("engine_op_sim_ms", "excel", []float64{1, 500})
+	h.Observe(0.5)
+	h.Observe(400)
+	h.Observe(9000)
+	r.Aggregate("engine_eval", "excel").Add(3, 2*time.Millisecond)
+	l := r.Latency("engine_op_latency", `excel/so"rt`)
+	l.Observe(1000)
+	l.Observe(2000)
+	SetEnabled(false)
+
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE engine_cells_evaluated_total counter",
+		`engine_cells_evaluated_total{label="excel"} 7`,
+		"# TYPE engine_op_sim_ms histogram",
+		`engine_op_sim_ms_bucket{label="excel",le="1"} 1`,
+		`engine_op_sim_ms_bucket{label="excel",le="500"} 2`,
+		`engine_op_sim_ms_bucket{label="excel",le="+Inf"} 3`,
+		`engine_op_sim_ms_count{label="excel"} 3`,
+		"# TYPE engine_eval summary",
+		`engine_eval_count{label="excel"} 3`,
+		`engine_eval_sum{label="excel"} 2000000`,
+		"# TYPE engine_op_latency_ns summary",
+		`quantile="0.5"`,
+		`quantile="0.99"`,
+		// The label value's double quote must arrive escaped.
+		`label="excel/so\"rt"`,
+		`engine_op_latency_ns_count{label="excel/so\"rt"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition must end with # EOF:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE engine_op_latency_ns"); n != 1 {
+		t.Errorf("family header emitted %d times, want 1", n)
+	}
+
+	// Determinism: a second render of the same snapshot is byte-identical.
+	var sb2 strings.Builder
+	if err := WriteOpenMetrics(&sb2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"engine_op_latency": "engine_op_latency",
+		"op.sort/1":         "op_sort_1",
+		"9lives":            "_lives",
+		"a:b":               "a:b",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

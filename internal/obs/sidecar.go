@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,12 +9,19 @@ import (
 
 // SidecarSchema versions the sidecar JSON layout. Consumers (the bench-
 // smoke CI stage via cmd/obscheck, perf-trajectory tooling) match it
-// exactly.
-const SidecarSchema = "spreadbench-obs-sidecar/v1"
+// exactly. v2 added percentile verdicts and latency histograms to the SLO
+// block, latency instruments to the metrics snapshot, and the plan-drift
+// report.
+const SidecarSchema = "spreadbench-obs-sidecar/v2"
+
+// sidecarSchemaV1 is the retired layout; parsing rejects it with a
+// regeneration hint rather than a bare mismatch.
+const sidecarSchemaV1 = "spreadbench-obs-sidecar/v1"
 
 // Sidecar is the metrics/trace companion file a benchmark runner writes
-// next to its results: the SLO verdicts, the metric registry snapshot, and
-// a pointer to the Chrome trace file when one was written.
+// next to its results: the SLO verdicts, the metric registry snapshot, the
+// plan-drift report, and a pointer to the Chrome trace file when one was
+// written.
 type Sidecar struct {
 	// Schema is always SidecarSchema.
 	Schema string `json:"schema"`
@@ -25,6 +33,9 @@ type Sidecar struct {
 	SLO SLOReport `json:"slo"`
 	// Metrics snapshots the obs registry at the end of the run.
 	Metrics MetricsSnapshot `json:"metrics"`
+	// Drift holds the plan-drift report when any planner gate recorded an
+	// observation during the run.
+	Drift *DriftReport `json:"drift,omitempty"`
 	// Spans is the number of spans recorded during the run; SpansDropped
 	// counts any lost at the buffer cap.
 	Spans        int   `json:"spans"`
@@ -44,16 +55,62 @@ func WriteSidecar(w io.Writer, sc *Sidecar) error {
 	return enc.Encode(sc)
 }
 
+// strictUnmarshal decodes JSON rejecting unknown fields — schema drift in a
+// producer surfaces as a parse error here instead of silently dropped data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A trailing second document means the file is not a single object.
+	if dec.More() {
+		return fmt.Errorf("trailing data after document")
+	}
+	return nil
+}
+
+// validateLatencyHist checks a sparse histogram snapshot: ascending unique
+// bounds, positive counts, and a bucket sum matching the total.
+func validateLatencyHist(what string, h LatencyHistSnap) error {
+	var sum int64
+	prev := int64(-1)
+	for _, b := range h.Buckets {
+		if b.Count <= 0 {
+			return fmt.Errorf("%s: bucket %d has count %d, want > 0", what, b.UpperNS, b.Count)
+		}
+		if b.UpperNS <= prev {
+			return fmt.Errorf("%s: bucket bounds not strictly ascending at %d", what, b.UpperNS)
+		}
+		prev = b.UpperNS
+		sum += b.Count
+	}
+	if sum != h.Count {
+		return fmt.Errorf("%s: bucket counts sum to %d, total says %d", what, sum, h.Count)
+	}
+	return nil
+}
+
 // ParseSidecar decodes and validates a sidecar document. It is strict —
-// unknown schema, missing kind, or an SLO block without a bound all fail —
-// so the CI smoke stage catches schema drift, not just syntax errors.
+// unknown fields, retired schema versions, missing kind, non-monotone
+// percentiles, or histogram counts that don't reconcile all fail — so the
+// CI smoke stage catches schema drift, not just syntax errors.
 func ParseSidecar(data []byte) (*Sidecar, error) {
-	var sc Sidecar
-	if err := json.Unmarshal(data, &sc); err != nil {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("sidecar: %w", err)
 	}
-	if sc.Schema != SidecarSchema {
-		return nil, fmt.Errorf("sidecar: schema %q, want %q", sc.Schema, SidecarSchema)
+	if probe.Schema == sidecarSchemaV1 {
+		return nil, fmt.Errorf("sidecar: schema %q is no longer supported; regenerate with a current -sidecar run", probe.Schema)
+	}
+	if probe.Schema != SidecarSchema {
+		return nil, fmt.Errorf("sidecar: schema %q, want %q", probe.Schema, SidecarSchema)
+	}
+	var sc Sidecar
+	if err := strictUnmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("sidecar: %w", err)
 	}
 	if sc.Kind == "" {
 		return nil, fmt.Errorf("sidecar: missing kind")
@@ -68,26 +125,77 @@ func ParseSidecar(data []byte) (*Sidecar, error) {
 		if op.Violations > op.Count {
 			return nil, fmt.Errorf("sidecar: op %q has %d violations out of %d observations", op.Op, op.Violations, op.Count)
 		}
+		// Percentiles are bucket upper bounds, so p99 may exceed the exact
+		// WorstMS by up to one bucket width — only monotonicity is checkable.
+		if op.P50MS > op.P95MS || op.P95MS > op.P99MS {
+			return nil, fmt.Errorf("sidecar: op %q percentiles not monotone (p50 %.3f p95 %.3f p99 %.3f)",
+				op.Op, op.P50MS, op.P95MS, op.P99MS)
+		}
+		if op.Hist.Count != op.Count {
+			return nil, fmt.Errorf("sidecar: op %q histogram holds %d observations, op count says %d", op.Op, op.Hist.Count, op.Count)
+		}
+		if err := validateLatencyHist(fmt.Sprintf("sidecar: op %q", op.Op), op.Hist); err != nil {
+			return nil, err
+		}
 	}
 	for _, h := range sc.Metrics.Histograms {
 		if len(h.Counts) != len(h.BoundsMS)+1 {
 			return nil, fmt.Errorf("sidecar: histogram %q has %d counts for %d bounds", h.Name, len(h.Counts), len(h.BoundsMS))
 		}
 	}
+	for _, l := range sc.Metrics.Latencies {
+		if l.Name == "" {
+			return nil, fmt.Errorf("sidecar: latency metric with empty name")
+		}
+		if l.P50NS > l.P95NS || l.P95NS > l.P99NS {
+			return nil, fmt.Errorf("sidecar: latency %q/%q percentiles not monotone", l.Name, l.Label)
+		}
+		if l.Hist.Count != l.Count {
+			return nil, fmt.Errorf("sidecar: latency %q/%q histogram holds %d observations, count says %d", l.Name, l.Label, l.Hist.Count, l.Count)
+		}
+		if err := validateLatencyHist(fmt.Sprintf("sidecar: latency %q/%q", l.Name, l.Label), l.Hist); err != nil {
+			return nil, err
+		}
+	}
+	if sc.Drift != nil {
+		for _, g := range sc.Drift.Gates {
+			if g.Gate == "" || g.Profile == "" {
+				return nil, fmt.Errorf("sidecar: drift gate with empty name or profile")
+			}
+			if g.Count <= 0 {
+				return nil, fmt.Errorf("sidecar: drift gate %q/%q has count %d, want > 0", g.Profile, g.Gate, g.Count)
+			}
+			if len(g.Buckets) != len(sc.Drift.RatioBounds)+1 {
+				return nil, fmt.Errorf("sidecar: drift gate %q/%q has %d buckets for %d bounds",
+					g.Profile, g.Gate, len(g.Buckets), len(sc.Drift.RatioBounds))
+			}
+		}
+	}
 	return &sc, nil
 }
 
 // BenchSchema versions the machine-readable benchmark file scripts/bench.sh
-// emits for the perf-trajectory record.
-const BenchSchema = "spreadbench-bench/v1"
+// emits for the perf-trajectory record. v2 added the per-benchmark sample
+// count (the min-of-N provenance the regression comparator relies on).
+const BenchSchema = "spreadbench-bench/v2"
 
-// BenchResult is one benchmark's headline numbers.
+// benchSchemaV1 is the retired layout that recorded a single sample with a
+// hard-wired iteration count.
+const benchSchemaV1 = "spreadbench-bench/v1"
+
+// BenchResult is one benchmark's headline numbers. With multiple samples,
+// NsPerOp/AllocsPerOp/BytesPerOp are from the fastest sample (min-of-N —
+// the standard noise reduction for micro-benchmarks) and Iterations is that
+// sample's b.N.
 type BenchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Samples is how many runs of the benchmark the figures were minimized
+	// over.
+	Samples int `json:"samples"`
 }
 
 // BenchFile is the BENCH_engine.json layout.
@@ -98,12 +206,21 @@ type BenchFile struct {
 
 // ParseBenchFile decodes and validates a BENCH_engine.json document.
 func ParseBenchFile(data []byte) (*BenchFile, error) {
-	var bf BenchFile
-	if err := json.Unmarshal(data, &bf); err != nil {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("bench file: %w", err)
 	}
-	if bf.Schema != BenchSchema {
-		return nil, fmt.Errorf("bench file: schema %q, want %q", bf.Schema, BenchSchema)
+	if probe.Schema == benchSchemaV1 {
+		return nil, fmt.Errorf("bench file: schema %q is no longer supported; regenerate with scripts/bench.sh", probe.Schema)
+	}
+	if probe.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench file: schema %q, want %q", probe.Schema, BenchSchema)
+	}
+	var bf BenchFile
+	if err := strictUnmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("bench file: %w", err)
 	}
 	if len(bf.Benchmarks) == 0 {
 		return nil, fmt.Errorf("bench file: no benchmarks")
@@ -114,6 +231,12 @@ func ParseBenchFile(data []byte) (*BenchFile, error) {
 		}
 		if b.NsPerOp < 0 || b.AllocsPerOp < 0 {
 			return nil, fmt.Errorf("bench file: benchmark %q has negative metrics", b.Name)
+		}
+		if b.Iterations < 1 {
+			return nil, fmt.Errorf("bench file: benchmark %q has %d iterations, want >= 1", b.Name, b.Iterations)
+		}
+		if b.Samples < 1 {
+			return nil, fmt.Errorf("bench file: benchmark %q has %d samples, want >= 1", b.Name, b.Samples)
 		}
 	}
 	return &bf, nil

@@ -4,15 +4,30 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func validSidecar() *Sidecar {
+	// Build the op's histogram the way a runner does — through a real
+	// LatencyHist — so counts, percentiles, and buckets reconcile.
+	var h LatencyHist
+	for i := 0; i < 9; i++ {
+		h.Record(int64(40 * time.Millisecond))
+	}
+	h.Record(int64(812 * time.Millisecond))
+	op := SLOOp{
+		Op: "op.sort", Count: 10, Violations: 2, WorstMS: 812.5,
+		P50MS: float64(h.Percentile(0.50)) / float64(time.Millisecond),
+		P95MS: float64(h.Percentile(0.95)) / float64(time.Millisecond),
+		P99MS: float64(h.Percentile(0.99)) / float64(time.Millisecond),
+		Hist:  h.Snap(),
+	}
 	return &Sidecar{
 		Kind:    "bct",
 		Systems: []string{"excel", "calc"},
 		SLO: SLOReport{
 			BoundMS:    500,
-			Ops:        []SLOOp{{Op: "op.sort", Count: 10, Violations: 2, WorstMS: 812.5}},
+			Ops:        []SLOOp{op},
 			Violations: 2,
 		},
 		Metrics: MetricsSnapshot{
@@ -20,6 +35,20 @@ func validSidecar() *Sidecar {
 			Histograms: []HistogramSnap{{
 				Name: "engine_op_sim_ms", Label: "excel",
 				BoundsMS: []float64{100, 500}, Counts: []int64{5, 3, 2}, Count: 10, SumMS: 2000,
+			}},
+			Latencies: []LatencySnap{{
+				Name: "engine_op_latency", Label: "excel/sort",
+				Count: h.Count(),
+				P50NS: h.Percentile(0.50), P95NS: h.Percentile(0.95), P99NS: h.Percentile(0.99),
+				Hist: h.Snap(),
+			}},
+		},
+		Drift: &DriftReport{
+			RatioBounds: DriftRatioBounds,
+			Gates: []DriftGate{{
+				Profile: "excel", Gate: "lookup-binary", Count: 4,
+				PredMS: 1, MeasMS: 1.2, Ratio: 1.2, MinRatio: 0.9, MaxRatio: 1.5,
+				Calibrated: true, Buckets: make([]int64, len(DriftRatioBounds)+1),
 			}},
 		},
 		Spans:     42,
@@ -42,6 +71,27 @@ func TestSidecarRoundTrip(t *testing.T) {
 	if sc.SLO.Ops[0].WorstMS != 812.5 {
 		t.Fatalf("SLO survived badly: %+v", sc.SLO)
 	}
+	if sc.Drift == nil || len(sc.Drift.Gates) != 1 || sc.Drift.Gates[0].Gate != "lookup-binary" {
+		t.Fatalf("drift survived badly: %+v", sc.Drift)
+	}
+	if got := sc.SLO.Ops[0].Hist.Quantile(0.50); float64(got)/float64(time.Millisecond) != sc.SLO.Ops[0].P50MS {
+		t.Fatalf("snap quantile %d ns disagrees with p50 %.3f ms", got, sc.SLO.Ops[0].P50MS)
+	}
+}
+
+// TestSidecarEmptyHistogram covers the zero-observation edge: an op with no
+// samples carries zero percentiles and an empty bucket list, and that must
+// validate.
+func TestSidecarEmptyHistogram(t *testing.T) {
+	sc := validSidecar()
+	sc.SLO.Ops = append(sc.SLO.Ops, SLOOp{Op: "op.filter"})
+	var buf bytes.Buffer
+	if err := WriteSidecar(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSidecar(buf.Bytes()); err != nil {
+		t.Fatalf("empty histogram must validate: %v", err)
+	}
 }
 
 func TestSidecarStrictValidation(t *testing.T) {
@@ -56,6 +106,16 @@ func TestSidecarStrictValidation(t *testing.T) {
 		{"anonymous op", func(sc *Sidecar) { sc.SLO.Ops[0].Op = "" }, "empty name"},
 		{"impossible violations", func(sc *Sidecar) { sc.SLO.Ops[0].Violations = 99 }, "violations"},
 		{"histogram shape", func(sc *Sidecar) { sc.Metrics.Histograms[0].Counts = []int64{1} }, "counts"},
+		{"non-monotone percentiles", func(sc *Sidecar) { sc.SLO.Ops[0].P50MS = sc.SLO.Ops[0].P99MS + 1 }, "monotone"},
+		{"hist count mismatch", func(sc *Sidecar) { sc.SLO.Ops[0].Hist.Count = 99 }, "histogram holds"},
+		{"bucket sum mismatch", func(sc *Sidecar) { sc.SLO.Ops[0].Hist.Buckets[0].Count++ }, "sum to"},
+		{"unsorted buckets", func(sc *Sidecar) {
+			b := sc.SLO.Ops[0].Hist.Buckets
+			b[0], b[1] = b[1], b[0]
+		}, "ascending"},
+		{"latency count mismatch", func(sc *Sidecar) { sc.Metrics.Latencies[0].Count = 99 }, "histogram holds"},
+		{"anonymous drift gate", func(sc *Sidecar) { sc.Drift.Gates[0].Gate = "" }, "drift gate"},
+		{"drift bucket shape", func(sc *Sidecar) { sc.Drift.Gates[0].Buckets = []int64{1} }, "buckets"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -87,24 +147,57 @@ func TestSidecarRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestSidecarRejectsUnknownFields pins the strict-decoder behavior: a
+// producer emitting fields this schema version doesn't know must fail the
+// parse, not silently lose data.
+func TestSidecarRejectsUnknownFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSidecar(&buf, validSidecar()); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Replace(buf.String(), `"kind"`, `"surprise": 1, "kind"`, 1)
+	if _, err := ParseSidecar([]byte(doc)); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("err = %v, want unknown-field rejection", err)
+	}
+}
+
+// TestSidecarRejectsV1 pins the retirement message for the old layout.
+func TestSidecarRejectsV1(t *testing.T) {
+	doc := `{"schema":"spreadbench-obs-sidecar/v1","kind":"bct"}`
+	if _, err := ParseSidecar([]byte(doc)); err == nil || !strings.Contains(err.Error(), "no longer supported") {
+		t.Fatalf("err = %v, want regeneration hint", err)
+	}
+}
+
 func TestBenchFileParse(t *testing.T) {
-	good := []byte(`{"schema":"spreadbench-bench/v1","benchmarks":[
-		{"name":"BenchmarkFig7Countif/excel","iterations":1,"ns_per_op":1234.5,"allocs_per_op":10,"bytes_per_op":2048}]}`)
+	good := []byte(`{"schema":"spreadbench-bench/v2","benchmarks":[
+		{"name":"BenchmarkFig7Countif/excel","iterations":100,"ns_per_op":1234.5,"allocs_per_op":10,"bytes_per_op":2048,"samples":3}]}`)
 	bf, err := ParseBenchFile(good)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bf.Benchmarks) != 1 || bf.Benchmarks[0].NsPerOp != 1234.5 {
+	if len(bf.Benchmarks) != 1 || bf.Benchmarks[0].NsPerOp != 1234.5 || bf.Benchmarks[0].Samples != 3 {
 		t.Fatalf("parsed: %+v", bf)
 	}
 	for name, bad := range map[string]string{
-		"schema":    `{"schema":"x","benchmarks":[{"name":"a"}]}`,
-		"empty":     `{"schema":"spreadbench-bench/v1","benchmarks":[]}`,
-		"anonymous": `{"schema":"spreadbench-bench/v1","benchmarks":[{"name":""}]}`,
-		"negative":  `{"schema":"spreadbench-bench/v1","benchmarks":[{"name":"a","ns_per_op":-1}]}`,
+		"schema":       `{"schema":"x","benchmarks":[{"name":"a"}]}`,
+		"empty":        `{"schema":"spreadbench-bench/v2","benchmarks":[]}`,
+		"anonymous":    `{"schema":"spreadbench-bench/v2","benchmarks":[{"name":"","iterations":1,"samples":1}]}`,
+		"negative":     `{"schema":"spreadbench-bench/v2","benchmarks":[{"name":"a","ns_per_op":-1,"iterations":1,"samples":1}]}`,
+		"no samples":   `{"schema":"spreadbench-bench/v2","benchmarks":[{"name":"a","iterations":1}]}`,
+		"unknown keys": `{"schema":"spreadbench-bench/v2","extra":true,"benchmarks":[{"name":"a","iterations":1,"samples":1}]}`,
 	} {
 		if _, err := ParseBenchFile([]byte(bad)); err == nil {
 			t.Errorf("%s: bad bench file must not validate", name)
 		}
+	}
+}
+
+// TestBenchFileRejectsV1 pins the retirement message for the pre-samples
+// layout (the one that hard-wired iterations: 1).
+func TestBenchFileRejectsV1(t *testing.T) {
+	doc := `{"schema":"spreadbench-bench/v1","benchmarks":[{"name":"a","iterations":1}]}`
+	if _, err := ParseBenchFile([]byte(doc)); err == nil || !strings.Contains(err.Error(), "no longer supported") {
+		t.Fatalf("err = %v, want regeneration hint", err)
 	}
 }

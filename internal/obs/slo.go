@@ -29,6 +29,7 @@ type sloStat struct {
 	violations  int64
 	worst       time.Duration
 	worstDetail string
+	hist        LatencyHist
 }
 
 // NewSLO returns a monitor with the given bound; bound <= 0 selects
@@ -54,6 +55,7 @@ func (m *SLO) Observe(op string, d time.Duration, detail string) {
 		m.stats[op] = st
 	}
 	st.count++
+	st.hist.Record(int64(d))
 	if d > m.bound {
 		st.violations++
 	}
@@ -63,13 +65,19 @@ func (m *SLO) Observe(op string, d time.Duration, detail string) {
 	}
 }
 
-// SLOOp is one operation's verdict in a report.
+// SLOOp is one operation's verdict in a report. The percentile fields carry
+// bucket-upper-bound values from the op's log-bucketed latency histogram:
+// the true order statistic lies within one bucket width below each.
 type SLOOp struct {
-	Op          string  `json:"op"`
-	Count       int64   `json:"count"`
-	Violations  int64   `json:"violations"`
-	WorstMS     float64 `json:"worst_ms"`
-	WorstDetail string  `json:"worst_detail,omitempty"`
+	Op          string          `json:"op"`
+	Count       int64           `json:"count"`
+	Violations  int64           `json:"violations"`
+	WorstMS     float64         `json:"worst_ms"`
+	WorstDetail string          `json:"worst_detail,omitempty"`
+	P50MS       float64         `json:"p50_ms"`
+	P95MS       float64         `json:"p95_ms"`
+	P99MS       float64         `json:"p99_ms"`
+	Hist        LatencyHistSnap `json:"hist"`
 }
 
 // OK reports whether the op stayed within the bound.
@@ -92,6 +100,10 @@ func (m *SLO) Report() SLOReport {
 			Op: op, Count: st.count, Violations: st.violations,
 			WorstMS:     float64(st.worst) / float64(time.Millisecond),
 			WorstDetail: st.worstDetail,
+			P50MS:       float64(st.hist.Percentile(0.50)) / float64(time.Millisecond),
+			P95MS:       float64(st.hist.Percentile(0.95)) / float64(time.Millisecond),
+			P99MS:       float64(st.hist.Percentile(0.99)) / float64(time.Millisecond),
+			Hist:        st.hist.Snap(),
 		})
 		rep.Violations += st.violations
 	}
@@ -117,8 +129,8 @@ func (r SLOReport) WriteText(w io.Writer) error {
 		if op.WorstDetail != "" {
 			detail = " (" + op.WorstDetail + ")"
 		}
-		if _, err := fmt.Fprintf(w, "  %-12s %4d op(s)  %3d over bound  worst %.1f ms%s  %s\n",
-			op.Op, op.Count, op.Violations, op.WorstMS, detail, mark); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-12s %4d op(s)  %3d over bound  p50 %.1f p95 %.1f p99 %.1f  worst %.1f ms%s  %s\n",
+			op.Op, op.Count, op.Violations, op.P50MS, op.P95MS, op.P99MS, op.WorstMS, detail, mark); err != nil {
 			return err
 		}
 	}

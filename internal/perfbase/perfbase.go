@@ -1,0 +1,326 @@
+// Package perfbase is the noise-aware benchmark baseline store behind the
+// regression gate (cmd/benchdiff, scripts/check.sh benchdiff): a
+// schema-versioned history of scripts/bench.sh runs appended as JSON lines,
+// and a comparator that diffs a candidate bench file against a committed
+// baseline with per-benchmark relative thresholds on min-of-N timings and
+// exact matching on allocation counts (allocations are deterministic, so
+// any change is a real change — the most reliable regression signal a
+// benchmark carries).
+package perfbase
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// HistorySchema versions one BENCH_history.jsonl line.
+const HistorySchema = "spreadbench-perfbase/v1"
+
+// HistoryEntry is one recorded bench run: the full bench file plus
+// provenance. Entries append to BENCH_history.jsonl, one JSON object per
+// line, so the perf trajectory of the repo is a readable, diffable log.
+type HistoryEntry struct {
+	Schema string `json:"schema"`
+	// UnixTime stamps the run (seconds). Zero when the producer can't say.
+	UnixTime int64 `json:"unix_time"`
+	// Label names the run: a git describe, branch, or free-form tag.
+	Label string        `json:"label,omitempty"`
+	Bench obs.BenchFile `json:"bench"`
+}
+
+// AppendHistory appends one entry to the history file, creating it when
+// absent.
+func AppendHistory(path string, e HistoryEntry) error {
+	if e.Schema == "" {
+		e.Schema = HistorySchema
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("perfbase: marshal history entry: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perfbase: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("perfbase: append %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("perfbase: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadHistory parses a history stream: one strict JSON entry per line, all
+// carrying HistorySchema. A line with any other schema fails with the line
+// number — mixed-schema files mean a producer and this reader disagree,
+// and silently skipping lines would hide exactly the runs being asked
+// about.
+func ReadHistory(r io.Reader) ([]HistoryEntry, error) {
+	var entries []HistoryEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("perfbase: history line %d: %w", line, err)
+		}
+		if probe.Schema != HistorySchema {
+			return nil, fmt.Errorf("perfbase: history line %d: schema %q, want %q (mixed-schema history — regenerate the file)",
+				line, probe.Schema, HistorySchema)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var e HistoryEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("perfbase: history line %d: %w", line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfbase: %w", err)
+	}
+	return entries, nil
+}
+
+// Options tunes the comparator.
+type Options struct {
+	// NsThreshold is the relative ns/op increase that counts as a
+	// regression (0.20 = 20%). Zero selects the default 0.20.
+	NsThreshold float64
+	// MinNs is the noise floor: benchmarks whose baseline and candidate
+	// are both under it are never flagged on timing (sub-floor numbers are
+	// dominated by fixed harness overhead). Zero selects 100 ns.
+	MinNs float64
+	// AllocsExact, when true (the default direction benchdiff uses),
+	// flags any allocs/op increase beyond AllocsSlack — allocation counts
+	// are deterministic up to map-growth timing.
+	AllocsExact bool
+	// AllocsSlack is the relative allocs/op increase tolerated under
+	// AllocsExact (0.01 = 1%). Zero means strictly equal. Single-iteration
+	// smoke runs need a hair of slack: map-growth timing can wobble a
+	// many-thousand-alloc benchmark by a handful of allocations, while a
+	// real per-row leak shows up orders of magnitude above 1%.
+	AllocsSlack float64
+}
+
+func (o Options) nsThreshold() float64 {
+	if o.NsThreshold <= 0 {
+		return 0.20
+	}
+	return o.NsThreshold
+}
+
+func (o Options) minNs() float64 {
+	if o.MinNs <= 0 {
+		return 100
+	}
+	return o.MinNs
+}
+
+// Verdicts a compared benchmark can receive.
+const (
+	VerdictOK          = "ok"
+	VerdictRegression  = "regression"
+	VerdictImprovement = "improvement"
+	VerdictAllocs      = "allocs-regression"
+	VerdictNew         = "new"
+	VerdictMissing     = "missing"
+)
+
+// BenchDiff is one benchmark's comparison row.
+type BenchDiff struct {
+	Name        string  `json:"name"`
+	Verdict     string  `json:"verdict"`
+	BaseNs      float64 `json:"base_ns"`
+	CandNs      float64 `json:"cand_ns"`
+	RelDelta    float64 `json:"rel_delta"`
+	BaseAllocs  float64 `json:"base_allocs"`
+	CandAllocs  float64 `json:"cand_allocs"`
+	BaseSamples int     `json:"base_samples"`
+	CandSamples int     `json:"cand_samples"`
+}
+
+// Diff is a full comparison: regressions ranked worst-first, improvements
+// ranked best-first, the unchanged rest, and set differences.
+type Diff struct {
+	Regressions  []BenchDiff `json:"regressions"`
+	Improvements []BenchDiff `json:"improvements"`
+	OK           []BenchDiff `json:"ok"`
+	New          []BenchDiff `json:"new"`
+	Missing      []BenchDiff `json:"missing"`
+}
+
+// HasRegressions reports whether the gate should fail.
+func (d *Diff) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// Compare diffs candidate against baseline. Benchmarks present in both are
+// judged on min-of-N ns/op with the relative threshold (above the noise
+// floor) and on allocs/op (exact up to AllocsSlack) when AllocsExact;
+// benchmarks only in the
+// candidate report as new, only in the baseline as missing (a deleted
+// benchmark is worth noticing, not failing).
+func Compare(baseline, candidate *obs.BenchFile, opt Options) *Diff {
+	base := make(map[string]obs.BenchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	d := &Diff{}
+	seen := make(map[string]bool, len(candidate.Benchmarks))
+	for _, c := range candidate.Benchmarks {
+		seen[c.Name] = true
+		b, ok := base[c.Name]
+		if !ok {
+			d.New = append(d.New, BenchDiff{Name: c.Name, Verdict: VerdictNew,
+				CandNs: c.NsPerOp, CandAllocs: c.AllocsPerOp, CandSamples: c.Samples})
+			continue
+		}
+		row := BenchDiff{
+			Name:   c.Name,
+			BaseNs: b.NsPerOp, CandNs: c.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CandAllocs: c.AllocsPerOp,
+			BaseSamples: b.Samples, CandSamples: c.Samples,
+		}
+		if b.NsPerOp > 0 {
+			row.RelDelta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		switch {
+		case opt.AllocsExact && c.AllocsPerOp > b.AllocsPerOp*(1+opt.AllocsSlack):
+			row.Verdict = VerdictAllocs
+			d.Regressions = append(d.Regressions, row)
+		case aboveFloor(b.NsPerOp, c.NsPerOp, opt.minNs()) && row.RelDelta > opt.nsThreshold():
+			row.Verdict = VerdictRegression
+			d.Regressions = append(d.Regressions, row)
+		case aboveFloor(b.NsPerOp, c.NsPerOp, opt.minNs()) && row.RelDelta < -opt.nsThreshold():
+			row.Verdict = VerdictImprovement
+			d.Improvements = append(d.Improvements, row)
+		default:
+			row.Verdict = VerdictOK
+			d.OK = append(d.OK, row)
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			d.Missing = append(d.Missing, BenchDiff{Name: b.Name, Verdict: VerdictMissing,
+				BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp, BaseSamples: b.Samples})
+		}
+	}
+	// Ranked, deterministic ordering: regressions worst-first (allocs
+	// regressions ahead of timing ones — they're the certain kind),
+	// improvements best-first, the rest by name.
+	sort.SliceStable(d.Regressions, func(i, j int) bool {
+		a, b := d.Regressions[i], d.Regressions[j]
+		ai, bi := a.Verdict == VerdictAllocs, b.Verdict == VerdictAllocs
+		if ai != bi {
+			return ai
+		}
+		if a.RelDelta > b.RelDelta {
+			return true
+		}
+		if a.RelDelta < b.RelDelta {
+			return false
+		}
+		return a.Name < b.Name
+	})
+	sort.SliceStable(d.Improvements, func(i, j int) bool {
+		a, b := d.Improvements[i], d.Improvements[j]
+		if a.RelDelta < b.RelDelta {
+			return true
+		}
+		if a.RelDelta > b.RelDelta {
+			return false
+		}
+		return a.Name < b.Name
+	})
+	byName := func(v []BenchDiff) {
+		sort.Slice(v, func(i, j int) bool { return v[i].Name < v[j].Name })
+	}
+	byName(d.OK)
+	byName(d.New)
+	byName(d.Missing)
+	return d
+}
+
+// aboveFloor reports whether either side clears the noise floor.
+func aboveFloor(baseNs, candNs, floor float64) bool {
+	return baseNs >= floor || candNs >= floor
+}
+
+// WriteTable renders the diff as the gate's human-readable verdict table,
+// deterministically.
+func (d *Diff) WriteTable(w io.Writer, opt Options) error {
+	verdict := "PASS"
+	if d.HasRegressions() {
+		verdict = fmt.Sprintf("FAIL (%d regression(s))", len(d.Regressions))
+	}
+	allocsBar := "allocs exact"
+	if opt.AllocsSlack > 0 {
+		allocsBar = fmt.Sprintf("allocs +%g%%", opt.AllocsSlack*100)
+	}
+	if _, err := fmt.Fprintf(w, "Bench regression gate (threshold %.0f%%, %s): %s\n",
+		opt.nsThreshold()*100, allocsBar, verdict); err != nil {
+		return err
+	}
+	section := func(title string, rows []BenchDiff) error {
+		if len(rows) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "%s:\n", title); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			switch r.Verdict {
+			case VerdictNew:
+				if _, err := fmt.Fprintf(w, "  %-50s %12.1f ns/op (no baseline)\n", r.Name, r.CandNs); err != nil {
+					return err
+				}
+			case VerdictMissing:
+				if _, err := fmt.Fprintf(w, "  %-50s %12.1f ns/op (not in candidate)\n", r.Name, r.BaseNs); err != nil {
+					return err
+				}
+			case VerdictAllocs:
+				if _, err := fmt.Fprintf(w, "  %-50s allocs %g -> %g\n", r.Name, r.BaseAllocs, r.CandAllocs); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "  %-50s %12.1f -> %12.1f ns/op  %+7.1f%%\n",
+					r.Name, r.BaseNs, r.CandNs, r.RelDelta*100); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := section("Regressions", d.Regressions); err != nil {
+		return err
+	}
+	if err := section("Improvements", d.Improvements); err != nil {
+		return err
+	}
+	if err := section("New", d.New); err != nil {
+		return err
+	}
+	if err := section("Missing", d.Missing); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d compared, %d ok, %d regressed, %d improved, %d new, %d missing\n",
+		len(d.OK)+len(d.Regressions)+len(d.Improvements), len(d.OK),
+		len(d.Regressions), len(d.Improvements), len(d.New), len(d.Missing))
+	return err
+}

@@ -1,0 +1,237 @@
+package perfbase
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func bench(name string, ns, allocs float64, samples int) obs.BenchResult {
+	return obs.BenchResult{Name: name, Iterations: 10, NsPerOp: ns,
+		AllocsPerOp: allocs, Samples: samples}
+}
+
+func benchFile(rs ...obs.BenchResult) *obs.BenchFile {
+	return &obs.BenchFile{Schema: obs.BenchSchema, Benchmarks: rs}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := benchFile(
+		bench("BenchmarkRecalc/weather", 125000, 42, 3),
+		bench("BenchmarkLookup/ledger", 9000, 7, 3),
+	)
+	d := Compare(base, base, Options{AllocsExact: true})
+	if d.HasRegressions() {
+		t.Fatalf("identical baseline flagged regressions: %+v", d.Regressions)
+	}
+	if len(d.OK) != 2 || len(d.New) != 0 || len(d.Missing) != 0 {
+		t.Fatalf("want 2 ok rows, got ok=%d new=%d missing=%d", len(d.OK), len(d.New), len(d.Missing))
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base := benchFile(bench("BenchmarkRecalc/weather", 100000, 42, 3))
+	cand := benchFile(bench("BenchmarkRecalc/weather", 125000, 42, 3)) // +25%
+	d := Compare(base, cand, Options{NsThreshold: 0.20, AllocsExact: true})
+	if !d.HasRegressions() {
+		t.Fatal("25% slowdown over a 20% threshold not flagged")
+	}
+	r := d.Regressions[0]
+	if r.Verdict != VerdictRegression {
+		t.Fatalf("verdict %q, want %q", r.Verdict, VerdictRegression)
+	}
+	if r.RelDelta < 0.24 || r.RelDelta > 0.26 {
+		t.Fatalf("rel delta %v, want ~0.25", r.RelDelta)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := benchFile(bench("BenchmarkRecalc/weather", 100000, 42, 3))
+	cand := benchFile(bench("BenchmarkRecalc/weather", 115000, 42, 3)) // +15%
+	d := Compare(base, cand, Options{NsThreshold: 0.20, AllocsExact: true})
+	if d.HasRegressions() {
+		t.Fatalf("15%% drift under a 20%% threshold flagged: %+v", d.Regressions)
+	}
+}
+
+func TestCompareNoiseFloorSuppresses(t *testing.T) {
+	// 40 -> 90 ns is +125% but both sit under the 100ns floor: harness
+	// overhead territory, not a regression.
+	base := benchFile(bench("BenchmarkTiny", 40, 0, 3))
+	cand := benchFile(bench("BenchmarkTiny", 90, 0, 3))
+	d := Compare(base, cand, Options{AllocsExact: true})
+	if d.HasRegressions() {
+		t.Fatalf("sub-floor timing change flagged: %+v", d.Regressions)
+	}
+	// Once the candidate clears the floor the threshold applies again.
+	cand2 := benchFile(bench("BenchmarkTiny", 400, 0, 3))
+	if d2 := Compare(base, cand2, Options{AllocsExact: true}); !d2.HasRegressions() {
+		t.Fatal("above-floor 10x slowdown not flagged")
+	}
+}
+
+func TestCompareAllocsExact(t *testing.T) {
+	base := benchFile(bench("BenchmarkRecalc/weather", 100000, 42, 3))
+	cand := benchFile(bench("BenchmarkRecalc/weather", 100000, 43, 3))
+	d := Compare(base, cand, Options{AllocsExact: true})
+	if !d.HasRegressions() || d.Regressions[0].Verdict != VerdictAllocs {
+		t.Fatalf("single-alloc increase not flagged as %s: %+v", VerdictAllocs, d)
+	}
+	// Allocation decreases are fine.
+	cand2 := benchFile(bench("BenchmarkRecalc/weather", 100000, 41, 3))
+	if d2 := Compare(base, cand2, Options{AllocsExact: true}); d2.HasRegressions() {
+		t.Fatalf("alloc decrease flagged: %+v", d2.Regressions)
+	}
+	// And without AllocsExact the increase passes.
+	if d3 := Compare(base, cand, Options{}); d3.HasRegressions() {
+		t.Fatalf("alloc increase flagged with AllocsExact off: %+v", d3.Regressions)
+	}
+}
+
+// TestCompareAllocsSlack: single-iteration smoke runs wobble a
+// many-thousand-alloc benchmark by a handful of allocations (map-growth
+// timing); a 1% slack absorbs that while still catching per-row leaks.
+func TestCompareAllocsSlack(t *testing.T) {
+	opt := Options{AllocsExact: true, AllocsSlack: 0.01}
+	base := benchFile(bench("BenchmarkPlan/ledger", 20_000_000, 10890, 1))
+	wobble := benchFile(bench("BenchmarkPlan/ledger", 20_000_000, 10896, 1))
+	if d := Compare(base, wobble, opt); d.HasRegressions() {
+		t.Fatalf("within-slack wobble flagged: %+v", d.Regressions)
+	}
+	leak := benchFile(bench("BenchmarkPlan/ledger", 20_000_000, 12000, 1))
+	d := Compare(base, leak, opt)
+	if !d.HasRegressions() || d.Regressions[0].Verdict != VerdictAllocs {
+		t.Fatalf("10%% alloc growth not flagged: %+v", d)
+	}
+	// A zero-alloc baseline gets no slack headroom: any allocation is new.
+	zbase := benchFile(bench("BenchmarkGridScan", 100000, 0, 1))
+	zcand := benchFile(bench("BenchmarkGridScan", 100000, 1, 1))
+	if d := Compare(zbase, zcand, opt); !d.HasRegressions() {
+		t.Fatal("first allocation on a zero-alloc benchmark not flagged")
+	}
+}
+
+func TestCompareNewAndMissing(t *testing.T) {
+	base := benchFile(bench("BenchmarkOld", 1000, 1, 3))
+	cand := benchFile(bench("BenchmarkNew", 1000, 1, 3))
+	d := Compare(base, cand, Options{AllocsExact: true})
+	if d.HasRegressions() {
+		t.Fatalf("set difference treated as regression: %+v", d.Regressions)
+	}
+	if len(d.New) != 1 || d.New[0].Name != "BenchmarkNew" {
+		t.Fatalf("new rows: %+v", d.New)
+	}
+	if len(d.Missing) != 1 || d.Missing[0].Name != "BenchmarkOld" {
+		t.Fatalf("missing rows: %+v", d.Missing)
+	}
+}
+
+func TestCompareRankingAndTableDeterminism(t *testing.T) {
+	base := benchFile(
+		bench("BenchmarkA", 1000, 5, 3),
+		bench("BenchmarkB", 1000, 5, 3),
+		bench("BenchmarkC", 1000, 5, 3),
+		bench("BenchmarkD", 1000, 5, 3),
+	)
+	cand := benchFile(
+		bench("BenchmarkD", 1400, 5, 3), // +40%
+		bench("BenchmarkB", 1300, 5, 3), // +30%
+		bench("BenchmarkC", 1000, 6, 3), // allocs
+		bench("BenchmarkA", 500, 5, 3),  // -50%
+	)
+	opt := Options{AllocsExact: true}
+	d := Compare(base, cand, opt)
+	got := make([]string, 0, len(d.Regressions))
+	for _, r := range d.Regressions {
+		got = append(got, r.Name)
+	}
+	// Allocs regressions lead (the certain kind), then timing worst-first.
+	want := []string{"BenchmarkC", "BenchmarkD", "BenchmarkB"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("regression ranking %v, want %v", got, want)
+	}
+	if len(d.Improvements) != 1 || d.Improvements[0].Name != "BenchmarkA" {
+		t.Fatalf("improvements: %+v", d.Improvements)
+	}
+	var one, two bytes.Buffer
+	if err := d.WriteTable(&one, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(base, cand, opt).WriteTable(&two, opt); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("table not deterministic:\n%s\nvs\n%s", one.String(), two.String())
+	}
+	if !strings.Contains(one.String(), "FAIL (3 regression(s))") {
+		t.Fatalf("table missing FAIL verdict:\n%s", one.String())
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	first := HistoryEntry{UnixTime: 1754000000, Label: "seed",
+		Bench: *benchFile(bench("BenchmarkRecalc/weather", 100000, 42, 3))}
+	second := HistoryEntry{UnixTime: 1754100000, Label: "tuned",
+		Bench: *benchFile(bench("BenchmarkRecalc/weather", 90000, 42, 3))}
+	if err := AppendHistory(path, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadHistory(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if entries[0].Label != "seed" || entries[1].Label != "tuned" {
+		t.Fatalf("labels: %q, %q", entries[0].Label, entries[1].Label)
+	}
+	if entries[0].Schema != HistorySchema {
+		t.Fatalf("schema %q, want %q", entries[0].Schema, HistorySchema)
+	}
+	if ns := entries[1].Bench.Benchmarks[0].NsPerOp; ns != 90000 {
+		t.Fatalf("second entry ns %v, want 90000", ns)
+	}
+}
+
+func TestHistoryRejectsMixedSchemas(t *testing.T) {
+	good := `{"schema":"spreadbench-perfbase/v1","unix_time":1,"bench":{"schema":"` +
+		obs.BenchSchema + `","benchmarks":[]}}`
+	bad := `{"schema":"spreadbench-perfbase/v0","unix_time":2,"bench":{"schema":"` +
+		obs.BenchSchema + `","benchmarks":[]}}`
+	_, err := ReadHistory(strings.NewReader(good + "\n" + bad + "\n"))
+	if err == nil {
+		t.Fatal("mixed-schema history accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "mixed-schema") {
+		t.Fatalf("error should name the bad line and the mixed-schema cause: %v", err)
+	}
+}
+
+func TestHistoryRejectsUnknownFields(t *testing.T) {
+	line := `{"schema":"spreadbench-perfbase/v1","unix_time":1,"surprise":true,"bench":{"schema":"` +
+		obs.BenchSchema + `","benchmarks":[]}}`
+	_, err := ReadHistory(strings.NewReader(line))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestHistoryRejectsGarbageLine(t *testing.T) {
+	_, err := ReadHistory(strings.NewReader("not json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("garbage line accepted: %v", err)
+	}
+}

@@ -108,6 +108,14 @@ type Choice struct {
 	Candidates []Candidate `json:"candidates"`
 	// Basis states the statistics the decision rested on.
 	Basis string `json:"basis"`
+
+	// serveWork / buildWork split the chosen candidate's cost into the
+	// steady-state per-evaluation work and the one-time structure build the
+	// amortized Work folds in. The drift monitor consults them so its
+	// per-observation predictions can follow the backing structure's actual
+	// freshness instead of the plan's amortization assumption.
+	serveWork costmodel.Meter
+	buildWork costmodel.Meter
 }
 
 // Alternative returns the best feasible candidate other than the chosen
@@ -154,6 +162,9 @@ type SheetPlan struct {
 	builds  map[int]*Choice
 	recalc  *Choice
 	maint   *Choice
+	// maintLoads counts materialized aggregates per edited column — the
+	// per-column form of the maintenance choice's worst-column basis.
+	maintLoads map[int]int64
 }
 
 // SheetSummary is the statistics digest included with a sheet plan.
@@ -221,6 +232,64 @@ func (sp *SheetPlan) UseRegionChain() bool {
 // aggregates by O(1) deltas (true) or recompute dependents (false).
 func (sp *SheetPlan) UseDeltas() bool {
 	return sp.maint == nil || sp.maint.Chosen == Delta
+}
+
+// LookupServeWork returns the planned lookup site's cost split: the
+// steady-state per-probe work, the one-time build the chosen structure
+// needs when cold, and the chosen strategy. ok is false for unplanned sites
+// and for sites with no feasible choice.
+func (sp *SheetPlan) LookupServeWork(col, r0, r1 int, exact bool) (serve, build costmodel.Meter, strat Strategy, ok bool) {
+	c, found := sp.lookups[SiteKey{Col: col, R0: r0, R1: r1, Exact: exact}]
+	if !found || c.Chosen == "" {
+		return costmodel.Meter{}, costmodel.Meter{}, "", false
+	}
+	return c.serveWork, c.buildWork, c.Chosen, true
+}
+
+// CountIfServeWork returns the planned COUNTIF cost split for the column.
+func (sp *SheetPlan) CountIfServeWork(col int) (serve, build costmodel.Meter, ok bool) {
+	c, found := sp.countIf[col]
+	if !found || c.Chosen == "" {
+		return costmodel.Meter{}, costmodel.Meter{}, false
+	}
+	return c.serveWork, c.buildWork, true
+}
+
+// AggServeWork returns the planned SUM/COUNT/AVERAGE cost split for the
+// column.
+func (sp *SheetPlan) AggServeWork(col int) (serve, build costmodel.Meter, ok bool) {
+	c, found := sp.aggs[col]
+	if !found || c.Chosen == "" {
+		return costmodel.Meter{}, costmodel.Meter{}, false
+	}
+	return c.serveWork, c.buildWork, true
+}
+
+// RecalcWork returns the chosen recalculation-sequencing candidate's cost
+// split. For the region chain, serve is the per-recalc emission work and
+// build the region inference — charged at runtime only when the engine's
+// incrementally maintained region cache is actually stale. The per-cell
+// chain has no reusable structure, so its full model is all serve.
+func (sp *SheetPlan) RecalcWork() (serve, build costmodel.Meter, ok bool) {
+	if sp.recalc == nil || sp.recalc.Chosen == "" {
+		return costmodel.Meter{}, costmodel.Meter{}, false
+	}
+	return sp.recalc.serveWork, sp.recalc.buildWork, true
+}
+
+// MaintWork returns the predicted delta-maintenance work of one edit in the
+// column — the per-column instantiation of the sheet's maintenance choice.
+// ok is false when the plan chose recompute or the column hosts no
+// materialized aggregates.
+func (sp *SheetPlan) MaintWork(col int) (costmodel.Meter, bool) {
+	if !sp.UseDeltas() {
+		return costmodel.Meter{}, false
+	}
+	n := sp.maintLoads[col]
+	if n <= 0 {
+		return costmodel.Meter{}, false
+	}
+	return deltaMaintWork(n), true
 }
 
 // StatColumn records one column whose statistics informed the plan, with

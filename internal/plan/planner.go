@@ -202,8 +202,9 @@ func buildSheetPlan(s *sheet.Sheet, set *siteSet, coll *Collector, lookups map[S
 		sp.Stats.Regions = regionCount
 		sp.Choices = append(sp.Choices, c)
 	}
-	if c := planMaintenance(sp.Sheet, set, pr); c != nil {
+	if c, loads := planMaintenance(sp.Sheet, set, pr); c != nil {
 		sp.maint = c
+		sp.maintLoads = loads
 		sp.Choices = append(sp.Choices, c)
 	}
 	return sp
@@ -255,6 +256,22 @@ func planLookup(sheetName string, site *lookupSite, coll *Collector, pr pricer) 
 	c.Count = site.count
 	c.Basis = fmt.Sprintf("%s n=%d uses=%d distinct≈%d sorted=%v static=%v",
 		siteID(sheetName, site.key), n, site.count, cs.Distinct, sorted, static)
+	switch c.Chosen {
+	case BinarySearch:
+		probes := ceilLog2(n) + 1
+		c.serveWork = mk(mTouch, probes, mCompare, probes)
+		if site.fn == "VLOOKUP" {
+			c.serveWork.Add(costmodel.CellTouch, 1)
+		}
+		if !static {
+			c.buildWork = mk(mTouch, n)
+		}
+	case HashProbe:
+		c.serveWork = mk(mProbe, cs.ExpectedMatches(n), mTouch, 1)
+		c.buildWork = mk(mTouch, n, mProbe, n)
+	case Scan:
+		c.serveWork = scanLookupWork(site.fn, site.mode, n)
+	}
 	return c
 }
 
@@ -285,6 +302,16 @@ func planCountIf(sheetName string, col int, agg *colSiteAgg, coll *Collector, pr
 	c.Count = agg.count
 	c.Basis = fmt.Sprintf("%s n=%d uses=%d distinct≈%d equality=%v",
 		siteID(sheetName, c.Site), n, agg.count, cs.Distinct, agg.equality)
+	switch c.Chosen {
+	case HashProbe:
+		c.serveWork = mk(mProbe, cs.ExpectedMatches(n), mEval, 1)
+		c.buildWork = mk(mTouch, n, mProbe, n)
+	case BTreeCount:
+		c.serveWork = mk(mProbe, 2*(ceilLog2(n)+1), mEval, 1)
+		c.buildWork = mk(mTouch, n, mProbe, n)
+	case Scan:
+		c.serveWork = scanCountWork(n)
+	}
 	return c
 }
 
@@ -302,6 +329,12 @@ func planAggregate(sheetName string, col int, agg *colSiteAgg, pr pricer) *Choic
 	c.Site = SiteKey{Col: col, R0: agg.r0, R1: agg.r1}
 	c.Count = agg.count
 	c.Basis = fmt.Sprintf("%s n=%d uses=%d", siteID(sheetName, c.Site), n, agg.count)
+	if c.Chosen == PrefixSum {
+		c.serveWork = mk(mProbe, 2, mEval, 1)
+		c.buildWork = mk(mTouch, n)
+	} else {
+		c.serveWork = scanAggWork(n)
+	}
 	return c
 }
 
@@ -346,14 +379,25 @@ func planRecalc(s *sheet.Sheet, pr pricer) (*Choice, int) {
 	c.Count = int(f)
 	c.Basis = fmt.Sprintf("%s formulas=%d regions=%d inferOps=%d ok=%v",
 		s.Name, f, len(sr.Regions), inferOps, g.OK())
+	if cand, ok := c.chosenCandidate(); ok {
+		c.serveWork = cand.Work
+		if c.Chosen == RegionChain {
+			// Emission repeats every recalc; inference only when the engine's
+			// region cache is stale (incremental maintenance usually keeps it
+			// warm across formula edits).
+			c.serveWork = mk(mDepOp, f)
+			c.buildWork = mk(mDepOp, inferOps)
+		}
+	}
 	return c, len(sr.Regions)
 }
 
 // planMaintenance prices delta vs recompute maintenance of materialized
 // aggregates through a cell edit, using the worst (most covered) column as
 // the representative edit site. Sheets with no aggregate sites skip the
-// choice (nothing to maintain either way).
-func planMaintenance(sheetName string, set *siteSet, pr pricer) *Choice {
+// choice (nothing to maintain either way). The second result carries the
+// per-column aggregate counts backing MaintWork's per-edit predictions.
+func planMaintenance(sheetName string, set *siteSet, pr pricer) (*Choice, map[int]int64) {
 	type colLoad struct {
 		aggs  int64
 		cells int64
@@ -375,7 +419,7 @@ func planMaintenance(sheetName string, set *siteSet, pr pricer) *Choice {
 		note(col, agg)
 	}
 	if len(loads) == 0 {
-		return nil
+		return nil, nil
 	}
 	worstCol, worst := -1, &colLoad{}
 	for col, l := range loads {
@@ -393,7 +437,11 @@ func planMaintenance(sheetName string, set *siteSet, pr pricer) *Choice {
 	c.Count = int(worst.aggs)
 	c.Basis = fmt.Sprintf("%s worst col=%d aggregates=%d covered cells=%d",
 		sheetName, worstCol, worst.aggs, worst.cells)
-	return c
+	perCol := make(map[int]int64, len(loads))
+	for col, l := range loads {
+		perCol[col] = l.aggs
+	}
+	return c, perCol
 }
 
 // choose scalarizes the candidates, orders feasible ones by ascending

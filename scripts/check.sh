@@ -28,6 +28,15 @@
 #              regression seed corpus) plus the trace-language parser
 #              seeds, all replayed deterministically — no -fuzz
 #              exploration; the nightly workflow owns the time budget
+#   benchdiff  bench regression gate: diff the fresh bench-smoke record
+#              against the committed BENCH_baseline.json with
+#              cmd/benchdiff. Smoke timings are min-of-3 single
+#              iterations and still swing severalfold under machine
+#              load, so the ns/op gate
+#              only flags 5x+ blowups (the asymptotic-regression
+#              signature) over a 1 ms floor; allocations are
+#              deterministic up to map-growth timing and held within 1% —
+#              that is the bar that travels across machines
 #   all        every stage (the default)
 #
 # CI runs the stages as separate jobs so the static half reports in
@@ -38,9 +47,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-lint | race | bench | interfere | absint | plan | fuzz | all) ;;
+lint | race | bench | interfere | absint | plan | fuzz | benchdiff | all) ;;
 *)
-    echo "usage: $0 [lint|race|bench|interfere|absint|plan|fuzz|all]" >&2
+    echo "usage: $0 [lint|race|bench|interfere|absint|plan|fuzz|benchdiff|all]" >&2
     exit 2
     ;;
 esac
@@ -138,6 +147,23 @@ if [ "$stage" = "bench" ] || [ "$stage" = "all" ]; then
         >/dev/null
     go run ./cmd/obscheck \
         -sidecar "$smokedir/smoke.obs.json" -trace "$smokedir/smoke.trace.json"
+fi
+
+if [ "$stage" = "benchdiff" ] || [ "$stage" = "all" ]; then
+    echo "== bench regression gate (vs BENCH_baseline.json) =="
+    if [ ! -f BENCH_baseline.json ]; then
+        echo "BENCH_baseline.json missing; regenerate it with" >&2
+        echo "  ./scripts/bench.sh -quick -bench='<smoke subset>' && cp BENCH_engine.json BENCH_baseline.json" >&2
+        exit 1
+    fi
+    # Standalone runs produce their own candidate record; under "all" the
+    # bench stage just wrote a fresh one with the same benchmark subset.
+    if [ "$stage" = "benchdiff" ]; then
+        ./scripts/bench.sh -quick \
+            -bench='BenchmarkFormulaCompile|BenchmarkGridScan|BenchmarkFig13Incremental|BenchmarkInterferenceAnalysis|BenchmarkCertifiedLookupMatch|BenchmarkPlanSelection'
+    fi
+    go run ./cmd/benchdiff -baseline BENCH_baseline.json -candidate BENCH_engine.json \
+        -threshold 4.0 -min-ns 1000000 -allocs-slack 0.01 | tee BENCHDIFF_table.txt
 fi
 
 echo "OK"
